@@ -1,0 +1,125 @@
+//! Criterion benchmarks: scaled-down versions of each paper experiment
+//! plus microbenchmarks of the performance-critical substrates.
+//!
+//! `cargo bench` runs everything; each figure has a corresponding bench
+//! group so regressions in the experiment pipelines are caught.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use c3::generator::bridge_fsm;
+use c3::system::GlobalProtocol;
+use c3_bench::{run_workload, RunConfig};
+use c3_mcm::harness::{run_litmus, LitmusConfig};
+use c3_mcm::litmus::LitmusTest;
+use c3_mcm::reference::allowed_outcomes;
+use c3_memsys::cache::CacheArray;
+use c3_protocol::mcm::Mcm;
+use c3_protocol::ops::Addr;
+use c3_protocol::states::ProtocolFamily;
+use c3_verif::model::{check, ModelConfig};
+use c3_workloads::WorkloadSpec;
+
+fn microbenches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+    g.bench_function("cache_array_insert_get", |b| {
+        b.iter_batched(
+            || CacheArray::<u64>::new(256, 8),
+            |mut cache| {
+                for i in 0..4096u64 {
+                    cache.insert(Addr(i % 1024), i);
+                    cache.get(Addr((i * 7) % 1024));
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("generator_moesi_cxl", |b| {
+        b.iter(|| bridge_fsm(ProtocolFamily::Moesi))
+    });
+    g.bench_function("reference_enumeration_iriw", |b| {
+        let t = LitmusTest::iriw();
+        let mcms = [Mcm::Tso, Mcm::Weak, Mcm::Tso, Mcm::Weak];
+        b.iter(|| allowed_outcomes(&t.threads, &mcms, &t.observed))
+    });
+    g.finish();
+}
+
+fn verification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verification");
+    g.sample_size(10);
+    g.bench_function("model_check_default", |b| {
+        b.iter(|| {
+            let r = check(&ModelConfig::default());
+            assert!(r.violation.is_none());
+            r.states
+        })
+    });
+    g.finish();
+}
+
+fn litmus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_litmus");
+    g.sample_size(10);
+    for (name, test) in [("mp", LitmusTest::mp()), ("sb", LitmusTest::sb())] {
+        g.bench_function(name, |b| {
+            let cfg = LitmusConfig::new(
+                (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
+                GlobalProtocol::Cxl,
+                (Mcm::Tso, Mcm::Weak),
+            )
+            .runs(20);
+            b.iter(|| {
+                let r = run_litmus(&test, &cfg);
+                assert!(r.passed());
+                r.observed.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_scaled");
+    g.sample_size(10);
+    // Fig. 10 slice: one contended and one streaming workload under the
+    // baseline and the CXL configuration.
+    for wname in ["histogram", "vips"] {
+        for (gname, global) in [
+            ("baseline", GlobalProtocol::Hierarchical(ProtocolFamily::Mesi)),
+            ("cxl", GlobalProtocol::Cxl),
+        ] {
+            g.bench_function(format!("fig10_{wname}_{gname}"), |b| {
+                let spec = WorkloadSpec::by_name(wname).expect("workload");
+                let cfg = RunConfig::scaled(
+                    (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+                    global,
+                    (Mcm::Weak, Mcm::Weak),
+                )
+                .quick();
+                b.iter(|| run_workload(&spec, &cfg).exec_ns)
+            });
+        }
+    }
+    // Fig. 9 slice: the MCM knob.
+    for (mname, mcms) in [
+        ("arm", (Mcm::Weak, Mcm::Weak)),
+        ("tso", (Mcm::Tso, Mcm::Tso)),
+        ("mixed", (Mcm::Weak, Mcm::Tso)),
+    ] {
+        g.bench_function(format!("fig9_histogram_{mname}"), |b| {
+            let spec = WorkloadSpec::by_name("histogram").expect("workload");
+            let cfg = RunConfig::scaled(
+                (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+                GlobalProtocol::Cxl,
+                mcms,
+            )
+            .quick();
+            b.iter(|| run_workload(&spec, &cfg).exec_ns)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, microbenches, verification, litmus, figures);
+criterion_main!(benches);

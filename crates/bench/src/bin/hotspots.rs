@@ -1,0 +1,50 @@
+//! The §VI-C1 address-frequency analysis at the memory controller: for
+//! CXL-sensitive applications, a few cache lines are hot-spots for both
+//! reads and writes *across the two clusters*; insensitive applications
+//! show no multi-host hot lines.
+//!
+//! Usage: `cargo run --release -p c3-bench --bin hotspots [-- workload...]`
+
+use c3::system::GlobalProtocol;
+use c3_bench::{run_workload_with, RunConfig};
+use c3_protocol::mcm::Mcm;
+use c3_protocol::states::ProtocolFamily;
+use c3_workloads::WorkloadSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        vec!["histogram".into(), "barnes".into(), "vips".into()]
+    } else {
+        args
+    };
+    for name in names {
+        let spec = WorkloadSpec::by_name(&name).expect("workload");
+        let cfg = RunConfig::scaled(
+            (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+            GlobalProtocol::Cxl,
+            (Mcm::Weak, Mcm::Weak),
+        );
+        let (result, hot) = run_workload_with(&spec, &cfg, |sim, handles| {
+            sim.component_as::<c3_cxl::CxlDirectory>(handles.global_dir)
+                .expect("dcoh")
+                .engine()
+                .hottest(8)
+        });
+        println!("\n== {name} ==  exec {} ns", result.exec_ns);
+        println!(
+            "   {:<8} {:>8} {:>8} {:>8}",
+            "line", "reads", "writes", "hosts"
+        );
+        for h in hot {
+            let marker = if h.sharers > 1 && h.writes > 0 { "  <- multi-host hot-spot" } else { "" };
+            println!(
+                "   {:<8} {:>8} {:>8} {:>8}{marker}",
+                h.addr.to_string(),
+                h.reads,
+                h.writes,
+                h.sharers
+            );
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Diagnostic: dump key counters for one workload under baseline vs CXL.
+//! Usage: `cargo run --release -p c3-bench --bin probe -- <workload> [ops]`
+
+use c3::system::GlobalProtocol;
+use c3_bench::{run_workload, RunConfig};
+use c3_protocol::mcm::Mcm;
+use c3_protocol::states::ProtocolFamily;
+use c3_workloads::WorkloadSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(|s| s.as_str()).unwrap_or("vips");
+    let ops: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(500);
+    let spec = WorkloadSpec::by_name(name).expect("workload");
+    for global in [
+        GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
+        GlobalProtocol::Cxl,
+    ] {
+        let mut cfg = RunConfig::scaled(
+            (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+            global,
+            (Mcm::Weak, Mcm::Weak),
+        );
+        cfg.ops_per_core = ops;
+        let r = run_workload(&spec, &cfg);
+        println!("== {name} under {global:?}: exec {} ns", r.exec_ns);
+        let interesting = [
+            "bridge.global_reads",
+            "bridge.global_writes",
+            "bridge.snoops",
+            "bridge.conflicts",
+            "bridge.evictions",
+            "bridge.recalls",
+            "bridge.local_stalls",
+            "dcoh.stalled_requests",
+            "dcoh.bisnp_sent",
+            "dcoh.conflicts",
+            "dcoh.writebacks",
+            "dir.stalled_requests",
+        ];
+        for (k, v) in r.report.iter() {
+            if interesting.iter().any(|s| k.contains(s)) && v > 0.0 {
+                println!("  {k} = {v}");
+            }
+        }
+        let mut hits = 0.0;
+        let mut misses = 0.0;
+        let mut high = 0.0;
+        let mut med = 0.0;
+        let mut low = 0.0;
+        for (k, v) in r.report.iter() {
+            if k.ends_with(".hits") {
+                hits += v;
+            }
+            if k.ends_with(".misses") {
+                misses += v;
+            }
+            if k.contains("miss_ns.high") {
+                high += v;
+            }
+            if k.contains("miss_ns.med") {
+                med += v;
+            }
+            if k.contains("miss_ns.low") {
+                low += v;
+            }
+        }
+        println!(
+            "  hits={hits} misses={misses} miss_ns: low={low} med={med} high={high}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Sensitivity sweep: how the CXL-vs-baseline gap depends on the
+//! cross-cluster link latency, and where the crossover to "negligible"
+//! lies.
+//!
+//! The paper fixes the link latency at 70 ns (≈400 ns round trip, §V,
+//! footnote 8). This sweep varies it: at on-chip-like latencies the CXL
+//! protocol overhead (extra message delays + blocking directory) is the
+//! dominant cost; as the link grows, raw propagation swamps everything
+//! and the *relative* gap stabilizes — the protocol penalty scales with
+//! the number of message hops, which is CXL's structural property.
+//!
+//! Usage: `cargo run --release -p c3-bench --bin sweep [-- --workload W]`
+
+use c3::system::{ClusterSpec, GlobalProtocol, SystemBuilder};
+use c3_mcm::core_model::{CoreConfig, TimingCore};
+use c3_protocol::mcm::Mcm;
+use c3_protocol::states::ProtocolFamily;
+use c3_sim::kernel::RunOutcome;
+use c3_sim::time::Delay;
+use c3_workloads::WorkloadSpec;
+
+fn run(spec: &WorkloadSpec, global: GlobalProtocol, link_ns: u64) -> u64 {
+    let cores = 4usize;
+    let clusters = vec![
+        ClusterSpec::new(ProtocolFamily::Mesi, cores).with_l1(128, 4),
+        ClusterSpec::new(ProtocolFamily::Mesi, cores).with_l1(128, 4),
+    ];
+    let spec = *spec;
+    let (mut sim, handles) = SystemBuilder::new(clusters, global)
+        .cxl_cache(2048, 8)
+        .link_latency(Delay::from_ns(link_ns))
+        .build(move |ci, k, l1| {
+            let thread = ci * cores + k;
+            Box::new(TimingCore::new(
+                format!("c{ci}.core{k}"),
+                l1,
+                CoreConfig::new(Mcm::Weak, ProtocolFamily::Mesi),
+                spec.generate(thread, cores * 2, 1000, 0xC3),
+                0xC3 ^ (thread as u64) << 32,
+            ))
+        });
+    sim.set_event_limit(400_000_000);
+    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    let mut exec = 0;
+    for cluster in &handles.cores {
+        for &c in cluster {
+            let tc = sim.component_as::<TimingCore>(c).expect("core");
+            exec = exec.max(tc.finished_at().map(|t| t.as_ns()).unwrap_or(0));
+        }
+    }
+    exec
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let wname = if args.len() >= 3 && args[1] == "--workload" {
+        args[2].clone()
+    } else {
+        "histogram".to_string()
+    };
+    let spec = WorkloadSpec::by_name(&wname).expect("workload");
+    println!("Link-latency sweep, workload {wname} (normalized CXL/baseline):");
+    println!(
+        "{:>9} {:>12} {:>12} {:>8}",
+        "link(ns)", "baseline(ns)", "cxl(ns)", "ratio"
+    );
+    for link_ns in [5, 15, 35, 70, 140, 280] {
+        let base = run(&spec, GlobalProtocol::Hierarchical(ProtocolFamily::Mesi), link_ns);
+        let cxl = run(&spec, GlobalProtocol::Cxl, link_ns);
+        println!(
+            "{:>9} {:>12} {:>12} {:>8.3}",
+            link_ns,
+            base,
+            cxl,
+            cxl as f64 / base as f64
+        );
+    }
+    println!("\n(70 ns is the paper's Table III operating point)");
+}

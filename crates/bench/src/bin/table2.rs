@@ -1,0 +1,25 @@
+//! Table II: the generated C³ translation table (host = MOESI by default,
+//! matching the paper's fragment; pass a family name for others).
+//!
+//! Usage: `cargo run -p c3-bench --bin table2 [-- MESI|MESIF|MOESI|RCC]`
+
+use c3::generator::bridge_fsm;
+use c3_protocol::states::ProtocolFamily;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "MOESI".into());
+    let family = match arg.to_uppercase().as_str() {
+        "MESI" => ProtocolFamily::Mesi,
+        "MESIF" => ProtocolFamily::Mesif,
+        "MOESI" => ProtocolFamily::Moesi,
+        "RCC" => ProtocolFamily::Rcc,
+        other => panic!("unknown family {other}"),
+    };
+    let fsm = bridge_fsm(family);
+    println!("{}", fsm.dump_table());
+    println!(
+        "{} consistent compound states, {} translation rows",
+        fsm.states.len(),
+        fsm.rows.len()
+    );
+}

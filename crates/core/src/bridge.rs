@@ -1,0 +1,1029 @@
+//! The C³ bridge — the paper's coherence controller (Fig. 5).
+//!
+//! One bridge per cluster replaces the LLC directory for CXL-mapped
+//! addresses. It fuses two roles:
+//!
+//! * toward the cluster it *is* the local directory — implemented by the
+//!   embedded [`DirEngine`] driving the host protocol's native flows;
+//! * toward the global domain it is an ordinary cache — the **CXL cache**
+//!   (stable state per line in a set-associative array, data held in the
+//!   engine), speaking either CXL.mem to the DCOH (active translation) or
+//!   the host protocol to a global directory (the paper's passive
+//!   MESI-MESI-MESI baseline, where C³ "simply forwards" — §VI-C).
+//!
+//! The two design rules are enforced structurally:
+//!
+//! * **Rule I (flow delegation):** the engine consults the bridge's global
+//!   permissions on every admission; insufficient permission suspends the
+//!   local transaction and emits a backend fetch
+//!   ([`CompoundFsm::delegation`]). Incoming global snoops delegate into
+//!   the host domain as conceptual loads/stores
+//!   ([`CompoundFsm::snoop_plan`] → [`DirEngine::recall`]).
+//! * **Rule II (atomicity):** forwarded transactions are nested — the
+//!   engine stalls same-line host requests until the global completion
+//!   arrives, and a snoop response is only sent after the nested host
+//!   recall (and the CXL writeback it may require) completes.
+//!
+//! Races between an outstanding request and an incoming `BISnp*` are
+//! resolved with the `BIConflict` handshake exactly as in Fig. 2.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use c3_memsys::cache::CacheArray;
+use c3_memsys::direngine::{BackendPerms, DirEffect, DirEngine, Holders, RecallKind};
+use c3_protocol::msg::{CxlMsg, Grant, HostMsg, SysMsg};
+use c3_protocol::ops::Addr;
+use c3_protocol::states::{ProtocolFamily, StableState};
+use c3_sim::component::{Component, ComponentId, Ctx};
+use c3_sim::stats::Report;
+
+use crate::generator::{bridge_fsm, baseline_fsm, CompoundFsm, HostClass, Incoming, SnoopResponse, XAccess};
+
+/// What the bridge's global side speaks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GlobalSide {
+    /// CXL.mem to one or more DCOH directories (active translation).
+    /// Multiple devices form a multi-headed pool with line-interleaved
+    /// addressing (CXL 3.0 fabrics).
+    Cxl {
+        /// The CXL memory devices (non-empty).
+        dirs: Vec<ComponentId>,
+    },
+    /// The host protocol to a hierarchical global directory (passive
+    /// forwarding baseline).
+    Host {
+        /// The global directory.
+        dir: ComponentId,
+        /// Global protocol family (MESI in the paper's baseline).
+        family: ProtocolFamily,
+    },
+}
+
+impl GlobalSide {
+    /// Convenience constructor for a single CXL device.
+    pub fn cxl(dir: ComponentId) -> Self {
+        GlobalSide::Cxl { dirs: vec![dir] }
+    }
+
+    /// The device responsible for `addr` (line-interleaved).
+    fn dir_for(&self, addr: Addr) -> ComponentId {
+        match self {
+            GlobalSide::Cxl { dirs } => dirs[(addr.0 % dirs.len() as u64) as usize],
+            GlobalSide::Host { dir, .. } => *dir,
+        }
+    }
+}
+
+/// Bridge configuration.
+#[derive(Clone, Debug)]
+pub struct BridgeConfig {
+    /// The cluster's host protocol.
+    pub host_family: ProtocolFamily,
+    /// Global side (CXL or hierarchical host protocol).
+    pub global: GlobalSide,
+    /// CXL cache sets (Table III LLC: 4 MiB 8-way → 8192 sets).
+    pub cxl_sets: usize,
+    /// CXL cache ways.
+    pub cxl_ways: usize,
+    /// Components that belong to the *global* domain (the global
+    /// directory plus peer bridges); used to classify incoming host-domain
+    /// messages in passive mode.
+    pub global_peers: Vec<ComponentId>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CxlLine {
+    state: StableState,
+}
+
+#[derive(Debug)]
+struct PendingFetch {
+    exclusive: bool,
+    /// Passive mode: invalidation-ack balance (Data adds, InvAck subtracts).
+    acks: i32,
+    data_received: bool,
+    data: u64,
+    grant: StableState,
+}
+
+#[derive(Debug)]
+enum AfterWb {
+    /// Capacity eviction (Fig. 7); resume any fetch waiting for the slot.
+    Eviction,
+    /// Snoop response: send the `BIRsp*` once the writeback completes
+    /// (the 6-hop dirty chain of §VI-C1).
+    SnoopResponse {
+        kind: Incoming,
+    },
+}
+
+#[derive(Debug)]
+struct PendingWb {
+    data: u64,
+    after: AfterWb,
+    /// Passive mode: a Fwd consumed the line mid-writeback (II_A analog).
+    superseded: bool,
+    /// A `BISnp*` arrived while this eviction was in flight; answer it
+    /// after the writeback completes.
+    snoop_after: Option<Incoming>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum StashPhase {
+    /// `BIConflict` sent; waiting for the ack.
+    AwaitingAck,
+    /// Ack said our request was serialized first: handle the snoop after
+    /// the fill (Fig. 2 middle).
+    AwaitingFill,
+}
+
+#[derive(Debug)]
+struct StashedSnoop {
+    kind: Incoming,
+    phase: StashPhase,
+}
+
+/// An active delegated snoop: global snoop nested into the host domain.
+#[derive(Debug)]
+struct ActiveSnoop {
+    kind: Incoming,
+}
+
+/// The C³ bridge component.
+#[derive(Debug)]
+pub struct C3Bridge {
+    name: String,
+    cfg: BridgeConfig,
+    fsm: CompoundFsm,
+    engine: Option<DirEngine>,
+    cxl: CacheArray<CxlLine>,
+    global_peers: HashSet<ComponentId>,
+    fetches: HashMap<Addr, PendingFetch>,
+    writebacks: HashMap<Addr, PendingWb>,
+    snoops: HashMap<Addr, ActiveSnoop>,
+    stash: HashMap<Addr, StashedSnoop>,
+    /// Fetches waiting for a victim's eviction to free a slot.
+    evict_waiters: HashMap<Addr, Vec<(Addr, bool)>>,
+    /// CXL snoops that arrived while the line's eviction recall was in
+    /// flight; answered when the eviction completes.
+    pending_evict_snoop: HashMap<Addr, Incoming>,
+    /// Passive-mode global snoops awaiting a nested host recall.
+    passive_snoop_stash: HashMap<Addr, HostMsg>,
+    /// Fetches deferred until the line's in-flight writeback completes.
+    deferred_fetches: HashMap<Addr, bool>,
+    // statistics
+    global_reads: u64,
+    global_writes: u64,
+    conflicts_sent: u64,
+    snoops_received: u64,
+    evictions: u64,
+    recalls_delegated: u64,
+}
+
+impl C3Bridge {
+    /// Create a bridge. The compound FSM is synthesized from the host and
+    /// global protocol specs (the paper's generator pipeline).
+    pub fn new(name: impl Into<String>, cfg: BridgeConfig) -> Self {
+        let fsm = match &cfg.global {
+            GlobalSide::Cxl { .. } => bridge_fsm(cfg.host_family),
+            GlobalSide::Host { family, .. } => baseline_fsm(cfg.host_family, *family),
+        };
+        C3Bridge {
+            name: name.into(),
+            fsm,
+            cxl: CacheArray::new(cfg.cxl_sets, cfg.cxl_ways),
+            global_peers: cfg.global_peers.iter().copied().collect(),
+            cfg,
+            engine: None,
+            fetches: HashMap::new(),
+            writebacks: HashMap::new(),
+            snoops: HashMap::new(),
+            stash: HashMap::new(),
+            evict_waiters: HashMap::new(),
+            pending_evict_snoop: HashMap::new(),
+            passive_snoop_stash: HashMap::new(),
+            deferred_fetches: HashMap::new(),
+            global_reads: 0,
+            global_writes: 0,
+            conflicts_sent: 0,
+            snoops_received: 0,
+            evictions: 0,
+            recalls_delegated: 0,
+        }
+    }
+
+    /// The generated compound FSM (for inspection / verification).
+    pub fn fsm(&self) -> &CompoundFsm {
+        &self.fsm
+    }
+
+    /// Human-readable dump of in-flight state (deadlock diagnostics).
+    pub fn pending_summary(&self) -> String {
+        format!(
+            "{}: fetches={:?} writebacks={:?} snoops={:?} stash={:?} evict_waiters={:?} \
+             deferred={:?} pending_evict_snoop={:?} passive_stash={:?} engine_idle={}",
+            self.name,
+            self.fetches.keys().collect::<Vec<_>>(),
+            self.writebacks.keys().collect::<Vec<_>>(),
+            self.snoops.keys().collect::<Vec<_>>(),
+            self.stash.keys().collect::<Vec<_>>(),
+            self.evict_waiters.iter().collect::<Vec<_>>(),
+            self.deferred_fetches.iter().collect::<Vec<_>>(),
+            self.pending_evict_snoop.keys().collect::<Vec<_>>(),
+            self.passive_snoop_stash.keys().collect::<Vec<_>>(),
+            self.engine.as_ref().map(|e| e.idle()).unwrap_or(true),
+        )
+    }
+
+    /// Current CXL-cache state for a line.
+    pub fn cxl_state(&self, addr: Addr) -> StableState {
+        self.cxl
+            .peek(addr)
+            .map(|l| l.state)
+            .unwrap_or(StableState::I)
+    }
+
+    /// Cluster-level data value (post-run inspection).
+    pub fn data(&self, addr: Addr) -> u64 {
+        self.engine.as_ref().map(|e| e.data(addr)).unwrap_or(0)
+    }
+
+    fn engine_mut(&mut self) -> &mut DirEngine {
+        self.engine.as_mut().expect("engine initialized in start()")
+    }
+
+    fn perms(&self, addr: Addr) -> BackendPerms {
+        // Rule II: once a downgrade (writeback / snoop response) is in
+        // flight, the line's old permissions must produce no further
+        // origin-domain effects — the data has already been forwarded.
+        if self.writebacks.contains_key(&addr) {
+            return BackendPerms {
+                read_ok: false,
+                write_ok: false,
+            };
+        }
+        let s = self.cxl_state(addr);
+        BackendPerms {
+            read_ok: s.can_read(),
+            write_ok: s.can_write(),
+        }
+    }
+
+    fn host_class(&self, addr: Addr) -> HostClass {
+        match self.engine.as_ref().map(|e| e.holders(addr)) {
+            None | Some(Holders::None) => HostClass::None,
+            Some(Holders::Shared(_)) => HostClass::Shared,
+            Some(Holders::Exclusive(_)) => HostClass::Exclusive,
+            Some(Holders::Owned(_, _)) => HostClass::Owned,
+        }
+    }
+
+    fn line_busy(&self, addr: Addr) -> bool {
+        self.fetches.contains_key(&addr)
+            || self.writebacks.contains_key(&addr)
+            || self.snoops.contains_key(&addr)
+            || self.stash.contains_key(&addr)
+            || self.engine.as_ref().map(|e| e.is_busy(addr)).unwrap_or(false)
+    }
+
+    // ---- engine effect pump ----
+
+    fn pump(&mut self, first: Vec<DirEffect>, ctx: &mut Ctx<'_, SysMsg>) {
+        let mut q: VecDeque<DirEffect> = first.into();
+        while let Some(e) = q.pop_front() {
+            match e {
+                DirEffect::Send { dst, msg } => ctx.send(dst, SysMsg::Host(msg)),
+                DirEffect::BackendRead { addr } => {
+                    let more = self.start_fetch(addr, false, ctx);
+                    q.extend(more);
+                }
+                DirEffect::BackendWrite { addr } => {
+                    let more = self.start_fetch(addr, true, ctx);
+                    q.extend(more);
+                }
+                DirEffect::DataUpdated { addr, .. } => {
+                    // Dirty data arrived at the cluster level: global E
+                    // silently becomes M (mirrors the host's silent
+                    // upgrade at the global level).
+                    if let Some(l) = self.cxl.get_mut(addr) {
+                        if l.state == StableState::E {
+                            l.state = StableState::M;
+                        }
+                    }
+                }
+                DirEffect::RecallDone {
+                    addr,
+                    data,
+                    was_dirty,
+                    ..
+                } => {
+                    let more = self.on_recall_done(addr, data, was_dirty, ctx);
+                    q.extend(more);
+                }
+                DirEffect::TxnDone { .. } => {}
+            }
+        }
+    }
+
+    // ---- global fetch path (Rule I upward delegation) ----
+
+    /// Begin a global fetch; returns follow-up engine effects (from
+    /// eviction recalls). Fig. 7: when the CXL cache set is full, the
+    /// victim's eviction completes before the fetch is issued.
+    fn start_fetch(&mut self, addr: Addr, exclusive: bool, ctx: &mut Ctx<'_, SysMsg>) -> Vec<DirEffect> {
+        if self.writebacks.contains_key(&addr) || self.stash.contains_key(&addr) {
+            // The line is mid-downgrade, or a conflict handshake is still
+            // being resolved for it: issuing a new request now would make
+            // the pending BIConflict ambiguous (which request does it
+            // refer to?). Refetch once the line settles.
+            self.deferred_fetches.insert(addr, exclusive);
+            return Vec::new();
+        }
+        if self.cxl.peek(addr).is_none() {
+            // Need a slot. Find a stable victim, skipping busy lines.
+            let mut victim = None;
+            for _ in 0..self.cfg.cxl_ways + 1 {
+                match self.cxl.victim(addr) {
+                    None => break, // free way available
+                    Some((v, _)) if self.line_busy(v) => {
+                        self.cxl.get_mut(v); // bump LRU; try next
+                    }
+                    Some((v, _)) => {
+                        victim = Some(v);
+                        break;
+                    }
+                }
+            }
+            if let Some(v) = victim {
+                self.evict_waiters.entry(v).or_default().push((addr, exclusive));
+                return self.start_eviction(v, ctx);
+            }
+            if self.cxl.victim(addr).is_some() {
+                // Every way is busy; wait for one of them to settle by
+                // queueing on the least-recent busy victim.
+                let (v, _) = self.cxl.victim(addr).expect("set is full");
+                self.evict_waiters.entry(v).or_default().push((addr, exclusive));
+                return Vec::new();
+            }
+            // Free way: reserve it with a placeholder so concurrent fills
+            // cannot overflow the set.
+            self.cxl.insert(
+                addr,
+                CxlLine {
+                    state: StableState::I,
+                },
+            );
+        }
+        self.fetches.insert(
+            addr,
+            PendingFetch {
+                exclusive,
+                acks: 0,
+                data_received: false,
+                data: 0,
+                grant: StableState::I,
+            },
+        );
+        if exclusive {
+            self.global_writes += 1;
+        } else {
+            self.global_reads += 1;
+        }
+        let dir = self.cfg.global.dir_for(addr);
+        match &self.cfg.global {
+            GlobalSide::Cxl { .. } => {
+                let msg = if exclusive {
+                    CxlMsg::MemRdA { addr }
+                } else {
+                    CxlMsg::MemRdS { addr }
+                };
+                ctx.send(dir, SysMsg::Cxl(msg));
+            }
+            GlobalSide::Host { .. } => {
+                let msg = if exclusive {
+                    HostMsg::GetM { addr }
+                } else {
+                    HostMsg::GetS { addr }
+                };
+                ctx.send(dir, SysMsg::Host(msg));
+            }
+        }
+        Vec::new()
+    }
+
+    /// Complete a fetch: install the line, resume the suspended engine
+    /// transaction, and deal with a stashed conflict snoop.
+    fn complete_fetch(&mut self, addr: Addr, ctx: &mut Ctx<'_, SysMsg>) {
+        let f = self.fetches.remove(&addr).expect("fetch pending");
+        debug_assert!(f.data_received && f.acks <= 0);
+        let state = f.grant;
+        self.cxl.insert(addr, CxlLine { state });
+        if let GlobalSide::Host { dir, .. } = &self.cfg.global {
+            let dir = *dir;
+            ctx.send(
+                dir,
+                SysMsg::Host(HostMsg::Unblock {
+                    addr,
+                    to_state: state,
+                }),
+            );
+        }
+        let perms = self.perms(addr);
+        let effects = if f.exclusive {
+            self.engine_mut().backend_write_done(addr, f.data, perms)
+        } else {
+            self.engine_mut().backend_read_done(addr, f.data, perms)
+        };
+        self.pump(effects, ctx);
+        // Fig. 2 middle: our request was serialized before the snoop —
+        // honour the snoop now that the fill completed.
+        if matches!(
+            self.stash.get(&addr),
+            Some(StashedSnoop {
+                phase: StashPhase::AwaitingFill,
+                ..
+            })
+        ) {
+            let s = self.stash.remove(&addr).expect("checked");
+            self.process_global_snoop(addr, s.kind, ctx);
+            self.resume_deferred(addr, ctx);
+        }
+    }
+
+    // ---- CXL-cache eviction (Fig. 7) ----
+
+    fn start_eviction(&mut self, victim: Addr, ctx: &mut Ctx<'_, SysMsg>) -> Vec<DirEffect> {
+        self.evictions += 1;
+        let host = self.host_class(victim);
+        if host.any() && self.cfg.host_family.enforces_swmr() {
+            // Conceptual store into the host domain reclaims all copies.
+            self.recalls_delegated += 1;
+            self.engine_mut().recall(victim, RecallKind::Exclusive)
+            // continues in on_recall_done
+        } else {
+            let data = self.engine.as_ref().map(|e| e.data(victim)).unwrap_or(0);
+            self.finish_eviction_recall(victim, data, false, ctx);
+            Vec::new()
+        }
+    }
+
+    /// After host copies are reclaimed (or none existed), write back or
+    /// drop the line, per the generated eviction row.
+    fn finish_eviction_recall(
+        &mut self,
+        victim: Addr,
+        data: u64,
+        was_dirty: bool,
+        ctx: &mut Ctx<'_, SysMsg>,
+    ) {
+        let dirty = was_dirty || self.cxl_state(victim) == StableState::M;
+        let state = self.cxl_state(victim);
+        match &self.cfg.global {
+            GlobalSide::Cxl { .. } => {
+                let dir = self.cfg.global.dir_for(victim);
+                if dirty {
+                    ctx.send(dir, SysMsg::Cxl(CxlMsg::MemWrI { addr: victim, data }));
+                    self.writebacks.insert(
+                        victim,
+                        PendingWb {
+                            data,
+                            after: AfterWb::Eviction,
+                            superseded: false,
+                            snoop_after: None,
+                        },
+                    );
+                } else {
+                    // Clean lines drop silently; the DCOH discovers the
+                    // imprecision via a BIRspI snoop-miss later.
+                    self.finish_eviction(victim, ctx);
+                }
+            }
+            GlobalSide::Host { dir, .. } => {
+                let dir = *dir;
+                // The hierarchical directory is precise: every eviction is
+                // announced and acknowledged.
+                let msg = match (dirty, state) {
+                    (true, _) => HostMsg::PutM { addr: victim, data },
+                    (false, StableState::E) => HostMsg::PutE { addr: victim },
+                    (false, _) => HostMsg::PutS { addr: victim },
+                };
+                ctx.send(dir, SysMsg::Host(msg));
+                self.writebacks.insert(
+                    victim,
+                    PendingWb {
+                        data,
+                        after: AfterWb::Eviction,
+                        superseded: false,
+                        snoop_after: None,
+                    },
+                );
+            }
+        }
+    }
+
+    fn finish_eviction(&mut self, victim: Addr, ctx: &mut Ctx<'_, SysMsg>) {
+        self.cxl.remove(victim);
+        if let Some(kind) = self.pending_evict_snoop.remove(&victim) {
+            // A snoop raced the eviction; the line is gone (dirty data, if
+            // any, already travelled in the eviction's MemWr).
+            self.respond_snoop_clean_miss(victim, kind, ctx);
+        }
+        if let Some(waiters) = self.evict_waiters.remove(&victim) {
+            for (addr, exclusive) in waiters {
+                let more = self.start_fetch(addr, exclusive, ctx);
+                self.pump(more, ctx);
+            }
+        }
+    }
+
+    /// Resume a fetch that waited for this line's writeback to complete.
+    fn resume_deferred(&mut self, addr: Addr, ctx: &mut Ctx<'_, SysMsg>) {
+        if let Some(exclusive) = self.deferred_fetches.remove(&addr) {
+            let more = self.start_fetch(addr, exclusive, ctx);
+            self.pump(more, ctx);
+        }
+    }
+
+    /// Re-examine a line whose activity may have settled: fetches queued
+    /// on a previously busy victim proceed once it goes idle.
+    fn kick_waiters(&mut self, addr: Addr, ctx: &mut Ctx<'_, SysMsg>) {
+        if !self.evict_waiters.contains_key(&addr) || self.line_busy(addr) {
+            return;
+        }
+        if self.cxl.peek(addr).is_some() {
+            let effects = self.start_eviction(addr, ctx);
+            self.pump(effects, ctx);
+        } else {
+            self.finish_eviction(addr, ctx);
+        }
+    }
+
+    // ---- global snoops (Rule I downward delegation) ----
+
+    /// Handle a global snoop against a *stable* line (no outstanding
+    /// request of our own).
+    fn process_global_snoop(&mut self, addr: Addr, kind: Incoming, ctx: &mut Ctx<'_, SysMsg>) {
+        let cxl = self.cxl_state(addr);
+        if cxl == StableState::I {
+            // Silently dropped (or never held): snoop miss.
+            self.respond_snoop_clean_miss(addr, kind, ctx);
+            return;
+        }
+        let host = self.host_class(addr);
+        let plan = self.fsm.snoop_plan(kind, host, cxl);
+        match plan.x_access {
+            Some(x) => {
+                self.recalls_delegated += 1;
+                self.snoops.insert(addr, ActiveSnoop { kind });
+                let rk = match x {
+                    XAccess::Store => RecallKind::Exclusive,
+                    XAccess::Load => RecallKind::Shared,
+                };
+                let effects = self.engine_mut().recall(addr, rk);
+                self.pump(effects, ctx);
+            }
+            None => {
+                let data = self.engine.as_ref().map(|e| e.data(addr)).unwrap_or(0);
+                let dirty = cxl == StableState::M;
+                self.respond_snoop(addr, kind, data, dirty, ctx);
+            }
+        }
+    }
+
+    fn respond_snoop_clean_miss(&mut self, addr: Addr, kind: Incoming, ctx: &mut Ctx<'_, SysMsg>) {
+        if matches!(self.cfg.global, GlobalSide::Cxl { .. }) {
+            let dir = self.cfg.global.dir_for(addr);
+            let msg = match kind {
+                Incoming::BiSnpInv => CxlMsg::BiRspI { addr },
+                _ => CxlMsg::BiRspI { addr },
+            };
+            ctx.send(dir, SysMsg::Cxl(msg));
+        }
+    }
+
+    /// Send the snoop response, performing the CXL writeback first when
+    /// dirty data must funnel through the device (the 6-hop chain).
+    fn respond_snoop(
+        &mut self,
+        addr: Addr,
+        kind: Incoming,
+        data: u64,
+        dirty: bool,
+        ctx: &mut Ctx<'_, SysMsg>,
+    ) {
+        debug_assert!(matches!(self.cfg.global, GlobalSide::Cxl { .. }));
+        let dir = self.cfg.global.dir_for(addr);
+        match self.fsm.snoop_response(kind, dirty) {
+            SnoopResponse::MemWrI => {
+                ctx.send(dir, SysMsg::Cxl(CxlMsg::MemWrI { addr, data }));
+                self.writebacks.insert(
+                    addr,
+                    PendingWb {
+                        data,
+                        after: AfterWb::SnoopResponse { kind },
+                        superseded: false,
+                        snoop_after: None,
+                    },
+                );
+            }
+            SnoopResponse::MemWrS => {
+                ctx.send(dir, SysMsg::Cxl(CxlMsg::MemWrS { addr, data }));
+                self.writebacks.insert(
+                    addr,
+                    PendingWb {
+                        data,
+                        after: AfterWb::SnoopResponse { kind },
+                        superseded: false,
+                        snoop_after: None,
+                    },
+                );
+            }
+            SnoopResponse::BiRspI => {
+                ctx.send(dir, SysMsg::Cxl(CxlMsg::BiRspI { addr }));
+                self.cxl.remove(addr);
+            }
+            SnoopResponse::BiRspS => {
+                ctx.send(dir, SysMsg::Cxl(CxlMsg::BiRspS { addr }));
+                if let Some(l) = self.cxl.get_mut(addr) {
+                    l.state = StableState::S;
+                }
+            }
+        }
+    }
+
+    fn on_recall_done(
+        &mut self,
+        addr: Addr,
+        data: u64,
+        was_dirty: bool,
+        ctx: &mut Ctx<'_, SysMsg>,
+    ) -> Vec<DirEffect> {
+        if let Some(snoop) = self.snoops.remove(&addr) {
+            let dirty = was_dirty || self.cxl_state(addr) == StableState::M;
+            self.respond_snoop(addr, snoop.kind, data, dirty, ctx);
+        } else if let Some(msg) = self.passive_snoop_stash.remove(&addr) {
+            let dirty = was_dirty || self.cxl_state(addr) == StableState::M;
+            self.respond_host_snoop(addr, msg, data, dirty, ctx);
+            if self.evict_waiters.contains_key(&addr) {
+                // The eviction that shared this recall continues; its Put
+                // will be stale at the directory and simply acknowledged.
+                self.finish_eviction_recall(addr, data, was_dirty, ctx);
+            }
+        } else if self.evict_waiters.contains_key(&addr) {
+            self.finish_eviction_recall(addr, data, was_dirty, ctx);
+        }
+        let perms = self.perms(addr);
+        self.engine_mut().drain_after_recall(addr, perms)
+    }
+
+    // ---- message handlers ----
+
+    fn handle_cxl(&mut self, msg: CxlMsg, ctx: &mut Ctx<'_, SysMsg>) {
+        let addr = msg.addr();
+        match msg {
+            CxlMsg::MemData { data, grant, .. } => {
+                let f = self.fetches.get_mut(&addr).expect("MemData without fetch");
+                f.data = data;
+                f.data_received = true;
+                f.grant = grant.state();
+                self.complete_fetch(addr, ctx);
+            }
+            CxlMsg::Cmp { .. } => {
+                let wb = self.writebacks.remove(&addr).expect("Cmp without writeback");
+                let dir = self.cfg.global.dir_for(addr);
+                match wb.after {
+                    AfterWb::Eviction => {
+                        self.finish_eviction(addr, ctx);
+                        if let Some(kind) = wb.snoop_after {
+                            // A snoop raced our eviction: the MemWr carried
+                            // the data; complete the handshake now.
+                            let msg = match kind {
+                                Incoming::BiSnpInv => CxlMsg::BiRspI { addr },
+                                _ => CxlMsg::BiRspI { addr },
+                            };
+                            ctx.send(dir, SysMsg::Cxl(msg));
+                        }
+                    }
+                    AfterWb::SnoopResponse { kind } => {
+                        let (msg, next) = match kind {
+                            Incoming::BiSnpInv => (CxlMsg::BiRspI { addr }, StableState::I),
+                            _ => (CxlMsg::BiRspS { addr }, StableState::S),
+                        };
+                        ctx.send(dir, SysMsg::Cxl(msg));
+                        if next == StableState::I {
+                            self.cxl.remove(addr);
+                        } else if let Some(l) = self.cxl.get_mut(addr) {
+                            l.state = next;
+                        }
+                    }
+                }
+                self.resume_deferred(addr, ctx);
+            }
+            CxlMsg::BiSnpInv { .. } | CxlMsg::BiSnpData { .. } => {
+                self.snoops_received += 1;
+                let kind = if matches!(msg, CxlMsg::BiSnpInv { .. }) {
+                    Incoming::BiSnpInv
+                } else {
+                    Incoming::BiSnpData
+                };
+                if self.fetches.contains_key(&addr) {
+                    // Fig. 2: a snoop races our own outstanding request —
+                    // ask the directory which came first.
+                    let dir = self.cfg.global.dir_for(addr);
+                    self.conflicts_sent += 1;
+                    self.stash.insert(
+                        addr,
+                        StashedSnoop {
+                            kind,
+                            phase: StashPhase::AwaitingAck,
+                        },
+                    );
+                    ctx.send(dir, SysMsg::Cxl(CxlMsg::BiConflict { addr }));
+                } else if let Some(wb) = self.writebacks.get_mut(&addr) {
+                    // Our eviction raced the snoop: the in-flight MemWr is
+                    // the data response; acknowledge after its Cmp.
+                    wb.snoop_after = Some(kind);
+                } else if self.evict_waiters.contains_key(&addr) {
+                    // Eviction recall in flight: answer once it resolves.
+                    self.pending_evict_snoop.insert(addr, kind);
+                } else {
+                    self.process_global_snoop(addr, kind, ctx);
+                }
+            }
+            CxlMsg::BiConflictAck {
+                request_was_serialized,
+                ..
+            } => {
+                let s = self.stash.get_mut(&addr).expect("ack without conflict");
+                debug_assert_eq!(s.phase, StashPhase::AwaitingAck);
+                if request_was_serialized {
+                    if self.fetches.contains_key(&addr) {
+                        // Fig. 2 middle: wait for our completion first.
+                        s.phase = StashPhase::AwaitingFill;
+                    } else {
+                        // Fill already arrived and completed.
+                        let s = self.stash.remove(&addr).expect("checked");
+                        self.process_global_snoop(addr, s.kind, ctx);
+                        self.resume_deferred(addr, ctx);
+                    }
+                } else {
+                    // Fig. 2 right: the snoop was serialized first — honour
+                    // it now; our request completes afterwards.
+                    let s = self.stash.remove(&addr).expect("checked");
+                    // Our readable copy (if any) is gone; keep the slot
+                    // reserved for the pending fill.
+                    let kind = s.kind;
+                    let host = self.host_class(addr);
+                    if host.any() && self.cfg.host_family.enforces_swmr() {
+                        self.recalls_delegated += 1;
+                        self.snoops.insert(addr, ActiveSnoop { kind });
+                        let rk = if kind == Incoming::BiSnpInv {
+                            RecallKind::Exclusive
+                        } else {
+                            RecallKind::Shared
+                        };
+                        let effects = self.engine_mut().recall(addr, rk);
+                        self.pump(effects, ctx);
+                    } else {
+                        self.respond_snoop_conflict_loser(addr, kind, ctx);
+                    }
+                    if let Some(l) = self.cxl.get_mut(addr) {
+                        l.state = StableState::I;
+                    }
+                }
+            }
+            other => panic!("bridge received host-bound CXL message {other:?}"),
+        }
+    }
+
+    /// Respond to a snoop we lost the conflict on: we held at most a clean
+    /// shared copy (an upgrade in flight), so the response is clean.
+    fn respond_snoop_conflict_loser(&mut self, addr: Addr, kind: Incoming, ctx: &mut Ctx<'_, SysMsg>) {
+        let dir = self.cfg.global.dir_for(addr);
+        let msg = match kind {
+            Incoming::BiSnpInv => CxlMsg::BiRspI { addr },
+            _ => CxlMsg::BiRspS { addr },
+        };
+        ctx.send(dir, SysMsg::Cxl(msg));
+    }
+
+    /// Snoop responses when a delegated recall finishes in *passive* mode
+    /// (global side speaks the host protocol).
+    fn respond_host_snoop(
+        &mut self,
+        addr: Addr,
+        snoop: HostMsg,
+        data: u64,
+        dirty: bool,
+        ctx: &mut Ctx<'_, SysMsg>,
+    ) {
+        let GlobalSide::Host { dir, .. } = &self.cfg.global else {
+            unreachable!()
+        };
+        let dir = *dir;
+        match snoop {
+            HostMsg::FwdGetM {
+                requestor, acks, ..
+            } => {
+                ctx.send(
+                    requestor,
+                    SysMsg::Host(HostMsg::Data {
+                        addr,
+                        data,
+                        grant: Grant::M,
+                        acks,
+                        dirty,
+                    }),
+                );
+                self.cxl.remove(addr);
+            }
+            HostMsg::FwdGetS {
+                requestor, grant, ..
+            } => {
+                ctx.send(
+                    requestor,
+                    SysMsg::Host(HostMsg::Data {
+                        addr,
+                        data,
+                        grant,
+                        acks: 0,
+                        dirty,
+                    }),
+                );
+                if dirty {
+                    ctx.send(dir, SysMsg::Host(HostMsg::DataToDir { addr, data, dirty }));
+                }
+                if let Some(l) = self.cxl.get_mut(addr) {
+                    l.state = StableState::S;
+                }
+            }
+            HostMsg::Inv { requestor, .. } => {
+                ctx.send(requestor, SysMsg::Host(HostMsg::InvAck { addr }));
+                if self.fetches.contains_key(&addr) {
+                    // Upgrade in flight: keep the slot, drop the copy.
+                    if let Some(l) = self.cxl.get_mut(addr) {
+                        l.state = StableState::I;
+                    }
+                } else {
+                    self.cxl.remove(addr);
+                }
+            }
+            other => unreachable!("not a snoop: {other:?}"),
+        }
+    }
+
+    /// Handle a host-protocol message arriving from the *global* domain
+    /// (passive baseline mode).
+    fn handle_global_host(&mut self, msg: HostMsg, src: ComponentId, ctx: &mut Ctx<'_, SysMsg>) {
+        let addr = msg.addr();
+        match msg {
+            HostMsg::Data {
+                data, grant, acks, ..
+            } => {
+                let f = self.fetches.get_mut(&addr).expect("Data without fetch");
+                f.data = data;
+                f.data_received = true;
+                f.grant = grant.state();
+                f.acks += acks as i32;
+                if f.acks <= 0 {
+                    self.complete_fetch(addr, ctx);
+                }
+            }
+            HostMsg::InvAck { .. } => {
+                let f = self.fetches.get_mut(&addr).expect("InvAck without fetch");
+                f.acks -= 1;
+                if f.data_received && f.acks <= 0 {
+                    self.complete_fetch(addr, ctx);
+                }
+            }
+            HostMsg::FwdGetS { .. } | HostMsg::FwdGetM { .. } | HostMsg::Inv { .. } => {
+                self.snoops_received += 1;
+                if let Some(wb) = self.writebacks.get_mut(&addr) {
+                    // Eviction raced the forward (MI_A analog): serve from
+                    // the writeback buffer; the directory resolves the
+                    // stale Put.
+                    let data = wb.data;
+                    wb.superseded = true;
+                    self.respond_host_snoop(addr, msg, data, true, ctx);
+                    return;
+                }
+                if self.evict_waiters.contains_key(&addr) {
+                    // An eviction recall is already reclaiming the line;
+                    // answer with its (fresh) data when it resolves.
+                    self.passive_snoop_stash.insert(addr, msg);
+                    return;
+                }
+                // Delegate into the host domain if local copies exist.
+                let host = self.host_class(addr);
+                let needs_recall = match msg {
+                    HostMsg::FwdGetM { .. } | HostMsg::Inv { .. } => {
+                        host.any() && self.cfg.host_family.enforces_swmr()
+                    }
+                    _ => host.maybe_dirty(),
+                };
+                if needs_recall {
+                    self.recalls_delegated += 1;
+                    let rk = match msg {
+                        HostMsg::FwdGetS { .. } => RecallKind::Shared,
+                        _ => RecallKind::Exclusive,
+                    };
+                    // Stash the pending passive snoop so RecallDone can
+                    // answer it (keyed by line; one at a time since the
+                    // global directory blocks).
+                    self.passive_snoop_stash.insert(addr, msg);
+                    let effects = self.engine_mut().recall(addr, rk);
+                    self.pump(effects, ctx);
+                } else {
+                    let data = self.engine.as_ref().map(|e| e.data(addr)).unwrap_or(0);
+                    let dirty = self.cxl_state(addr) == StableState::M;
+                    self.respond_host_snoop(addr, msg, data, dirty, ctx);
+                }
+            }
+            HostMsg::PutAck { .. } => {
+                let wb = self.writebacks.remove(&addr).expect("PutAck without Put");
+                match wb.after {
+                    AfterWb::Eviction => self.finish_eviction(addr, ctx),
+                    AfterWb::SnoopResponse { .. } => unreachable!("CXL-mode only"),
+                }
+                self.resume_deferred(addr, ctx);
+            }
+            other => panic!("bridge received unexpected global host msg {other:?} from {src}"),
+        }
+    }
+
+    /// Handle a message from the local cluster (an L1).
+    fn handle_local_host(&mut self, msg: HostMsg, src: ComponentId, ctx: &mut Ctx<'_, SysMsg>) {
+        let addr = msg.addr();
+        let perms = self.perms(addr);
+        let effects = self.engine_mut().handle_host(src, msg, perms);
+        self.pump(effects, ctx);
+    }
+}
+
+impl Component<SysMsg> for C3Bridge {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn start(&mut self, ctx: &mut Ctx<'_, SysMsg>) {
+        let policy = self.fsm.host_dir_policy();
+        self.engine = Some(DirEngine::new(policy, ctx.self_id));
+    }
+
+    fn handle(&mut self, msg: SysMsg, src: ComponentId, ctx: &mut Ctx<'_, SysMsg>) {
+        c3_sim::sim_trace!("[{}] {} <- {src}: {msg:?}", ctx.now, self.name);
+        let addr = match &msg {
+            SysMsg::Cxl(m) => Some(m.addr()),
+            SysMsg::Host(h) => Some(h.addr()),
+            _ => None,
+        };
+        match msg {
+            SysMsg::Cxl(m) => self.handle_cxl(m, ctx),
+            SysMsg::Host(h) => {
+                if self.global_peers.contains(&src) {
+                    self.handle_global_host(h, src, ctx);
+                } else {
+                    self.handle_local_host(h, src, ctx);
+                }
+            }
+            other => panic!("bridge received {other:?}"),
+        }
+        if let Some(a) = addr {
+            self.kick_waiters(a, ctx);
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.fetches.is_empty()
+            && self.writebacks.is_empty()
+            && self.snoops.is_empty()
+            && self.stash.is_empty()
+            && self.passive_snoop_stash.is_empty()
+            && self.pending_evict_snoop.is_empty()
+            && self.evict_waiters.is_empty()
+            && self.deferred_fetches.is_empty()
+            && self.engine.as_ref().map(|e| e.idle()).unwrap_or(true)
+    }
+
+    fn report(&self, out: &mut Report) {
+        let n = &self.name;
+        out.set(format!("{n}.global_reads"), self.global_reads as f64);
+        out.set(format!("{n}.global_writes"), self.global_writes as f64);
+        out.set(format!("{n}.conflicts"), self.conflicts_sent as f64);
+        out.set(format!("{n}.snoops"), self.snoops_received as f64);
+        out.set(format!("{n}.evictions"), self.evictions as f64);
+        out.set(format!("{n}.recalls"), self.recalls_delegated as f64);
+        if let Some(e) = &self.engine {
+            out.set(format!("{n}.local_stalls"), e.stalled_requests as f64);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

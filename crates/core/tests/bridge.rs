@@ -1,0 +1,330 @@
+//! End-to-end two-cluster tests: cores + L1s + C³ bridges + global
+//! directory (CXL DCOH or hierarchical MESI baseline), over the Table-III
+//! topology. These exercise the full nested coherence flows, including
+//! cross-cluster invalidations, BISnp recalls, conflicts and evictions.
+
+use c3::system::{ClusterSpec, GlobalProtocol, SystemBuilder};
+use c3_protocol::ops::{Addr, Reg, ThreadProgram};
+use c3_protocol::states::ProtocolFamily;
+use c3_sim::prelude::*;
+
+fn run_system(
+    protos: (ProtocolFamily, ProtocolFamily),
+    global: GlobalProtocol,
+    programs: (Vec<ThreadProgram>, Vec<ThreadProgram>),
+    seed: u64,
+) -> (c3_sim::kernel::Simulator<c3_protocol::SysMsg>, c3::system::SystemHandles) {
+    let clusters = vec![
+        ClusterSpec::new(protos.0, programs.0.len()).with_l1(16, 4),
+        ClusterSpec::new(protos.1, programs.1.len()).with_l1(16, 4),
+    ];
+    let builder = SystemBuilder::new(clusters, global)
+        .cxl_cache(64, 4)
+        .seed(seed);
+    let (mut sim, handles) = builder.build_with_seq_cores(vec![programs.0, programs.1]);
+    sim.set_event_limit(100_000_000);
+    let outcome = sim.run();
+    assert_eq!(
+        outcome,
+        RunOutcome::Completed,
+        "deadlock; pending: {:?}",
+        sim.pending_components()
+    );
+    (sim, handles)
+}
+
+const GLOBALS: [GlobalProtocol; 2] = [
+    GlobalProtocol::Cxl,
+    GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
+];
+
+const HOST_COMBOS: [(ProtocolFamily, ProtocolFamily); 4] = [
+    (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+    (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
+    (ProtocolFamily::Mesi, ProtocolFamily::Mesif),
+    (ProtocolFamily::Moesi, ProtocolFamily::Mesif),
+];
+
+#[test]
+fn cross_cluster_store_then_load() {
+    for global in GLOBALS {
+        for combo in HOST_COMBOS {
+            // Cluster 0 writes; cluster 1 reads much later.
+            let p0 = ThreadProgram::new().store(Addr(1), 77);
+            let p1 = ThreadProgram::new().work(40_000).load(Addr(1), Reg(0));
+            let (sim, h) = run_system(combo, global, (vec![p0], vec![p1]), 1);
+            assert_eq!(
+                h.seq_core_reg(&sim, 1, 0, Reg(0)),
+                77,
+                "{combo:?} over {global:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_cluster_write_invalidates_remote_reader() {
+    for global in GLOBALS {
+        for combo in HOST_COMBOS {
+            // Cluster 1 caches the line; cluster 0 writes it; cluster 1
+            // re-reads and must see the new value.
+            let p0 = ThreadProgram::new().work(40_000).store(Addr(2), 5);
+            let p1 = ThreadProgram::new()
+                .load(Addr(2), Reg(0))
+                .work(120_000)
+                .load(Addr(2), Reg(1));
+            let (sim, h) = run_system(combo, global, (vec![p0], vec![p1]), 2);
+            assert_eq!(h.seq_core_reg(&sim, 1, 0, Reg(0)), 0, "{combo:?} {global:?}");
+            assert_eq!(h.seq_core_reg(&sim, 1, 0, Reg(1)), 5, "{combo:?} {global:?}");
+        }
+    }
+}
+
+#[test]
+fn cross_cluster_rmw_atomicity() {
+    for global in GLOBALS {
+        for combo in HOST_COMBOS {
+            let mk = || {
+                let mut p = ThreadProgram::new();
+                for _ in 0..30 {
+                    p = p.rmw(Addr(3), 1, Reg(0));
+                }
+                p
+            };
+            let (sim, h) = run_system(combo, global, (vec![mk(), mk()], vec![mk(), mk()]), 3);
+            assert_eq!(
+                h.coherent_value(&sim, Addr(3)),
+                120,
+                "lost updates: {combo:?} over {global:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_cluster_ping_pong_ownership() {
+    // Two writers alternating on the same line force repeated BISnpInv /
+    // FwdGetM chains; values must never be lost.
+    for global in GLOBALS {
+        let mk = |base: u64| {
+            let mut p = ThreadProgram::new();
+            for i in 0..20 {
+                p = p.store(Addr(4), base + i).work(1_000);
+            }
+            p
+        };
+        let (sim, h) = run_system(
+            (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
+            global,
+            (vec![mk(100)], vec![mk(200)]),
+            4,
+        );
+        let v = h.coherent_value(&sim, Addr(4));
+        assert!(
+            (100..=119).contains(&v) || (200..=219).contains(&v),
+            "corrupted value {v} over {global:?}"
+        );
+    }
+}
+
+#[test]
+fn eviction_pressure_through_bridge() {
+    // Touch more lines than the bridge CXL cache holds; Fig. 7 evictions
+    // must write dirty data back to the device and refetch correctly.
+    for global in GLOBALS {
+        let n = 512u64;
+        let mut p0 = ThreadProgram::new();
+        for i in 0..n {
+            p0 = p0.store(Addr(i), 7_000 + i);
+        }
+        let mut sum_loads = ThreadProgram::new();
+        for i in 0..n {
+            sum_loads = sum_loads.load(Addr(i), Reg((i % 8) as u8));
+        }
+        let p0 = ThreadProgram {
+            instrs: p0
+                .instrs
+                .into_iter()
+                .chain(sum_loads.instrs)
+                .collect(),
+        };
+        let (sim, h) = run_system(
+            (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+            global,
+            (vec![p0], vec![ThreadProgram::new()]),
+            5,
+        );
+        // Spot-check several lines end with their stored values.
+        for i in [0, 17, 63, 128, 300, 511] {
+            assert_eq!(
+                h.coherent_value(&sim, Addr(i)),
+                7_000 + i,
+                "line {i} lost over {global:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn many_cross_cluster_sharers_then_writer() {
+    for global in GLOBALS {
+        let reader = || ThreadProgram::new().load(Addr(6), Reg(0));
+        let writer = ThreadProgram::new().work(60_000).store(Addr(6), 1);
+        let (sim, h) = run_system(
+            (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
+            global,
+            (
+                vec![reader(), reader(), writer],
+                vec![reader(), reader(), reader()],
+            ),
+            6,
+        );
+        assert_eq!(h.coherent_value(&sim, Addr(6)), 1, "{global:?}");
+    }
+}
+
+#[test]
+fn rcc_cluster_over_cxl() {
+    // GPU-like RCC cluster sharing CXL memory with a MESI cluster.
+    // Release/acquire synchronization must propagate values both ways.
+    let p_rcc = ThreadProgram::new()
+        .store_rel(Addr(7), 42) // release: write-through to C³/CXL
+        .work(60_000)
+        .load_acq(Addr(8), Reg(0)); // acquire: self-invalidate, refetch
+    let p_mesi = ThreadProgram::new()
+        .work(30_000)
+        .load(Addr(7), Reg(0))
+        .store(Addr(8), 24);
+    let (sim, h) = run_system(
+        (ProtocolFamily::Rcc, ProtocolFamily::Mesi),
+        GlobalProtocol::Cxl,
+        (vec![p_rcc], vec![p_mesi]),
+        7,
+    );
+    assert_eq!(h.seq_core_reg(&sim, 1, 0, Reg(0)), 42, "MESI read of RCC release");
+    assert_eq!(h.seq_core_reg(&sim, 0, 0, Reg(0)), 24, "RCC acquire of MESI store");
+}
+
+#[test]
+fn rcc_remote_atomics_over_cxl() {
+    let mk = || {
+        let mut p = ThreadProgram::new();
+        for _ in 0..25 {
+            p = p.rmw(Addr(9), 1, Reg(0));
+        }
+        p
+    };
+    let (sim, h) = run_system(
+        (ProtocolFamily::Rcc, ProtocolFamily::Mesi),
+        GlobalProtocol::Cxl,
+        (vec![mk()], vec![mk()]),
+        8,
+    );
+    assert_eq!(h.coherent_value(&sim, Addr(9)), 50);
+}
+
+#[test]
+fn seeded_memory_is_visible_everywhere() {
+    let p0 = ThreadProgram::new().load(Addr(10), Reg(0));
+    let p1 = ThreadProgram::new().load(Addr(10), Reg(0));
+    for global in GLOBALS {
+        let clusters = vec![
+            ClusterSpec::new(ProtocolFamily::Mesi, 1).with_l1(16, 4),
+            ClusterSpec::new(ProtocolFamily::Mesi, 1).with_l1(16, 4),
+        ];
+        let (mut sim, h) = SystemBuilder::new(clusters, global)
+            .cxl_cache(64, 4)
+            .build_with_seq_cores(vec![vec![p0.clone()], vec![p1.clone()]]);
+        h.seed_memory(&mut sim, Addr(10), 1234);
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(h.seq_core_reg(&sim, 0, 0, Reg(0)), 1234);
+        assert_eq!(h.seq_core_reg(&sim, 1, 0, Reg(0)), 1234);
+    }
+}
+
+#[test]
+fn conflict_handshake_exercised_under_contention() {
+    // Heavy same-line contention across clusters on the unordered CXL
+    // fabric must trigger at least some BIConflict handshakes across
+    // seeds, and never lose coherence.
+    let mut saw_conflict = false;
+    for seed in 0..12 {
+        let mk = |base: u64| {
+            let mut p = ThreadProgram::new();
+            for i in 0..12 {
+                p = p.store(Addr(11), base + i).load(Addr(11), Reg(0));
+            }
+            p
+        };
+        let (sim, h) = run_system(
+            (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+            GlobalProtocol::Cxl,
+            (vec![mk(1_000)], vec![mk(2_000)]),
+            100 + seed,
+        );
+        let report = sim.report();
+        if report.get("cxl.dcoh.conflicts").unwrap_or(0.0) > 0.0 {
+            saw_conflict = true;
+        }
+        let v = h.coherent_value(&sim, Addr(11));
+        assert!(
+            (1_000..1_012).contains(&v) || (2_000..2_012).contains(&v),
+            "corrupt value {v}"
+        );
+    }
+    assert!(saw_conflict, "no BIConflict across 12 seeds — handshake never exercised");
+}
+
+#[test]
+fn hierarchical_moesi_global_baseline() {
+    // The generator accepts any SWMR family as the global protocol; a
+    // MOESI global level must work end-to-end too.
+    let mk = || {
+        let mut p = ThreadProgram::new();
+        for _ in 0..20 {
+            p = p.rmw(Addr(12), 1, Reg(0));
+        }
+        p
+    };
+    let (sim, h) = run_system(
+        (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
+        GlobalProtocol::Hierarchical(ProtocolFamily::Moesi),
+        (vec![mk()], vec![mk()]),
+        42,
+    );
+    assert_eq!(h.coherent_value(&sim, Addr(12)), 40);
+}
+
+#[test]
+fn sc_cores_work_through_the_bridge() {
+    // The SC MCM (strictest) on timing cores: same coherence guarantees,
+    // everything fully ordered.
+    use c3_mcm::core_model::{CoreConfig, TimingCore};
+    use c3_protocol::mcm::Mcm;
+    let clusters = vec![
+        ClusterSpec::new(ProtocolFamily::Mesi, 1).with_l1(16, 4),
+        ClusterSpec::new(ProtocolFamily::Mesi, 1).with_l1(16, 4),
+    ];
+    let p0 = ThreadProgram::new().store(Addr(1), 1).load(Addr(2), Reg(0));
+    let p1 = ThreadProgram::new().store(Addr(2), 1).load(Addr(1), Reg(0));
+    let programs = [p0, p1];
+    let progs = programs.clone();
+    let (mut sim, handles) = SystemBuilder::new(clusters, GlobalProtocol::Cxl)
+        .cxl_cache(64, 4)
+        .build(move |ci, _k, l1| {
+            Box::new(TimingCore::new(
+                format!("t{ci}"),
+                l1,
+                CoreConfig::new(Mcm::Sc, ProtocolFamily::Mesi),
+                progs[ci].clone(),
+                5,
+            ))
+        });
+    sim.set_event_limit(5_000_000);
+    assert_eq!(sim.run(), c3_sim::kernel::RunOutcome::Completed);
+    // SB under SC: at least one core must see the other's store.
+    use c3_mcm::core_model::TimingCore as TC;
+    let r0 = sim.component_as::<TC>(handles.cores[0][0]).unwrap().reg(Reg(0));
+    let r1 = sim.component_as::<TC>(handles.cores[1][0]).unwrap().reg(Reg(0));
+    assert!(r0 == 1 || r1 == 1, "SC forbids (0,0) in SB: got ({r0},{r1})");
+}

@@ -1,0 +1,689 @@
+//! The DCOH — CXL 3.0 **device coherency engine**.
+//!
+//! The multi-headed memory device's directory for CXL.mem HDM-DB: it
+//! tracks, per line, which *hosts* (C³ bridges) hold copies, drives the
+//! Table-I flows (`MemRd`, `MemWr`, `BISnp*`), and answers the
+//! `BIConflict` handshake of Fig. 2.
+//!
+//! Two properties distinguish it from the textbook MESI directory and are
+//! the source of the paper's measured CXL slowdowns (§VI-C1):
+//!
+//! * **Blocking transient states** — while a back-invalidation snoop is in
+//!   flight the line is blocked; same-line requests queue (the *convoy
+//!   effect*). There are no 3-hop peer-to-peer transfers: dirty data always
+//!   funnels through the device (6 message delays for a dirty-owner write
+//!   vs MESI's 3).
+//! * **Explicit conflict resolution** — the fabric reorders S2M messages,
+//!   so a host that observes a `BISnp*` while it has a request outstanding
+//!   cannot infer the serialization order; it asks with `BIConflict` and
+//!   the DCOH answers whether the host's request was already serialized.
+//!
+//! Ordering assumption (documented in DESIGN.md): the host→device (M2S)
+//! direction is FIFO per host, the device→host (S2M) direction is
+//! unordered. This matches the CXL channel rules that make `BIConflict`
+//! resolution sound while still exhibiting the Fig. 2 races.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use c3_protocol::msg::{CxlGrant, CxlMsg};
+use c3_protocol::ops::Addr;
+use c3_sim::component::ComponentId;
+
+/// Which hosts hold a line, from the device's point of view.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum CxlHolders {
+    /// No host holds the line; device memory is current.
+    #[default]
+    None,
+    /// Hosts with shared, clean copies.
+    Shared(BTreeSet<ComponentId>),
+    /// One host holds the line exclusively (E or M).
+    Exclusive(ComponentId),
+}
+
+impl CxlHolders {
+    /// Whether any host holds the line.
+    pub fn any(&self) -> bool {
+        !matches!(self, CxlHolders::None)
+    }
+}
+
+/// One row of the §VI-C1 hot-spot profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotLine {
+    /// The line.
+    pub addr: Addr,
+    /// Read (`MemRd,S`) requests served.
+    pub reads: u64,
+    /// Ownership (`MemRd,A`) requests served.
+    pub writes: u64,
+    /// Number of distinct hosts that requested the line.
+    pub sharers: usize,
+}
+
+/// An action the DCOH asks its component wrapper to perform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DcohEffect {
+    /// Send a CXL.mem message to a host.
+    Send {
+        /// Destination host (C³ bridge).
+        dst: ComponentId,
+        /// The message.
+        msg: CxlMsg,
+        /// Whether a device-memory access precedes the send (DDR latency).
+        needs_memory: bool,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SnoopKind {
+    Inv,
+    Data,
+}
+
+#[derive(Clone, Debug)]
+struct Snoop {
+    kind: SnoopKind,
+    waiting: BTreeSet<ComponentId>,
+    /// The request that triggered the snoop, completed once it resolves.
+    requester: ComponentId,
+    grant: CxlGrant,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Line {
+    holders: CxlHolders,
+    data: u64,
+    snoop: Option<Snoop>,
+    queue: VecDeque<(ComponentId, CxlMsg)>,
+    /// Profiling (§VI-C1): read/write request counts and requesting hosts.
+    reads: u64,
+    writes: u64,
+    requesters: BTreeSet<ComponentId>,
+}
+
+/// The device coherency engine (pure state machine; the simulator
+/// component wrapping it is [`crate::CxlDirectory`]).
+///
+/// # Examples
+///
+/// ```
+/// use c3_cxl::dcoh::DcohEngine;
+/// use c3_protocol::msg::CxlMsg;
+/// use c3_protocol::ops::Addr;
+/// use c3_sim::component::ComponentId;
+///
+/// let mut dcoh = DcohEngine::new();
+/// let effects = dcoh.handle(ComponentId(1), CxlMsg::MemRdA { addr: Addr(7) });
+/// assert_eq!(effects.len(), 1); // MemData granting M
+/// ```
+#[derive(Debug, Default)]
+pub struct DcohEngine {
+    lines: HashMap<Addr, Line>,
+    /// Requests that found the line blocked and queued (convoy effect).
+    pub stalled_requests: u64,
+    /// Back-invalidation snoops issued.
+    pub bisnp_sent: u64,
+    /// Conflict handshakes answered.
+    pub conflicts: u64,
+    /// Writebacks received.
+    pub writebacks: u64,
+}
+
+impl DcohEngine {
+    /// Fresh engine; all memory reads as zero until written.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current device-memory contents of a line.
+    pub fn data(&self, addr: Addr) -> u64 {
+        self.lines.get(&addr).map(|l| l.data).unwrap_or(0)
+    }
+
+    /// Seed device memory (initialization).
+    pub fn seed_data(&mut self, addr: Addr, data: u64) {
+        self.lines.entry(addr).or_default().data = data;
+    }
+
+    /// Host-level holders of a line.
+    pub fn holders(&self, addr: Addr) -> CxlHolders {
+        self.lines
+            .get(&addr)
+            .map(|l| l.holders.clone())
+            .unwrap_or_default()
+    }
+
+    /// Whether the engine is quiescent.
+    pub fn idle(&self) -> bool {
+        self.lines
+            .values()
+            .all(|l| l.snoop.is_none() && l.queue.is_empty())
+    }
+
+    /// The §VI-C1 address-frequency analysis: the `n` most-accessed lines,
+    /// with read/write counts and the number of distinct requesting hosts
+    /// — contended lines requested by multiple hosts are the hot-spots
+    /// behind the convoy effect.
+    pub fn hottest(&self, n: usize) -> Vec<HotLine> {
+        let mut v: Vec<HotLine> = self
+            .lines
+            .iter()
+            .map(|(a, l)| HotLine {
+                addr: *a,
+                reads: l.reads,
+                writes: l.writes,
+                sharers: l.requesters.len(),
+            })
+            .collect();
+        v.sort_by_key(|h| std::cmp::Reverse(h.reads + h.writes));
+        v.truncate(n);
+        v
+    }
+
+    /// Human-readable dump of blocked lines (deadlock diagnostics).
+    pub fn pending_summary(&self) -> String {
+        let mut out = String::from("dcoh:");
+        for (a, l) in &self.lines {
+            if l.snoop.is_some() || !l.queue.is_empty() {
+                out.push_str(&format!(
+                    " [{a}: snoop={:?} queue={:?}]",
+                    l.snoop, l.queue
+                ));
+            }
+        }
+        out
+    }
+
+    /// Process one CXL.mem message from host `src`.
+    pub fn handle(&mut self, src: ComponentId, msg: CxlMsg) -> Vec<DcohEffect> {
+        let addr = msg.addr();
+        let mut out = Vec::new();
+        match msg {
+            // ---- requests: blocked while a snoop is in flight ----
+            CxlMsg::MemRdA { .. } | CxlMsg::MemRdS { .. } => {
+                let line = self.lines.entry(addr).or_default();
+                if matches!(msg, CxlMsg::MemRdA { .. }) {
+                    line.writes += 1;
+                } else {
+                    line.reads += 1;
+                }
+                line.requesters.insert(src);
+                if line.snoop.is_some() {
+                    self.stalled_requests += 1;
+                    line.queue.push_back((src, msg));
+                } else {
+                    self.admit(src, msg, &mut out);
+                }
+            }
+            // ---- writebacks: always accepted (may be a snoop's dirty
+            // response or an eviction racing one) ----
+            CxlMsg::MemWrI { data, .. } => {
+                self.writebacks += 1;
+                let line = self.lines.entry(addr).or_default();
+                line.data = data;
+                if line.holders == CxlHolders::Exclusive(src) {
+                    line.holders = CxlHolders::None;
+                }
+                out.push(DcohEffect::Send {
+                    dst: src,
+                    msg: CxlMsg::Cmp { addr },
+                    needs_memory: true,
+                });
+            }
+            CxlMsg::MemWrS { data, .. } => {
+                self.writebacks += 1;
+                let line = self.lines.entry(addr).or_default();
+                line.data = data;
+                if line.holders == CxlHolders::Exclusive(src) {
+                    line.holders = CxlHolders::Shared(BTreeSet::from([src]));
+                }
+                out.push(DcohEffect::Send {
+                    dst: src,
+                    msg: CxlMsg::Cmp { addr },
+                    needs_memory: true,
+                });
+            }
+            // ---- snoop responses ----
+            CxlMsg::BiRspI { .. } => self.snoop_response(src, addr, false, &mut out),
+            CxlMsg::BiRspS { .. } => self.snoop_response(src, addr, true, &mut out),
+            // ---- conflict handshake ----
+            CxlMsg::BiConflict { .. } => {
+                self.conflicts += 1;
+                let line = self.lines.entry(addr).or_default();
+                // M2S is FIFO per host: if the conflicting host's own
+                // request is still queued here, it was NOT serialized
+                // before the snoop; otherwise it was already processed.
+                let queued = line.queue.iter().any(|(h, _)| *h == src);
+                out.push(DcohEffect::Send {
+                    dst: src,
+                    msg: CxlMsg::BiConflictAck {
+                        addr,
+                        request_was_serialized: !queued,
+                    },
+                    needs_memory: false,
+                });
+            }
+            other => panic!("DCOH received device-bound message {other:?}"),
+        }
+        out
+    }
+
+    fn admit(&mut self, src: ComponentId, msg: CxlMsg, out: &mut Vec<DcohEffect>) {
+        let addr = msg.addr();
+        let exclusive = matches!(msg, CxlMsg::MemRdA { .. });
+        let line = self.lines.entry(addr).or_default();
+        debug_assert!(line.snoop.is_none());
+        match (exclusive, line.holders.clone()) {
+            (_, CxlHolders::None) => {
+                let grant = if exclusive { CxlGrant::M } else { CxlGrant::E };
+                line.holders = CxlHolders::Exclusive(src);
+                out.push(DcohEffect::Send {
+                    dst: src,
+                    msg: CxlMsg::MemData {
+                        addr,
+                        data: line.data,
+                        grant,
+                    },
+                    needs_memory: true,
+                });
+            }
+            (false, CxlHolders::Shared(mut set)) => {
+                set.insert(src);
+                line.holders = CxlHolders::Shared(set);
+                out.push(DcohEffect::Send {
+                    dst: src,
+                    msg: CxlMsg::MemData {
+                        addr,
+                        data: line.data,
+                        grant: CxlGrant::S,
+                    },
+                    needs_memory: true,
+                });
+            }
+            (true, CxlHolders::Shared(set)) => {
+                let targets: BTreeSet<ComponentId> =
+                    set.iter().copied().filter(|h| *h != src).collect();
+                if targets.is_empty() {
+                    line.holders = CxlHolders::Exclusive(src);
+                    out.push(DcohEffect::Send {
+                        dst: src,
+                        msg: CxlMsg::MemData {
+                            addr,
+                            data: line.data,
+                            grant: CxlGrant::M,
+                        },
+                        needs_memory: true,
+                    });
+                    return;
+                }
+                for h in &targets {
+                    self.bisnp_sent += 1;
+                    out.push(DcohEffect::Send {
+                        dst: *h,
+                        msg: CxlMsg::BiSnpInv { addr },
+                        needs_memory: false,
+                    });
+                }
+                line.snoop = Some(Snoop {
+                    kind: SnoopKind::Inv,
+                    waiting: targets,
+                    requester: src,
+                    grant: CxlGrant::M,
+                });
+            }
+            (excl, CxlHolders::Exclusive(owner)) if owner == src => {
+                // The recorded owner asks again: it silently dropped its
+                // clean copy (HDM-DB allows that); re-grant directly —
+                // snooping the requester itself would deadlock.
+                line.holders = CxlHolders::Exclusive(src);
+                out.push(DcohEffect::Send {
+                    dst: src,
+                    msg: CxlMsg::MemData {
+                        addr,
+                        data: line.data,
+                        grant: if excl { CxlGrant::M } else { CxlGrant::E },
+                    },
+                    needs_memory: true,
+                });
+            }
+            (true, CxlHolders::Exclusive(owner)) => {
+                self.bisnp_sent += 1;
+                out.push(DcohEffect::Send {
+                    dst: owner,
+                    msg: CxlMsg::BiSnpInv { addr },
+                    needs_memory: false,
+                });
+                line.snoop = Some(Snoop {
+                    kind: SnoopKind::Inv,
+                    waiting: BTreeSet::from([owner]),
+                    requester: src,
+                    grant: CxlGrant::M,
+                });
+            }
+            (false, CxlHolders::Exclusive(owner)) => {
+                self.bisnp_sent += 1;
+                out.push(DcohEffect::Send {
+                    dst: owner,
+                    msg: CxlMsg::BiSnpData { addr },
+                    needs_memory: false,
+                });
+                line.snoop = Some(Snoop {
+                    kind: SnoopKind::Data,
+                    waiting: BTreeSet::from([owner]),
+                    requester: src,
+                    grant: CxlGrant::S,
+                });
+            }
+        }
+    }
+
+    fn snoop_response(
+        &mut self,
+        src: ComponentId,
+        addr: Addr,
+        retained_shared: bool,
+        out: &mut Vec<DcohEffect>,
+    ) {
+        let line = self.lines.entry(addr).or_default();
+        let Some(snoop) = &mut line.snoop else {
+            // A BIRsp can arrive for a line whose snoop already resolved
+            // (e.g. the host's eviction writeback completed it); harmless.
+            return;
+        };
+        if !snoop.waiting.remove(&src) {
+            return; // duplicate / stale
+        }
+        if !snoop.waiting.is_empty() {
+            return;
+        }
+        let snoop = line.snoop.take().expect("checked above");
+        // Update holders and complete the blocked request.
+        match snoop.kind {
+            SnoopKind::Inv => {
+                line.holders = CxlHolders::Exclusive(snoop.requester);
+            }
+            SnoopKind::Data => {
+                let mut set = BTreeSet::from([snoop.requester]);
+                if retained_shared {
+                    // The previous owner keeps a shared copy.
+                    set.insert(src);
+                }
+                line.holders = CxlHolders::Shared(set);
+            }
+        }
+        out.push(DcohEffect::Send {
+            dst: snoop.requester,
+            msg: CxlMsg::MemData {
+                addr,
+                data: line.data,
+                grant: snoop.grant,
+            },
+            needs_memory: true,
+        });
+        // Drain queued same-line requests now that the line is unblocked.
+        loop {
+            let line = self.lines.get_mut(&addr).expect("line exists");
+            if line.snoop.is_some() {
+                break;
+            }
+            let Some((h, m)) = line.queue.pop_front() else {
+                break;
+            };
+            self.admit(h, m, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H1: ComponentId = ComponentId(1);
+    const H2: ComponentId = ComponentId(2);
+    const H3: ComponentId = ComponentId(3);
+    const X: Addr = Addr(0x20);
+
+    fn sends(effects: &[DcohEffect]) -> Vec<(ComponentId, CxlMsg)> {
+        effects
+            .iter()
+            .map(|e| match e {
+                DcohEffect::Send { dst, msg, .. } => (*dst, *msg),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn read_unshared_grants_exclusive() {
+        let mut d = DcohEngine::new();
+        d.seed_data(X, 5);
+        let eff = d.handle(H1, CxlMsg::MemRdS { addr: X });
+        assert_eq!(
+            sends(&eff),
+            vec![(
+                H1,
+                CxlMsg::MemData {
+                    addr: X,
+                    data: 5,
+                    grant: CxlGrant::E
+                }
+            )]
+        );
+        assert_eq!(d.holders(X), CxlHolders::Exclusive(H1));
+    }
+
+    #[test]
+    fn rda_grants_m() {
+        let mut d = DcohEngine::new();
+        let eff = d.handle(H1, CxlMsg::MemRdA { addr: X });
+        assert!(matches!(
+            sends(&eff)[0].1,
+            CxlMsg::MemData {
+                grant: CxlGrant::M,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn read_with_owner_snoops_then_grants() {
+        let mut d = DcohEngine::new();
+        d.handle(H1, CxlMsg::MemRdA { addr: X });
+        let eff = d.handle(H2, CxlMsg::MemRdS { addr: X });
+        assert_eq!(sends(&eff), vec![(H1, CxlMsg::BiSnpData { addr: X })]);
+        assert!(!d.idle());
+        // Owner was dirty: writes back retaining S, then responds BIRspS.
+        let eff = d.handle(H1, CxlMsg::MemWrS { addr: X, data: 9 });
+        assert_eq!(sends(&eff), vec![(H1, CxlMsg::Cmp { addr: X })]);
+        let eff = d.handle(H1, CxlMsg::BiRspS { addr: X });
+        assert_eq!(
+            sends(&eff),
+            vec![(
+                H2,
+                CxlMsg::MemData {
+                    addr: X,
+                    data: 9,
+                    grant: CxlGrant::S
+                }
+            )]
+        );
+        assert_eq!(
+            d.holders(X),
+            CxlHolders::Shared(BTreeSet::from([H1, H2]))
+        );
+        assert!(d.idle());
+    }
+
+    #[test]
+    fn write_with_sharers_invalidates_all() {
+        let mut d = DcohEngine::new();
+        // Make H1 exclusive, downgrade via H2 read, then H3 writes.
+        d.handle(H1, CxlMsg::MemRdS { addr: X });
+        d.handle(H2, CxlMsg::MemRdS { addr: X });
+        d.handle(H1, CxlMsg::BiRspS { addr: X });
+        assert_eq!(
+            d.holders(X),
+            CxlHolders::Shared(BTreeSet::from([H1, H2]))
+        );
+        let eff = d.handle(H3, CxlMsg::MemRdA { addr: X });
+        let s = sends(&eff);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|(_, m)| matches!(m, CxlMsg::BiSnpInv { .. })));
+        d.handle(H1, CxlMsg::BiRspI { addr: X });
+        let eff = d.handle(H2, CxlMsg::BiRspI { addr: X });
+        assert!(matches!(
+            sends(&eff)[0],
+            (
+                H3,
+                CxlMsg::MemData {
+                    grant: CxlGrant::M,
+                    ..
+                }
+            )
+        ));
+        assert_eq!(d.holders(X), CxlHolders::Exclusive(H3));
+    }
+
+    #[test]
+    fn requests_queue_behind_snoop_convoy() {
+        let mut d = DcohEngine::new();
+        d.handle(H1, CxlMsg::MemRdA { addr: X });
+        d.handle(H2, CxlMsg::MemRdA { addr: X }); // snoops H1, blocks
+        let eff = d.handle(H3, CxlMsg::MemRdS { addr: X }); // queues
+        assert!(sends(&eff).is_empty());
+        assert_eq!(d.stalled_requests, 1);
+        // H1 responds (clean): H2 granted, then H3's queued read snoops H2.
+        let eff = d.handle(H1, CxlMsg::BiRspI { addr: X });
+        let s = sends(&eff);
+        assert!(s.iter().any(|(h, m)| *h == H2
+            && matches!(m, CxlMsg::MemData { grant: CxlGrant::M, .. })));
+        assert!(s
+            .iter()
+            .any(|(h, m)| *h == H2 && matches!(m, CxlMsg::BiSnpData { .. })));
+    }
+
+    #[test]
+    fn conflict_ack_reports_serialization_order() {
+        let mut d = DcohEngine::new();
+        // H1 exclusive; H2 requests ownership -> BISnpInv to H1.
+        d.handle(H1, CxlMsg::MemRdA { addr: X });
+        d.handle(H2, CxlMsg::MemRdA { addr: X });
+        // Fig. 2 right: H1's own upgrade arrives while blocked -> queued.
+        d.handle(H1, CxlMsg::MemRdA { addr: X });
+        let eff = d.handle(H1, CxlMsg::BiConflict { addr: X });
+        assert_eq!(
+            sends(&eff),
+            vec![(
+                H1,
+                CxlMsg::BiConflictAck {
+                    addr: X,
+                    request_was_serialized: false
+                }
+            )]
+        );
+        // Fig. 2 middle: H2 (whose request was already granted... simulate
+        // by asking for a conflict with nothing queued).
+        let eff = d.handle(H2, CxlMsg::BiConflict { addr: X });
+        assert_eq!(
+            sends(&eff),
+            vec![(
+                H2,
+                CxlMsg::BiConflictAck {
+                    addr: X,
+                    request_was_serialized: true
+                }
+            )]
+        );
+        assert_eq!(d.conflicts, 2);
+    }
+
+    #[test]
+    fn eviction_writeback_clears_owner() {
+        let mut d = DcohEngine::new();
+        d.handle(H1, CxlMsg::MemRdA { addr: X });
+        let eff = d.handle(H1, CxlMsg::MemWrI { addr: X, data: 44 });
+        assert_eq!(sends(&eff), vec![(H1, CxlMsg::Cmp { addr: X })]);
+        assert_eq!(d.holders(X), CxlHolders::None);
+        assert_eq!(d.data(X), 44);
+        // A fresh reader is granted E with the written data.
+        let eff = d.handle(H2, CxlMsg::MemRdS { addr: X });
+        assert!(matches!(
+            sends(&eff)[0].1,
+            CxlMsg::MemData {
+                data: 44,
+                grant: CxlGrant::E,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn eviction_racing_snoop_resolves() {
+        // H1 owner starts eviction; DCOH concurrently snoops H1 for H2's
+        // write. The MemWr carries the data; the BIRspI completes the
+        // snoop.
+        let mut d = DcohEngine::new();
+        d.handle(H1, CxlMsg::MemRdA { addr: X });
+        d.handle(H2, CxlMsg::MemRdA { addr: X }); // BISnpInv -> H1
+        let eff = d.handle(H1, CxlMsg::MemWrI { addr: X, data: 7 });
+        assert_eq!(sends(&eff), vec![(H1, CxlMsg::Cmp { addr: X })]);
+        let eff = d.handle(H1, CxlMsg::BiRspI { addr: X });
+        assert!(matches!(
+            sends(&eff)[0],
+            (H2, CxlMsg::MemData { data: 7, grant: CxlGrant::M, .. })
+        ));
+    }
+
+    #[test]
+    fn silent_dropper_is_regranted_without_snooping_itself() {
+        let mut d = DcohEngine::new();
+        d.handle(H1, CxlMsg::MemRdA { addr: X });
+        // H1 silently dropped its clean copy and asks again: the DCOH must
+        // NOT snoop H1 (deadlock) but re-grant directly.
+        let eff = d.handle(H1, CxlMsg::MemRdA { addr: X });
+        assert_eq!(
+            sends(&eff),
+            vec![(
+                H1,
+                CxlMsg::MemData {
+                    addr: X,
+                    data: 0,
+                    grant: CxlGrant::M
+                }
+            )]
+        );
+        let eff = d.handle(H1, CxlMsg::MemRdS { addr: X });
+        assert!(matches!(
+            sends(&eff)[0].1,
+            CxlMsg::MemData {
+                grant: CxlGrant::E,
+                ..
+            }
+        ));
+        assert!(d.idle());
+    }
+
+    #[test]
+    fn stale_birsp_is_ignored() {
+        let mut d = DcohEngine::new();
+        let eff = d.handle(H1, CxlMsg::BiRspI { addr: X });
+        assert!(eff.is_empty());
+    }
+
+    #[test]
+    fn shared_read_grants_s() {
+        let mut d = DcohEngine::new();
+        d.handle(H1, CxlMsg::MemRdS { addr: X }); // E
+        d.handle(H2, CxlMsg::MemRdS { addr: X }); // snoop H1
+        d.handle(H1, CxlMsg::BiRspS { addr: X });
+        let eff = d.handle(H3, CxlMsg::MemRdS { addr: X });
+        assert!(matches!(
+            sends(&eff)[0],
+            (H3, CxlMsg::MemData { grant: CxlGrant::S, .. })
+        ));
+        assert_eq!(
+            d.holders(X),
+            CxlHolders::Shared(BTreeSet::from([H1, H2, H3]))
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Simulator component wrapping the [`crate::dcoh::DcohEngine`].
+
+use std::any::Any;
+
+use c3_protocol::msg::SysMsg;
+use c3_sim::component::{Component, ComponentId, Ctx};
+use c3_sim::stats::Report;
+use c3_sim::time::Delay;
+
+use crate::dcoh::{DcohEffect, DcohEngine};
+
+/// The CXL memory device: DCOH directory + DDR5 back-end (Table III:
+/// 10 ns access latency).
+#[derive(Debug)]
+pub struct CxlDirectory {
+    name: String,
+    engine: DcohEngine,
+    mem_latency: Delay,
+}
+
+impl CxlDirectory {
+    /// Create the device; `mem_latency` is the DDR access time added in
+    /// front of memory-sourced responses.
+    pub fn new(name: impl Into<String>, mem_latency: Delay) -> Self {
+        CxlDirectory {
+            name: name.into(),
+            engine: DcohEngine::new(),
+            mem_latency,
+        }
+    }
+
+    /// Access the underlying engine (inspection / seeding).
+    pub fn engine(&self) -> &DcohEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine (seeding memory).
+    pub fn engine_mut(&mut self) -> &mut DcohEngine {
+        &mut self.engine
+    }
+}
+
+impl Component<SysMsg> for CxlDirectory {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn handle(&mut self, msg: SysMsg, src: ComponentId, ctx: &mut Ctx<'_, SysMsg>) {
+        c3_sim::sim_trace!("[{}] {} <- {src}: {msg:?}", ctx.now, self.name);
+        let SysMsg::Cxl(m) = msg else {
+            panic!("CXL directory received {msg:?}");
+        };
+        for effect in self.engine.handle(src, m) {
+            match effect {
+                DcohEffect::Send {
+                    dst,
+                    msg,
+                    needs_memory,
+                } => {
+                    if needs_memory {
+                        ctx.send_after(dst, SysMsg::Cxl(msg), self.mem_latency);
+                    } else {
+                        ctx.send(dst, SysMsg::Cxl(msg));
+                    }
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.engine.idle()
+    }
+
+    fn report(&self, out: &mut Report) {
+        let n = &self.name;
+        out.set(
+            format!("{n}.stalled_requests"),
+            self.engine.stalled_requests as f64,
+        );
+        out.set(format!("{n}.bisnp_sent"), self.engine.bisnp_sent as f64);
+        out.set(format!("{n}.conflicts"), self.engine.conflicts as f64);
+        out.set(format!("{n}.writebacks"), self.engine.writebacks as f64);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,18 @@
+//! # c3-cxl — CXL.mem 3.0 multi-host coherence
+//!
+//! The device side of the paper's CXL substrate: the **DCOH** (device
+//! coherency engine) directory for multi-headed HDM-DB memory devices,
+//! implementing the Table-I message flows, blocking back-invalidation
+//! snoops and the Fig.-2 `BIConflict` handshake.
+//!
+//! * [`dcoh::DcohEngine`] — the pure protocol state machine;
+//! * [`directory::CxlDirectory`] — the simulator component (DCOH + DDR5
+//!   latency model).
+
+#![warn(missing_docs)]
+
+pub mod dcoh;
+pub mod directory;
+
+pub use dcoh::{CxlHolders, DcohEffect, DcohEngine};
+pub use directory::CxlDirectory;

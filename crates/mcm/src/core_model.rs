@@ -1,0 +1,535 @@
+//! The out-of-order timing core with a configurable memory consistency
+//! model.
+//!
+//! Follows the paper's methodology (§V): rather than modelling different
+//! ISAs, one core model exposes a single ordering knob — like gem5's
+//! `needsTSO` flag — so performance differences are attributable to the
+//! MCM alone. The core keeps a window of in-flight memory operations; an
+//! operation may issue when every program-earlier, still-incomplete
+//! operation that [`c3_protocol::mcm::must_order`] orders before it has
+//! completed. TSO therefore drains stores in order (the store-buffer
+//! effect) while the weak model overlaps them.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use c3_protocol::mcm::{must_order, Mcm};
+use c3_protocol::msg::{CoreReq, CoreResp, SysMsg};
+use c3_protocol::ops::{Instr, Reg, ThreadProgram};
+use c3_protocol::states::ProtocolFamily;
+use c3_sim::component::{Component, ComponentId, Ctx};
+use c3_sim::rng::SimRng;
+use c3_sim::stats::Report;
+use c3_sim::time::{Delay, Time};
+
+/// Timing-core configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreConfig {
+    /// Memory consistency model enforced by the issue logic.
+    pub mcm: Mcm,
+    /// The cluster's coherence protocol (RCC cores hand fences to the L1).
+    pub family: ProtocolFamily,
+    /// Maximum in-flight memory operations (memory window of the 8-wide
+    /// OoO core of Table III).
+    pub window: usize,
+    /// Fixed delay before the first instruction issues (litmus runs use
+    /// random staggering here).
+    pub start_delay: Delay,
+    /// Maximum random per-operation issue jitter in cycles (models
+    /// pipeline variability; also diversifies litmus interleavings).
+    pub issue_jitter: u32,
+}
+
+impl CoreConfig {
+    /// Paper-like defaults for the given MCM and protocol.
+    pub fn new(mcm: Mcm, family: ProtocolFamily) -> Self {
+        CoreConfig {
+            mcm,
+            family,
+            window: 32,
+            start_delay: Delay::ZERO,
+            issue_jitter: 2,
+        }
+    }
+
+    /// Override the start delay.
+    pub fn with_start_delay(mut self, d: Delay) -> Self {
+        self.start_delay = d;
+        self
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum OpState {
+    Waiting,
+    Issued,
+    Done,
+}
+
+/// Instructions examined beyond the oldest incomplete one (the 192-entry
+/// ROB of Table III, scaled to the memory-operation window).
+const ROB_LOOKAHEAD: usize = 48;
+
+/// TSO store-buffer capacity (x86 cores have 40–70 entries; scaled to the
+/// memory-operation window).
+const STORE_BUFFER_CAP: usize = 6;
+
+/// Tag bit marking RFO-prefetch responses (dropped by the core).
+const PREFETCH_TAG: u64 = 1 << 62;
+
+/// The timing core component.
+#[derive(Debug)]
+pub struct TimingCore {
+    name: String,
+    l1: ComponentId,
+    cfg: CoreConfig,
+    program: ThreadProgram,
+    state: Vec<OpState>,
+    oldest: usize,
+    inflight: HashMap<u64, usize>,
+    /// TSO store buffer: retired-but-undrained stores (instruction
+    /// indices), drained to the L1 strictly in order. This is what makes
+    /// TSO's store→load reordering *and* its realistic performance: the
+    /// core retires a store into the buffer and moves on.
+    store_buffer: std::collections::VecDeque<usize>,
+    drain_inflight: bool,
+    regs: [u64; 32],
+    rng: SimRng,
+    started: bool,
+    finished_at: Option<Time>,
+    retired: u64,
+    stalled_issue_checks: u64,
+    squashes: u64,
+}
+
+impl TimingCore {
+    /// Create a core running `program` against `l1`. `seed` feeds the
+    /// issue-jitter stream (forked per core by the caller).
+    pub fn new(
+        name: impl Into<String>,
+        l1: ComponentId,
+        cfg: CoreConfig,
+        program: ThreadProgram,
+        seed: u64,
+    ) -> Self {
+        let n = program.len();
+        TimingCore {
+            name: name.into(),
+            l1,
+            cfg,
+            program,
+            state: vec![OpState::Waiting; n],
+            oldest: 0,
+            inflight: HashMap::new(),
+            store_buffer: std::collections::VecDeque::new(),
+            drain_inflight: false,
+            regs: [0; 32],
+            rng: SimRng::seed_from(seed),
+            started: false,
+            finished_at: None,
+            retired: 0,
+            stalled_issue_checks: 0,
+            squashes: 0,
+        }
+    }
+
+    /// Register value (litmus observation).
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg.0 as usize]
+    }
+
+    /// Completion time, if the program has finished.
+    pub fn finished_at(&self) -> Option<Time> {
+        self.finished_at
+    }
+
+    /// Whether instruction `j` may perform now: every earlier incomplete
+    /// instruction that must be ordered before it has completed, and
+    /// `Work` instructions act as issue barriers. Only instructions from
+    /// the oldest incomplete one onward need checking.
+    fn may_issue(&self, j: usize) -> bool {
+        let instr = &self.program.instrs[j];
+        // TSO loads *issue* speculatively out of order (gem5's O3 does the
+        // same): the architectural load-load order is enforced by
+        // invalidation-triggered squashes (see `squash_loads`), not by
+        // serializing issue. Ordering checks for a TSO load therefore use
+        // the weak matrix — same-address ordering, fences and annotations
+        // still apply.
+        let effective_mcm = if self.cfg.mcm == Mcm::Tso && matches!(instr, Instr::Load { .. }) {
+            Mcm::Weak
+        } else {
+            self.cfg.mcm
+        };
+        for i in self.oldest..j {
+            if self.state[i] == OpState::Done {
+                continue;
+            }
+            let earlier = &self.program.instrs[i];
+            match earlier {
+                // Work models non-overlappable front-end compute.
+                Instr::Work(_) => return false,
+                // Fences gate per their ordering rules — handled through
+                // must_order's `between` inspection below; an incomplete
+                // *RCC* fence (which must reach the L1) blocks everything.
+                Instr::Fence(_)
+                    if self.cfg.family == ProtocolFamily::Rcc => {
+                        return false;
+                    }
+                _ => {}
+            }
+            if must_order(effective_mcm, earlier, &self.program.instrs[i + 1..j], instr) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A line was invalidated/lost: squash speculatively completed TSO
+    /// loads of that line that are not yet retired (an older instruction
+    /// is still incomplete) — they re-issue and read the fresh value.
+    fn squash_loads(&mut self, addr: c3_protocol::ops::Addr, ctx: &mut Ctx<'_, SysMsg>) {
+        if self.cfg.mcm != Mcm::Tso {
+            return; // weak/SC cores take no ordering obligation from this
+        }
+        let n = self.program.len();
+        let horizon = (self.oldest + ROB_LOOKAHEAD).min(n);
+        let mut squashed = false;
+        for j in self.oldest..horizon {
+            if self.state[j] != OpState::Done {
+                continue;
+            }
+            if let Instr::Load { addr: a, .. } = self.program.instrs[j] {
+                if a == addr && j > self.oldest {
+                    self.state[j] = OpState::Waiting;
+                    self.retired -= 1;
+                    self.squashes += 1;
+                    squashed = true;
+                }
+            }
+        }
+        if squashed {
+            self.try_issue(ctx);
+        }
+    }
+
+    fn try_issue(&mut self, ctx: &mut Ctx<'_, SysMsg>) {
+        let n = self.program.len();
+        loop {
+            let mut issued_any = false;
+            // Advance past the completed prefix (retirement pointer).
+            while self.oldest < n && self.state[self.oldest] == OpState::Done {
+                self.oldest += 1;
+            }
+            // Consider only the reorder-buffer window of instructions.
+            let horizon = (self.oldest + ROB_LOOKAHEAD).min(n);
+            for j in self.oldest..horizon {
+                if self.state[j] != OpState::Waiting {
+                    continue;
+                }
+                if self.inflight.len() >= self.cfg.window {
+                    break;
+                }
+                if !self.may_issue(j) {
+                    self.stalled_issue_checks += 1;
+                    continue;
+                }
+                let instr = self.program.instrs[j];
+                let tso = self.cfg.mcm == Mcm::Tso;
+                match instr {
+                    Instr::Work(cycles) => {
+                        self.state[j] = OpState::Issued;
+                        self.inflight.insert(j as u64, j);
+                        ctx.wake_after(Delay::from_cycles(cycles as u64, 2_000), j as u64);
+                    }
+                    Instr::Fence(_) if self.cfg.family != ProtocolFamily::Rcc => {
+                        // TSO full fences drain the store buffer first.
+                        if tso && (!self.store_buffer.is_empty() || self.drain_inflight) {
+                            continue;
+                        }
+                        // Pure ordering: completes as soon as it may issue.
+                        self.state[j] = OpState::Done;
+                        self.retired += 1;
+                        issued_any = true;
+                        continue;
+                    }
+                    Instr::Store { addr, .. } if tso => {
+                        // Retire into the store buffer; the drain makes the
+                        // store visible in order, off the critical path.
+                        if self.store_buffer.len() >= STORE_BUFFER_CAP {
+                            continue; // buffer full: stall this store
+                        }
+                        self.state[j] = OpState::Done;
+                        self.retired += 1;
+                        self.store_buffer.push_back(j);
+                        // RFO prefetch: overlap the miss latency so the
+                        // in-order drain usually hits (x86 store buffers
+                        // issue ownership requests for all entries). The
+                        // issue time varies — RFOs fire when buffer slots
+                        // are scheduled, not instantaneously — which also
+                        // lets younger loads overtake the store (the
+                        // store-buffering behaviour of SB litmus tests).
+                        let rfo_jitter = self.rng.below(24);
+                        ctx.send_direct(
+                            self.l1,
+                            SysMsg::CoreReq(CoreReq {
+                                tag: PREFETCH_TAG | j as u64,
+                                instr: Instr::Prefetch { addr },
+                            }),
+                            Delay::from_cycles(1 + rfo_jitter, 2_000),
+                        );
+                        self.pump_drain(ctx);
+                        issued_any = true;
+                        continue;
+                    }
+                    Instr::Load { addr, reg, .. } if tso => {
+                        // Store-to-load forwarding from the buffer.
+                        if let Some(val) = self.forward_from_buffer(addr, j) {
+                            self.state[j] = OpState::Done;
+                            self.retired += 1;
+                            self.regs[reg.0 as usize] = val;
+                            issued_any = true;
+                            continue;
+                        }
+                        self.issue_to_l1(j, instr, ctx);
+                    }
+                    Instr::Rmw { .. } if tso => {
+                        // Atomics serialize with the store buffer.
+                        if !self.store_buffer.is_empty() || self.drain_inflight {
+                            continue;
+                        }
+                        self.issue_to_l1(j, instr, ctx);
+                    }
+                    _ => {
+                        self.issue_to_l1(j, instr, ctx);
+                    }
+                }
+                issued_any = true;
+            }
+            if !issued_any {
+                break;
+            }
+        }
+        if self.finished_at.is_none()
+            && self.store_buffer.is_empty()
+            && !self.drain_inflight
+            && self.state.iter().all(|s| *s == OpState::Done)
+        {
+            self.finished_at = Some(ctx.now);
+        }
+    }
+
+    fn issue_to_l1(&mut self, j: usize, instr: Instr, ctx: &mut Ctx<'_, SysMsg>) {
+        self.state[j] = OpState::Issued;
+        self.inflight.insert(j as u64, j);
+        let jitter = if self.cfg.issue_jitter > 0 {
+            self.rng.below(self.cfg.issue_jitter as u64 + 1)
+        } else {
+            0
+        };
+        ctx.send_direct(
+            self.l1,
+            SysMsg::CoreReq(CoreReq {
+                tag: j as u64,
+                instr,
+            }),
+            Delay::from_cycles(1 + jitter, 2_000),
+        );
+    }
+
+    /// Youngest buffered store to `addr` older than instruction `j`.
+    fn forward_from_buffer(&self, addr: c3_protocol::ops::Addr, j: usize) -> Option<u64> {
+        self.store_buffer
+            .iter()
+            .rev()
+            .filter(|&&i| i < j)
+            .find_map(|&i| match self.program.instrs[i] {
+                Instr::Store {
+                    addr: a, val, ..
+                } if a == addr => Some(val),
+                _ => None,
+            })
+    }
+
+    /// Issue the next buffered store to the L1 (FIFO drain). A store only
+    /// becomes drain-eligible a commit-latency after entering the buffer —
+    /// this residency is what lets younger loads overtake it (the
+    /// store-buffering behaviour SB litmus tests observe).
+    fn pump_drain(&mut self, ctx: &mut Ctx<'_, SysMsg>) {
+        if self.drain_inflight {
+            return;
+        }
+        let Some(&j) = self.store_buffer.front() else {
+            return;
+        };
+        self.drain_inflight = true;
+        ctx.send_direct(
+            self.l1,
+            SysMsg::CoreReq(CoreReq {
+                tag: j as u64,
+                instr: self.program.instrs[j],
+            }),
+            Delay::from_cycles(25, 2_000),
+        );
+    }
+
+    fn complete(&mut self, j: usize, value: u64, ctx: &mut Ctx<'_, SysMsg>) {
+        // A response for an already-retired store is a drain completion.
+        if self.state[j] == OpState::Done {
+            debug_assert_eq!(self.store_buffer.front(), Some(&j));
+            self.store_buffer.pop_front();
+            self.drain_inflight = false;
+            self.pump_drain(ctx);
+            self.try_issue(ctx); // fences / atomics may unblock
+            return;
+        }
+        debug_assert_eq!(self.state[j], OpState::Issued);
+        self.state[j] = OpState::Done;
+        self.inflight.remove(&(j as u64));
+        self.retired += 1;
+        match self.program.instrs[j] {
+            Instr::Load { reg, .. } | Instr::Rmw { reg, .. } => {
+                self.regs[reg.0 as usize] = value;
+            }
+            _ => {}
+        }
+        self.try_issue(ctx);
+    }
+}
+
+impl Component<SysMsg> for TimingCore {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn start(&mut self, ctx: &mut Ctx<'_, SysMsg>) {
+        if self.cfg.start_delay > Delay::ZERO {
+            ctx.wake_after(self.cfg.start_delay, u64::MAX);
+        } else {
+            self.started = true;
+            self.try_issue(ctx);
+        }
+    }
+
+    fn on_wake(&mut self, token: u64, ctx: &mut Ctx<'_, SysMsg>) {
+        if token == u64::MAX {
+            self.started = true;
+            self.try_issue(ctx);
+            return;
+        }
+        // A Work instruction finished.
+        self.complete(token as usize, 0, ctx);
+    }
+
+    fn handle(&mut self, msg: SysMsg, _src: ComponentId, ctx: &mut Ctx<'_, SysMsg>) {
+        match msg {
+            SysMsg::CoreResp(CoreResp { tag, .. }) if tag & PREFETCH_TAG != 0 => {}
+            SysMsg::CoreResp(CoreResp { tag, value }) => self.complete(tag as usize, value, ctx),
+            SysMsg::InvHint { addr } => self.squash_loads(addr, ctx),
+            other => panic!("core received {other:?}"),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.state.iter().all(|s| *s == OpState::Done)
+            && self.store_buffer.is_empty()
+            && !self.drain_inflight
+    }
+
+    fn report(&self, out: &mut Report) {
+        out.set(format!("{}.retired", self.name), self.retired as f64);
+        out.set(format!("{}.squashes", self.name), self.squashes as f64);
+        if let Some(t) = self.finished_at {
+            out.set(format!("{}.finished_ns", self.name), t.as_ns() as f64);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c3_protocol::ops::{AccessOrder, Addr};
+
+    fn core(mcm: Mcm, program: ThreadProgram) -> TimingCore {
+        TimingCore::new(
+            "c",
+            ComponentId(1),
+            CoreConfig::new(mcm, ProtocolFamily::Mesi),
+            program,
+            7,
+        )
+    }
+
+    #[test]
+    fn tso_store_load_may_issue_out_of_order() {
+        let p = ThreadProgram::new().store(Addr(1), 1).load(Addr(2), Reg(0));
+        let c = core(Mcm::Tso, p);
+        // The load (index 1) may issue although the store is incomplete.
+        assert!(c.may_issue(1));
+    }
+
+    #[test]
+    fn tso_stores_stay_ordered() {
+        let p = ThreadProgram::new().store(Addr(1), 1).store(Addr(2), 1);
+        let c = core(Mcm::Tso, p);
+        assert!(!c.may_issue(1));
+    }
+
+    #[test]
+    fn weak_overlaps_everything_across_addresses() {
+        let p = ThreadProgram::new()
+            .store(Addr(1), 1)
+            .store(Addr(2), 1)
+            .load(Addr(3), Reg(0));
+        let c = core(Mcm::Weak, p);
+        assert!(c.may_issue(1));
+        assert!(c.may_issue(2));
+    }
+
+    #[test]
+    fn weak_respects_fence() {
+        let p = ThreadProgram::new()
+            .store(Addr(1), 1)
+            .fence()
+            .store(Addr(2), 1);
+        let c = core(Mcm::Weak, p);
+        assert!(!c.may_issue(2));
+    }
+
+    #[test]
+    fn same_address_never_reorders() {
+        let p = ThreadProgram::new().store(Addr(1), 1).load(Addr(1), Reg(0));
+        let c = core(Mcm::Weak, p);
+        assert!(!c.may_issue(1));
+    }
+
+    #[test]
+    fn release_store_waits_for_earlier_accesses() {
+        let p = ThreadProgram::new().store(Addr(1), 1).instrs.into_iter().chain(
+            [Instr::Store {
+                addr: Addr(2),
+                val: 1,
+                order: AccessOrder::Release,
+            }],
+        );
+        let p = ThreadProgram {
+            instrs: p.collect(),
+        };
+        let c = core(Mcm::Weak, p);
+        assert!(!c.may_issue(1));
+    }
+
+    #[test]
+    fn work_blocks_later_issue() {
+        let p = ThreadProgram::new().work(10).load(Addr(1), Reg(0));
+        let c = core(Mcm::Weak, p);
+        assert!(!c.may_issue(1));
+    }
+}

@@ -1,0 +1,241 @@
+//! The litmus harness: runs litmus tests on the full timing simulator and
+//! checks the observed outcomes against the operational reference model.
+//!
+//! Mirrors §VI-A of the paper: threads are distributed round-robin across
+//! the two clusters, each run randomizes core start times, issue jitter
+//! and fabric timing, and a configuration *passes* when no forbidden
+//! outcome (one outside the compound model's allowed set) is ever
+//! observed. The paper's control experiment — removing synchronization
+//! must surface relaxed outcomes — is [`LitmusReport::relaxed_observed`]
+//! against the synced allowed set.
+
+use std::collections::BTreeSet;
+
+use c3::system::{ClusterSpec, GlobalProtocol, SystemBuilder};
+use c3_protocol::mcm::Mcm;
+use c3_protocol::ops::ThreadProgram;
+use c3_protocol::states::ProtocolFamily;
+use c3_sim::kernel::RunOutcome;
+use c3_sim::rng::SimRng;
+use c3_sim::time::Delay;
+
+use crate::core_model::{CoreConfig, TimingCore};
+use crate::litmus::LitmusTest;
+use crate::reference::{allowed_outcomes, Outcome};
+
+/// Configuration of a litmus campaign.
+#[derive(Clone, Debug)]
+pub struct LitmusConfig {
+    /// Cluster protocols (e.g. `(Mesi, Moesi)` for MESI-CXL-MOESI).
+    pub protocols: (ProtocolFamily, ProtocolFamily),
+    /// Global protocol joining the clusters.
+    pub global: GlobalProtocol,
+    /// Per-cluster memory consistency models (the paper's `needsTSO` knob).
+    pub mcms: (Mcm, Mcm),
+    /// Number of randomized runs.
+    pub runs: usize,
+    /// Base RNG seed.
+    pub base_seed: u64,
+    /// Maximum random start stagger per core (ns).
+    pub max_stagger_ns: u64,
+}
+
+impl LitmusConfig {
+    /// A typical Table-IV configuration.
+    pub fn new(
+        protocols: (ProtocolFamily, ProtocolFamily),
+        global: GlobalProtocol,
+        mcms: (Mcm, Mcm),
+    ) -> Self {
+        LitmusConfig {
+            protocols,
+            global,
+            mcms,
+            runs: 200,
+            base_seed: 0xBEEF,
+            max_stagger_ns: 40,
+        }
+    }
+
+    /// Override the number of runs.
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+}
+
+/// Result of a litmus campaign.
+#[derive(Clone, Debug)]
+pub struct LitmusReport {
+    /// Test name.
+    pub name: &'static str,
+    /// Outcomes observed in the simulator.
+    pub observed: BTreeSet<Outcome>,
+    /// Outcomes the compound model allows (reference enumeration).
+    pub allowed: BTreeSet<Outcome>,
+    /// Observed outcomes that are *not* allowed — must be empty.
+    pub forbidden: BTreeSet<Outcome>,
+    /// Number of runs executed.
+    pub runs: usize,
+}
+
+impl LitmusReport {
+    /// Whether the campaign passed (no forbidden outcome).
+    pub fn passed(&self) -> bool {
+        self.forbidden.is_empty()
+    }
+
+    /// Fraction of the allowed set that was actually observed (the paper
+    /// additionally checks that allowed outcomes *do* occur).
+    pub fn coverage(&self) -> f64 {
+        if self.allowed.is_empty() {
+            return 1.0;
+        }
+        self.observed.intersection(&self.allowed).count() as f64 / self.allowed.len() as f64
+    }
+
+    /// Whether any outcome outside `synced_allowed` was observed — used
+    /// by the control experiment (run an unsynced test, compare against
+    /// the *synced* allowed set).
+    pub fn relaxed_observed(&self, synced_allowed: &BTreeSet<Outcome>) -> bool {
+        self.observed.iter().any(|o| !synced_allowed.contains(o))
+    }
+}
+
+/// Per-thread MCM assignment for a test under `cfg` (thread `i` runs on
+/// cluster `i % 2`).
+pub fn thread_mcms(test: &LitmusTest, cfg: &LitmusConfig) -> Vec<Mcm> {
+    (0..test.threads.len())
+        .map(|i| if i % 2 == 0 { cfg.mcms.0 } else { cfg.mcms.1 })
+        .collect()
+}
+
+/// Materialized per-thread programs (compiler mapping applied).
+pub fn materialized_threads(test: &LitmusTest, cfg: &LitmusConfig) -> Vec<ThreadProgram> {
+    let mcms = thread_mcms(test, cfg);
+    test.threads
+        .iter()
+        .zip(&mcms)
+        .map(|(t, m)| LitmusTest::materialize(t, *m))
+        .collect()
+}
+
+/// The reference-model allowed set for a test under `cfg`.
+pub fn reference_allowed(test: &LitmusTest, cfg: &LitmusConfig) -> BTreeSet<Outcome> {
+    let mcms = thread_mcms(test, cfg);
+    allowed_outcomes(&materialized_threads(test, cfg), &mcms, &test.observed)
+}
+
+/// Run one litmus campaign.
+///
+/// # Examples
+///
+/// ```
+/// use c3::system::GlobalProtocol;
+/// use c3_mcm::harness::{run_litmus, LitmusConfig};
+/// use c3_mcm::litmus::LitmusTest;
+/// use c3_protocol::mcm::Mcm;
+/// use c3_protocol::states::ProtocolFamily;
+///
+/// let cfg = LitmusConfig::new(
+///     (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
+///     GlobalProtocol::Cxl,
+///     (Mcm::Tso, Mcm::Weak),
+/// )
+/// .runs(25);
+/// let report = run_litmus(&LitmusTest::mp(), &cfg);
+/// assert!(report.passed());
+/// ```
+///
+/// # Panics
+///
+/// Panics if a run deadlocks — that is a protocol bug, not a litmus
+/// outcome.
+pub fn run_litmus(test: &LitmusTest, cfg: &LitmusConfig) -> LitmusReport {
+    let programs = materialized_threads(test, cfg);
+    let allowed = reference_allowed(test, cfg);
+    let mut observed = BTreeSet::new();
+    let rng = SimRng::seed_from(cfg.base_seed ^ 0xA5A5_5A5A);
+
+    // Thread i -> cluster i%2, core i/2.
+    let n = test.threads.len();
+    let c0: Vec<usize> = (0..n).filter(|i| i % 2 == 0).collect();
+    let c1: Vec<usize> = (0..n).filter(|i| i % 2 == 1).collect();
+
+    for run in 0..cfg.runs {
+        let seed = cfg.base_seed.wrapping_add(run as u64).wrapping_mul(0x9E37_79B9);
+        let mut run_rng = rng.fork(run as u64);
+        let clusters = vec![
+            ClusterSpec::new(cfg.protocols.0, c0.len().max(1)).with_l1(16, 4),
+            ClusterSpec::new(cfg.protocols.1, c1.len().max(1)).with_l1(16, 4),
+        ];
+        let builder = SystemBuilder::new(clusters, cfg.global)
+            .cxl_cache(64, 4)
+            .seed(seed);
+        let programs = programs.clone();
+        let c0 = c0.clone();
+        let c1 = c1.clone();
+        let mcms = cfg.mcms;
+        let protos = cfg.protocols;
+        let max_stagger = cfg.max_stagger_ns;
+        let staggers: Vec<u64> = (0..n + 2)
+            .map(|_| run_rng.below(max_stagger.max(1)))
+            .collect();
+        let (mut sim, handles) = builder.build(move |ci, k, l1| {
+            let (mcm, family, slots) = if ci == 0 {
+                (mcms.0, protos.0, &c0)
+            } else {
+                (mcms.1, protos.1, &c1)
+            };
+            let (program, ti) = match slots.get(k) {
+                Some(&ti) => (programs[ti].clone(), ti),
+                None => (ThreadProgram::new(), usize::MAX), // filler core
+            };
+            let stagger = if ti == usize::MAX {
+                0
+            } else {
+                staggers[ti]
+            };
+            let mut core_cfg = CoreConfig::new(mcm, family)
+                .with_start_delay(Delay::from_ns(stagger));
+            core_cfg.issue_jitter = 16;
+            Box::new(TimingCore::new(
+                format!("c{ci}.t{k}"),
+                l1,
+                core_cfg,
+                program,
+                seed ^ (ti as u64).wrapping_mul(0x517C_C1B7_2722_0A95),
+            ))
+        });
+        sim.set_event_limit(5_000_000);
+        let outcome = sim.run();
+        assert_eq!(
+            outcome,
+            RunOutcome::Completed,
+            "litmus run deadlocked: {:?} (test {}, run {run})",
+            sim.pending_components(),
+            test.name
+        );
+        // Observe the outcome tuple.
+        let mut tuple = Vec::new();
+        for (ti, reg) in &test.observed.regs {
+            let (cluster, slot) = (ti % 2, ti / 2);
+            let core = handles.cores[cluster][slot];
+            let tc = sim.component_as::<TimingCore>(core).expect("timing core");
+            tuple.push(tc.reg(*reg));
+        }
+        for a in &test.observed.mem {
+            tuple.push(handles.coherent_value(&sim, *a));
+        }
+        observed.insert(tuple);
+    }
+
+    let forbidden: BTreeSet<Outcome> = observed.difference(&allowed).cloned().collect();
+    LitmusReport {
+        name: test.name,
+        observed,
+        allowed,
+        forbidden,
+        runs: cfg.runs,
+    }
+}

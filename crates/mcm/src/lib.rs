@@ -1,0 +1,26 @@
+//! # c3-mcm — memory consistency model layer
+//!
+//! Timing cores, litmus tests and the operational compound-MCM reference
+//! for the C³ reproduction (§V–§VI-A of the paper):
+//!
+//! * [`core_model::TimingCore`] — an OoO core with a single MCM knob
+//!   (TSO / weak), mirroring gem5's `needsTSO` methodology;
+//! * [`litmus`] — the Table-IV test suite (MP, IRIW, 2+2W, R, S, SB, LB,
+//!   plus WRC/RWC/CoRR), with per-architecture compiler mappings and the
+//!   sync-stripping control experiment;
+//! * [`reference`] — the herd7 substitute: exhaustive enumeration of
+//!   allowed outcomes under the compound memory model;
+//! * [`harness`] — randomized full-system litmus campaigns.
+
+#![warn(missing_docs)]
+
+pub mod core_model;
+pub mod harness;
+pub mod litmus;
+pub mod litmus_text;
+pub mod reference;
+
+pub use core_model::{CoreConfig, TimingCore};
+pub use harness::{run_litmus, LitmusConfig, LitmusReport};
+pub use litmus::{LitmusTest, Observation};
+pub use reference::{allowed_outcomes, Outcome};

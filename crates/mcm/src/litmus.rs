@@ -1,0 +1,416 @@
+//! The litmus test suite (§VI-A of the paper).
+//!
+//! The system-level tests the paper runs — *MP, IRIW, 2+2W, R, S, SB, LB*
+//! (generated with herd7 in the paper) — plus *WRC*, *RWC* and *CoRR*
+//! used by the checker. Tests are written portably with C11-style
+//! acquire/release annotations and explicit fences;
+//! [`LitmusTest::materialize`] applies the per-architecture compiler
+//! mapping (§II-B): on TSO hardware acquire/release are free and only
+//! store→load fences remain, on weak hardware all annotations stay.
+
+use c3_protocol::mcm::Mcm;
+use c3_protocol::ops::{AccessOrder, Addr, Instr, Reg, ThreadProgram};
+
+/// What a litmus outcome observes, in order: registers then final memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Observation {
+    /// `(thread, register)` pairs.
+    pub regs: Vec<(usize, Reg)>,
+    /// Final memory locations.
+    pub mem: Vec<Addr>,
+}
+
+/// A litmus test: portable threads + the observation tuple.
+#[derive(Clone, Debug)]
+pub struct LitmusTest {
+    /// Short name as used in Table IV (e.g. `"MP-sys"`).
+    pub name: &'static str,
+    /// Thread programs with portable synchronization.
+    pub threads: Vec<ThreadProgram>,
+    /// The observed outcome tuple.
+    pub observed: Observation,
+}
+
+/// Locations used by the tests.
+const X: Addr = Addr(0x100);
+const Y: Addr = Addr(0x140);
+
+fn ld(addr: Addr, reg: Reg) -> Instr {
+    Instr::Load {
+        addr,
+        reg,
+        order: AccessOrder::Relaxed,
+    }
+}
+fn ld_acq(addr: Addr, reg: Reg) -> Instr {
+    Instr::Load {
+        addr,
+        reg,
+        order: AccessOrder::Acquire,
+    }
+}
+fn st(addr: Addr, val: u64) -> Instr {
+    Instr::Store {
+        addr,
+        val,
+        order: AccessOrder::Relaxed,
+    }
+}
+fn st_rel(addr: Addr, val: u64) -> Instr {
+    Instr::Store {
+        addr,
+        val,
+        order: AccessOrder::Release,
+    }
+}
+fn fence() -> Instr {
+    Instr::Fence(c3_protocol::ops::FenceKind::Full)
+}
+
+fn prog(instrs: Vec<Instr>) -> ThreadProgram {
+    ThreadProgram { instrs }
+}
+
+impl LitmusTest {
+    /// All tests evaluated in the paper's Table IV.
+    pub fn paper_suite() -> Vec<LitmusTest> {
+        vec![
+            Self::mp(),
+            Self::iriw(),
+            Self::two_plus_two_w(),
+            Self::r(),
+            Self::s(),
+            Self::sb(),
+            Self::lb(),
+        ]
+    }
+
+    /// Extended suite (adds WRC, RWC, CoRR, CoRR2, WWC, WRW+2W — the
+    /// remainder of the paper's Murphi test list, §VI-A).
+    pub fn extended_suite() -> Vec<LitmusTest> {
+        let mut v = Self::paper_suite();
+        v.push(Self::wrc());
+        v.push(Self::rwc());
+        v.push(Self::corr());
+        v.push(Self::corr2());
+        v.push(Self::wwc());
+        v.push(Self::wrw_2w());
+        v
+    }
+
+    /// Look up a test by name.
+    pub fn by_name(name: &str) -> Option<LitmusTest> {
+        Self::extended_suite().into_iter().find(|t| t.name == name)
+    }
+
+    /// Message passing: forbidden outcome `(r0, r1) = (1, 0)`.
+    pub fn mp() -> LitmusTest {
+        LitmusTest {
+            name: "MP-sys",
+            threads: vec![
+                prog(vec![st(X, 1), st_rel(Y, 1)]),
+                prog(vec![ld_acq(Y, Reg(0)), ld(X, Reg(1))]),
+            ],
+            observed: Observation {
+                regs: vec![(1, Reg(0)), (1, Reg(1))],
+                mem: vec![],
+            },
+        }
+    }
+
+    /// Independent reads of independent writes: forbidden
+    /// `(1, 0, 1, 0)` — the two readers disagree on the write order.
+    pub fn iriw() -> LitmusTest {
+        LitmusTest {
+            name: "IRIW-sys",
+            threads: vec![
+                prog(vec![st(X, 1)]),
+                prog(vec![st(Y, 1)]),
+                prog(vec![ld_acq(X, Reg(0)), fence(), ld(Y, Reg(1))]),
+                prog(vec![ld_acq(Y, Reg(2)), fence(), ld(X, Reg(3))]),
+            ],
+            observed: Observation {
+                regs: vec![(2, Reg(0)), (2, Reg(1)), (3, Reg(2)), (3, Reg(3))],
+                mem: vec![],
+            },
+        }
+    }
+
+    /// 2+2W: forbidden final memory `(x, y) = (2, 2)` (each thread's
+    /// first write ends up last).
+    pub fn two_plus_two_w() -> LitmusTest {
+        LitmusTest {
+            name: "2_2W-sys",
+            threads: vec![
+                prog(vec![st(X, 2), st_rel(Y, 1)]),
+                prog(vec![st(Y, 2), st_rel(X, 1)]),
+            ],
+            observed: Observation {
+                regs: vec![],
+                mem: vec![X, Y],
+            },
+        }
+    }
+
+    /// R: forbidden `(y, r0) = (2, 0)`.
+    pub fn r() -> LitmusTest {
+        LitmusTest {
+            name: "R-sys",
+            threads: vec![
+                prog(vec![st(X, 1), st_rel(Y, 1)]),
+                prog(vec![st(Y, 2), fence(), ld(X, Reg(0))]),
+            ],
+            observed: Observation {
+                regs: vec![(1, Reg(0))],
+                mem: vec![Y],
+            },
+        }
+    }
+
+    /// S: forbidden `(r0, x) = (1, 2)`.
+    pub fn s() -> LitmusTest {
+        LitmusTest {
+            name: "S-sys",
+            threads: vec![
+                prog(vec![st(X, 2), st_rel(Y, 1)]),
+                prog(vec![ld_acq(Y, Reg(0)), st(X, 1)]),
+            ],
+            observed: Observation {
+                regs: vec![(1, Reg(0))],
+                mem: vec![X],
+            },
+        }
+    }
+
+    /// Store buffering (Dekker): forbidden `(0, 0)`.
+    pub fn sb() -> LitmusTest {
+        LitmusTest {
+            name: "SB-sys",
+            threads: vec![
+                prog(vec![st(X, 1), fence(), ld(Y, Reg(0))]),
+                prog(vec![st(Y, 1), fence(), ld(X, Reg(1))]),
+            ],
+            observed: Observation {
+                regs: vec![(0, Reg(0)), (1, Reg(1))],
+                mem: vec![],
+            },
+        }
+    }
+
+    /// Load buffering: forbidden `(1, 1)`.
+    pub fn lb() -> LitmusTest {
+        LitmusTest {
+            name: "LB-sys",
+            threads: vec![
+                prog(vec![ld_acq(X, Reg(0)), st(Y, 1)]),
+                prog(vec![ld_acq(Y, Reg(1)), st(X, 1)]),
+            ],
+            observed: Observation {
+                regs: vec![(0, Reg(0)), (1, Reg(1))],
+                mem: vec![],
+            },
+        }
+    }
+
+    /// Write-to-read causality: forbidden `(1, 1, 0)`.
+    pub fn wrc() -> LitmusTest {
+        LitmusTest {
+            name: "WRC-sys",
+            threads: vec![
+                prog(vec![st(X, 1)]),
+                prog(vec![ld_acq(X, Reg(0)), st_rel(Y, 1)]),
+                prog(vec![ld_acq(Y, Reg(1)), ld(X, Reg(2))]),
+            ],
+            observed: Observation {
+                regs: vec![(1, Reg(0)), (2, Reg(1)), (2, Reg(2))],
+                mem: vec![],
+            },
+        }
+    }
+
+    /// Read-to-write causality: forbidden `(1, 0, 0)`.
+    pub fn rwc() -> LitmusTest {
+        LitmusTest {
+            name: "RWC-sys",
+            threads: vec![
+                prog(vec![st(X, 1)]),
+                prog(vec![ld_acq(X, Reg(0)), fence(), ld(Y, Reg(1))]),
+                prog(vec![st(Y, 1), fence(), ld(X, Reg(2))]),
+            ],
+            observed: Observation {
+                regs: vec![(1, Reg(0)), (1, Reg(1)), (2, Reg(2))],
+                mem: vec![],
+            },
+        }
+    }
+
+    /// CoRR2: two readers must agree on the order of two writes to one
+    /// location — forbidden `(1, 2, 2, 1)` (they disagree), without sync.
+    pub fn corr2() -> LitmusTest {
+        LitmusTest {
+            name: "CoRR2-sys",
+            threads: vec![
+                prog(vec![st(X, 1)]),
+                prog(vec![st(X, 2)]),
+                prog(vec![ld(X, Reg(0)), ld(X, Reg(1))]),
+                prog(vec![ld(X, Reg(2)), ld(X, Reg(3))]),
+            ],
+            observed: Observation {
+                regs: vec![(2, Reg(0)), (2, Reg(1)), (3, Reg(2)), (3, Reg(3))],
+                mem: vec![],
+            },
+        }
+    }
+
+    /// WWC (write-to-write causality): forbidden `(1, 2)` for
+    /// `(r0, mem:x)` — T2's write to x must not lose to T0's when it is
+    /// causally after it.
+    pub fn wwc() -> LitmusTest {
+        LitmusTest {
+            name: "WWC-sys",
+            threads: vec![
+                prog(vec![st(X, 2)]),
+                prog(vec![ld_acq(X, Reg(0)), st_rel(Y, 1)]),
+                prog(vec![ld_acq(Y, Reg(1)), st(X, 1)]),
+            ],
+            observed: Observation {
+                regs: vec![(1, Reg(0)), (2, Reg(1))],
+                mem: vec![X],
+            },
+        }
+    }
+
+    /// WRW+2W: forbidden `(1, 2)` for `(r0, mem:x)` with release/acquire
+    /// chains — a write-read-write cycle combined with 2W.
+    pub fn wrw_2w() -> LitmusTest {
+        LitmusTest {
+            name: "WRW+2W-sys",
+            threads: vec![
+                prog(vec![st(X, 2), st_rel(Y, 1)]),
+                prog(vec![ld_acq(Y, Reg(0)), st(X, 1)]),
+            ],
+            observed: Observation {
+                regs: vec![(1, Reg(0))],
+                mem: vec![X],
+            },
+        }
+    }
+
+    /// Coherence read-read: forbidden `(1, 0)` *without any sync* —
+    /// per-location coherence must hold even on weak hosts.
+    pub fn corr() -> LitmusTest {
+        LitmusTest {
+            name: "CoRR-sys",
+            threads: vec![
+                prog(vec![st(X, 1)]),
+                prog(vec![ld(X, Reg(0)), ld(X, Reg(1))]),
+            ],
+            observed: Observation {
+                regs: vec![(1, Reg(0)), (1, Reg(1))],
+                mem: vec![],
+            },
+        }
+    }
+
+    /// Apply the compiler mapping for one thread on a host with `mcm`
+    /// (§II-B): TSO elides acquire/release annotations (its default
+    /// ordering already provides them) and keeps only full fences; weak
+    /// hosts keep everything.
+    pub fn materialize(program: &ThreadProgram, mcm: Mcm) -> ThreadProgram {
+        match mcm {
+            Mcm::Weak => program.clone(),
+            Mcm::Tso | Mcm::Sc => ThreadProgram {
+                instrs: program
+                    .instrs
+                    .iter()
+                    .map(|i| match *i {
+                        Instr::Load { addr, reg, .. } => Instr::Load {
+                            addr,
+                            reg,
+                            order: AccessOrder::Relaxed,
+                        },
+                        Instr::Store { addr, val, .. } => Instr::Store {
+                            addr,
+                            val,
+                            order: AccessOrder::Relaxed,
+                        },
+                        other => other,
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// The paper's control experiment: strip *all* synchronization so
+    /// relaxed outcomes become observable (§VI-A).
+    pub fn without_sync(&self) -> LitmusTest {
+        LitmusTest {
+            name: self.name,
+            threads: self.threads.iter().map(|t| t.without_sync()).collect(),
+            observed: self.observed.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_contents_match_table_four() {
+        let names: Vec<&str> = LitmusTest::paper_suite().iter().map(|t| t.name).collect();
+        assert_eq!(
+            names,
+            vec!["MP-sys", "IRIW-sys", "2_2W-sys", "R-sys", "S-sys", "SB-sys", "LB-sys"]
+        );
+    }
+
+    #[test]
+    fn materialize_tso_strips_annotations_keeps_fences() {
+        let t = LitmusTest::sb();
+        let m = LitmusTest::materialize(&t.threads[0], Mcm::Tso);
+        assert!(m.instrs.iter().any(|i| matches!(i, Instr::Fence(_))));
+        let mp = LitmusTest::mp();
+        let m = LitmusTest::materialize(&mp.threads[0], Mcm::Tso);
+        assert!(m.instrs.iter().all(|i| match i {
+            Instr::Store { order, .. } => *order == AccessOrder::Relaxed,
+            _ => true,
+        }));
+    }
+
+    #[test]
+    fn materialize_weak_keeps_annotations() {
+        let mp = LitmusTest::mp();
+        let m = LitmusTest::materialize(&mp.threads[1], Mcm::Weak);
+        assert!(m.instrs.iter().any(|i| match i {
+            Instr::Load { order, .. } => order.is_acquire(),
+            _ => false,
+        }));
+    }
+
+    #[test]
+    fn without_sync_strips_everything() {
+        let t = LitmusTest::sb().without_sync();
+        assert!(t.threads[0]
+            .instrs
+            .iter()
+            .all(|i| !matches!(i, Instr::Fence(_))));
+    }
+
+    #[test]
+    fn by_name_finds_tests() {
+        assert!(LitmusTest::by_name("MP-sys").is_some());
+        assert!(LitmusTest::by_name("WRC-sys").is_some());
+        assert!(LitmusTest::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn observation_tuples_are_well_formed() {
+        for t in LitmusTest::extended_suite() {
+            for (th, _) in &t.observed.regs {
+                assert!(*th < t.threads.len(), "{}", t.name);
+            }
+            assert!(!t.observed.regs.is_empty() || !t.observed.mem.is_empty());
+        }
+    }
+}

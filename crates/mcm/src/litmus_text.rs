@@ -1,0 +1,373 @@
+//! Textual litmus-test format.
+//!
+//! The paper generates its tests with herd7; this module provides an
+//! equivalent interchange format so users can write their own
+//! system-level litmus tests without recompiling. The syntax is a
+//! line-oriented rendition of the classic litmus layout:
+//!
+//! ```text
+//! litmus MP
+//! thread P0
+//!   store x 1
+//!   store.rel y 1
+//! thread P1
+//!   load.acq y r0
+//!   load x r1
+//! observe P1:r0 P1:r1
+//! ```
+//!
+//! Operations: `load[.acq] <var> <reg>`, `store[.rel] <var> <val>`,
+//! `rmw <var> <add> <reg>`, `fence[.full|.st|.ld]`, `work <cycles>`.
+//! `observe` takes `Pn:rK` register observations and `mem:<var>` final
+//! memory observations. Variables map to distinct cache lines.
+
+use std::collections::BTreeMap;
+
+use c3_protocol::ops::{AccessOrder, Addr, FenceKind, Instr, Reg, ThreadProgram};
+
+use crate::litmus::{LitmusTest, Observation};
+
+/// Parse error with line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LitmusParseError {
+    /// 1-based line number (0 for file-level errors).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LitmusParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LitmusParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> LitmusParseError {
+    LitmusParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Base line address for symbolic variables (matches the built-in suite's
+/// address region).
+const VAR_BASE: u64 = 0x100;
+/// Stride between variables (distinct cache lines, distinct sets).
+const VAR_STRIDE: u64 = 0x40;
+
+/// A parsed litmus file: the test plus its variable name ↔ address map.
+#[derive(Clone, Debug)]
+pub struct ParsedLitmus {
+    /// The runnable test.
+    pub test: LitmusTest,
+    /// Variable bindings chosen by the parser.
+    pub vars: BTreeMap<String, Addr>,
+    /// Test name (owned; `LitmusTest.name` is a static str for built-ins,
+    /// so parsed tests carry their name here).
+    pub name: String,
+}
+
+/// Parse a litmus test from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`LitmusParseError`] pointing at the offending line.
+pub fn parse_litmus(text: &str) -> Result<ParsedLitmus, LitmusParseError> {
+    let mut name: Option<String> = None;
+    let mut threads: Vec<ThreadProgram> = Vec::new();
+    let mut thread_names: Vec<String> = Vec::new();
+    let mut vars: BTreeMap<String, Addr> = BTreeMap::new();
+    let mut observed = Observation {
+        regs: Vec::new(),
+        mem: Vec::new(),
+    };
+
+    let var_addr = |vars: &mut BTreeMap<String, Addr>, v: &str| {
+        let next = VAR_BASE + vars.len() as u64 * VAR_STRIDE;
+        *vars.entry(v.to_string()).or_insert(Addr(next))
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks[0] {
+            "litmus" => {
+                name = Some(
+                    toks.get(1)
+                        .ok_or_else(|| err(lineno, "missing test name"))?
+                        .to_string(),
+                );
+            }
+            "thread" => {
+                let tname = toks
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "missing thread name"))?;
+                thread_names.push(tname.to_string());
+                threads.push(ThreadProgram::new());
+            }
+            "observe" => {
+                for spec in &toks[1..] {
+                    if let Some(var) = spec.strip_prefix("mem:") {
+                        observed.mem.push(var_addr(&mut vars, var));
+                    } else {
+                        let (t, r) = spec
+                            .split_once(':')
+                            .ok_or_else(|| err(lineno, format!("bad observation '{spec}'")))?;
+                        let ti = thread_names
+                            .iter()
+                            .position(|n| n == t)
+                            .ok_or_else(|| err(lineno, format!("unknown thread '{t}'")))?;
+                        let reg = parse_reg(r, lineno)?;
+                        observed.regs.push((ti, reg));
+                    }
+                }
+            }
+            op => {
+                let prog = threads
+                    .last_mut()
+                    .ok_or_else(|| err(lineno, "instruction before any 'thread'"))?;
+                let (base, suffix) = match op.split_once('.') {
+                    Some((b, s)) => (b, Some(s)),
+                    None => (op, None),
+                };
+                match base {
+                    "load" => {
+                        let var = toks.get(1).ok_or_else(|| err(lineno, "load needs a var"))?;
+                        let reg = parse_reg(
+                            toks.get(2).ok_or_else(|| err(lineno, "load needs a reg"))?,
+                            lineno,
+                        )?;
+                        let order = match suffix {
+                            None => AccessOrder::Relaxed,
+                            Some("acq") => AccessOrder::Acquire,
+                            Some(s) => return Err(err(lineno, format!("bad load suffix '{s}'"))),
+                        };
+                        prog.instrs.push(Instr::Load {
+                            addr: var_addr(&mut vars, var),
+                            reg,
+                            order,
+                        });
+                    }
+                    "store" => {
+                        let var = toks.get(1).ok_or_else(|| err(lineno, "store needs a var"))?;
+                        let val: u64 = toks
+                            .get(2)
+                            .ok_or_else(|| err(lineno, "store needs a value"))?
+                            .parse()
+                            .map_err(|_| err(lineno, "store value must be an integer"))?;
+                        let order = match suffix {
+                            None => AccessOrder::Relaxed,
+                            Some("rel") => AccessOrder::Release,
+                            Some(s) => return Err(err(lineno, format!("bad store suffix '{s}'"))),
+                        };
+                        prog.instrs.push(Instr::Store {
+                            addr: var_addr(&mut vars, var),
+                            val,
+                            order,
+                        });
+                    }
+                    "rmw" => {
+                        let var = toks.get(1).ok_or_else(|| err(lineno, "rmw needs a var"))?;
+                        let add: u64 = toks
+                            .get(2)
+                            .ok_or_else(|| err(lineno, "rmw needs an addend"))?
+                            .parse()
+                            .map_err(|_| err(lineno, "rmw addend must be an integer"))?;
+                        let reg = parse_reg(
+                            toks.get(3).ok_or_else(|| err(lineno, "rmw needs a reg"))?,
+                            lineno,
+                        )?;
+                        prog.instrs.push(Instr::Rmw {
+                            addr: var_addr(&mut vars, var),
+                            add,
+                            reg,
+                            order: AccessOrder::SeqCst,
+                        });
+                    }
+                    "fence" => {
+                        let kind = match suffix {
+                            None | Some("full") => FenceKind::Full,
+                            Some("st") => FenceKind::StoreStore,
+                            Some("ld") => FenceKind::LoadLoad,
+                            Some(s) => return Err(err(lineno, format!("bad fence suffix '{s}'"))),
+                        };
+                        prog.instrs.push(Instr::Fence(kind));
+                    }
+                    "work" => {
+                        let cycles: u32 = toks
+                            .get(1)
+                            .ok_or_else(|| err(lineno, "work needs a cycle count"))?
+                            .parse()
+                            .map_err(|_| err(lineno, "work cycles must be an integer"))?;
+                        prog.instrs.push(Instr::Work(cycles));
+                    }
+                    other => return Err(err(lineno, format!("unknown instruction '{other}'"))),
+                }
+            }
+        }
+    }
+
+    let name = name.ok_or_else(|| err(0, "missing 'litmus <name>' header"))?;
+    if threads.is_empty() {
+        return Err(err(0, "no threads"));
+    }
+    if observed.regs.is_empty() && observed.mem.is_empty() {
+        return Err(err(0, "missing 'observe' line"));
+    }
+    Ok(ParsedLitmus {
+        test: LitmusTest {
+            name: "parsed", // display name carried in ParsedLitmus::name
+            threads,
+            observed,
+        },
+        vars,
+        name,
+    })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, LitmusParseError> {
+    let n: u8 = tok
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("registers look like r0..r7, got '{tok}'")))?
+        .parse()
+        .map_err(|_| err(line, format!("bad register '{tok}'")))?;
+    if n >= 8 {
+        return Err(err(line, "registers r0..r7 only"));
+    }
+    Ok(Reg(n))
+}
+
+/// Render a built-in test in the textual format (round-trip support).
+pub fn to_text(test: &LitmusTest) -> String {
+    use std::fmt::Write as _;
+    let mut vars: BTreeMap<Addr, String> = BTreeMap::new();
+    let var_of = |a: Addr, vars: &mut BTreeMap<Addr, String>| {
+        let next = (b'x' + vars.len() as u8) as char;
+        vars.entry(a).or_insert_with(|| next.to_string()).clone()
+    };
+    let mut out = String::new();
+    writeln!(out, "litmus {}", test.name).unwrap();
+    for (ti, t) in test.threads.iter().enumerate() {
+        writeln!(out, "thread P{ti}").unwrap();
+        for i in &t.instrs {
+            match *i {
+                Instr::Load { addr, reg, order } => {
+                    let sfx = if order.is_acquire() { ".acq" } else { "" };
+                    writeln!(out, "  load{sfx} {} {reg}", var_of(addr, &mut vars)).unwrap();
+                }
+                Instr::Store { addr, val, order } => {
+                    let sfx = if order.is_release() { ".rel" } else { "" };
+                    writeln!(out, "  store{sfx} {} {val}", var_of(addr, &mut vars)).unwrap();
+                }
+                Instr::Rmw { addr, add, reg, .. } => {
+                    writeln!(out, "  rmw {} {add} {reg}", var_of(addr, &mut vars)).unwrap();
+                }
+                Instr::Fence(FenceKind::Full) => writeln!(out, "  fence").unwrap(),
+                Instr::Fence(FenceKind::StoreStore) => writeln!(out, "  fence.st").unwrap(),
+                Instr::Fence(FenceKind::LoadLoad) => writeln!(out, "  fence.ld").unwrap(),
+                Instr::Work(c) => writeln!(out, "  work {c}").unwrap(),
+                Instr::Prefetch { .. } => unreachable!("prefetches are core-internal"),
+            }
+        }
+    }
+    let mut obs = String::from("observe");
+    for (ti, r) in &test.observed.regs {
+        obs.push_str(&format!(" P{ti}:{r}"));
+    }
+    for a in &test.observed.mem {
+        obs.push_str(&format!(" mem:{}", var_of(*a, &mut vars)));
+    }
+    writeln!(out, "{obs}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::allowed_outcomes;
+    use c3_protocol::mcm::Mcm;
+
+    const MP_TEXT: &str = "\
+litmus MP
+thread P0
+  store x 1
+  store.rel y 1
+thread P1
+  load.acq y r0
+  load x r1
+observe P1:r0 P1:r1
+";
+
+    #[test]
+    fn parses_mp() {
+        let parsed = parse_litmus(MP_TEXT).expect("parse");
+        assert_eq!(parsed.name, "MP");
+        assert_eq!(parsed.test.threads.len(), 2);
+        assert_eq!(parsed.vars.len(), 2);
+        assert_eq!(parsed.test.observed.regs.len(), 2);
+    }
+
+    #[test]
+    fn parsed_mp_matches_builtin_semantics() {
+        let parsed = parse_litmus(MP_TEXT).expect("parse");
+        let mcms = [Mcm::Weak, Mcm::Weak];
+        let allowed = allowed_outcomes(&parsed.test.threads, &mcms, &parsed.test.observed);
+        assert!(!allowed.contains(&vec![1, 0]), "MP forbidden outcome");
+        assert!(allowed.contains(&vec![1, 1]));
+    }
+
+    #[test]
+    fn roundtrip_builtin_suite() {
+        for test in LitmusTest::extended_suite() {
+            let text = to_text(&test);
+            let parsed = parse_litmus(&text).unwrap_or_else(|e| panic!("{}: {e}", test.name));
+            assert_eq!(parsed.test.threads.len(), test.threads.len(), "{}", test.name);
+            // Semantics must survive the round trip: identical allowed sets.
+            let mcms = vec![Mcm::Weak; test.threads.len()];
+            let a = allowed_outcomes(&test.threads, &mcms, &test.observed);
+            let b = allowed_outcomes(&parsed.test.threads, &mcms, &parsed.test.observed);
+            assert_eq!(a, b, "{}", test.name);
+        }
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let e = parse_litmus("litmus X\nthread P0\n  frobnicate x 1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = parse_litmus("thread P0\n  store x 1\n").unwrap_err();
+        assert!(e.message.contains("instruction before") || e.message.contains("litmus"));
+    }
+
+    #[test]
+    fn rejects_missing_observe_and_bad_regs() {
+        let e = parse_litmus("litmus X\nthread P0\n  store x 1\n").unwrap_err();
+        assert!(e.message.contains("observe"));
+        let e = parse_litmus("litmus X\nthread P0\n  load x r9\nobserve P0:r9\n").unwrap_err();
+        assert!(e.message.contains("r0..r7"));
+    }
+
+    #[test]
+    fn observe_memory_locations() {
+        let text = "\
+litmus 2W
+thread P0
+  store x 2
+  store.rel y 1
+thread P1
+  store y 2
+  store.rel x 1
+observe mem:x mem:y
+";
+        let parsed = parse_litmus(text).expect("parse");
+        assert_eq!(parsed.test.observed.mem.len(), 2);
+        let mcms = [Mcm::Weak, Mcm::Weak];
+        let allowed = allowed_outcomes(&parsed.test.threads, &mcms, &parsed.test.observed);
+        assert!(!allowed.contains(&vec![2, 2]), "2+2W forbidden with releases");
+    }
+}

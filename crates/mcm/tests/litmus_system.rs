@@ -1,0 +1,161 @@
+//! Full-system litmus campaigns — Table IV in miniature.
+//!
+//! Each campaign runs a litmus test many times on the complete timing
+//! simulator (timing cores + L1s + C³ bridges + DCOH over the jittered
+//! CXL fabric) and checks every observed outcome against the operational
+//! compound-MCM reference. The bench binary `table4` runs the full
+//! matrix with more iterations; these tests keep CI fast.
+
+use c3::system::GlobalProtocol;
+use c3_mcm::harness::{reference_allowed, run_litmus, LitmusConfig};
+use c3_mcm::litmus::LitmusTest;
+use c3_protocol::mcm::Mcm;
+use c3_protocol::states::ProtocolFamily;
+
+const MESI_CXL_MESI: (ProtocolFamily, ProtocolFamily) =
+    (ProtocolFamily::Mesi, ProtocolFamily::Mesi);
+const MESI_CXL_MOESI: (ProtocolFamily, ProtocolFamily) =
+    (ProtocolFamily::Mesi, ProtocolFamily::Moesi);
+
+fn check(test: &LitmusTest, cfg: &LitmusConfig) {
+    let report = run_litmus(test, cfg);
+    assert!(
+        report.passed(),
+        "{} under {:?}/{:?}: forbidden outcomes {:?} (allowed {:?})",
+        test.name,
+        cfg.protocols,
+        cfg.mcms,
+        report.forbidden,
+        report.allowed,
+    );
+}
+
+#[test]
+fn mp_passes_all_mcm_combinations() {
+    for mcms in [
+        (Mcm::Weak, Mcm::Weak),
+        (Mcm::Tso, Mcm::Weak),
+        (Mcm::Tso, Mcm::Tso),
+    ] {
+        let cfg = LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, mcms).runs(80);
+        check(&LitmusTest::mp(), &cfg);
+    }
+}
+
+#[test]
+fn sb_and_lb_pass_on_cxl() {
+    for mcms in [(Mcm::Weak, Mcm::Weak), (Mcm::Tso, Mcm::Tso)] {
+        let cfg = LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, mcms).runs(80);
+        check(&LitmusTest::sb(), &cfg);
+        check(&LitmusTest::lb(), &cfg);
+    }
+}
+
+#[test]
+fn iriw_passes_heterogeneous_protocols() {
+    let cfg = LitmusConfig::new(MESI_CXL_MOESI, GlobalProtocol::Cxl, (Mcm::Tso, Mcm::Weak))
+        .runs(60);
+    check(&LitmusTest::iriw(), &cfg);
+}
+
+#[test]
+fn two_plus_two_w_and_r_and_s_pass() {
+    let cfg = LitmusConfig::new(MESI_CXL_MOESI, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak))
+        .runs(80);
+    check(&LitmusTest::two_plus_two_w(), &cfg);
+    check(&LitmusTest::r(), &cfg);
+    check(&LitmusTest::s(), &cfg);
+}
+
+#[test]
+fn hierarchical_baseline_also_passes() {
+    let cfg = LitmusConfig::new(
+        MESI_CXL_MESI,
+        GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
+        (Mcm::Weak, Mcm::Weak),
+    )
+    .runs(60);
+    check(&LitmusTest::mp(), &cfg);
+    check(&LitmusTest::sb(), &cfg);
+}
+
+#[test]
+fn control_unsynced_mp_shows_relaxed_outcome_on_weak() {
+    // The paper's control experiment: with synchronization removed, the
+    // tests must stop passing unconditionally (§VI-A).
+    let cfg = LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak))
+        .runs(400);
+    let synced_allowed = reference_allowed(&LitmusTest::mp(), &cfg);
+    let report = run_litmus(&LitmusTest::mp().without_sync(), &cfg);
+    assert!(
+        report.relaxed_observed(&synced_allowed),
+        "stripping sync never exposed a relaxed MP outcome: observed {:?}",
+        report.observed
+    );
+    // And the unsynced run must still be within the weak model's own
+    // allowed set — relaxed, but never incoherent.
+    assert!(report.passed(), "incoherent outcome: {:?}", report.forbidden);
+}
+
+#[test]
+fn control_unsynced_sb_shows_store_buffering_on_tso() {
+    let cfg = LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, (Mcm::Tso, Mcm::Tso))
+        .runs(200);
+    let synced_allowed = reference_allowed(&LitmusTest::sb(), &cfg);
+    let report = run_litmus(&LitmusTest::sb().without_sync(), &cfg);
+    assert!(
+        report.relaxed_observed(&synced_allowed),
+        "TSO store buffering never observed: {:?}",
+        report.observed
+    );
+    assert!(report.passed());
+}
+
+#[test]
+fn tso_store_store_order_holds_without_fences() {
+    // Selective fence removal (§VI-A): a TSO writer keeps MP safe with no
+    // synchronization at all, because TSO preserves store-store order —
+    // provided the reader is also ordered (TSO preserves load-load).
+    let cfg = LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, (Mcm::Tso, Mcm::Tso))
+        .runs(150);
+    let report = run_litmus(&LitmusTest::mp().without_sync(), &cfg);
+    assert!(
+        !report.observed.contains(&vec![1, 0]),
+        "TSO MP exhibited (1,0): {:?}",
+        report.observed
+    );
+}
+
+#[test]
+fn corr_coherence_holds_unsynced_everywhere() {
+    for protocols in [MESI_CXL_MESI, MESI_CXL_MOESI] {
+        let cfg = LitmusConfig::new(protocols, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak))
+            .runs(80);
+        check(&LitmusTest::corr(), &cfg);
+    }
+}
+
+#[test]
+fn rcc_cluster_litmus_mp() {
+    // A GPU-like RCC cluster as thread-0 host: release/acquire map to
+    // write-through flushes and self-invalidations, and the compound
+    // model must still hold.
+    let cfg = LitmusConfig::new(
+        (ProtocolFamily::Rcc, ProtocolFamily::Mesi),
+        GlobalProtocol::Cxl,
+        (Mcm::Weak, Mcm::Tso),
+    )
+    .runs(80);
+    check(&LitmusTest::mp(), &cfg);
+    check(&LitmusTest::s(), &cfg);
+}
+
+#[test]
+fn extended_suite_passes_spot_checks() {
+    let cfg = LitmusConfig::new(MESI_CXL_MOESI, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak))
+        .runs(60);
+    check(&LitmusTest::wrc(), &cfg);
+    check(&LitmusTest::corr2(), &cfg);
+    check(&LitmusTest::wwc(), &cfg);
+    check(&LitmusTest::wrw_2w(), &cfg);
+}

@@ -1,0 +1,315 @@
+//! Set-associative cache array with LRU replacement.
+//!
+//! Used for the private L1s (Table III: 128 KiB, 8-way) and for C³'s CXL
+//! cache. The array stores an arbitrary per-line payload `T` (coherence
+//! state + data); replacement policy is true LRU via a monotonic stamp.
+
+use std::fmt;
+
+use c3_protocol::ops::Addr;
+
+/// One resident line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Entry<T> {
+    addr: Addr,
+    stamp: u64,
+    payload: T,
+}
+
+/// A set-associative, LRU-replaced cache array keyed by line address.
+///
+/// # Examples
+///
+/// ```
+/// use c3_memsys::cache::CacheArray;
+/// use c3_protocol::ops::Addr;
+///
+/// let mut c: CacheArray<u32> = CacheArray::new(4, 2);
+/// assert!(c.insert(Addr(1), 10).is_none());
+/// assert_eq!(c.get(Addr(1)), Some(&10));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheArray<T> {
+    sets: usize,
+    ways: usize,
+    entries: Vec<Vec<Entry<T>>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T> CacheArray<T> {
+    /// Create an array with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero or `sets` is not a power of two.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache must have at least one line");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheArray {
+            sets,
+            ways,
+            entries: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Construct from a capacity in bytes (64 B lines) and associativity,
+    /// as configured in Table III.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into a power-of-two set count.
+    pub fn with_capacity_bytes(bytes: usize, ways: usize) -> Self {
+        let lines = bytes / Addr::LINE_BYTES as usize;
+        assert!(lines >= ways, "capacity smaller than one set");
+        let sets = (lines / ways).next_power_of_two();
+        CacheArray::new(sets, ways)
+    }
+
+    fn set_of(&self, addr: Addr) -> usize {
+        // Addresses are line indices already; mix to spread strided patterns.
+        let x = addr.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((x >> 32) as usize) & (self.sets - 1)
+    }
+
+    /// Number of lines the array can hold.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Number of lines currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up a line without touching LRU state.
+    pub fn peek(&self, addr: Addr) -> Option<&T> {
+        self.entries[self.set_of(addr)]
+            .iter()
+            .find(|e| e.addr == addr)
+            .map(|e| &e.payload)
+    }
+
+    /// Look up a line, updating LRU and hit/miss statistics.
+    pub fn get(&mut self, addr: Addr) -> Option<&T> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(addr);
+        match self.entries[set].iter_mut().find(|e| e.addr == addr) {
+            Some(e) => {
+                e.stamp = tick;
+                self.hits += 1;
+                Some(&e.payload)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Mutable lookup, updating LRU (no hit/miss accounting — state
+    /// updates should not double-count).
+    pub fn get_mut(&mut self, addr: Addr) -> Option<&mut T> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(addr);
+        self.entries[set]
+            .iter_mut()
+            .find(|e| e.addr == addr)
+            .map(|e| {
+                e.stamp = tick;
+                &mut e.payload
+            })
+    }
+
+    /// The line that would be evicted to make room for `addr`, if the set
+    /// is full and `addr` is absent.
+    pub fn victim(&self, addr: Addr) -> Option<(Addr, &T)> {
+        let set = &self.entries[self.set_of(addr)];
+        if set.len() < self.ways || set.iter().any(|e| e.addr == addr) {
+            return None;
+        }
+        set.iter()
+            .min_by_key(|e| e.stamp)
+            .map(|e| (e.addr, &e.payload))
+    }
+
+    /// Insert (or replace) a line, returning the evicted `(addr, payload)`
+    /// if the set was full.
+    pub fn insert(&mut self, addr: Addr, payload: T) -> Option<(Addr, T)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set_idx = self.set_of(addr);
+        let set = &mut self.entries[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.addr == addr) {
+            e.payload = payload;
+            e.stamp = tick;
+            return None;
+        }
+        let evicted = if set.len() == ways {
+            let (i, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .expect("full set is non-empty");
+            let old = set.swap_remove(i);
+            Some((old.addr, old.payload))
+        } else {
+            None
+        };
+        set.push(Entry {
+            addr,
+            stamp: tick,
+            payload,
+        });
+        evicted
+    }
+
+    /// Remove a line, returning its payload.
+    pub fn remove(&mut self, addr: Addr) -> Option<T> {
+        let set_idx = self.set_of(addr);
+        let set = &mut self.entries[set_idx];
+        let i = set.iter().position(|e| e.addr == addr)?;
+        Some(set.swap_remove(i).payload)
+    }
+
+    /// Iterate over all resident lines.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, &T)> {
+        self.entries
+            .iter()
+            .flat_map(|s| s.iter().map(|e| (e.addr, &e.payload)))
+    }
+
+    /// Addresses of all resident lines (stable order not guaranteed).
+    pub fn addresses(&self) -> Vec<Addr> {
+        self.iter().map(|(a, _)| a).collect()
+    }
+
+    /// Lifetime hit count (via [`CacheArray::get`]).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count (via [`CacheArray::get`]).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+impl<T> fmt::Display for CacheArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache {}x{} ({} resident, {} hits, {} misses)",
+            self.sets,
+            self.ways,
+            self.len(),
+            self.hits,
+            self.misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c: CacheArray<u32> = CacheArray::new(8, 2);
+        c.insert(Addr(5), 50);
+        assert_eq!(c.get(Addr(5)), Some(&50));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn miss_counts() {
+        let mut c: CacheArray<u32> = CacheArray::new(8, 2);
+        assert_eq!(c.get(Addr(5)), None);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Single set, 2 ways: touching A keeps it; B is evicted by C.
+        let mut c: CacheArray<&'static str> = CacheArray::new(1, 2);
+        c.insert(Addr(1), "a");
+        c.insert(Addr(2), "b");
+        assert!(c.get(Addr(1)).is_some()); // A is now MRU
+        let evicted = c.insert(Addr(3), "c").expect("set was full");
+        assert_eq!(evicted, (Addr(2), "b"));
+        assert!(c.peek(Addr(1)).is_some());
+        assert!(c.peek(Addr(3)).is_some());
+    }
+
+    #[test]
+    fn victim_prediction_matches_insert() {
+        let mut c: CacheArray<u32> = CacheArray::new(1, 2);
+        c.insert(Addr(1), 1);
+        c.insert(Addr(2), 2);
+        let (va, _) = c.victim(Addr(3)).expect("full set has a victim");
+        let (ea, _) = c.insert(Addr(3), 3).expect("eviction");
+        assert_eq!(va, ea);
+    }
+
+    #[test]
+    fn no_victim_when_set_has_space_or_line_present() {
+        let mut c: CacheArray<u32> = CacheArray::new(1, 2);
+        c.insert(Addr(1), 1);
+        assert!(c.victim(Addr(2)).is_none()); // free way
+        c.insert(Addr(2), 2);
+        assert!(c.victim(Addr(1)).is_none()); // already resident
+    }
+
+    #[test]
+    fn reinsert_updates_payload_without_eviction() {
+        let mut c: CacheArray<u32> = CacheArray::new(1, 1);
+        c.insert(Addr(1), 1);
+        assert!(c.insert(Addr(1), 2).is_none());
+        assert_eq!(c.peek(Addr(1)), Some(&2));
+    }
+
+    #[test]
+    fn remove_frees_way() {
+        let mut c: CacheArray<u32> = CacheArray::new(1, 1);
+        c.insert(Addr(1), 1);
+        assert_eq!(c.remove(Addr(1)), Some(1));
+        assert!(c.is_empty());
+        assert!(c.insert(Addr(2), 2).is_none());
+    }
+
+    #[test]
+    fn capacity_bytes_geometry() {
+        // 128 KiB, 8-way, 64 B lines (Table III L1): 2048 lines, 256 sets.
+        let c: CacheArray<u32> = CacheArray::with_capacity_bytes(128 * 1024, 8);
+        assert_eq!(c.capacity(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _c: CacheArray<u32> = CacheArray::new(3, 2);
+    }
+
+    #[test]
+    fn iter_covers_all_lines() {
+        let mut c: CacheArray<u32> = CacheArray::new(4, 2);
+        for i in 0..5 {
+            c.insert(Addr(i), i as u32);
+        }
+        assert_eq!(c.iter().count(), c.len());
+        assert_eq!(c.addresses().len(), c.len());
+    }
+}

@@ -1,0 +1,1499 @@
+//! The host-domain directory engine.
+//!
+//! This is the reusable "local directory controller" half of the paper's
+//! design (Fig. 5): it tracks which private caches hold each line, drives
+//! the native MESI/MESIF/MOESI/RCC directory flows, and — crucially —
+//! exposes the two hooks C³ needs:
+//!
+//! * **Rule I (flow delegation):** when a request cannot be satisfied at
+//!   the cluster level (no global read/write permission), the engine emits
+//!   [`DirEffect::BackendRead`]/[`DirEffect::BackendWrite`] and suspends the
+//!   transaction; the owner component resumes it with
+//!   [`DirEngine::backend_read_done`]/[`DirEngine::backend_write_done`]
+//!   once the global domain completes.
+//! * **Rule II (atomicity / nesting):** while a transaction is in flight on
+//!   a line, later requests to that line are queued; a global-initiated
+//!   [`DirEngine::recall`] (the conceptual cross-domain *store*/*load* of
+//!   Fig. 6b) runs with priority and may overlap a transaction that is
+//!   itself suspended on the backend — exactly the conflict scenario of
+//!   Fig. 2 — without producing origin-domain effects out of order.
+//!
+//! The same engine, with a backend that always grants permission, is the
+//! baseline global MESI directory ([`crate::global_dir::GlobalMesiDir`]).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use c3_protocol::msg::{Grant, HostMsg};
+use c3_protocol::ops::Addr;
+use c3_protocol::ssp::DirPolicy;
+use c3_sim::component::ComponentId;
+
+/// Which private caches hold a line, from the directory's point of view.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum Holders {
+    /// No private cache holds the line.
+    #[default]
+    None,
+    /// Read-only sharers; the directory's data copy is current.
+    Shared(BTreeSet<ComponentId>),
+    /// A single exclusive owner (E or M); its copy may be dirty.
+    Exclusive(ComponentId),
+    /// MOESI: a dirty owner plus read-only sharers.
+    Owned(ComponentId, BTreeSet<ComponentId>),
+}
+
+impl Holders {
+    /// Whether any private cache holds a copy.
+    pub fn any(&self) -> bool {
+        !matches!(self, Holders::None)
+    }
+
+    /// Whether some private cache may hold a dirty copy.
+    pub fn maybe_dirty(&self) -> bool {
+        matches!(self, Holders::Exclusive(_) | Holders::Owned(_, _))
+    }
+
+    /// Number of caches holding a copy.
+    pub fn count(&self) -> usize {
+        match self {
+            Holders::None => 0,
+            Holders::Shared(s) => s.len(),
+            Holders::Exclusive(_) => 1,
+            Holders::Owned(_, s) => 1 + s.len(),
+        }
+    }
+}
+
+/// Global-domain permissions the caller holds for a line at call time.
+///
+/// For the C³ bridge these derive from the CXL cache state; for the
+/// top-level baseline directory they are always granted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BackendPerms {
+    /// The cluster may grant read (S) copies locally.
+    pub read_ok: bool,
+    /// The cluster may grant write (E/M) permission locally.
+    pub write_ok: bool,
+}
+
+impl BackendPerms {
+    /// Full permission — used by the top-level directory.
+    pub const ALL: BackendPerms = BackendPerms {
+        read_ok: true,
+        write_ok: true,
+    };
+}
+
+/// The kind of global-initiated recall (C³'s conceptual cross-domain
+/// access, Table II's "X-Access").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecallKind {
+    /// Conceptual *store*: invalidate every local copy, collecting dirty
+    /// data (serves `BISnpInv` and CXL-cache evictions, Fig. 7).
+    Exclusive,
+    /// Conceptual *load*: fetch current data and make the line
+    /// non-exclusive locally (serves `BISnpData`).
+    Shared,
+}
+
+/// An effect the engine asks its owning component to carry out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirEffect {
+    /// Send a host-domain message.
+    Send {
+        /// Destination cache (or self, for recalls).
+        dst: ComponentId,
+        /// The message.
+        msg: HostMsg,
+    },
+    /// Rule I: the pending transaction needs global read permission.
+    BackendRead {
+        /// Line concerned.
+        addr: Addr,
+    },
+    /// Rule I: the pending transaction needs global write permission.
+    BackendWrite {
+        /// Line concerned.
+        addr: Addr,
+    },
+    /// The cluster-level data copy changed (dirty data arrived from a
+    /// private cache); the owner must treat its global copy as modified.
+    DataUpdated {
+        /// Line concerned.
+        addr: Addr,
+        /// New contents.
+        data: u64,
+    },
+    /// A recall completed: all local copies satisfy the requested
+    /// condition and `data` is the current line value.
+    RecallDone {
+        /// Line concerned.
+        addr: Addr,
+        /// Recall kind that completed.
+        kind: RecallKind,
+        /// Current line contents.
+        data: u64,
+        /// Whether dirty data was collected from a private cache.
+        was_dirty: bool,
+    },
+    /// A host transaction fully completed (Unblock received).
+    TxnDone {
+        /// Line concerned.
+        addr: Addr,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum HostPhase {
+    /// Suspended: waiting for the backend to grant read permission.
+    ReadBackend,
+    /// Suspended: waiting for the backend to grant write permission.
+    WriteBackend,
+    /// RCC write-through waiting for global write permission.
+    WtBackend { data: u64 },
+    /// Remote atomic waiting for global write permission.
+    AtomicBackend { add: u64 },
+    /// Flows launched; waiting for the requester's Unblock.
+    WaitUnblock,
+}
+
+#[derive(Clone, Debug)]
+struct HostBusy {
+    requester: ComponentId,
+    phase: HostPhase,
+}
+
+#[derive(Clone, Debug)]
+struct RecallBusy {
+    kind: RecallKind,
+    pending_acks: u32,
+    need_data: bool,
+    got_data: bool,
+    dirty: bool,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Line {
+    holders: Holders,
+    fholder: Option<ComponentId>,
+    data: u64,
+    host: Option<HostBusy>,
+    recall: Option<RecallBusy>,
+    pending_recall: VecDeque<RecallKind>,
+    queue: VecDeque<(ComponentId, HostMsg)>,
+}
+
+impl Line {
+    fn blocks_requests(&self) -> bool {
+        self.host.is_some() || self.recall.is_some()
+    }
+}
+
+/// The directory engine. See the module docs for the role it plays.
+#[derive(Debug)]
+pub struct DirEngine {
+    policy: DirPolicy,
+    self_id: ComponentId,
+    lines: HashMap<Addr, Line>,
+    /// Statistics: transactions that had to consult the backend.
+    pub backend_reads: u64,
+    /// Statistics: write-permission backend consultations.
+    pub backend_writes: u64,
+    /// Statistics: completed recalls.
+    pub recalls: u64,
+    /// Statistics: requests that found the line busy and queued.
+    pub stalled_requests: u64,
+}
+
+impl DirEngine {
+    /// Create an engine applying `policy`, owned by component `self_id`
+    /// (recalled data is addressed to `self_id`).
+    pub fn new(policy: DirPolicy, self_id: ComponentId) -> Self {
+        DirEngine {
+            policy,
+            self_id,
+            lines: HashMap::new(),
+            backend_reads: 0,
+            backend_writes: 0,
+            recalls: 0,
+            stalled_requests: 0,
+        }
+    }
+
+    /// Current holders of a line.
+    pub fn holders(&self, addr: Addr) -> Holders {
+        self.lines
+            .get(&addr)
+            .map(|l| l.holders.clone())
+            .unwrap_or_default()
+    }
+
+    /// Current cluster-level data copy.
+    pub fn data(&self, addr: Addr) -> u64 {
+        self.lines.get(&addr).map(|l| l.data).unwrap_or(0)
+    }
+
+    /// Seed the cluster-level data copy (initial memory contents).
+    pub fn seed_data(&mut self, addr: Addr, data: u64) {
+        self.lines.entry(addr).or_default().data = data;
+    }
+
+    /// Whether a line has an in-flight transaction or recall.
+    pub fn is_busy(&self, addr: Addr) -> bool {
+        self.lines
+            .get(&addr)
+            .map(|l| l.blocks_requests())
+            .unwrap_or(false)
+    }
+
+    /// Whether every line is quiescent (for deadlock detection).
+    pub fn idle(&self) -> bool {
+        self.lines
+            .values()
+            .all(|l| !l.blocks_requests() && l.queue.is_empty() && l.pending_recall.is_empty())
+    }
+
+    /// Handle a host-domain message from cache `src`.
+    ///
+    /// `perms` are the caller's *current* global permissions for the line
+    /// (consulted only if a new transaction must be admitted).
+    pub fn handle_host(
+        &mut self,
+        src: ComponentId,
+        msg: HostMsg,
+        perms: BackendPerms,
+    ) -> Vec<DirEffect> {
+        let addr = msg.addr();
+        let mut out = Vec::new();
+        match msg {
+            // ---- response-class: never blocked ----
+            HostMsg::PutS { .. } | HostMsg::PutE { .. } => {
+                self.handle_put_clean(src, addr, &mut out);
+            }
+            HostMsg::PutM { data, .. } | HostMsg::PutO { data, .. } => {
+                self.handle_put_dirty(src, addr, data, &mut out);
+            }
+            HostMsg::InvAck { .. } => {
+                self.recall_ack(addr, &mut out);
+            }
+            HostMsg::Data { data, dirty, .. } | HostMsg::DataToDir { data, dirty, .. } => {
+                self.recall_data(addr, data, dirty, &mut out);
+            }
+            HostMsg::Unblock { to_state, .. } => {
+                let line = self.lines.entry(addr).or_default();
+                match &line.host {
+                    Some(HostBusy {
+                        requester,
+                        phase: HostPhase::WaitUnblock,
+                    }) if *requester == src => {
+                        debug_assert!(
+                            to_state.can_read() || to_state.can_write(),
+                            "unblock into a useless state"
+                        );
+                        line.host = None;
+                        out.push(DirEffect::TxnDone { addr });
+                        self.drain(addr, perms, &mut out);
+                    }
+                    other => panic!("unexpected Unblock from {src} (busy: {other:?})"),
+                }
+            }
+            // ---- request-class: subject to per-line blocking ----
+            HostMsg::GetS { .. }
+            | HostMsg::GetM { .. }
+            | HostMsg::WriteThrough { .. }
+            | HostMsg::AtomicRmw { .. } => {
+                let line = self.lines.entry(addr).or_default();
+                if line.blocks_requests() {
+                    self.stalled_requests += 1;
+                    line.queue.push_back((src, msg));
+                } else {
+                    self.admit(src, msg, perms, &mut out);
+                    // Instant completions (write-throughs, atomics) leave
+                    // the line idle: let queued work proceed.
+                    self.drain(addr, perms, &mut out);
+                }
+            }
+            // dir-to-cache-only opcodes arriving here indicate a wiring bug
+            other => panic!("directory received cache-bound message {other:?}"),
+        }
+        out
+    }
+
+    /// Resume a transaction suspended on [`DirEffect::BackendRead`]: the
+    /// global domain granted at least a shared copy with contents `data`.
+    pub fn backend_read_done(
+        &mut self,
+        addr: Addr,
+        data: u64,
+        perms: BackendPerms,
+    ) -> Vec<DirEffect> {
+        debug_assert!(perms.read_ok, "backend_read_done without read permission");
+        self.backend_resume(addr, data, perms, false)
+    }
+
+    /// Resume a transaction suspended on [`DirEffect::BackendWrite`]: the
+    /// global domain granted exclusive ownership with contents `data`.
+    pub fn backend_write_done(
+        &mut self,
+        addr: Addr,
+        data: u64,
+        perms: BackendPerms,
+    ) -> Vec<DirEffect> {
+        debug_assert!(perms.write_ok, "backend_write_done without write permission");
+        self.backend_resume(addr, data, perms, true)
+    }
+
+    fn backend_resume(
+        &mut self,
+        addr: Addr,
+        data: u64,
+        perms: BackendPerms,
+        write: bool,
+    ) -> Vec<DirEffect> {
+        let mut out = Vec::new();
+        let line = self.lines.entry(addr).or_default();
+        // Only refresh the data copy if no local cache holds dirty data —
+        // a recall that ran while we were suspended may have collected a
+        // newer value than the one the backend returned.
+        if !line.holders.maybe_dirty() {
+            line.data = data;
+        }
+        let busy = line.host.take().unwrap_or_else(|| {
+            panic!("backend completion for {addr} with no suspended transaction")
+        });
+        let requester = busy.requester;
+        match busy.phase {
+            HostPhase::ReadBackend => {
+                debug_assert!(!write, "read suspension resumed by write completion");
+                self.admit(requester, HostMsg::GetS { addr }, perms, &mut out);
+            }
+            HostPhase::WriteBackend => {
+                self.admit(requester, HostMsg::GetM { addr }, perms, &mut out);
+            }
+            HostPhase::WtBackend { data: wt } => {
+                self.admit(
+                    requester,
+                    HostMsg::WriteThrough { addr, data: wt },
+                    perms,
+                    &mut out,
+                );
+            }
+            HostPhase::AtomicBackend { add } => {
+                self.admit(requester, HostMsg::AtomicRmw { addr, add }, perms, &mut out);
+            }
+            HostPhase::WaitUnblock => panic!("backend completion while waiting for Unblock"),
+        }
+        self.drain(addr, perms, &mut out);
+        out
+    }
+
+    /// Global-initiated recall — C³'s conceptual cross-domain access.
+    ///
+    /// Runs immediately if the line is idle *or* suspended on the backend
+    /// (the Fig. 2 conflict case); otherwise it is queued with priority
+    /// over host requests.
+    pub fn recall(&mut self, addr: Addr, kind: RecallKind) -> Vec<DirEffect> {
+        let mut out = Vec::new();
+        let line = self.lines.entry(addr).or_default();
+        debug_assert!(line.recall.is_none(), "one recall per line at a time");
+        let must_wait = matches!(
+            line.host,
+            Some(HostBusy {
+                phase: HostPhase::WaitUnblock,
+                ..
+            })
+        );
+        if must_wait {
+            line.pending_recall.push_back(kind);
+        } else {
+            self.start_recall(addr, kind, &mut out);
+        }
+        out
+    }
+
+    // ---- internals ----
+
+    fn handle_put_clean(&mut self, src: ComponentId, addr: Addr, out: &mut Vec<DirEffect>) {
+        let line = self.lines.entry(addr).or_default();
+        match &mut line.holders {
+            Holders::Shared(set) => {
+                set.remove(&src);
+                if set.is_empty() {
+                    line.holders = Holders::None;
+                }
+            }
+            Holders::Exclusive(o) if *o == src => line.holders = Holders::None,
+            Holders::Owned(_, set) => {
+                set.remove(&src);
+            }
+            _ => {} // stale eviction notice — line already reassigned
+        }
+        if line.fholder == Some(src) {
+            line.fholder = None;
+        }
+        out.push(DirEffect::Send {
+            dst: src,
+            msg: HostMsg::PutAck { addr },
+        });
+    }
+
+    fn handle_put_dirty(
+        &mut self,
+        src: ComponentId,
+        addr: Addr,
+        data: u64,
+        out: &mut Vec<DirEffect>,
+    ) {
+        let line = self.lines.entry(addr).or_default();
+        let mut updated = false;
+        match line.holders.clone() {
+            Holders::Exclusive(o) if o == src => {
+                line.holders = Holders::None;
+                line.data = data;
+                updated = true;
+            }
+            // A PutM can arrive from the owner of an Owned line when the
+            // owner's eviction crossed a Fwd-GetS that demoted M to O.
+            Holders::Owned(o, set) if o == src => {
+                line.holders = if set.is_empty() {
+                    Holders::None
+                } else {
+                    Holders::Shared(set)
+                };
+                line.data = data;
+                updated = true;
+            }
+            Holders::Shared(mut set) if set.contains(&src) => {
+                // The owner was demoted to sharer by a Fwd-GetS that crossed
+                // its eviction; its data is still authoritative.
+                set.remove(&src);
+                line.holders = if set.is_empty() {
+                    Holders::None
+                } else {
+                    Holders::Shared(set)
+                };
+                line.data = data;
+                updated = true;
+            }
+            _ => {} // stale PutM from a cache that already lost ownership
+        }
+        if line.fholder == Some(src) {
+            line.fholder = None;
+        }
+        out.push(DirEffect::Send {
+            dst: src,
+            msg: HostMsg::PutAck { addr },
+        });
+        if updated {
+            out.push(DirEffect::DataUpdated { addr, data });
+        }
+    }
+
+    fn recall_ack(&mut self, addr: Addr, out: &mut Vec<DirEffect>) {
+        let line = self.lines.entry(addr).or_default();
+        let Some(r) = &mut line.recall else {
+            // An InvAck can arrive after the recall completed if a sharer's
+            // eviction (PutS) raced the Inv; it is harmless.
+            return;
+        };
+        debug_assert!(r.pending_acks > 0, "unexpected InvAck");
+        r.pending_acks -= 1;
+        self.try_finish_recall(addr, out);
+    }
+
+    fn recall_data(&mut self, addr: Addr, data: u64, dirty: bool, out: &mut Vec<DirEffect>) {
+        let line = self.lines.entry(addr).or_default();
+        let Some(r) = &mut line.recall else {
+            // Duplicate data (e.g. MESI owners send both Data and DataToDir
+            // when the recall requestor is the directory itself).
+            if dirty {
+                line.data = data;
+                out.push(DirEffect::DataUpdated { addr, data });
+            }
+            return;
+        };
+        if r.got_data {
+            return; // duplicate of the pair above
+        }
+        r.got_data = true;
+        r.dirty |= dirty;
+        line.data = data;
+        if dirty {
+            out.push(DirEffect::DataUpdated { addr, data });
+        }
+        self.try_finish_recall(addr, out);
+    }
+
+    fn start_recall(&mut self, addr: Addr, kind: RecallKind, out: &mut Vec<DirEffect>) {
+        let self_id = self.self_id;
+        let eager = self.policy.eager_invalidation;
+        let line = self.lines.entry(addr).or_default();
+        c3_sim::sim_trace!(
+            "    engine{}: start_recall {kind:?} {addr} holders={:?} host={:?}",
+            self_id.0,
+            line.holders,
+            line.host
+        );
+        // RCC clusters are never invalidated eagerly (§IV-D2): local caches
+        // self-invalidate at acquire points, so the recall is immediate.
+        if !eager {
+            out.push(DirEffect::RecallDone {
+                addr,
+                kind,
+                data: line.data,
+                was_dirty: false,
+            });
+            self.recalls += 1;
+            self.after_recall(addr, out);
+            return;
+        }
+        let mut busy = RecallBusy {
+            kind,
+            pending_acks: 0,
+            need_data: false,
+            got_data: false,
+            dirty: false,
+        };
+        match (kind, line.holders.clone()) {
+            (_, Holders::None) => {
+                out.push(DirEffect::RecallDone {
+                    addr,
+                    kind,
+                    data: line.data,
+                    was_dirty: false,
+                });
+                self.recalls += 1;
+                self.after_recall(addr, out);
+                return;
+            }
+            (RecallKind::Shared, Holders::Shared(_)) => {
+                // Local copies are read-only and the data copy is current.
+                out.push(DirEffect::RecallDone {
+                    addr,
+                    kind,
+                    data: line.data,
+                    was_dirty: false,
+                });
+                self.recalls += 1;
+                self.after_recall(addr, out);
+                return;
+            }
+            (RecallKind::Exclusive, Holders::Shared(set)) => {
+                for s in &set {
+                    out.push(DirEffect::Send {
+                        dst: *s,
+                        msg: HostMsg::Inv {
+                            addr,
+                            requestor: self_id,
+                        },
+                    });
+                }
+                busy.pending_acks = set.len() as u32;
+                line.holders = Holders::None;
+                line.fholder = None;
+            }
+            (RecallKind::Exclusive, Holders::Exclusive(owner)) => {
+                out.push(DirEffect::Send {
+                    dst: owner,
+                    msg: HostMsg::FwdGetM {
+                        addr,
+                        requestor: self_id,
+                        acks: 0,
+                    },
+                });
+                busy.need_data = true;
+                line.holders = Holders::None;
+            }
+            (RecallKind::Exclusive, Holders::Owned(owner, set)) => {
+                out.push(DirEffect::Send {
+                    dst: owner,
+                    msg: HostMsg::FwdGetM {
+                        addr,
+                        requestor: self_id,
+                        acks: 0,
+                    },
+                });
+                for s in &set {
+                    out.push(DirEffect::Send {
+                        dst: *s,
+                        msg: HostMsg::Inv {
+                            addr,
+                            requestor: self_id,
+                        },
+                    });
+                }
+                busy.need_data = true;
+                busy.pending_acks = set.len() as u32;
+                line.holders = Holders::None;
+            }
+            (RecallKind::Shared, Holders::Exclusive(owner)) => {
+                out.push(DirEffect::Send {
+                    dst: owner,
+                    msg: HostMsg::FwdGetS {
+                        addr,
+                        requestor: self_id,
+                        grant: Grant::S,
+                    },
+                });
+                busy.need_data = true;
+                line.holders = if self.policy.owner_after_fwd_gets == c3_protocol::StableState::O
+                {
+                    Holders::Owned(owner, BTreeSet::new())
+                } else {
+                    Holders::Shared(BTreeSet::from([owner]))
+                };
+            }
+            (RecallKind::Shared, Holders::Owned(owner, set)) => {
+                out.push(DirEffect::Send {
+                    dst: owner,
+                    msg: HostMsg::FwdGetS {
+                        addr,
+                        requestor: self_id,
+                        grant: Grant::S,
+                    },
+                });
+                busy.need_data = true;
+                line.holders = Holders::Owned(owner, set);
+            }
+        }
+        line.recall = Some(busy);
+    }
+
+    fn try_finish_recall(&mut self, addr: Addr, out: &mut Vec<DirEffect>) {
+        let line = self.lines.entry(addr).or_default();
+        let done = match &line.recall {
+            Some(r) => r.pending_acks == 0 && (!r.need_data || r.got_data),
+            None => false,
+        };
+        if done {
+            let r = line.recall.take().expect("checked above");
+            out.push(DirEffect::RecallDone {
+                addr,
+                kind: r.kind,
+                data: line.data,
+                was_dirty: r.dirty,
+            });
+            self.recalls += 1;
+            self.after_recall(addr, out);
+        }
+    }
+
+    fn after_recall(&mut self, addr: Addr, _out: &mut [DirEffect]) {
+        // The host slot may still hold a backend-suspended transaction; it
+        // resumes via backend_*_done. Queued requests drain when the line
+        // becomes fully idle (on TxnDone), or now if nothing is suspended —
+        // but draining requires fresh perms, so the component calls
+        // `drain_after_recall` explicitly.
+        let _ = addr;
+    }
+
+    /// Drain queued work after a recall completed, with fresh permissions.
+    /// Call this after acting on [`DirEffect::RecallDone`].
+    pub fn drain_after_recall(&mut self, addr: Addr, perms: BackendPerms) -> Vec<DirEffect> {
+        let mut out = Vec::new();
+        self.drain(addr, perms, &mut out);
+        out
+    }
+
+    fn drain(&mut self, addr: Addr, perms: BackendPerms, out: &mut Vec<DirEffect>) {
+        loop {
+            let line = self.lines.entry(addr).or_default();
+            if line.blocks_requests() {
+                return;
+            }
+            if let Some(kind) = line.pending_recall.pop_front() {
+                self.start_recall(addr, kind, out);
+                continue;
+            }
+            let Some((src, msg)) = line.queue.pop_front() else {
+                return;
+            };
+            self.admit(src, msg, perms, out);
+            // `admit` may complete instantly (write-through) or set busy;
+            // loop decides whether more work can start.
+        }
+    }
+
+    /// Admit a request on an idle line.
+    fn admit(&mut self, src: ComponentId, msg: HostMsg, perms: BackendPerms, out: &mut Vec<DirEffect>) {
+        let addr = msg.addr();
+        c3_sim::sim_trace!(
+            "    engine{}: admit {msg:?} from {src} holders={:?} perms={perms:?}",
+            self.self_id.0,
+            self.lines.get(&addr).map(|l| &l.holders)
+        );
+        match msg {
+            HostMsg::GetS { .. } => self.admit_gets(src, addr, perms, out),
+            HostMsg::GetM { .. } => self.admit_getm(src, addr, perms, out),
+            HostMsg::WriteThrough { data, .. } => {
+                if !perms.write_ok {
+                    self.backend_writes += 1;
+                    let line = self.lines.entry(addr).or_default();
+                    line.host = Some(HostBusy {
+                        requester: src,
+                        phase: HostPhase::WtBackend { data },
+                    });
+                    out.push(DirEffect::BackendWrite { addr });
+                    return;
+                }
+                let line = self.lines.entry(addr).or_default();
+                line.data = data;
+                out.push(DirEffect::DataUpdated { addr, data });
+                out.push(DirEffect::Send {
+                    dst: src,
+                    msg: HostMsg::WtAck { addr },
+                });
+            }
+            HostMsg::AtomicRmw { add, .. } => {
+                if !perms.write_ok {
+                    self.backend_writes += 1;
+                    let line = self.lines.entry(addr).or_default();
+                    line.host = Some(HostBusy {
+                        requester: src,
+                        phase: HostPhase::AtomicBackend { add },
+                    });
+                    out.push(DirEffect::BackendWrite { addr });
+                    return;
+                }
+                let line = self.lines.entry(addr).or_default();
+                let old = line.data;
+                line.data = old.wrapping_add(add);
+                let data = line.data;
+                out.push(DirEffect::DataUpdated { addr, data });
+                out.push(DirEffect::Send {
+                    dst: src,
+                    msg: HostMsg::AtomicResp { addr, old },
+                });
+            }
+            other => unreachable!("admit() called with non-request {other:?}"),
+        }
+    }
+
+    fn admit_gets(
+        &mut self,
+        src: ComponentId,
+        addr: Addr,
+        perms: BackendPerms,
+        out: &mut Vec<DirEffect>,
+    ) {
+        let policy = self.policy;
+        let line = self.lines.entry(addr).or_default();
+        match line.holders.clone() {
+            Holders::None => {
+                if !perms.read_ok {
+                    self.backend_reads += 1;
+                    line.host = Some(HostBusy {
+                        requester: src,
+                        phase: HostPhase::ReadBackend,
+                    });
+                    out.push(DirEffect::BackendRead { addr });
+                    return;
+                }
+                // Grant E only when the policy wants it AND the cluster
+                // holds global exclusivity (Rule I: a local E allows a
+                // silent local M, which must be covered globally).
+                let grant = if policy.exclusive_grant_when_unshared && perms.write_ok {
+                    Grant::E
+                } else {
+                    Grant::S
+                };
+                if policy.eager_invalidation {
+                    line.holders = match grant {
+                        Grant::E => Holders::Exclusive(src),
+                        _ => Holders::Shared(BTreeSet::from([src])),
+                    };
+                } // RCC: directory does not track sharers.
+                out.push(DirEffect::Send {
+                    dst: src,
+                    msg: HostMsg::Data {
+                        addr,
+                        data: line.data,
+                        grant,
+                        acks: 0,
+                        dirty: false,
+                    },
+                });
+                if policy.eager_invalidation {
+                    line.host = Some(HostBusy {
+                        requester: src,
+                        phase: HostPhase::WaitUnblock,
+                    });
+                }
+            }
+            Holders::Shared(mut set) => {
+                // Local sharers imply the cluster data copy is valid
+                // (inclusion), so the read can be served locally even if
+                // the caller currently reports no *backend* permission —
+                // that occurs while a retain-shared writeback (`MemWr,S`)
+                // is in flight, during which the copy stays readable.
+                let grant = policy.gets_grant_with_sharers;
+                if let (Grant::F, Some(f)) = (grant, line.fholder) {
+                    // The current forwarder supplies data; forwarder duty
+                    // moves to the new requester.
+                    out.push(DirEffect::Send {
+                        dst: f,
+                        msg: HostMsg::FwdGetS {
+                            addr,
+                            requestor: src,
+                            grant,
+                        },
+                    });
+                } else {
+                    out.push(DirEffect::Send {
+                        dst: src,
+                        msg: HostMsg::Data {
+                            addr,
+                            data: line.data,
+                            grant,
+                            acks: 0,
+                            dirty: false,
+                        },
+                    });
+                }
+                if grant == Grant::F {
+                    line.fholder = Some(src);
+                }
+                if policy.eager_invalidation {
+                    set.insert(src);
+                    line.holders = Holders::Shared(set);
+                    line.host = Some(HostBusy {
+                        requester: src,
+                        phase: HostPhase::WaitUnblock,
+                    });
+                }
+            }
+            Holders::Exclusive(owner) => {
+                debug_assert_ne!(owner, src, "owner re-requesting GetS");
+                let grant = policy.gets_grant_with_sharers;
+                out.push(DirEffect::Send {
+                    dst: owner,
+                    msg: HostMsg::FwdGetS {
+                        addr,
+                        requestor: src,
+                        grant,
+                    },
+                });
+                line.holders = if policy.owner_after_fwd_gets == c3_protocol::StableState::O {
+                    Holders::Owned(owner, BTreeSet::from([src]))
+                } else {
+                    Holders::Shared(BTreeSet::from([owner, src]))
+                };
+                if grant == Grant::F {
+                    line.fholder = Some(src);
+                }
+                line.host = Some(HostBusy {
+                    requester: src,
+                    phase: HostPhase::WaitUnblock,
+                });
+            }
+            Holders::Owned(owner, mut set) => {
+                out.push(DirEffect::Send {
+                    dst: owner,
+                    msg: HostMsg::FwdGetS {
+                        addr,
+                        requestor: src,
+                        grant: Grant::S,
+                    },
+                });
+                set.insert(src);
+                line.holders = Holders::Owned(owner, set);
+                line.host = Some(HostBusy {
+                    requester: src,
+                    phase: HostPhase::WaitUnblock,
+                });
+            }
+        }
+    }
+
+    fn admit_getm(
+        &mut self,
+        src: ComponentId,
+        addr: Addr,
+        perms: BackendPerms,
+        out: &mut Vec<DirEffect>,
+    ) {
+        let line = self.lines.entry(addr).or_default();
+        match line.holders.clone() {
+            Holders::None => {
+                if !perms.write_ok {
+                    self.backend_writes += 1;
+                    line.host = Some(HostBusy {
+                        requester: src,
+                        phase: HostPhase::WriteBackend,
+                    });
+                    out.push(DirEffect::BackendWrite { addr });
+                    return;
+                }
+                out.push(DirEffect::Send {
+                    dst: src,
+                    msg: HostMsg::Data {
+                        addr,
+                        data: line.data,
+                        grant: Grant::M,
+                        acks: 0,
+                        dirty: false,
+                    },
+                });
+                line.holders = Holders::Exclusive(src);
+                line.fholder = None;
+                line.host = Some(HostBusy {
+                    requester: src,
+                    phase: HostPhase::WaitUnblock,
+                });
+            }
+            Holders::Shared(set) => {
+                if !perms.write_ok {
+                    self.backend_writes += 1;
+                    line.host = Some(HostBusy {
+                        requester: src,
+                        phase: HostPhase::WriteBackend,
+                    });
+                    out.push(DirEffect::BackendWrite { addr });
+                    return;
+                }
+                let invs: Vec<ComponentId> = set.iter().copied().filter(|s| *s != src).collect();
+                for s in &invs {
+                    out.push(DirEffect::Send {
+                        dst: *s,
+                        msg: HostMsg::Inv {
+                            addr,
+                            requestor: src,
+                        },
+                    });
+                }
+                out.push(DirEffect::Send {
+                    dst: src,
+                    msg: HostMsg::Data {
+                        addr,
+                        data: line.data,
+                        grant: Grant::M,
+                        acks: invs.len() as u32,
+                        dirty: false,
+                    },
+                });
+                line.holders = Holders::Exclusive(src);
+                line.fholder = None;
+                line.host = Some(HostBusy {
+                    requester: src,
+                    phase: HostPhase::WaitUnblock,
+                });
+            }
+            Holders::Exclusive(owner) => {
+                debug_assert_ne!(owner, src, "exclusive owner issuing GetM");
+                out.push(DirEffect::Send {
+                    dst: owner,
+                    msg: HostMsg::FwdGetM {
+                        addr,
+                        requestor: src,
+                        acks: 0,
+                    },
+                });
+                line.holders = Holders::Exclusive(src);
+                line.host = Some(HostBusy {
+                    requester: src,
+                    phase: HostPhase::WaitUnblock,
+                });
+            }
+            Holders::Owned(owner, set) => {
+                let invs: Vec<ComponentId> = set.iter().copied().filter(|s| *s != src).collect();
+                for s in &invs {
+                    out.push(DirEffect::Send {
+                        dst: *s,
+                        msg: HostMsg::Inv {
+                            addr,
+                            requestor: src,
+                        },
+                    });
+                }
+                if owner == src {
+                    // Owner upgrading O -> M: it already has the data.
+                    out.push(DirEffect::Send {
+                        dst: src,
+                        msg: HostMsg::Data {
+                            addr,
+                            data: line.data,
+                            grant: Grant::M,
+                            acks: invs.len() as u32,
+                            dirty: false,
+                        },
+                    });
+                } else {
+                    out.push(DirEffect::Send {
+                        dst: owner,
+                        msg: HostMsg::FwdGetM {
+                            addr,
+                            requestor: src,
+                            acks: invs.len() as u32,
+                        },
+                    });
+                }
+                line.holders = Holders::Exclusive(src);
+                line.fholder = None;
+                line.host = Some(HostBusy {
+                    requester: src,
+                    phase: HostPhase::WaitUnblock,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c3_protocol::ssp::SspSpec;
+    use c3_protocol::StableState;
+
+    const DIR: ComponentId = ComponentId(100);
+    const A: ComponentId = ComponentId(1);
+    const B: ComponentId = ComponentId(2);
+    const C: ComponentId = ComponentId(3);
+    const X: Addr = Addr(0x10);
+
+    fn mesi_engine() -> DirEngine {
+        DirEngine::new(SspSpec::mesi().dir, DIR)
+    }
+    fn moesi_engine() -> DirEngine {
+        DirEngine::new(SspSpec::moesi().dir, DIR)
+    }
+    fn mesif_engine() -> DirEngine {
+        DirEngine::new(SspSpec::mesif().dir, DIR)
+    }
+    fn rcc_engine() -> DirEngine {
+        DirEngine::new(SspSpec::rcc().dir, DIR)
+    }
+
+    fn sends(effects: &[DirEffect]) -> Vec<(ComponentId, HostMsg)> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                DirEffect::Send { dst, msg } => Some((*dst, *msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn unblock(engine: &mut DirEngine, src: ComponentId, addr: Addr, st: StableState) {
+        engine.handle_host(
+            src,
+            HostMsg::Unblock {
+                addr,
+                to_state: st,
+            },
+            BackendPerms::ALL,
+        );
+    }
+
+    #[test]
+    fn gets_on_idle_grants_exclusive() {
+        let mut e = mesi_engine();
+        e.seed_data(X, 42);
+        let eff = e.handle_host(A, HostMsg::GetS { addr: X }, BackendPerms::ALL);
+        let s = sends(&eff);
+        assert_eq!(s.len(), 1);
+        assert!(matches!(
+            s[0],
+            (
+                A,
+                HostMsg::Data {
+                    data: 42,
+                    grant: Grant::E,
+                    acks: 0,
+                    ..
+                }
+            )
+        ));
+        assert_eq!(e.holders(X), Holders::Exclusive(A));
+        unblock(&mut e, A, X, StableState::E);
+        assert!(!e.is_busy(X));
+    }
+
+    #[test]
+    fn gets_without_write_perm_grants_shared() {
+        let mut e = mesi_engine();
+        let perms = BackendPerms {
+            read_ok: true,
+            write_ok: false,
+        };
+        let eff = e.handle_host(A, HostMsg::GetS { addr: X }, perms);
+        assert!(matches!(
+            sends(&eff)[0].1,
+            HostMsg::Data {
+                grant: Grant::S,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn gets_without_read_perm_suspends_on_backend() {
+        let mut e = mesi_engine();
+        let perms = BackendPerms {
+            read_ok: false,
+            write_ok: false,
+        };
+        let eff = e.handle_host(A, HostMsg::GetS { addr: X }, perms);
+        assert_eq!(eff, vec![DirEffect::BackendRead { addr: X }]);
+        assert!(e.is_busy(X));
+        // Backend returns data; transaction resumes and grants.
+        let eff = e.backend_read_done(
+            X,
+            7,
+            BackendPerms {
+                read_ok: true,
+                write_ok: false,
+            },
+        );
+        assert!(matches!(
+            sends(&eff)[0],
+            (
+                A,
+                HostMsg::Data {
+                    data: 7,
+                    grant: Grant::S,
+                    ..
+                }
+            )
+        ));
+        unblock(&mut e, A, X, StableState::S);
+        assert_eq!(e.holders(X), Holders::Shared(BTreeSet::from([A])));
+    }
+
+    #[test]
+    fn getm_invalidates_sharers() {
+        let mut e = mesi_engine();
+        // A and B become sharers (sequentially, with unblocks).
+        let perms_s = BackendPerms {
+            read_ok: true,
+            write_ok: false,
+        };
+        e.handle_host(A, HostMsg::GetS { addr: X }, perms_s);
+        unblock(&mut e, A, X, StableState::S);
+        e.handle_host(B, HostMsg::GetS { addr: X }, perms_s);
+        unblock(&mut e, B, X, StableState::S);
+        // C requests ownership.
+        let eff = e.handle_host(C, HostMsg::GetM { addr: X }, BackendPerms::ALL);
+        let s = sends(&eff);
+        let invs: Vec<_> = s
+            .iter()
+            .filter(|(_, m)| matches!(m, HostMsg::Inv { requestor, .. } if *requestor == C))
+            .map(|(d, _)| *d)
+            .collect();
+        assert_eq!(invs.len(), 2);
+        assert!(invs.contains(&A) && invs.contains(&B));
+        assert!(s.iter().any(|(d, m)| *d == C
+            && matches!(m, HostMsg::Data { grant: Grant::M, acks: 2, .. })));
+        assert_eq!(e.holders(X), Holders::Exclusive(C));
+    }
+
+    #[test]
+    fn getm_upgrade_excludes_requester_from_invs() {
+        let mut e = mesi_engine();
+        let perms_s = BackendPerms {
+            read_ok: true,
+            write_ok: false,
+        };
+        e.handle_host(A, HostMsg::GetS { addr: X }, perms_s);
+        unblock(&mut e, A, X, StableState::S);
+        e.handle_host(B, HostMsg::GetS { addr: X }, perms_s);
+        unblock(&mut e, B, X, StableState::S);
+        let eff = e.handle_host(A, HostMsg::GetM { addr: X }, BackendPerms::ALL);
+        let s = sends(&eff);
+        // only B is invalidated; A gets acks=1
+        assert!(s
+            .iter()
+            .any(|(d, m)| *d == B && matches!(m, HostMsg::Inv { .. })));
+        assert!(!s
+            .iter()
+            .any(|(d, m)| *d == A && matches!(m, HostMsg::Inv { .. })));
+        assert!(s
+            .iter()
+            .any(|(d, m)| *d == A && matches!(m, HostMsg::Data { acks: 1, .. })));
+    }
+
+    #[test]
+    fn gets_with_owner_forwards_three_hop() {
+        let mut e = mesi_engine();
+        e.handle_host(A, HostMsg::GetM { addr: X }, BackendPerms::ALL);
+        unblock(&mut e, A, X, StableState::M);
+        let eff = e.handle_host(B, HostMsg::GetS { addr: X }, BackendPerms::ALL);
+        let s = sends(&eff);
+        assert_eq!(s.len(), 1);
+        assert!(matches!(
+            s[0],
+            (A, HostMsg::FwdGetS { requestor, grant: Grant::S, .. }) if requestor == B
+        ));
+        // MESI: owner demotes to sharer; dir expects both as sharers.
+        assert_eq!(e.holders(X), Holders::Shared(BTreeSet::from([A, B])));
+    }
+
+    #[test]
+    fn moesi_gets_with_owner_keeps_owner() {
+        let mut e = moesi_engine();
+        e.handle_host(A, HostMsg::GetM { addr: X }, BackendPerms::ALL);
+        unblock(&mut e, A, X, StableState::M);
+        let eff = e.handle_host(B, HostMsg::GetS { addr: X }, BackendPerms::ALL);
+        sends(&eff);
+        assert_eq!(e.holders(X), Holders::Owned(A, BTreeSet::from([B])));
+    }
+
+    #[test]
+    fn mesif_forwarder_supplies_data() {
+        let mut e = mesif_engine();
+        let perms_s = BackendPerms {
+            read_ok: true,
+            write_ok: false,
+        };
+        // A becomes the first sharer (no F yet — dir supplied).
+        e.handle_host(A, HostMsg::GetS { addr: X }, perms_s);
+        unblock(&mut e, A, X, StableState::S);
+        // B asks: dir supplies, B becomes F.
+        let eff = e.handle_host(B, HostMsg::GetS { addr: X }, perms_s);
+        assert!(matches!(
+            sends(&eff)[0],
+            (B, HostMsg::Data { grant: Grant::F, .. })
+        ));
+        unblock(&mut e, B, X, StableState::F);
+        // C asks: forwarded to B (the F holder), C becomes the new F.
+        let eff = e.handle_host(C, HostMsg::GetS { addr: X }, perms_s);
+        assert!(matches!(
+            sends(&eff)[0],
+            (B, HostMsg::FwdGetS { requestor, grant: Grant::F, .. }) if requestor == C
+        ));
+    }
+
+    #[test]
+    fn requests_queue_while_busy() {
+        let mut e = mesi_engine();
+        e.handle_host(A, HostMsg::GetM { addr: X }, BackendPerms::ALL);
+        // B's request queues (no effects yet).
+        let eff = e.handle_host(B, HostMsg::GetS { addr: X }, BackendPerms::ALL);
+        assert!(sends(&eff).is_empty());
+        assert_eq!(e.stalled_requests, 1);
+        // A unblocks -> B's queued request launches (FwdGetS to A).
+        let eff = e.handle_host(
+            A,
+            HostMsg::Unblock {
+                addr: X,
+                to_state: StableState::M,
+            },
+            BackendPerms::ALL,
+        );
+        assert!(sends(&eff)
+            .iter()
+            .any(|(d, m)| *d == A && matches!(m, HostMsg::FwdGetS { .. })));
+    }
+
+    #[test]
+    fn put_m_from_owner_updates_data() {
+        let mut e = mesi_engine();
+        e.handle_host(A, HostMsg::GetM { addr: X }, BackendPerms::ALL);
+        unblock(&mut e, A, X, StableState::M);
+        let eff = e.handle_host(A, HostMsg::PutM { addr: X, data: 99 }, BackendPerms::ALL);
+        assert!(eff.contains(&DirEffect::DataUpdated { addr: X, data: 99 }));
+        assert!(sends(&eff)
+            .iter()
+            .any(|(d, m)| *d == A && matches!(m, HostMsg::PutAck { .. })));
+        assert_eq!(e.holders(X), Holders::None);
+        assert_eq!(e.data(X), 99);
+    }
+
+    #[test]
+    fn stale_put_m_is_acked_but_ignored() {
+        let mut e = mesi_engine();
+        e.handle_host(A, HostMsg::GetM { addr: X }, BackendPerms::ALL);
+        unblock(&mut e, A, X, StableState::M);
+        // B takes ownership (3-hop via A).
+        e.handle_host(B, HostMsg::GetM { addr: X }, BackendPerms::ALL);
+        // A's eviction crossed the FwdGetM: stale PutM arrives.
+        let eff = e.handle_host(A, HostMsg::PutM { addr: X, data: 123 }, BackendPerms::ALL);
+        assert!(!eff
+            .iter()
+            .any(|x| matches!(x, DirEffect::DataUpdated { .. })));
+        assert!(sends(&eff)
+            .iter()
+            .any(|(d, m)| *d == A && matches!(m, HostMsg::PutAck { .. })));
+        assert_eq!(e.holders(X), Holders::Exclusive(B));
+    }
+
+    #[test]
+    fn recall_exclusive_from_owner_collects_dirty_data() {
+        let mut e = mesi_engine();
+        e.handle_host(A, HostMsg::GetM { addr: X }, BackendPerms::ALL);
+        unblock(&mut e, A, X, StableState::M);
+        let eff = e.recall(X, RecallKind::Exclusive);
+        assert!(matches!(
+            sends(&eff)[0],
+            (A, HostMsg::FwdGetM { requestor, .. }) if requestor == DIR
+        ));
+        // Owner responds with dirty data addressed to the directory.
+        let eff = e.handle_host(
+            A,
+            HostMsg::Data {
+                addr: X,
+                data: 55,
+                grant: Grant::M,
+                acks: 0,
+                dirty: true,
+            },
+            BackendPerms::ALL,
+        );
+        assert!(eff.iter().any(|x| matches!(
+            x,
+            DirEffect::RecallDone {
+                kind: RecallKind::Exclusive,
+                data: 55,
+                was_dirty: true,
+                ..
+            }
+        )));
+        assert_eq!(e.holders(X), Holders::None);
+    }
+
+    #[test]
+    fn recall_exclusive_invalidates_sharers() {
+        let mut e = mesi_engine();
+        let perms_s = BackendPerms {
+            read_ok: true,
+            write_ok: false,
+        };
+        e.handle_host(A, HostMsg::GetS { addr: X }, perms_s);
+        unblock(&mut e, A, X, StableState::S);
+        e.handle_host(B, HostMsg::GetS { addr: X }, perms_s);
+        unblock(&mut e, B, X, StableState::S);
+        let eff = e.recall(X, RecallKind::Exclusive);
+        assert_eq!(sends(&eff).len(), 2);
+        let eff = e.handle_host(A, HostMsg::InvAck { addr: X }, BackendPerms::ALL);
+        assert!(eff.is_empty() || !eff.iter().any(|x| matches!(x, DirEffect::RecallDone { .. })));
+        let eff = e.handle_host(B, HostMsg::InvAck { addr: X }, BackendPerms::ALL);
+        assert!(eff.iter().any(|x| matches!(
+            x,
+            DirEffect::RecallDone {
+                was_dirty: false,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn recall_shared_on_clean_line_is_immediate() {
+        let mut e = mesi_engine();
+        let perms_s = BackendPerms {
+            read_ok: true,
+            write_ok: false,
+        };
+        e.handle_host(A, HostMsg::GetS { addr: X }, perms_s);
+        unblock(&mut e, A, X, StableState::S);
+        let eff = e.recall(X, RecallKind::Shared);
+        assert!(eff.iter().any(|x| matches!(x, DirEffect::RecallDone { .. })));
+        // Sharers keep their copies.
+        assert_eq!(e.holders(X), Holders::Shared(BTreeSet::from([A])));
+    }
+
+    #[test]
+    fn recall_waits_for_unblock_phase_transaction() {
+        let mut e = mesi_engine();
+        e.handle_host(A, HostMsg::GetM { addr: X }, BackendPerms::ALL);
+        // recall arrives mid-transaction: must queue
+        let eff = e.recall(X, RecallKind::Exclusive);
+        assert!(eff.is_empty());
+        // unblock: recall launches (FwdGetM to new owner A)
+        let eff = e.handle_host(
+            A,
+            HostMsg::Unblock {
+                addr: X,
+                to_state: StableState::M,
+            },
+            BackendPerms::ALL,
+        );
+        assert!(sends(&eff)
+            .iter()
+            .any(|(d, m)| *d == A && matches!(m, HostMsg::FwdGetM { requestor, .. } if *requestor == DIR)));
+    }
+
+    #[test]
+    fn recall_overlaps_backend_suspended_transaction() {
+        // The Fig. 2 "snoop first" conflict: A's GetM is suspended waiting
+        // for global ownership; the recall must still run immediately.
+        let mut e = mesi_engine();
+        let perms_s = BackendPerms {
+            read_ok: true,
+            write_ok: false,
+        };
+        e.handle_host(B, HostMsg::GetS { addr: X }, perms_s);
+        unblock(&mut e, B, X, StableState::S);
+        let eff = e.handle_host(A, HostMsg::GetM { addr: X }, perms_s);
+        assert_eq!(eff, vec![DirEffect::BackendWrite { addr: X }]);
+        // Recall runs despite the suspended transaction, invalidating B.
+        let eff = e.recall(X, RecallKind::Exclusive);
+        assert!(sends(&eff)
+            .iter()
+            .any(|(d, m)| *d == B && matches!(m, HostMsg::Inv { .. })));
+        let eff = e.handle_host(B, HostMsg::InvAck { addr: X }, BackendPerms::ALL);
+        assert!(eff.iter().any(|x| matches!(x, DirEffect::RecallDone { .. })));
+        // Later, the backend grants ownership; A's GetM resumes with no
+        // sharers left to invalidate.
+        let eff = e.backend_write_done(X, 5, BackendPerms::ALL);
+        assert!(sends(&eff).iter().any(|(d, m)| *d == A
+            && matches!(m, HostMsg::Data { grant: Grant::M, acks: 0, .. })));
+    }
+
+    #[test]
+    fn rcc_recall_is_immediate_and_write_through_updates() {
+        let mut e = rcc_engine();
+        e.seed_data(X, 1);
+        // write-through with global permission
+        let eff = e.handle_host(
+            A,
+            HostMsg::WriteThrough { addr: X, data: 9 },
+            BackendPerms::ALL,
+        );
+        assert!(eff.contains(&DirEffect::DataUpdated { addr: X, data: 9 }));
+        assert!(sends(&eff)
+            .iter()
+            .any(|(d, m)| *d == A && matches!(m, HostMsg::WtAck { .. })));
+        // recall completes immediately (self-invalidation protocol)
+        let eff = e.recall(X, RecallKind::Exclusive);
+        assert!(eff.iter().any(|x| matches!(
+            x,
+            DirEffect::RecallDone { data: 9, .. }
+        )));
+    }
+
+    #[test]
+    fn rcc_write_through_without_permission_delegates() {
+        let mut e = rcc_engine();
+        let perms = BackendPerms {
+            read_ok: true,
+            write_ok: false,
+        };
+        let eff = e.handle_host(A, HostMsg::WriteThrough { addr: X, data: 3 }, perms);
+        assert_eq!(eff, vec![DirEffect::BackendWrite { addr: X }]);
+        let eff = e.backend_write_done(X, 0, BackendPerms::ALL);
+        assert!(sends(&eff)
+            .iter()
+            .any(|(d, m)| *d == A && matches!(m, HostMsg::WtAck { .. })));
+        assert_eq!(e.data(X), 3);
+    }
+
+    #[test]
+    fn atomic_rmw_returns_old_value() {
+        let mut e = rcc_engine();
+        e.seed_data(X, 10);
+        let eff = e.handle_host(A, HostMsg::AtomicRmw { addr: X, add: 5 }, BackendPerms::ALL);
+        assert!(sends(&eff)
+            .iter()
+            .any(|(d, m)| *d == A && matches!(m, HostMsg::AtomicResp { old: 10, .. })));
+        assert_eq!(e.data(X), 15);
+    }
+
+    #[test]
+    fn idle_reports_pending_work() {
+        let mut e = mesi_engine();
+        assert!(e.idle());
+        e.handle_host(A, HostMsg::GetM { addr: X }, BackendPerms::ALL);
+        assert!(!e.idle());
+        unblock(&mut e, A, X, StableState::M);
+        assert!(e.idle());
+    }
+}

@@ -1,0 +1,121 @@
+//! The baseline global directory (MESI-MESI-MESI top level).
+//!
+//! In the paper's baseline configuration the two clusters are joined by a
+//! *hierarchical MESI* global protocol instead of CXL; the C³ bridges act
+//! as passive caches of this directory. The component wraps
+//! [`crate::direngine::DirEngine`] with an always-granting backend (it sits
+//! next to the memory device, so every line is readable and writable) and
+//! a DDR5-like access latency applied to directory-sourced data responses
+//! (Table III: 10 ns).
+
+use std::any::Any;
+
+use c3_protocol::msg::{HostMsg, SysMsg};
+use c3_protocol::ssp::DirPolicy;
+use c3_sim::component::{Component, ComponentId, Ctx};
+use c3_sim::stats::Report;
+use c3_sim::time::Delay;
+
+use crate::direngine::{BackendPerms, DirEffect, DirEngine};
+
+/// Global directory component for the hierarchical host-protocol baseline.
+#[derive(Debug)]
+pub struct GlobalMesiDir {
+    name: String,
+    engine: Option<DirEngine>,
+    policy: DirPolicy,
+    mem_latency: Delay,
+    data_responses: u64,
+}
+
+impl GlobalMesiDir {
+    /// Create the directory; `policy` is the global protocol's directory
+    /// policy (MESI for the paper's baseline), `mem_latency` the DDR access
+    /// time added to directory-sourced data.
+    pub fn new(name: impl Into<String>, policy: DirPolicy, mem_latency: Delay) -> Self {
+        GlobalMesiDir {
+            name: name.into(),
+            engine: None,
+            policy,
+            mem_latency,
+            data_responses: 0,
+        }
+    }
+
+    fn engine(&mut self, self_id: ComponentId) -> &mut DirEngine {
+        if self.engine.is_none() {
+            self.engine = Some(DirEngine::new(self.policy, self_id));
+        }
+        self.engine.as_mut().expect("just initialized")
+    }
+
+    /// Seed initial memory contents (tests / litmus initialization).
+    pub fn seed_data(&mut self, self_id: ComponentId, addr: c3_protocol::Addr, data: u64) {
+        self.engine(self_id).seed_data(addr, data);
+    }
+
+    /// Final memory contents of a line.
+    pub fn data(&self, addr: c3_protocol::Addr) -> u64 {
+        self.engine.as_ref().map(|e| e.data(addr)).unwrap_or(0)
+    }
+
+    fn apply(&mut self, effects: Vec<DirEffect>, ctx: &mut Ctx<'_, SysMsg>) {
+        for e in effects {
+            match e {
+                DirEffect::Send { dst, msg } => {
+                    if matches!(msg, HostMsg::Data { .. }) {
+                        // Data supplied by the directory comes out of the
+                        // memory device: add the DDR access latency.
+                        self.data_responses += 1;
+                        ctx.send_after(dst, SysMsg::Host(msg), self.mem_latency);
+                    } else {
+                        ctx.send(dst, SysMsg::Host(msg));
+                    }
+                }
+                DirEffect::DataUpdated { .. } | DirEffect::TxnDone { .. } => {}
+                DirEffect::BackendRead { .. } | DirEffect::BackendWrite { .. } => {
+                    unreachable!("top-level directory always has permission")
+                }
+                DirEffect::RecallDone { .. } => {
+                    unreachable!("nothing recalls the top-level directory")
+                }
+            }
+        }
+    }
+}
+
+impl Component<SysMsg> for GlobalMesiDir {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn handle(&mut self, msg: SysMsg, src: ComponentId, ctx: &mut Ctx<'_, SysMsg>) {
+        c3_sim::sim_trace!("[{}] {} <- {src}: {msg:?}", ctx.now, self.name);
+        let SysMsg::Host(h) = msg else {
+            panic!("global directory received {msg:?}");
+        };
+        let self_id = ctx.self_id;
+        let effects = self.engine(self_id).handle_host(src, h, BackendPerms::ALL);
+        self.apply(effects, ctx);
+    }
+
+    fn done(&self) -> bool {
+        self.engine.as_ref().map(|e| e.idle()).unwrap_or(true)
+    }
+
+    fn report(&self, out: &mut Report) {
+        let n = &self.name;
+        if let Some(e) = &self.engine {
+            out.set(format!("{n}.stalled_requests"), e.stalled_requests as f64);
+        }
+        out.set(format!("{n}.data_responses"), self.data_responses as f64);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,1041 @@
+//! Private (L1) cache controller.
+//!
+//! A directory-protocol cache controller with explicit transient states,
+//! configurable as MESI / MESIF / MOESI (SWMR variants of the same table)
+//! or RCC (self-invalidation, §IV-D2 of the paper). One instance per core;
+//! Table III: 128 KiB, 8-way, 1-cycle hit latency. The paper's tool models
+//! a unified I+D cache per core, and so do we.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+use c3_protocol::msg::{CoreReq, CoreResp, Grant, HostMsg, SysMsg};
+use c3_protocol::ops::{Addr, FenceKind, Instr};
+use c3_protocol::states::{ProtocolFamily, StableState};
+use c3_sim::component::{Component, ComponentId, Ctx};
+use c3_sim::stats::{LatencyBands, Report};
+use c3_sim::time::{Delay, Time};
+
+use crate::cache::CacheArray;
+
+/// Configuration of one private cache.
+#[derive(Clone, Copy, Debug)]
+pub struct L1Config {
+    /// Coherence protocol variant.
+    pub family: ProtocolFamily,
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency (Table III: 1 cycle at 2 GHz).
+    pub hit_latency: Delay,
+    /// The core this cache serves.
+    pub core: ComponentId,
+    /// The cluster-level directory (LLC controller or C³ bridge).
+    pub dir: ComponentId,
+}
+
+impl L1Config {
+    /// Table III defaults: 128 KiB, 8-way, 1-cycle hits.
+    pub fn paper_defaults(family: ProtocolFamily, core: ComponentId, dir: ComponentId) -> Self {
+        L1Config {
+            family,
+            sets: 256,
+            ways: 8,
+            hit_latency: Delay::from_cycles(1, 2_000),
+            core,
+            dir,
+        }
+    }
+}
+
+/// Kind of memory access, for miss statistics (Fig. 11's instruction
+/// breakdown).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// Load.
+    Load,
+    /// Store.
+    Store,
+    /// Read-modify-write.
+    Rmw,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Line {
+    state: StableState,
+    data: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(non_camel_case_types, clippy::upper_case_acronyms)]
+enum TState {
+    /// GetS issued from I; waiting for data.
+    IS_D,
+    /// GetM issued from I; waiting for data (+acks).
+    IM_AD,
+    /// Data received; waiting for remaining invalidation acks.
+    IM_A,
+    /// GetM issued while holding a readable copy (S/F/O upgrade).
+    SM_AD,
+    /// Upgrade data received; waiting for remaining acks.
+    SM_A,
+    /// Dirty eviction issued (PutM); waiting for PutAck.
+    MI_A,
+    /// Owned eviction issued (PutO); waiting for PutAck.
+    OI_A,
+    /// Clean-exclusive eviction issued (PutE); waiting for PutAck.
+    EI_A,
+    /// Shared eviction issued (PutS); waiting for PutAck.
+    SI_A,
+    /// Eviction superseded by a remote transfer; still awaiting PutAck.
+    II_A,
+    /// RCC write-through in flight; waiting for WtAck.
+    WT_A,
+    /// RCC remote atomic in flight; waiting for AtomicResp.
+    AT_D,
+}
+
+#[derive(Debug)]
+struct Mshr {
+    tstate: TState,
+    data: u64,
+    /// Invalidation-ack balance: `Data.acks` adds, each InvAck subtracts.
+    acks: i32,
+    data_received: bool,
+    /// The core request that opened this MSHR (if core-initiated).
+    initiator: Option<CoreReq>,
+    /// Core requests to the same line, deferred until this MSHR retires.
+    pending: VecDeque<CoreReq>,
+    /// Whether this write-through belongs to an in-progress release flush.
+    from_release: bool,
+    started: Time,
+}
+
+#[derive(Debug)]
+struct ReleaseOp {
+    tag: u64,
+    remaining: u32,
+    /// Deferred load to run once the release drains (store-release's
+    /// response, or a fence completion).
+    respond_value: u64,
+}
+
+/// Per-access-kind miss statistics.
+#[derive(Debug, Default, Clone)]
+pub struct MissStats {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Miss latency distribution (Fig. 11 bands).
+    pub bands: LatencyBands,
+}
+
+/// The private cache controller component.
+#[derive(Debug)]
+pub struct L1Controller {
+    cfg: L1Config,
+    name: String,
+    array: CacheArray<Line>,
+    mshrs: HashMap<Addr, Mshr>,
+    release: Option<ReleaseOp>,
+    /// Stats per access kind (indexed by [`AccessKind`]).
+    stats: [MissStats; 3],
+    writebacks: u64,
+    invalidations_received: u64,
+    self_invalidations: u64,
+}
+
+impl L1Controller {
+    /// Create a controller; `name` is used in reports (`"c0.l1"` etc.).
+    pub fn new(name: impl Into<String>, cfg: L1Config) -> Self {
+        L1Controller {
+            array: CacheArray::new(cfg.sets, cfg.ways),
+            cfg,
+            name: name.into(),
+            mshrs: HashMap::new(),
+            release: None,
+            stats: Default::default(),
+            writebacks: 0,
+            invalidations_received: 0,
+            self_invalidations: 0,
+        }
+    }
+
+    /// Miss statistics for one access kind.
+    pub fn stats(&self, kind: AccessKind) -> &MissStats {
+        &self.stats[kind as usize]
+    }
+
+    /// Stable state currently held for `addr` (I if absent or transient).
+    pub fn line_state(&self, addr: Addr) -> StableState {
+        self.array
+            .peek(addr)
+            .map(|l| l.state)
+            .unwrap_or(StableState::I)
+    }
+
+    /// Stable state and data currently held for `addr`, if resident.
+    pub fn line(&self, addr: Addr) -> Option<(StableState, u64)> {
+        self.array.peek(addr).map(|l| (l.state, l.data))
+    }
+
+    fn kind_of(instr: &Instr) -> AccessKind {
+        match instr {
+            Instr::Load { .. } => AccessKind::Load,
+            // RFO prefetches are accounted as the store misses they absorb.
+            Instr::Store { .. } | Instr::Prefetch { .. } => AccessKind::Store,
+            _ => AccessKind::Rmw,
+        }
+    }
+
+    fn respond(&self, req: &CoreReq, value: u64, ctx: &mut Ctx<'_, SysMsg>) {
+        ctx.send_direct(
+            self.cfg.core,
+            SysMsg::CoreResp(CoreResp {
+                tag: req.tag,
+                value,
+            }),
+            self.cfg.hit_latency,
+        );
+    }
+
+    fn send_dir(&self, msg: HostMsg, ctx: &mut Ctx<'_, SysMsg>) {
+        ctx.send(self.cfg.dir, SysMsg::Host(msg));
+    }
+
+    /// Tell the core a line was lost (TSO cores squash speculative loads).
+    fn hint_core(&self, addr: Addr, ctx: &mut Ctx<'_, SysMsg>) {
+        ctx.send_direct(self.cfg.core, SysMsg::InvHint { addr }, self.cfg.hit_latency);
+    }
+
+    /// Make room for `addr`, starting a victim eviction if necessary.
+    ///
+    /// Lines with an in-flight transaction (SM_AD upgrades, RCC
+    /// write-throughs) are skipped: touching them bumps their LRU rank so
+    /// the next-least-recent stable line is chosen instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every way of the set is in a transient state (cannot
+    /// happen with ≥ 8 ways and the bounded per-core outstanding window).
+    fn ensure_way(&mut self, addr: Addr, ctx: &mut Ctx<'_, SysMsg>) {
+        let mut vaddr = None;
+        for _ in 0..self.cfg.ways + 1 {
+            match self.array.victim(addr) {
+                None => return, // free way or line already resident
+                Some((v, _)) if self.mshrs.contains_key(&v) => {
+                    self.array.get_mut(v); // bump LRU, try the next victim
+                }
+                Some((v, _)) => {
+                    vaddr = Some(v);
+                    break;
+                }
+            }
+        }
+        let vaddr = vaddr.expect("a stable victim must exist");
+        let line = self.array.remove(vaddr).expect("victim resident");
+        self.hint_core(vaddr, ctx);
+        let rcc = self.cfg.family == ProtocolFamily::Rcc;
+        let (tstate, msg) = match line.state {
+            StableState::S | StableState::F => {
+                if rcc {
+                    // RCC drops clean lines silently.
+                    self.self_invalidations += 1;
+                    return;
+                }
+                (TState::SI_A, HostMsg::PutS { addr: vaddr })
+            }
+            StableState::E => (TState::EI_A, HostMsg::PutE { addr: vaddr }),
+            StableState::M => {
+                self.writebacks += 1;
+                if rcc {
+                    (
+                        TState::WT_A,
+                        HostMsg::WriteThrough {
+                            addr: vaddr,
+                            data: line.data,
+                        },
+                    )
+                } else {
+                    (
+                        TState::MI_A,
+                        HostMsg::PutM {
+                            addr: vaddr,
+                            data: line.data,
+                        },
+                    )
+                }
+            }
+            StableState::O => {
+                self.writebacks += 1;
+                (
+                    TState::OI_A,
+                    HostMsg::PutO {
+                        addr: vaddr,
+                        data: line.data,
+                    },
+                )
+            }
+            StableState::I => unreachable!("I lines are not resident"),
+        };
+        self.mshrs.insert(
+            vaddr,
+            Mshr {
+                tstate,
+                data: line.data,
+                acks: 0,
+                data_received: false,
+                initiator: None,
+                pending: VecDeque::new(),
+                from_release: false,
+                started: ctx.now,
+            },
+        );
+        self.send_dir(msg, ctx);
+    }
+
+    /// RCC acquire: drop all clean (S) lines so later loads refetch.
+    fn self_invalidate_clean(&mut self) {
+        let clean: Vec<Addr> = self
+            .array
+            .iter()
+            .filter(|(_, l)| l.state == StableState::S)
+            .map(|(a, _)| a)
+            .collect();
+        self.self_invalidations += clean.len() as u64;
+        for a in clean {
+            self.array.remove(a);
+        }
+    }
+
+    /// RCC release: write all dirty lines through; returns the number of
+    /// WtAcks to wait for.
+    fn flush_dirty(&mut self, ctx: &mut Ctx<'_, SysMsg>) -> u32 {
+        let dirty: Vec<(Addr, u64)> = self
+            .array
+            .iter()
+            .filter(|(_, l)| l.state == StableState::M)
+            .map(|(a, l)| (a, l.data))
+            .collect();
+        let mut count = 0;
+        for (a, data) in dirty {
+            if self.mshrs.contains_key(&a) {
+                continue; // already being written through (eviction)
+            }
+            // Retain a clean copy after the write-through.
+            if let Some(l) = self.array.get_mut(a) {
+                l.state = StableState::S;
+            }
+            self.mshrs.insert(
+                a,
+                Mshr {
+                    tstate: TState::WT_A,
+                    data,
+                    acks: 0,
+                    data_received: false,
+                    initiator: None,
+                    pending: VecDeque::new(),
+                    from_release: true,
+                    started: ctx.now,
+                },
+            );
+            self.send_dir(HostMsg::WriteThrough { addr: a, data }, ctx);
+            self.writebacks += 1;
+            count += 1;
+        }
+        count
+    }
+
+    fn start_release(&mut self, tag: u64, respond_value: u64, ctx: &mut Ctx<'_, SysMsg>) {
+        debug_assert!(self.release.is_none(), "one release at a time");
+        let remaining = self.flush_dirty(ctx);
+        if remaining == 0 {
+            self.respond(
+                &CoreReq {
+                    tag,
+                    instr: Instr::Work(0),
+                },
+                respond_value,
+                ctx,
+            );
+        } else {
+            self.release = Some(ReleaseOp {
+                tag,
+                remaining,
+                respond_value,
+            });
+        }
+    }
+
+    fn handle_core(&mut self, req: CoreReq, ctx: &mut Ctx<'_, SysMsg>) {
+        let rcc = self.cfg.family == ProtocolFamily::Rcc;
+        // Fences: RCC caches participate; SWMR caches answer immediately
+        // (ordering is enforced in the core pipeline — §IV-D3).
+        if let Instr::Fence(kind) = req.instr {
+            if !rcc {
+                self.respond(&req, 0, ctx);
+                return;
+            }
+            let acquire = matches!(kind, FenceKind::Full | FenceKind::LoadLoad);
+            let release = matches!(kind, FenceKind::Full | FenceKind::StoreStore);
+            if acquire {
+                self.self_invalidate_clean();
+            }
+            if release {
+                self.start_release(req.tag, 0, ctx);
+            } else {
+                self.respond(&req, 0, ctx);
+            }
+            return;
+        }
+        if let Instr::Work(_) = req.instr {
+            self.respond(&req, 0, ctx);
+            return;
+        }
+        if let Instr::Prefetch { addr } = req.instr {
+            // RFO hint from a TSO store buffer: acquire write permission
+            // early so the in-order drain hits. Never queued behind an
+            // existing transaction — it is only a hint.
+            self.respond(&req, 0, ctx);
+            if rcc || self.mshrs.contains_key(&addr) {
+                return;
+            }
+            match self.array.get(addr) {
+                Some(line) if line.state.can_write() => {}
+                present => {
+                    let upgrade = present.is_some();
+                    self.stats[AccessKind::Store as usize].misses += 1;
+                    self.mshrs.insert(
+                        addr,
+                        Mshr {
+                            tstate: if upgrade { TState::SM_AD } else { TState::IM_AD },
+                            data: 0,
+                            acks: 0,
+                            data_received: false,
+                            initiator: Some(req),
+                            pending: VecDeque::new(),
+                            from_release: false,
+                            started: ctx.now,
+                        },
+                    );
+                    self.send_dir(HostMsg::GetM { addr }, ctx);
+                }
+            }
+            return;
+        }
+        let addr = req.instr.addr().expect("memory instruction");
+        // Same-line transaction in flight: defer.
+        if let Some(mshr) = self.mshrs.get_mut(&addr) {
+            mshr.pending.push_back(req);
+            return;
+        }
+        match req.instr {
+            Instr::Load { order, .. } => {
+                if rcc && order.is_acquire() {
+                    self.self_invalidate_clean();
+                }
+                match self.array.get(addr) {
+                    Some(line) if line.state.can_read() => {
+                        let v = line.data;
+                        self.stats[AccessKind::Load as usize].hits += 1;
+                        self.respond(&req, v, ctx);
+                    }
+                    _ => {
+                        self.stats[AccessKind::Load as usize].misses += 1;
+                        self.mshrs.insert(
+                            addr,
+                            Mshr {
+                                tstate: TState::IS_D,
+                                data: 0,
+                                acks: 0,
+                                data_received: false,
+                                initiator: Some(req),
+                                pending: VecDeque::new(),
+                                from_release: false,
+                                started: ctx.now,
+                            },
+                        );
+                        self.send_dir(HostMsg::GetS { addr }, ctx);
+                    }
+                }
+            }
+            Instr::Store { val, order, .. } => {
+                if rcc {
+                    // RCC stores complete locally, without ownership.
+                    if self.array.peek(addr).is_none() {
+                        self.ensure_way(addr, ctx);
+                        self.stats[AccessKind::Store as usize].misses += 1;
+                        self.array.insert(
+                            addr,
+                            Line {
+                                state: StableState::M,
+                                data: val,
+                            },
+                        );
+                    } else {
+                        self.stats[AccessKind::Store as usize].hits += 1;
+                        let line = self.array.get_mut(addr).expect("present");
+                        line.state = StableState::M;
+                        line.data = val;
+                    }
+                    if order.is_release() {
+                        self.start_release(req.tag, 0, ctx);
+                    } else {
+                        self.respond(&req, 0, ctx);
+                    }
+                    return;
+                }
+                match self.array.get(addr).copied() {
+                    Some(line) if line.state.can_write() => {
+                        self.stats[AccessKind::Store as usize].hits += 1;
+                        let l = self.array.get_mut(addr).expect("present");
+                        l.state = StableState::M; // silent E -> M upgrade
+                        l.data = val;
+                        self.respond(&req, 0, ctx);
+                    }
+                    Some(_) => {
+                        // readable copy: upgrade
+                        self.stats[AccessKind::Store as usize].misses += 1;
+                        self.mshrs.insert(
+                            addr,
+                            Mshr {
+                                tstate: TState::SM_AD,
+                                data: 0,
+                                acks: 0,
+                                data_received: false,
+                                initiator: Some(req),
+                                pending: VecDeque::new(),
+                                from_release: false,
+                                started: ctx.now,
+                            },
+                        );
+                        self.send_dir(HostMsg::GetM { addr }, ctx);
+                    }
+                    None => {
+                        self.stats[AccessKind::Store as usize].misses += 1;
+                        self.mshrs.insert(
+                            addr,
+                            Mshr {
+                                tstate: TState::IM_AD,
+                                data: 0,
+                                acks: 0,
+                                data_received: false,
+                                initiator: Some(req),
+                                pending: VecDeque::new(),
+                                from_release: false,
+                                started: ctx.now,
+                            },
+                        );
+                        self.send_dir(HostMsg::GetM { addr }, ctx);
+                    }
+                }
+            }
+            Instr::Rmw { add, .. } => {
+                if rcc {
+                    // GPU-style: atomics execute at the shared level.
+                    self.array.remove(addr); // local copy would go stale
+                    self.stats[AccessKind::Rmw as usize].misses += 1;
+                    self.mshrs.insert(
+                        addr,
+                        Mshr {
+                            tstate: TState::AT_D,
+                            data: add,
+                            acks: 0,
+                            data_received: false,
+                            initiator: Some(req),
+                            pending: VecDeque::new(),
+                            from_release: false,
+                            started: ctx.now,
+                        },
+                    );
+                    self.send_dir(HostMsg::AtomicRmw { addr, add }, ctx);
+                    return;
+                }
+                match self.array.get(addr).copied() {
+                    Some(line) if line.state.can_write() => {
+                        self.stats[AccessKind::Rmw as usize].hits += 1;
+                        let l = self.array.get_mut(addr).expect("present");
+                        let old = l.data;
+                        l.state = StableState::M;
+                        l.data = old.wrapping_add(add);
+                        self.respond(&req, old, ctx);
+                    }
+                    Some(_) => {
+                        self.stats[AccessKind::Rmw as usize].misses += 1;
+                        self.mshrs.insert(
+                            addr,
+                            Mshr {
+                                tstate: TState::SM_AD,
+                                data: 0,
+                                acks: 0,
+                                data_received: false,
+                                initiator: Some(req),
+                                pending: VecDeque::new(),
+                                from_release: false,
+                                started: ctx.now,
+                            },
+                        );
+                        self.send_dir(HostMsg::GetM { addr }, ctx);
+                    }
+                    None => {
+                        self.stats[AccessKind::Rmw as usize].misses += 1;
+                        self.mshrs.insert(
+                            addr,
+                            Mshr {
+                                tstate: TState::IM_AD,
+                                data: 0,
+                                acks: 0,
+                                data_received: false,
+                                initiator: Some(req),
+                                pending: VecDeque::new(),
+                                from_release: false,
+                                started: ctx.now,
+                            },
+                        );
+                        self.send_dir(HostMsg::GetM { addr }, ctx);
+                    }
+                }
+            }
+            Instr::Fence(_) | Instr::Work(_) | Instr::Prefetch { .. } => {
+                unreachable!("handled above")
+            }
+        }
+    }
+
+    /// Retire an MSHR whose transaction brought the line in with `state`,
+    /// apply the initiating access, respond, unblock the directory and
+    /// replay deferred requests.
+    fn complete_fill(&mut self, addr: Addr, state: StableState, ctx: &mut Ctx<'_, SysMsg>) {
+        let mut mshr = self.mshrs.remove(&addr).expect("mshr present");
+        let mut line = Line {
+            state,
+            data: mshr.data,
+        };
+        let initiator = mshr.initiator.take().expect("core-initiated fill");
+        let kind = Self::kind_of(&initiator.instr);
+        let value = match initiator.instr {
+            Instr::Load { .. } => line.data,
+            Instr::Store { val, .. } => {
+                debug_assert!(state.can_write());
+                line.state = StableState::M;
+                line.data = val;
+                0
+            }
+            Instr::Rmw { add, .. } => {
+                debug_assert!(state.can_write());
+                let old = line.data;
+                line.state = StableState::M;
+                line.data = old.wrapping_add(add);
+                old
+            }
+            Instr::Prefetch { .. } => {
+                // RFO fill: ownership acquired, data untouched. The core
+                // was already answered when the hint arrived.
+                debug_assert!(state.can_write());
+                0
+            }
+            _ => unreachable!("fills are memory accesses"),
+        };
+        let final_state = line.state;
+        self.ensure_way(addr, ctx);
+        let evicted = self.array.insert(addr, line);
+        debug_assert!(evicted.is_none(), "way freed by ensure_way");
+        self.stats[kind as usize].bands.record(ctx.now.since(mshr.started));
+        if !matches!(initiator.instr, Instr::Prefetch { .. }) {
+            self.respond(&initiator, value, ctx);
+        }
+        if self.cfg.family != ProtocolFamily::Rcc {
+            self.send_dir(
+                HostMsg::Unblock {
+                    addr,
+                    to_state: final_state,
+                },
+                ctx,
+            );
+        }
+        // Replay deferred same-line requests.
+        let pending: Vec<CoreReq> = mshr.pending.drain(..).collect();
+        for req in pending {
+            self.handle_core(req, ctx);
+        }
+    }
+
+    fn retire_mshr(&mut self, addr: Addr, ctx: &mut Ctx<'_, SysMsg>) {
+        let mshr = self.mshrs.remove(&addr).expect("mshr present");
+        debug_assert!(mshr.initiator.is_none());
+        for req in mshr.pending {
+            self.handle_core(req, ctx);
+        }
+    }
+
+    fn handle_host(&mut self, msg: HostMsg, _src: ComponentId, ctx: &mut Ctx<'_, SysMsg>) {
+        let addr = msg.addr();
+        match msg {
+            HostMsg::Data {
+                data, grant, acks, ..
+            } => {
+                let mshr = self.mshrs.get_mut(&addr).expect("Data without MSHR");
+                mshr.data = data;
+                mshr.data_received = true;
+                mshr.acks += acks as i32;
+                match mshr.tstate {
+                    TState::IS_D => {
+                        debug_assert_eq!(acks, 0);
+                        self.complete_fill(addr, grant.state(), ctx);
+                    }
+                    TState::IM_AD | TState::SM_AD => {
+                        debug_assert_eq!(grant, Grant::M);
+                        if mshr.acks <= 0 {
+                            self.complete_fill(addr, StableState::M, ctx);
+                        } else {
+                            mshr.tstate = if mshr.tstate == TState::IM_AD {
+                                TState::IM_A
+                            } else {
+                                TState::SM_A
+                            };
+                        }
+                    }
+                    other => panic!("Data in {other:?}"),
+                }
+            }
+            HostMsg::InvAck { .. } => {
+                let mshr = self.mshrs.get_mut(&addr).expect("InvAck without MSHR");
+                mshr.acks -= 1;
+                if matches!(mshr.tstate, TState::IM_A | TState::SM_A) && mshr.acks <= 0 {
+                    self.complete_fill(addr, StableState::M, ctx);
+                }
+            }
+            HostMsg::FwdGetS { requestor, grant, .. } => {
+                let family = self.cfg.family;
+                // An upgrading O/F owner (SM_AD) can be asked to supply: the
+                // line is still resident; serve it and keep upgrading.
+                if matches!(
+                    self.mshrs.get(&addr).map(|m| m.tstate),
+                    Some(TState::SM_AD)
+                ) {
+                    let line = *self.array.peek(addr).expect("upgrader holds the line");
+                    debug_assert!(line.state.supplies_data(), "FwdGetS to non-supplier upgrader");
+                    let dirty = line.state.is_dirty();
+                    ctx.send(
+                        requestor,
+                        SysMsg::Host(HostMsg::Data {
+                            addr,
+                            data: line.data,
+                            grant,
+                            acks: 0,
+                            dirty,
+                        }),
+                    );
+                    let next = match family {
+                        ProtocolFamily::Moesi => StableState::O,
+                        _ => StableState::S,
+                    };
+                    if dirty && next != StableState::O {
+                        self.send_dir(
+                            HostMsg::DataToDir {
+                                addr,
+                                data: line.data,
+                                dirty,
+                            },
+                            ctx,
+                        );
+                    }
+                    self.array.get_mut(addr).expect("present").state = next;
+                    return;
+                }
+                if let Some(mshr) = self.mshrs.get_mut(&addr) {
+                    match mshr.tstate {
+                        TState::SI_A => {
+                            // Evicting ex-forwarder (MESIF): the eviction
+                            // data still serves the request.
+                            let data = mshr.data;
+                            ctx.send(
+                                requestor,
+                                SysMsg::Host(HostMsg::Data {
+                                    addr,
+                                    data,
+                                    grant,
+                                    acks: 0,
+                                    dirty: false,
+                                }),
+                            );
+                        }
+                        TState::MI_A | TState::EI_A => {
+                            let dirty = mshr.tstate == TState::MI_A;
+                            let data = mshr.data;
+                            ctx.send(
+                                requestor,
+                                SysMsg::Host(HostMsg::Data {
+                                    addr,
+                                    data,
+                                    grant,
+                                    acks: 0,
+                                    dirty,
+                                }),
+                            );
+                            if family != ProtocolFamily::Moesi {
+                                mshr.tstate = TState::SI_A;
+                                self.send_dir(HostMsg::DataToDir { addr, data, dirty }, ctx);
+                            }
+                            // MOESI: remain dirty owner; eviction continues.
+                        }
+                        TState::OI_A => {
+                            let data = mshr.data;
+                            ctx.send(
+                                requestor,
+                                SysMsg::Host(HostMsg::Data {
+                                    addr,
+                                    data,
+                                    grant,
+                                    acks: 0,
+                                    dirty: true,
+                                }),
+                            );
+                        }
+                        other => panic!("FwdGetS in {other:?}"),
+                    }
+                    return;
+                }
+                let line = *self
+                    .array
+                    .peek(addr)
+                    .unwrap_or_else(|| panic!("{}: FwdGetS for absent line {addr}", self.name));
+                debug_assert!(
+                    line.state.supplies_data(),
+                    "{}: FwdGetS in state {} for {addr}",
+                    self.name,
+                    line.state
+                );
+                let dirty = line.state.is_dirty();
+                ctx.send(
+                    requestor,
+                    SysMsg::Host(HostMsg::Data {
+                        addr,
+                        data: line.data,
+                        grant,
+                        acks: 0,
+                        dirty,
+                    }),
+                );
+                // MOESI suppliers stay owner (M/O → O, and clean E → O as
+                // well: the directory cannot distinguish E from M after a
+                // silent upgrade, so it keeps treating the supplier as the
+                // owner; a clean O simply writes identical data back later).
+                let next = match self.cfg.family {
+                    ProtocolFamily::Moesi => StableState::O,
+                    _ => StableState::S,
+                };
+                // MESI/MESIF owners make the directory's copy current.
+                if dirty && next != StableState::O {
+                    self.send_dir(
+                        HostMsg::DataToDir {
+                            addr,
+                            data: line.data,
+                            dirty,
+                        },
+                        ctx,
+                    );
+                }
+                self.array.get_mut(addr).expect("present").state = next;
+            }
+            HostMsg::FwdGetM { requestor, acks, .. } => {
+                // An upgrading O/F owner loses its copy to a racing writer
+                // (or recall): supply from the resident line, fall back to
+                // IM_AD and let the own upgrade refill later.
+                if matches!(
+                    self.mshrs.get(&addr).map(|m| m.tstate),
+                    Some(TState::SM_AD)
+                ) {
+                    let line = self.array.remove(addr).expect("upgrader holds the line");
+                    self.hint_core(addr, ctx);
+                    debug_assert!(line.state.supplies_data(), "FwdGetM to non-supplier upgrader");
+                    ctx.send(
+                        requestor,
+                        SysMsg::Host(HostMsg::Data {
+                            addr,
+                            data: line.data,
+                            grant: Grant::M,
+                            acks,
+                            dirty: line.state.is_dirty(),
+                        }),
+                    );
+                    self.mshrs.get_mut(&addr).expect("present").tstate = TState::IM_AD;
+                    return;
+                }
+                if let Some(mshr) = self.mshrs.get_mut(&addr) {
+                    match mshr.tstate {
+                        TState::MI_A | TState::EI_A | TState::OI_A => {
+                            let dirty = mshr.tstate != TState::EI_A;
+                            ctx.send(
+                                requestor,
+                                SysMsg::Host(HostMsg::Data {
+                                    addr,
+                                    data: mshr.data,
+                                    grant: Grant::M,
+                                    acks,
+                                    dirty,
+                                }),
+                            );
+                            mshr.tstate = TState::II_A;
+                        }
+                        other => panic!("FwdGetM in {other:?}"),
+                    }
+                    return;
+                }
+                let line = self.array.remove(addr).expect("FwdGetM for absent line");
+                self.hint_core(addr, ctx);
+                debug_assert!(line.state.supplies_data());
+                ctx.send(
+                    requestor,
+                    SysMsg::Host(HostMsg::Data {
+                        addr,
+                        data: line.data,
+                        grant: Grant::M,
+                        acks,
+                        dirty: line.state.is_dirty(),
+                    }),
+                );
+            }
+            HostMsg::Inv { requestor, .. } => {
+                self.invalidations_received += 1;
+                if let Some(mshr) = self.mshrs.get_mut(&addr) {
+                    match mshr.tstate {
+                        TState::SM_AD => {
+                            // Lost the shared copy mid-upgrade; the data
+                            // grant will still arrive.
+                            mshr.tstate = TState::IM_AD;
+                            self.array.remove(addr);
+                            ctx.send(requestor, SysMsg::Host(HostMsg::InvAck { addr }));
+                            self.hint_core(addr, ctx);
+                        }
+                        TState::SI_A => {
+                            mshr.tstate = TState::II_A;
+                            ctx.send(requestor, SysMsg::Host(HostMsg::InvAck { addr }));
+                        }
+                        other => panic!("Inv in {other:?}"),
+                    }
+                    return;
+                }
+                let line = self.array.remove(addr);
+                self.hint_core(addr, ctx);
+                debug_assert!(
+                    matches!(
+                        line,
+                        Some(Line {
+                            state: StableState::S | StableState::F,
+                            ..
+                        })
+                    ),
+                    "Inv for non-shared line {line:?}"
+                );
+                ctx.send(requestor, SysMsg::Host(HostMsg::InvAck { addr }));
+            }
+            HostMsg::PutAck { .. } => {
+                debug_assert!(matches!(
+                    self.mshrs.get(&addr).map(|m| m.tstate),
+                    Some(
+                        TState::MI_A
+                            | TState::OI_A
+                            | TState::EI_A
+                            | TState::SI_A
+                            | TState::II_A
+                    )
+                ));
+                self.retire_mshr(addr, ctx);
+            }
+            HostMsg::WtAck { .. } => {
+                let mshr = self.mshrs.get(&addr).expect("WtAck without MSHR");
+                debug_assert_eq!(mshr.tstate, TState::WT_A);
+                let from_release = mshr.from_release;
+                self.retire_mshr(addr, ctx);
+                if from_release {
+                    let rel = self.release.as_mut().expect("release in progress");
+                    rel.remaining -= 1;
+                    if rel.remaining == 0 {
+                        let rel = self.release.take().expect("present");
+                        let req = CoreReq {
+                            tag: rel.tag,
+                            instr: Instr::Work(0),
+                        };
+                        self.respond(&req, rel.respond_value, ctx);
+                    }
+                }
+            }
+            HostMsg::AtomicResp { old, .. } => {
+                let mshr = self.mshrs.get(&addr).expect("AtomicResp without MSHR");
+                debug_assert_eq!(mshr.tstate, TState::AT_D);
+                let mshr = self.mshrs.remove(&addr).expect("present");
+                let initiator = mshr.initiator.expect("atomic has initiator");
+                self.stats[AccessKind::Rmw as usize]
+                    .bands
+                    .record(ctx.now.since(mshr.started));
+                self.respond(&initiator, old, ctx);
+                for req in mshr.pending {
+                    self.handle_core(req, ctx);
+                }
+            }
+            other => panic!("L1 received directory-bound message {other:?}"),
+        }
+    }
+}
+
+impl Component<SysMsg> for L1Controller {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn handle(&mut self, msg: SysMsg, src: ComponentId, ctx: &mut Ctx<'_, SysMsg>) {
+        c3_sim::sim_trace!("[{}] {} <- {src}: {msg:?}", ctx.now, self.name);
+        match msg {
+            SysMsg::CoreReq(req) => self.handle_core(req, ctx),
+            SysMsg::Host(h) => self.handle_host(h, src, ctx),
+            other => panic!("L1 received {other:?}"),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.mshrs.is_empty() && self.release.is_none()
+    }
+
+    fn report(&self, out: &mut Report) {
+        let n = &self.name;
+        for (kind, label) in [
+            (AccessKind::Load, "load"),
+            (AccessKind::Store, "store"),
+            (AccessKind::Rmw, "rmw"),
+        ] {
+            let s = &self.stats[kind as usize];
+            out.set(format!("{n}.{label}.hits"), s.hits as f64);
+            out.set(format!("{n}.{label}.misses"), s.misses as f64);
+            for band in c3_sim::stats::Band::ALL {
+                out.set(
+                    format!("{n}.{label}.miss_ns.{band}"),
+                    s.bands.total_ns(band) as f64,
+                );
+                out.set(
+                    format!("{n}.{label}.miss_count.{band}"),
+                    s.bands.count(band) as f64,
+                );
+            }
+        }
+        out.set(format!("{n}.writebacks"), self.writebacks as f64);
+        out.set(
+            format!("{n}.invalidations"),
+            self.invalidations_received as f64,
+        );
+        out.set(
+            format!("{n}.self_invalidations"),
+            self.self_invalidations as f64,
+        );
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,40 @@
+//! # c3-protocol — coherence protocol vocabulary
+//!
+//! Shared definitions for the C³ reproduction (*C³: CXL Coherence
+//! Controllers for Heterogeneous Architectures*, HPCA 2026):
+//!
+//! * [`states`] — the MOESIF stable-state alphabet and protocol families;
+//! * [`msg`] — the executable message set: host-domain directory coherence
+//!   ([`msg::HostMsg`]), CXL.mem 3.0 ([`msg::CxlMsg`], Table I of the
+//!   paper), and core↔cache traffic, unified in [`msg::SysMsg`];
+//! * [`ssp`] — machine-readable *stable state protocol* specifications for
+//!   MESI / MESIF / MOESI / RCC / CXL.mem, the input to the C³ generator;
+//! * [`mcm`] — per-thread memory consistency models (TSO / weak) and the
+//!   single ordering predicate both the timing model and the reference
+//!   enumerator use;
+//! * [`ops`] — memory operations, registers and thread programs.
+//!
+//! # Examples
+//!
+//! ```
+//! use c3_protocol::ssp::SspSpec;
+//! use c3_protocol::states::ProtocolFamily;
+//!
+//! let spec = SspSpec::for_family(ProtocolFamily::Moesi);
+//! assert!(spec.validate().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod mcm;
+pub mod msg;
+pub mod ops;
+pub mod ssp;
+pub mod ssp_text;
+pub mod states;
+
+pub use mcm::Mcm;
+pub use msg::{CoreReq, CoreResp, CxlMsg, HostMsg, SysMsg};
+pub use ops::{Addr, Instr, Reg, ThreadProgram};
+pub use ssp::SspSpec;
+pub use states::{ProtocolFamily, StableState};

@@ -1,0 +1,375 @@
+//! Memory operations, registers and thread programs.
+//!
+//! These are the shared vocabulary between the core timing models
+//! (`c3-mcm`), the workload generators (`c3-workloads`) and the litmus
+//! harness: a thread is a straight-line sequence of loads, stores,
+//! read-modify-writes and fences over cache-line addresses.
+
+use std::fmt;
+
+/// A cache-line address.
+///
+/// The simulated memory system works at line granularity; a line holds one
+/// 64-bit value (sufficient for coherence and consistency behaviour, which
+/// is what the paper evaluates).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Line size in bytes (for traffic accounting).
+    pub const LINE_BYTES: u32 = 64;
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A destination register for loads (litmus outcome observation).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Memory-ordering annotation on an individual access (C11-style).
+///
+/// On TSO hardware, `Acquire`/`Release` are free (TSO already provides
+/// them); on weak (Arm-like) hardware they map to ordered instructions.
+/// This mirrors the compiler mappings the paper discusses in §II-B.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum AccessOrder {
+    /// No ordering beyond coherence (plain access).
+    #[default]
+    Relaxed,
+    /// Load-acquire: orders this access before all program-later accesses.
+    Acquire,
+    /// Store-release: orders all program-earlier accesses before this one.
+    Release,
+    /// Fully ordered access.
+    SeqCst,
+}
+
+impl AccessOrder {
+    /// Whether this access has acquire semantics.
+    pub fn is_acquire(self) -> bool {
+        matches!(self, AccessOrder::Acquire | AccessOrder::SeqCst)
+    }
+
+    /// Whether this access has release semantics.
+    pub fn is_release(self) -> bool {
+        matches!(self, AccessOrder::Release | AccessOrder::SeqCst)
+    }
+}
+
+/// An explicit memory barrier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FenceKind {
+    /// Orders everything before against everything after (`mfence`/`dmb sy`).
+    Full,
+    /// Orders earlier stores before later stores (`dmb st`).
+    StoreStore,
+    /// Orders earlier loads before later loads and stores (`dmb ld`).
+    LoadLoad,
+}
+
+/// One instruction of a thread program.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// Load from `addr` into `reg`.
+    Load {
+        /// Line read.
+        addr: Addr,
+        /// Destination register.
+        reg: Reg,
+        /// Ordering annotation.
+        order: AccessOrder,
+    },
+    /// Store `val` to `addr`.
+    Store {
+        /// Line written.
+        addr: Addr,
+        /// Value written.
+        val: u64,
+        /// Ordering annotation.
+        order: AccessOrder,
+    },
+    /// Atomic fetch-and-add of `add` to `addr`, old value into `reg`.
+    Rmw {
+        /// Line updated.
+        addr: Addr,
+        /// Addend.
+        add: u64,
+        /// Destination register for the old value.
+        reg: Reg,
+        /// Ordering annotation (RMWs are at least acquire+release here).
+        order: AccessOrder,
+    },
+    /// Exclusive-ownership prefetch (RFO) issued by TSO store buffers to
+    /// overlap store-miss latency while draining in order. Carries no
+    /// ordering semantics and writes no data.
+    Prefetch {
+        /// Line to acquire for writing.
+        addr: Addr,
+    },
+    /// Explicit barrier.
+    Fence(FenceKind),
+    /// Local compute delay of the given number of core cycles — lets
+    /// workloads model non-memory work between accesses.
+    Work(u32),
+}
+
+impl Instr {
+    /// The address touched, if this is a memory access.
+    pub fn addr(&self) -> Option<Addr> {
+        match self {
+            Instr::Load { addr, .. }
+            | Instr::Store { addr, .. }
+            | Instr::Rmw { addr, .. }
+            | Instr::Prefetch { addr } => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction reads memory.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Rmw { .. })
+    }
+
+    /// Whether this instruction writes memory.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Instr::Store { .. } | Instr::Rmw { .. })
+    }
+}
+
+/// A straight-line program for one hardware thread.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ThreadProgram {
+    /// The instruction sequence, executed in program order.
+    pub instrs: Vec<Instr>,
+}
+
+impl ThreadProgram {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a relaxed load.
+    pub fn load(mut self, addr: Addr, reg: Reg) -> Self {
+        self.instrs.push(Instr::Load {
+            addr,
+            reg,
+            order: AccessOrder::Relaxed,
+        });
+        self
+    }
+
+    /// Append a load-acquire.
+    pub fn load_acq(mut self, addr: Addr, reg: Reg) -> Self {
+        self.instrs.push(Instr::Load {
+            addr,
+            reg,
+            order: AccessOrder::Acquire,
+        });
+        self
+    }
+
+    /// Append a relaxed store.
+    pub fn store(mut self, addr: Addr, val: u64) -> Self {
+        self.instrs.push(Instr::Store {
+            addr,
+            val,
+            order: AccessOrder::Relaxed,
+        });
+        self
+    }
+
+    /// Append a store-release.
+    pub fn store_rel(mut self, addr: Addr, val: u64) -> Self {
+        self.instrs.push(Instr::Store {
+            addr,
+            val,
+            order: AccessOrder::Release,
+        });
+        self
+    }
+
+    /// Append an atomic fetch-and-add.
+    pub fn rmw(mut self, addr: Addr, add: u64, reg: Reg) -> Self {
+        self.instrs.push(Instr::Rmw {
+            addr,
+            add,
+            reg,
+            order: AccessOrder::SeqCst,
+        });
+        self
+    }
+
+    /// Append a full fence.
+    pub fn fence(mut self) -> Self {
+        self.instrs.push(Instr::Fence(FenceKind::Full));
+        self
+    }
+
+    /// Append a compute delay.
+    pub fn work(mut self, cycles: u32) -> Self {
+        self.instrs.push(Instr::Work(cycles));
+        self
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// All distinct addresses referenced, in first-use order.
+    pub fn addresses(&self) -> Vec<Addr> {
+        let mut seen = Vec::new();
+        for i in &self.instrs {
+            if let Some(a) = i.addr() {
+                if !seen.contains(&a) {
+                    seen.push(a);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Strip every ordering annotation and fence — the paper's litmus
+    /// *control* experiment (§VI-A): without synchronization, forbidden
+    /// outcomes must become observable on weak hosts.
+    pub fn without_sync(&self) -> ThreadProgram {
+        let instrs = self
+            .instrs
+            .iter()
+            .filter_map(|i| match *i {
+                Instr::Fence(_) => None,
+                Instr::Load { addr, reg, .. } => Some(Instr::Load {
+                    addr,
+                    reg,
+                    order: AccessOrder::Relaxed,
+                }),
+                Instr::Store { addr, val, .. } => Some(Instr::Store {
+                    addr,
+                    val,
+                    order: AccessOrder::Relaxed,
+                }),
+                other => Some(other),
+            })
+            .collect();
+        ThreadProgram { instrs }
+    }
+
+    /// Registers written by this program, in first-use order.
+    pub fn registers(&self) -> Vec<Reg> {
+        let mut seen = Vec::new();
+        for i in &self.instrs {
+            let r = match i {
+                Instr::Load { reg, .. } | Instr::Rmw { reg, .. } => Some(*reg),
+                _ => None,
+            };
+            if let Some(r) = r {
+                if !seen.contains(&r) {
+                    seen.push(r);
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl FromIterator<Instr> for ThreadProgram {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
+        ThreadProgram {
+            instrs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Instr> for ThreadProgram {
+    fn extend<T: IntoIterator<Item = Instr>>(&mut self, iter: T) {
+        self.instrs.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let p = ThreadProgram::new()
+            .store(Addr(0), 1)
+            .fence()
+            .load(Addr(1), Reg(0));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.addresses(), vec![Addr(0), Addr(1)]);
+        assert_eq!(p.registers(), vec![Reg(0)]);
+    }
+
+    #[test]
+    fn without_sync_strips_everything() {
+        let p = ThreadProgram::new()
+            .store_rel(Addr(0), 1)
+            .fence()
+            .load_acq(Addr(1), Reg(0));
+        let stripped = p.without_sync();
+        assert_eq!(stripped.len(), 2);
+        assert!(stripped.instrs.iter().all(|i| match i {
+            Instr::Load { order, .. } | Instr::Store { order, .. } =>
+                *order == AccessOrder::Relaxed,
+            Instr::Fence(_) => false,
+            _ => true,
+        }));
+    }
+
+    #[test]
+    fn access_order_predicates() {
+        assert!(AccessOrder::Acquire.is_acquire());
+        assert!(!AccessOrder::Acquire.is_release());
+        assert!(AccessOrder::Release.is_release());
+        assert!(AccessOrder::SeqCst.is_acquire() && AccessOrder::SeqCst.is_release());
+        assert!(!AccessOrder::Relaxed.is_acquire());
+    }
+
+    #[test]
+    fn instr_classification() {
+        let l = Instr::Load {
+            addr: Addr(1),
+            reg: Reg(0),
+            order: AccessOrder::Relaxed,
+        };
+        let s = Instr::Store {
+            addr: Addr(1),
+            val: 0,
+            order: AccessOrder::Relaxed,
+        };
+        let r = Instr::Rmw {
+            addr: Addr(1),
+            add: 1,
+            reg: Reg(1),
+            order: AccessOrder::SeqCst,
+        };
+        assert!(l.is_read() && !l.is_write());
+        assert!(!s.is_read() && s.is_write());
+        assert!(r.is_read() && r.is_write());
+        assert_eq!(Instr::Fence(FenceKind::Full).addr(), None);
+        assert_eq!(Instr::Work(3).addr(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Addr(255).to_string(), "0xff");
+        assert_eq!(Reg(2).to_string(), "r2");
+    }
+}

@@ -1,0 +1,201 @@
+//! Components and the execution context handed to them.
+//!
+//! A simulation is a set of [`Component`]s exchanging messages through the
+//! kernel. Components never hold references to each other; all interaction
+//! goes through [`Ctx`], which schedules deliveries either through the
+//! modelled interconnect ([`crate::fabric::Fabric`]) or over a direct port
+//! with a fixed latency (e.g. a core's 1-cycle path to its private L1).
+
+use std::any::Any;
+
+use crate::fabric::Fabric;
+use crate::rng::SimRng;
+use crate::stats::Report;
+use crate::time::{Delay, Time};
+
+/// Identifies a component within one [`crate::kernel::Simulator`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ComponentId(pub u32);
+
+impl ComponentId {
+    /// Index into the simulator's component table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A message that can travel through the simulated system.
+///
+/// `size_bytes` feeds the fabric's serialization model (flits, Table III of
+/// the paper). The default corresponds to one intra-cluster flit.
+pub trait Message: std::fmt::Debug + 'static {
+    /// Wire size used for serialization delay; headers included.
+    fn size_bytes(&self) -> u32 {
+        72
+    }
+}
+
+/// A simulated hardware component (core, cache controller, directory, ...).
+///
+/// Implementors also provide [`Any`] access so integration harnesses can
+/// inspect concrete component state after a run.
+pub trait Component<M: Message>: Any {
+    /// Short, unique, human-readable name (used in reports and traces).
+    fn name(&self) -> String;
+
+    /// Deliver a message sent by `src`.
+    fn handle(&mut self, msg: M, src: ComponentId, ctx: &mut Ctx<'_, M>);
+
+    /// Deliver a self-scheduled wakeup (see [`Ctx::wake_after`]).
+    fn on_wake(&mut self, _token: u64, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Called once before the first event, letting the component kick off
+    /// initial activity (e.g. a core issuing its first instruction).
+    fn start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Whether the component has finished all the work it ever intends to
+    /// do. The kernel reports a deadlock if the event queue drains while a
+    /// component is not done.
+    fn done(&self) -> bool {
+        true
+    }
+
+    /// Contribute statistics to a run report.
+    fn report(&self, _out: &mut Report) {}
+
+    /// Upcast for post-run inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for post-run inspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// An output scheduled by a component while handling an event.
+#[derive(Debug)]
+pub(crate) enum Emit<M> {
+    Deliver {
+        at: Time,
+        dst: ComponentId,
+        src: ComponentId,
+        msg: M,
+    },
+    Wake {
+        at: Time,
+        dst: ComponentId,
+        token: u64,
+    },
+}
+
+/// Execution context for one event delivery.
+///
+/// Borrowed by the kernel for the duration of a single `handle`/`on_wake`
+/// call; all sends are collected and enqueued when the call returns.
+pub struct Ctx<'a, M: Message> {
+    /// Current simulated time.
+    pub now: Time,
+    /// The component currently executing.
+    pub self_id: ComponentId,
+    pub(crate) fabric: &'a mut Fabric,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) outbox: &'a mut Vec<Emit<M>>,
+}
+
+impl<'a, M: Message> Ctx<'a, M> {
+    /// Send `msg` to `dst` through the modelled interconnect.
+    ///
+    /// The fabric determines arrival time from the configured route
+    /// (routers, link latency, serialization, contention, jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no route from `self` to `dst` is configured — that is a
+    /// system-wiring bug, not a runtime condition.
+    pub fn send(&mut self, dst: ComponentId, msg: M) {
+        let arrival = self
+            .fabric
+            .deliver(self.self_id, dst, msg.size_bytes(), self.now, self.rng);
+        self.outbox.push(Emit::Deliver {
+            at: arrival,
+            dst,
+            src: self.self_id,
+            msg,
+        });
+    }
+
+    /// Like [`Ctx::send`], but the message enters the fabric only after
+    /// `extra` delay (e.g. a DRAM access before the response leaves the
+    /// memory device). Applying the delay *before* fabric injection keeps
+    /// ordered links FIFO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no route from `self` to `dst` is configured.
+    pub fn send_after(&mut self, dst: ComponentId, msg: M, extra: Delay) {
+        let arrival = self.fabric.deliver(
+            self.self_id,
+            dst,
+            msg.size_bytes(),
+            self.now + extra,
+            self.rng,
+        );
+        self.outbox.push(Emit::Deliver {
+            at: arrival,
+            dst,
+            src: self.self_id,
+            msg,
+        });
+    }
+
+    /// Send `msg` to `dst` over a direct port with a fixed `delay`,
+    /// bypassing the fabric (e.g. core ↔ private L1, 1 cycle).
+    pub fn send_direct(&mut self, dst: ComponentId, msg: M, delay: Delay) {
+        self.outbox.push(Emit::Deliver {
+            at: self.now + delay,
+            dst,
+            src: self.self_id,
+            msg,
+        });
+    }
+
+    /// Schedule a wakeup for this component after `delay`; `token` is handed
+    /// back to [`Component::on_wake`].
+    pub fn wake_after(&mut self, delay: Delay, token: u64) {
+        self.outbox.push(Emit::Wake {
+            at: self.now + delay,
+            dst: self.self_id,
+            token,
+        });
+    }
+
+    /// Deterministic per-run random stream (shared by all components; use
+    /// sparingly in protocol logic — intended for workload/jitter modelling).
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Ping;
+    impl Message for Ping {}
+
+    #[test]
+    fn default_message_size_is_one_flit() {
+        assert_eq!(Ping.size_bytes(), 72);
+    }
+
+    #[test]
+    fn component_id_display() {
+        assert_eq!(ComponentId(3).to_string(), "#3");
+        assert_eq!(ComponentId(3).index(), 3);
+    }
+}

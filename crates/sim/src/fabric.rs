@@ -1,0 +1,334 @@
+//! Interconnect model.
+//!
+//! Reproduces the role gem5's Garnet plays in the paper: an abstract network
+//! with configurable per-link latency, router delay, flit serialization and
+//! (for the CXL fabric) unordered delivery. Table III of the paper gives the
+//! parameters used by the evaluation:
+//!
+//! * intra-cluster: point-to-point, 72 B flits, 1-cycle routers, 10-cycle
+//!   links (ordered);
+//! * cross-cluster / CXL: star topology, 256 B flits, 1-cycle routers, 70 ns
+//!   links (PCIe-like, **unordered** — which is what makes the BIConflict
+//!   handshake necessary).
+//!
+//! Contention is modelled per link: a message occupies the link for its
+//! serialization time, so bursts queue up (this produces the hot-line convoy
+//! behaviour analysed in §VI-C of the paper).
+
+use std::collections::HashMap;
+
+use crate::component::ComponentId;
+use crate::rng::SimRng;
+use crate::time::{Delay, Time};
+
+/// Handle to a link created with [`Fabric::add_link`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// Static configuration of one link.
+#[derive(Clone, Debug)]
+pub struct LinkConfig {
+    /// Propagation latency of the wire.
+    pub latency: Delay,
+    /// Per-hop router pipeline delay.
+    pub router: Delay,
+    /// Flit size in bytes; messages serialize in whole flits.
+    pub flit_bytes: u32,
+    /// Time to put one flit on the wire (bandwidth).
+    pub flit_time: Delay,
+    /// If `true` the link preserves ordering (on-chip point-to-point).
+    /// If `false`, a uniformly random jitter up to `jitter` is added to the
+    /// arrival time, modelling an unordered switched fabric.
+    pub ordered: bool,
+    /// Maximum reordering jitter for unordered links.
+    pub jitter: Delay,
+}
+
+impl LinkConfig {
+    /// Intra-cluster on-chip link (Table III): 72 B flits, 1-cycle router,
+    /// 10-cycle link at 2 GHz, ordered.
+    pub fn intra_cluster() -> Self {
+        LinkConfig {
+            latency: Delay::from_cycles(10, 2_000),
+            router: Delay::from_cycles(1, 2_000),
+            flit_bytes: 72,
+            flit_time: Delay::from_cycles(1, 2_000),
+            ordered: true,
+            jitter: Delay::ZERO,
+        }
+    }
+
+    /// Cross-cluster CXL link (Table III): 256 B flits, 1-cycle router,
+    /// 70 ns link latency, unordered (PCIe-like switched fabric). The
+    /// jitter magnitude is small relative to the link latency — enough to
+    /// reorder near-simultaneous messages (which is what the BIConflict
+    /// handshake must cope with) without inflating the mean latency.
+    pub fn cxl() -> Self {
+        LinkConfig {
+            latency: Delay::from_ns(70),
+            router: Delay::from_cycles(1, 2_000),
+            flit_bytes: 256,
+            flit_time: Delay::from_cycles(1, 2_000),
+            ordered: false,
+            jitter: Delay::from_ns(4),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Link {
+    cfg: LinkConfig,
+    /// Earliest time the link can begin serializing the next message.
+    next_free: Time,
+    /// For ordered links: arrival time of the previously sent message.
+    last_arrival: Time,
+    /// Messages carried (statistics).
+    messages: u64,
+    /// Bytes carried (statistics).
+    bytes: u64,
+}
+
+/// The system interconnect: a set of links plus a routing table.
+///
+/// # Examples
+///
+/// ```
+/// use c3_sim::fabric::{Fabric, LinkConfig};
+/// use c3_sim::component::ComponentId;
+/// use c3_sim::rng::SimRng;
+/// use c3_sim::time::Time;
+///
+/// let mut fabric = Fabric::new();
+/// let l = fabric.add_link(LinkConfig::intra_cluster());
+/// fabric.set_route(ComponentId(0), ComponentId(1), vec![l]);
+/// let mut rng = SimRng::seed_from(1);
+/// let arrival = fabric.deliver(ComponentId(0), ComponentId(1), 72, Time::ZERO, &mut rng);
+/// assert!(arrival > Time::ZERO);
+/// ```
+#[derive(Debug, Default)]
+pub struct Fabric {
+    links: Vec<Link>,
+    routes: HashMap<(ComponentId, ComponentId), Vec<LinkId>>,
+}
+
+impl Fabric {
+    /// An empty fabric with no links or routes.
+    pub fn new() -> Self {
+        Fabric::default()
+    }
+
+    /// Install a link and return its handle.
+    pub fn add_link(&mut self, cfg: LinkConfig) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            cfg,
+            next_free: Time::ZERO,
+            last_arrival: Time::ZERO,
+            messages: 0,
+            bytes: 0,
+        });
+        id
+    }
+
+    /// Define the route (sequence of links) from `src` to `dst`.
+    pub fn set_route(&mut self, src: ComponentId, dst: ComponentId, links: Vec<LinkId>) {
+        self.routes.insert((src, dst), links);
+    }
+
+    /// Define symmetric routes between `a` and `b` over the same links.
+    pub fn set_route_bidi(&mut self, a: ComponentId, b: ComponentId, links: Vec<LinkId>) {
+        self.routes.insert((a, b), links.clone());
+        self.routes.insert((b, a), links);
+    }
+
+    /// Whether a route exists from `src` to `dst`.
+    pub fn has_route(&self, src: ComponentId, dst: ComponentId) -> bool {
+        self.routes.contains_key(&(src, dst))
+    }
+
+    /// Compute the arrival time of a `size`-byte message sent now, updating
+    /// link occupancy. Called by the kernel on behalf of components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no route is configured from `src` to `dst`.
+    pub fn deliver(
+        &mut self,
+        src: ComponentId,
+        dst: ComponentId,
+        size: u32,
+        now: Time,
+        rng: &mut SimRng,
+    ) -> Time {
+        let route = self
+            .routes
+            .get(&(src, dst))
+            .unwrap_or_else(|| panic!("no route configured {src} -> {dst}"))
+            .clone();
+        let mut t = now;
+        for lid in route {
+            let link = &mut self.links[lid.0 as usize];
+            let flits = size.div_ceil(link.cfg.flit_bytes).max(1) as u64;
+            let ser = link.cfg.flit_time.times(flits);
+            let start = t.max(link.next_free);
+            link.next_free = start + ser;
+            link.messages += 1;
+            link.bytes += size as u64;
+            let mut arrival = start + ser + link.cfg.router + link.cfg.latency;
+            if link.cfg.ordered {
+                // FIFO channel: delivery order matches send order.
+                arrival = arrival.max(link.last_arrival);
+                link.last_arrival = arrival;
+            } else if link.cfg.jitter > Delay::ZERO {
+                arrival += Delay::from_ps(rng.below(link.cfg.jitter.as_ps().max(1)));
+            }
+            t = arrival;
+        }
+        t
+    }
+
+    /// Wire `nodes` point-to-point (Table III intra-cluster topology): one
+    /// dedicated link per ordered pair, each configured as `cfg`.
+    pub fn wire_p2p(&mut self, nodes: &[ComponentId], cfg: &LinkConfig) {
+        for &a in nodes {
+            for &b in nodes {
+                if a != b {
+                    let l = self.add_link(cfg.clone());
+                    self.set_route(a, b, vec![l]);
+                }
+            }
+        }
+    }
+
+    /// Wire `nodes` in a star (Table III cross-cluster topology): each node
+    /// gets an uplink and a downlink to a central switch; a route is
+    /// `uplink(src) → downlink(dst)` (two hops).
+    pub fn wire_star(&mut self, nodes: &[ComponentId], cfg: &LinkConfig) {
+        let ports: Vec<(LinkId, LinkId)> = nodes
+            .iter()
+            .map(|_| (self.add_link(cfg.clone()), self.add_link(cfg.clone())))
+            .collect();
+        for (i, &a) in nodes.iter().enumerate() {
+            for (j, &b) in nodes.iter().enumerate() {
+                if i != j {
+                    self.set_route(a, b, vec![ports[i].0, ports[j].1]);
+                }
+            }
+        }
+    }
+
+    /// Messages carried by a link so far.
+    pub fn link_messages(&self, id: LinkId) -> u64 {
+        self.links[id.0 as usize].messages
+    }
+
+    /// Bytes carried by a link so far.
+    pub fn link_bytes(&self, id: LinkId) -> u64 {
+        self.links[id.0 as usize].bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (ComponentId, ComponentId) {
+        (ComponentId(0), ComponentId(1))
+    }
+
+    #[test]
+    fn ordered_link_preserves_fifo() {
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let l = f.add_link(LinkConfig::intra_cluster());
+        f.set_route(a, b, vec![l]);
+        let mut rng = SimRng::seed_from(1);
+        let t1 = f.deliver(a, b, 72, Time::ZERO, &mut rng);
+        let t2 = f.deliver(a, b, 72, Time::ZERO, &mut rng);
+        assert!(t2 >= t1, "FIFO violated: {t1:?} then {t2:?}");
+    }
+
+    #[test]
+    fn serialization_contends() {
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let l = f.add_link(LinkConfig::intra_cluster());
+        f.set_route(a, b, vec![l]);
+        let mut rng = SimRng::seed_from(1);
+        // A huge message occupies the link...
+        let big = f.deliver(a, b, 72 * 100, Time::ZERO, &mut rng);
+        // ...so a subsequent small one is pushed out.
+        let small = f.deliver(a, b, 72, Time::ZERO, &mut rng);
+        assert!(small > Time::ZERO + Delay::from_cycles(11, 2_000));
+        assert!(big > Time::ZERO);
+    }
+
+    #[test]
+    fn unordered_link_can_reorder() {
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let l = f.add_link(LinkConfig::cxl());
+        f.set_route(a, b, vec![l]);
+        let mut rng = SimRng::seed_from(3);
+        let mut reordered = false;
+        let mut prev = Time::ZERO;
+        for i in 0..200 {
+            let t = f.deliver(a, b, 72, Time::from_ns(i), &mut rng);
+            if t < prev {
+                reordered = true;
+            }
+            prev = t;
+        }
+        assert!(reordered, "CXL fabric should exhibit reordering");
+    }
+
+    #[test]
+    fn cxl_latency_dominates() {
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let l = f.add_link(LinkConfig::cxl());
+        f.set_route(a, b, vec![l]);
+        let mut rng = SimRng::seed_from(4);
+        let t = f.deliver(a, b, 72, Time::ZERO, &mut rng);
+        assert!(t >= Time::from_ns(70));
+        assert!(t <= Time::from_ns(95));
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn missing_route_panics() {
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let mut rng = SimRng::seed_from(5);
+        f.deliver(a, b, 72, Time::ZERO, &mut rng);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let l = f.add_link(LinkConfig::intra_cluster());
+        f.set_route(a, b, vec![l]);
+        let mut rng = SimRng::seed_from(6);
+        f.deliver(a, b, 100, Time::ZERO, &mut rng);
+        f.deliver(a, b, 100, Time::ZERO, &mut rng);
+        assert_eq!(f.link_messages(l), 2);
+        assert_eq!(f.link_bytes(l), 200);
+    }
+
+    #[test]
+    fn multi_hop_accumulates_latency() {
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let l1 = f.add_link(LinkConfig::intra_cluster());
+        let l2 = f.add_link(LinkConfig::intra_cluster());
+        f.set_route(a, b, vec![l1, l2]);
+        let mut single = Fabric::new();
+        let sl = single.add_link(LinkConfig::intra_cluster());
+        single.set_route(a, b, vec![sl]);
+        let mut rng = SimRng::seed_from(7);
+        let two = f.deliver(a, b, 72, Time::ZERO, &mut rng);
+        let one = single.deliver(a, b, 72, Time::ZERO, &mut rng);
+        assert!(two > one);
+    }
+}

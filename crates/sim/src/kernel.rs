@@ -1,0 +1,456 @@
+//! The discrete-event simulation kernel.
+//!
+//! Events are delivered in `(time, sequence)` order, so the simulation is
+//! deterministic for a given seed: ties at the same picosecond resolve in
+//! scheduling order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::component::{Component, ComponentId, Ctx, Emit, Message};
+use crate::fabric::Fabric;
+use crate::rng::SimRng;
+use crate::stats::Report;
+use crate::time::Time;
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { src: ComponentId, msg: M },
+    Wake { token: u64 },
+}
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: Time,
+    seq: u64,
+    dst: ComponentId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The event queue drained and every component reported `done`.
+    Completed,
+    /// The event queue drained but some component still has pending work —
+    /// a protocol deadlock.
+    Deadlock,
+    /// The configured event budget was exhausted (livelock guard).
+    EventLimit,
+    /// The configured time horizon was reached.
+    TimeLimit,
+}
+
+/// The simulator: components + event queue + fabric + deterministic RNG.
+///
+/// # Examples
+///
+/// ```
+/// use c3_sim::prelude::*;
+///
+/// #[derive(Debug)]
+/// struct Tick(u32);
+/// impl Message for Tick {}
+///
+/// struct Echo { left: u32 }
+/// impl Component<Tick> for Echo {
+///     fn name(&self) -> String { "echo".into() }
+///     fn start(&mut self, ctx: &mut Ctx<'_, Tick>) {
+///         ctx.wake_after(Delay::from_ns(1), 0);
+///     }
+///     fn on_wake(&mut self, _t: u64, ctx: &mut Ctx<'_, Tick>) {
+///         if self.left > 0 {
+///             self.left -= 1;
+///             ctx.wake_after(Delay::from_ns(1), 0);
+///         }
+///     }
+///     fn handle(&mut self, _m: Tick, _s: ComponentId, _c: &mut Ctx<'_, Tick>) {}
+///     fn done(&self) -> bool { self.left == 0 }
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// }
+///
+/// let mut sim = Simulator::new(42);
+/// sim.add_component(Box::new(Echo { left: 3 }));
+/// assert_eq!(sim.run(), RunOutcome::Completed);
+/// assert_eq!(sim.now(), Time::from_ns(4));
+/// ```
+pub struct Simulator<M: Message> {
+    components: Vec<Box<dyn Component<M>>>,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    fabric: Fabric,
+    rng: SimRng,
+    now: Time,
+    seq: u64,
+    events_processed: u64,
+    event_limit: u64,
+    time_limit: Time,
+    started: bool,
+}
+
+impl<M: Message> Simulator<M> {
+    /// New simulator with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            components: Vec::new(),
+            queue: BinaryHeap::new(),
+            fabric: Fabric::new(),
+            rng: SimRng::seed_from(seed),
+            now: Time::ZERO,
+            seq: 0,
+            events_processed: 0,
+            event_limit: u64::MAX,
+            time_limit: Time::MAX,
+            started: false,
+        }
+    }
+
+    /// Register a component, returning its id.
+    pub fn add_component(&mut self, c: Box<dyn Component<M>>) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(c);
+        id
+    }
+
+    /// Mutable access to the interconnect for wiring links and routes.
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// Shared access to the interconnect.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Cap on the number of delivered events (livelock guard).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Cap on simulated time.
+    pub fn set_time_limit(&mut self, limit: Time) {
+        self.time_limit = limit;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Whether every component reports `done`.
+    pub fn all_done(&self) -> bool {
+        self.components.iter().all(|c| c.done())
+    }
+
+    /// Names of components that are not yet done (deadlock diagnostics).
+    pub fn pending_components(&self) -> Vec<String> {
+        self.components
+            .iter()
+            .filter(|c| !c.done())
+            .map(|c| c.name())
+            .collect()
+    }
+
+    fn drain_outbox(&mut self, outbox: &mut Vec<Emit<M>>) {
+        for emit in outbox.drain(..) {
+            self.seq += 1;
+            let ev = match emit {
+                Emit::Deliver { at, dst, src, msg } => Scheduled {
+                    at,
+                    seq: self.seq,
+                    dst,
+                    kind: EventKind::Deliver { src, msg },
+                },
+                Emit::Wake { at, dst, token } => Scheduled {
+                    at,
+                    seq: self.seq,
+                    dst,
+                    kind: EventKind::Wake { token },
+                },
+            };
+            debug_assert!(ev.at >= self.now, "scheduled into the past");
+            self.queue.push(Reverse(ev));
+        }
+    }
+
+    fn start_components(&mut self) {
+        let mut outbox = Vec::new();
+        for i in 0..self.components.len() {
+            let id = ComponentId(i as u32);
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: id,
+                fabric: &mut self.fabric,
+                rng: &mut self.rng,
+                outbox: &mut outbox,
+            };
+            self.components[i].start(&mut ctx);
+            self.drain_outbox(&mut outbox);
+        }
+        self.started = true;
+    }
+
+    /// Run until the queue drains or a limit is hit.
+    pub fn run(&mut self) -> RunOutcome {
+        if !self.started {
+            self.start_components();
+        }
+        let mut outbox = Vec::new();
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if ev.at > self.time_limit {
+                // Push back so a later run() with a higher limit can resume.
+                self.queue.push(Reverse(ev));
+                return RunOutcome::TimeLimit;
+            }
+            if self.events_processed >= self.event_limit {
+                self.queue.push(Reverse(ev));
+                return RunOutcome::EventLimit;
+            }
+            self.now = ev.at;
+            self.events_processed += 1;
+            let idx = ev.dst.index();
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: ev.dst,
+                fabric: &mut self.fabric,
+                rng: &mut self.rng,
+                outbox: &mut outbox,
+            };
+            match ev.kind {
+                EventKind::Deliver { src, msg } => self.components[idx].handle(msg, src, &mut ctx),
+                EventKind::Wake { token } => self.components[idx].on_wake(token, &mut ctx),
+            }
+            self.drain_outbox(&mut outbox);
+        }
+        if self.all_done() {
+            RunOutcome::Completed
+        } else {
+            RunOutcome::Deadlock
+        }
+    }
+
+    /// Collect statistics from every component into one report.
+    pub fn report(&self) -> Report {
+        let mut out = Report::new();
+        for c in &self.components {
+            c.report(&mut out);
+        }
+        out.set("sim.time_ns", self.now.as_ns() as f64);
+        out.set("sim.events", self.events_processed as f64);
+        out
+    }
+
+    /// Inspect a component's concrete type after (or during) a run.
+    pub fn component_as<T: 'static>(&self, id: ComponentId) -> Option<&T> {
+        self.components.get(id.index())?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`Simulator::component_as`].
+    pub fn component_as_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
+        self.components
+            .get_mut(id.index())?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Delay;
+    use std::any::Any;
+
+    #[derive(Debug)]
+    struct Ball(u32);
+    impl Message for Ball {}
+
+    /// Ping-pong pair: A sends the ball to B, B back to A, `n` exchanges.
+    struct Player {
+        peer: Option<ComponentId>,
+        hits: u32,
+        budget: u32,
+        serve: bool,
+    }
+
+    impl Component<Ball> for Player {
+        fn name(&self) -> String {
+            "player".into()
+        }
+        fn start(&mut self, ctx: &mut Ctx<'_, Ball>) {
+            if self.serve {
+                ctx.send(self.peer.unwrap(), Ball(0));
+            }
+        }
+        fn handle(&mut self, msg: Ball, _src: ComponentId, ctx: &mut Ctx<'_, Ball>) {
+            self.hits += 1;
+            if msg.0 < self.budget {
+                ctx.send(self.peer.unwrap(), Ball(msg.0 + 1));
+            }
+        }
+        fn done(&self) -> bool {
+            self.hits > 0 || self.serve
+        }
+        fn report(&self, out: &mut Report) {
+            out.add("players.hits", self.hits as f64);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn pingpong(budget: u32) -> (Simulator<Ball>, ComponentId, ComponentId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_component(Box::new(Player {
+            peer: None,
+            hits: 0,
+            budget,
+            serve: true,
+        }));
+        let b = sim.add_component(Box::new(Player {
+            peer: None,
+            hits: 0,
+            budget,
+            serve: false,
+        }));
+        sim.component_as_mut::<Player>(a).unwrap().peer = Some(b);
+        sim.component_as_mut::<Player>(b).unwrap().peer = Some(a);
+        let link = sim.fabric_mut().add_link(crate::fabric::LinkConfig::intra_cluster());
+        sim.fabric_mut().set_route_bidi(a, b, vec![link]);
+        (sim, a, b)
+    }
+
+    #[test]
+    fn pingpong_completes() {
+        let (mut sim, a, b) = pingpong(9);
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let ha = sim.component_as::<Player>(a).unwrap().hits;
+        let hb = sim.component_as::<Player>(b).unwrap().hits;
+        assert_eq!(ha + hb, 10);
+        assert!(sim.now() > Time::ZERO);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let (mut sim, _, _) = pingpong(3);
+        sim.run();
+        let r = sim.report();
+        assert_eq!(r.get("players.hits"), Some(4.0));
+        assert!(r.get("sim.events").unwrap() >= 4.0);
+    }
+
+    #[test]
+    fn event_limit_stops_run() {
+        let (mut sim, _, _) = pingpong(1_000_000);
+        sim.set_event_limit(10);
+        assert_eq!(sim.run(), RunOutcome::EventLimit);
+        assert_eq!(sim.events_processed(), 10);
+    }
+
+    #[test]
+    fn time_limit_stops_and_resumes() {
+        let (mut sim, _, _) = pingpong(1_000_000);
+        sim.set_time_limit(Time::from_ns(50));
+        assert_eq!(sim.run(), RunOutcome::TimeLimit);
+        let t1 = sim.now();
+        sim.set_time_limit(Time::from_ns(100));
+        assert_eq!(sim.run(), RunOutcome::TimeLimit);
+        assert!(sim.now() >= t1);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let (mut s1, _, _) = pingpong(500);
+        let (mut s2, _, _) = pingpong(500);
+        s1.run();
+        s2.run();
+        assert_eq!(s1.now(), s2.now());
+        assert_eq!(s1.events_processed(), s2.events_processed());
+    }
+
+    struct NeverDone;
+    impl Component<Ball> for NeverDone {
+        fn name(&self) -> String {
+            "stuck".into()
+        }
+        fn handle(&mut self, _m: Ball, _s: ComponentId, _c: &mut Ctx<'_, Ball>) {}
+        fn done(&self) -> bool {
+            false
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut sim: Simulator<Ball> = Simulator::new(1);
+        sim.add_component(Box::new(NeverDone));
+        assert_eq!(sim.run(), RunOutcome::Deadlock);
+        assert_eq!(sim.pending_components(), vec!["stuck".to_string()]);
+    }
+
+    #[test]
+    fn same_time_events_fifo_by_seq() {
+        // Two wakes scheduled for the same instant must fire in schedule order.
+        struct Recorder {
+            order: Vec<u64>,
+        }
+        impl Component<Ball> for Recorder {
+            fn name(&self) -> String {
+                "rec".into()
+            }
+            fn start(&mut self, ctx: &mut Ctx<'_, Ball>) {
+                ctx.wake_after(Delay::from_ns(5), 1);
+                ctx.wake_after(Delay::from_ns(5), 2);
+                ctx.wake_after(Delay::from_ns(5), 3);
+            }
+            fn on_wake(&mut self, token: u64, _ctx: &mut Ctx<'_, Ball>) {
+                self.order.push(token);
+            }
+            fn handle(&mut self, _m: Ball, _s: ComponentId, _c: &mut Ctx<'_, Ball>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim: Simulator<Ball> = Simulator::new(1);
+        let id = sim.add_component(Box::new(Recorder { order: vec![] }));
+        sim.run();
+        assert_eq!(sim.component_as::<Recorder>(id).unwrap().order, vec![1, 2, 3]);
+    }
+}

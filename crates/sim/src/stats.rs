@@ -1,0 +1,226 @@
+//! Run statistics: counters, latency-band histograms and reports.
+//!
+//! The paper's Fig. 11 breaks total miss cycles into three latency bands —
+//! *low* (< 75 ns, intra-cluster), *medium* (75–400 ns, CXL memory access)
+//! and *high* (> 400 ns, cross-cluster coherence) — per instruction type.
+//! [`LatencyBands`] implements exactly that aggregation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::Delay;
+
+/// The paper's three miss-latency bands (Fig. 11).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Band {
+    /// `< 75 ns`: intra-cluster coherence transactions (L2/LLC misses).
+    Low,
+    /// `75–400 ns`: CXL memory accesses.
+    Medium,
+    /// `> 400 ns`: cross-cluster coherence transactions.
+    High,
+}
+
+impl Band {
+    /// All bands in ascending latency order.
+    pub const ALL: [Band; 3] = [Band::Low, Band::Medium, Band::High];
+
+    /// Classify a latency into its band using the paper's thresholds.
+    pub fn of(latency: Delay) -> Band {
+        if latency < Delay::from_ns(75) {
+            Band::Low
+        } else if latency <= Delay::from_ns(400) {
+            Band::Medium
+        } else {
+            Band::High
+        }
+    }
+}
+
+impl fmt::Display for Band {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Band::Low => write!(f, "low(<75ns)"),
+            Band::Medium => write!(f, "med(75-400ns)"),
+            Band::High => write!(f, "high(>400ns)"),
+        }
+    }
+}
+
+/// Accumulates event counts and total latency per band.
+///
+/// # Examples
+///
+/// ```
+/// use c3_sim::stats::{Band, LatencyBands};
+/// use c3_sim::time::Delay;
+/// let mut b = LatencyBands::new();
+/// b.record(Delay::from_ns(50));
+/// b.record(Delay::from_ns(500));
+/// assert_eq!(b.count(Band::Low), 1);
+/// assert_eq!(b.count(Band::High), 1);
+/// assert_eq!(b.total_ns(Band::Medium), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyBands {
+    counts: [u64; 3],
+    total_ps: [u64; 3],
+}
+
+impl LatencyBands {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event with the given latency.
+    pub fn record(&mut self, latency: Delay) {
+        let i = match Band::of(latency) {
+            Band::Low => 0,
+            Band::Medium => 1,
+            Band::High => 2,
+        };
+        self.counts[i] += 1;
+        self.total_ps[i] = self.total_ps[i].saturating_add(latency.as_ps());
+    }
+
+    /// Number of events recorded in `band`.
+    pub fn count(&self, band: Band) -> u64 {
+        self.counts[band as usize]
+    }
+
+    /// Total latency (ns) accumulated in `band` — the paper's "miss cycles".
+    pub fn total_ns(&self, band: Band) -> u64 {
+        self.total_ps[band as usize] / 1_000
+    }
+
+    /// Total events across all bands.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total latency (ns) across all bands.
+    pub fn grand_total_ns(&self) -> u64 {
+        self.total_ps.iter().map(|p| p / 1_000).sum()
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyBands) {
+        for i in 0..3 {
+            self.counts[i] += other.counts[i];
+            self.total_ps[i] = self.total_ps[i].saturating_add(other.total_ps[i]);
+        }
+    }
+}
+
+/// A flat, ordered key → value report assembled from all components.
+///
+/// Keys are dotted paths (`"cluster0.l1.2.load_misses"`). Values are `f64`
+/// so counters, latencies and ratios share one table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    entries: BTreeMap<String, f64>,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set `key` to `value` (overwrites).
+    pub fn set(&mut self, key: impl Into<String>, value: f64) {
+        self.entries.insert(key.into(), value);
+    }
+
+    /// Add `value` to `key` (missing keys start at 0).
+    pub fn add(&mut self, key: impl Into<String>, value: f64) {
+        *self.entries.entry(key.into()).or_insert(0.0) += value;
+    }
+
+    /// Look up a value.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.entries.get(key).copied()
+    }
+
+    /// Sum of all values whose key starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> f64 {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.entries {
+            writeln!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_thresholds_match_paper() {
+        assert_eq!(Band::of(Delay::from_ns(74)), Band::Low);
+        assert_eq!(Band::of(Delay::from_ns(75)), Band::Medium);
+        assert_eq!(Band::of(Delay::from_ns(400)), Band::Medium);
+        assert_eq!(Band::of(Delay::from_ns(401)), Band::High);
+    }
+
+    #[test]
+    fn bands_accumulate_and_merge() {
+        let mut a = LatencyBands::new();
+        a.record(Delay::from_ns(10));
+        a.record(Delay::from_ns(100));
+        let mut b = LatencyBands::new();
+        b.record(Delay::from_ns(500));
+        a.merge(&b);
+        assert_eq!(a.total_count(), 3);
+        assert_eq!(a.count(Band::High), 1);
+        assert_eq!(a.total_ns(Band::Low), 10);
+        assert_eq!(a.grand_total_ns(), 610);
+    }
+
+    #[test]
+    fn report_add_and_sum_prefix() {
+        let mut r = Report::new();
+        r.add("l1.0.misses", 2.0);
+        r.add("l1.0.misses", 3.0);
+        r.add("l1.1.misses", 4.0);
+        r.set("dir.stalls", 7.0);
+        assert_eq!(r.get("l1.0.misses"), Some(5.0));
+        assert_eq!(r.sum_prefix("l1."), 9.0);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn report_display_is_stable() {
+        let mut r = Report::new();
+        r.set("b", 2.0);
+        r.set("a", 1.0);
+        assert_eq!(r.to_string(), "a = 1\nb = 2\n");
+    }
+}

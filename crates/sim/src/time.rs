@@ -1,0 +1,231 @@
+//! Simulated time.
+//!
+//! The kernel counts time in **picoseconds** so that both network link
+//! latencies (nanoseconds) and core cycles (500 ps at the paper's 2 GHz
+//! clock, Table III) are exactly representable as integers. Using integers
+//! keeps the simulation fully deterministic across platforms.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+
+/// An absolute point in simulated time (picoseconds since simulation start).
+///
+/// # Examples
+///
+/// ```
+/// use c3_sim::time::{Time, Delay};
+/// let t = Time::ZERO + Delay::from_ns(70);
+/// assert_eq!(t.as_ns(), 70);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulated time (picoseconds).
+///
+/// # Examples
+///
+/// ```
+/// use c3_sim::time::Delay;
+/// let cycle = Delay::from_cycles(1, 2_000); // 1 cycle at 2 GHz
+/// assert_eq!(cycle.as_ps(), 500);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Delay(u64);
+
+impl Time {
+    /// Simulation start.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time; used as an "never scheduled" marker.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Construct from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * PS_PER_NS)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / PS_PER_NS
+    }
+
+    /// Time elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn since(self, earlier: Time) -> Delay {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        Delay(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+}
+
+impl Delay {
+    /// Zero-length delay (delivered in the same picosecond, after currently
+    /// queued events at that time).
+    pub const ZERO: Delay = Delay(0);
+
+    /// Construct from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Delay(ps)
+    }
+
+    /// Construct from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Delay(ns * PS_PER_NS)
+    }
+
+    /// Construct from clock cycles at a frequency given in MHz.
+    ///
+    /// `Delay::from_cycles(10, 2_000)` is 10 cycles of a 2 GHz clock (5 ns).
+    pub const fn from_cycles(cycles: u64, freq_mhz: u64) -> Self {
+        // ps per cycle = 1e6 / freq_mhz
+        Delay(cycles * 1_000_000 / freq_mhz)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / PS_PER_NS
+    }
+
+    /// Saturating sum of two delays.
+    pub const fn saturating_add(self, other: Delay) -> Delay {
+        Delay(self.0.saturating_add(other.0))
+    }
+
+    /// Scale the delay by an integer factor.
+    pub const fn times(self, n: u64) -> Delay {
+        Delay(self.0 * n)
+    }
+}
+
+impl Add<Delay> for Time {
+    type Output = Time;
+    fn add(self, rhs: Delay) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Delay> for Time {
+    fn add_assign(&mut self, rhs: Delay) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for Delay {
+    type Output = Delay;
+    fn add(self, rhs: Delay) -> Delay {
+        Delay(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Delay {
+    fn add_assign(&mut self, rhs: Delay) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Time {
+    type Output = Delay;
+    fn sub(self, rhs: Time) -> Delay {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(PS_PER_NS) {
+            write!(f, "{}ns", self.as_ns())
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Delay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{}ps", self.0)
+    }
+}
+
+impl fmt::Display for Delay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(PS_PER_NS) {
+            write!(f, "{}ns", self.as_ns())
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_roundtrip() {
+        assert_eq!(Time::from_ns(70).as_ns(), 70);
+        assert_eq!(Delay::from_ns(10).as_ps(), 10_000);
+    }
+
+    #[test]
+    fn cycles_at_2ghz() {
+        assert_eq!(Delay::from_cycles(1, 2_000).as_ps(), 500);
+        assert_eq!(Delay::from_cycles(4, 2_000).as_ns(), 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_ns(1) + Delay::from_ns(2);
+        assert_eq!(t, Time::from_ns(3));
+        assert_eq!(t.since(Time::from_ns(1)), Delay::from_ns(2));
+        assert_eq!(t - Time::from_ns(3), Delay::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_ns(1) < Time::from_ns(2));
+        assert_eq!(Time::from_ns(5).max(Time::from_ns(3)), Time::from_ns(5));
+    }
+
+    #[test]
+    fn saturating() {
+        assert_eq!(Time::MAX + Delay::from_ns(1), Time::MAX);
+        assert_eq!(Delay::from_ps(u64::MAX).saturating_add(Delay::from_ps(1)).as_ps(), u64::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time::from_ns(3).to_string(), "3ns");
+        assert_eq!(Time::from_ps(1500).to_string(), "1500ps");
+        assert_eq!(Delay::from_ns(3).to_string(), "3ns");
+    }
+}

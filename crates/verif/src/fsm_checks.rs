@@ -1,0 +1,117 @@
+//! Static checks on the generated compound FSMs (the translation-table
+//! level of the paper's verification: the product construction must be
+//! closed, complete and free of forbidden states).
+
+use c3::generator::{CompoundFsm, HostClass, Incoming};
+use c3_protocol::states::StableState;
+
+/// A defect found in a generated compound FSM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsmDefect {
+    /// A translation row leads to a state outside the consistent set.
+    EscapesInvariant(String),
+    /// A consistent state lacks a row for an incoming message that can
+    /// reach it.
+    MissingRow(String),
+    /// A forbidden (inclusion-violating) state is listed as reachable.
+    ForbiddenState(String),
+}
+
+impl std::fmt::Display for FsmDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsmDefect::EscapesInvariant(s) => write!(f, "transition escapes invariant: {s}"),
+            FsmDefect::MissingRow(s) => write!(f, "missing translation row: {s}"),
+            FsmDefect::ForbiddenState(s) => write!(f, "forbidden state present: {s}"),
+        }
+    }
+}
+
+/// Check a generated compound FSM for closure, completeness and
+/// forbidden-state pruning. Returns all defects found.
+pub fn check_fsm(fsm: &CompoundFsm) -> Vec<FsmDefect> {
+    let mut defects = Vec::new();
+
+    // 1. No listed state violates the Rule-I invariant.
+    for s in &fsm.states {
+        if !fsm.is_consistent(s.host, s.cxl) {
+            defects.push(FsmDefect::ForbiddenState(s.to_string()));
+        }
+    }
+
+    // 2. Closure: every row's next state is consistent.
+    for r in &fsm.rows {
+        if !fsm.is_consistent(r.next.host, r.next.cxl) {
+            defects.push(FsmDefect::EscapesInvariant(format!(
+                "{} in {} -> {}",
+                r.incoming, r.state, r.next
+            )));
+        }
+    }
+
+    // 3. Completeness: every consistent state that the directory can
+    // snoop has BISnpInv coverage, and exclusive holders have BISnpData
+    // coverage; every state has host-request rows.
+    for s in &fsm.states {
+        if s.cxl != StableState::I
+            && fsm.row(Incoming::BiSnpInv, s.host, s.cxl).is_none()
+        {
+            defects.push(FsmDefect::MissingRow(format!("BISnpInv in {s}")));
+        }
+        if s.cxl.can_write() && fsm.row(Incoming::BiSnpData, s.host, s.cxl).is_none() {
+            defects.push(FsmDefect::MissingRow(format!("BISnpData in {s}")));
+        }
+        for inc in [Incoming::HostRead, Incoming::HostWrite] {
+            if fsm.row(inc, s.host, s.cxl).is_none() {
+                defects.push(FsmDefect::MissingRow(format!("{inc} in {s}")));
+            }
+        }
+        if s.cxl != StableState::I && fsm.row(Incoming::CxlEvict, s.host, s.cxl).is_none() {
+            defects.push(FsmDefect::MissingRow(format!("Evict in {s}")));
+        }
+    }
+
+    // 4. Rule-II sanity: every delegated snoop row enters a transient
+    // state (the nested transaction exists).
+    for r in &fsm.rows {
+        if r.x_access.is_some() && r.transient == "-" {
+            defects.push(FsmDefect::EscapesInvariant(format!(
+                "{} in {} delegates without nesting",
+                r.incoming, r.state
+            )));
+        }
+    }
+
+    let _ = HostClass::None; // re-exported for callers
+    defects
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c3::generator::{baseline_fsm, bridge_fsm};
+    use c3_protocol::states::ProtocolFamily;
+
+    #[test]
+    fn all_generated_fsms_are_clean() {
+        for fam in [
+            ProtocolFamily::Mesi,
+            ProtocolFamily::Mesif,
+            ProtocolFamily::Moesi,
+            ProtocolFamily::Rcc,
+        ] {
+            let fsm = bridge_fsm(fam);
+            let defects = check_fsm(&fsm);
+            assert!(defects.is_empty(), "{fam}: {defects:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_fsms_are_clean() {
+        for fam in [ProtocolFamily::Mesi, ProtocolFamily::Moesi] {
+            let fsm = baseline_fsm(fam, ProtocolFamily::Mesi);
+            let defects = check_fsm(&fsm);
+            assert!(defects.is_empty(), "{fam}: {defects:?}");
+        }
+    }
+}

@@ -1,0 +1,823 @@
+//! Explicit-state model checking of the C³ design (§VI-A "Formal
+//! Verification").
+//!
+//! Like the paper's Murphi models, this checks an *abstract model* of the
+//! bridged system — small enough for exhaustive enumeration, faithful to
+//! the design decisions under test:
+//!
+//! * two clusters of private caches behind C³ bridges,
+//! * a blocking DCOH directory with `BISnp*` and the `BIConflict`
+//!   handshake,
+//! * an **unordered** device→host channel (the source of the Fig. 2
+//!   races) and FIFO host→device channels,
+//! * Rule I (delegation) and Rule II (nesting) — each individually
+//!   *disableable* so the checker can demonstrate that dropping either
+//!   rule produces the races of Fig. 2 / Fig. 4.
+//!
+//! Explored nondeterminism: every core chooses loads or stores freely (up
+//! to a budget), every message delivery order on unordered channels, and
+//! every interleaving of local vs global steps. Checked invariants:
+//!
+//! * **SWMR** — a writable copy excludes all other copies;
+//! * **inclusion** — a cached line in a cluster implies a CXL-cache copy;
+//! * **coherence (data value)** — per-location version monotonicity per
+//!   observer, and quiescent convergence to the newest version;
+//! * **deadlock freedom** — every non-final state has a successor.
+
+use std::collections::{HashSet, VecDeque};
+
+/// Number of clusters in the model.
+pub const CLUSTERS: usize = 2;
+
+/// Cache state of a private cache or CXL cache (abstract MSI — E folds
+/// into M for checking purposes, O is covered by the synced-data rule).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum St {
+    /// Invalid.
+    I,
+    /// Shared (read-only).
+    S,
+    /// Modified (writable; subsumes E).
+    M,
+}
+
+/// A device→host or host→device message of the abstract protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Msg {
+    // host -> device (FIFO)
+    /// Read request (shared).
+    RdS,
+    /// Read-for-ownership.
+    RdA,
+    /// Snoop response, clean (line relinquished / downgraded).
+    RspClean,
+    /// Snoop response with dirty data of the given version.
+    RspData(u8),
+    /// Conflict enquiry.
+    Conflict,
+    // device -> host (unordered)
+    /// Data grant: `(writable, version)`.
+    Data(bool, u8),
+    /// Back-invalidation snoop (exclusive).
+    SnpInv,
+    /// Back-invalidation data snoop (shared).
+    SnpData,
+    /// Conflict answer: was the host's request already serialized?
+    ConflictAck(bool),
+}
+
+/// What a bridge is waiting for.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Pend {
+    /// Nothing outstanding.
+    Idle,
+    /// MemRd outstanding: `(exclusive, stashed snoop, conflict state)`.
+    Fetch {
+        /// Requested ownership?
+        excl: bool,
+        /// A snoop arrived while waiting (SnpInv=true / SnpData=false).
+        stash: Option<bool>,
+        /// Conflict phase: 0 = none sent, 1 = awaiting ack, 2 = snoop
+        /// deferred until fill.
+        phase: u8,
+    },
+    /// Local recall in progress for a snoop (`exclusive`).
+    Recall {
+        /// Invalidating (true) or downgrading (false).
+        excl: bool,
+    },
+    /// Fill arrived while a conflict ack was outstanding; the stashed
+    /// snoop applies once the ack confirms our request was serialized.
+    AckWait {
+        /// Stashed snoop kind (invalidation?).
+        inv: bool,
+    },
+}
+
+/// One cluster: core states, private cache states, bridge state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Cluster {
+    /// Remaining operation budget per core.
+    pub budget: [u8; 2],
+    /// Private cache state per core.
+    pub l1: [St; 2],
+    /// Version held per core cache (meaningful when `l1 != I`).
+    pub l1_ver: [u8; 2],
+    /// Last version observed by each core (monotonicity check).
+    pub seen: [u8; 2],
+    /// CXL-cache state.
+    pub cxl: St,
+    /// Version of the bridge's copy.
+    pub ver: u8,
+    /// Outstanding global activity.
+    pub pend: Pend,
+}
+
+/// The whole model state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct State {
+    /// The two clusters.
+    pub cl: [Cluster; 2],
+    /// Device memory version.
+    pub mem_ver: u8,
+    /// Highest version ever written (next store writes `max_ver + 1`).
+    pub max_ver: u8,
+    /// DCOH holders: bit per cluster, plus exclusive flag.
+    pub holders: u8,
+    /// Holder exclusivity.
+    pub excl: bool,
+    /// Blocked snoop: `(active, exclusive, target, requester)`.
+    pub snoop: Option<(bool, u8, u8)>,
+    /// Queued requests at the DCOH (FIFO): `(cluster, exclusive)`.
+    pub queue: [(u8, u8); 2],
+    /// Queue length.
+    pub qlen: u8,
+    /// FIFO host→device channels (one slot is enough: a host has at most
+    /// one request plus one response in flight; we model two slots).
+    pub m2s: [[Option<Msg>; 3]; 2],
+    /// Unordered device→host channels (multiset as a small array).
+    pub s2m: [[Option<Msg>; 3]; 2],
+}
+
+/// Checker configuration: which design rules are active.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Rule II: nest recalls — respond to snoops only after local copies
+    /// are reclaimed. Disabling reproduces the Fig. 4 race.
+    pub rule2_nesting: bool,
+    /// Use the BIConflict handshake when a snoop races an own request.
+    /// Disabling reproduces the Fig. 2 ambiguity.
+    pub conflict_handshake: bool,
+    /// Per-core operation budget (state-space size knob).
+    pub ops_per_core: u8,
+    /// Give cluster 0 a second active core (checks the interaction of
+    /// intra-cluster coherence with the bridge; enlarges the state space).
+    pub second_core: bool,
+    /// Exploration budget; exceeded counts as a check failure.
+    pub max_states: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            rule2_nesting: true,
+            conflict_handshake: true,
+            ops_per_core: 2,
+            second_core: false,
+            max_states: 50_000_000,
+        }
+    }
+}
+
+/// A detected violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two writable copies, or a writable copy alongside readers.
+    Swmr(String),
+    /// A cluster caches a line its bridge does not cover.
+    Inclusion(String),
+    /// A core observed versions going backwards.
+    Staleness(String),
+    /// Quiescent state retains an outdated copy.
+    Divergence(String),
+    /// Non-final state with no enabled transition.
+    Deadlock(String),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Swmr(s) => write!(f, "SWMR violated: {s}"),
+            Violation::Inclusion(s) => write!(f, "inclusion violated: {s}"),
+            Violation::Staleness(s) => write!(f, "staleness: {s}"),
+            Violation::Divergence(s) => write!(f, "divergence: {s}"),
+            Violation::Deadlock(s) => write!(f, "deadlock: {s}"),
+        }
+    }
+}
+
+/// Result of a model-checking run.
+#[derive(Debug)]
+pub struct CheckResult {
+    /// States explored.
+    pub states: usize,
+    /// First violation found, if any.
+    pub violation: Option<Violation>,
+    /// Whether exploration was truncated by `max_states`.
+    pub truncated: bool,
+}
+
+fn push(slot_array: &mut [Option<Msg>; 3], m: Msg) {
+    for s in slot_array.iter_mut() {
+        if s.is_none() {
+            *s = Some(m);
+            return;
+        }
+    }
+    panic!("channel overflow (model bound too small)");
+}
+
+impl State {
+    fn initial(cfg: &ModelConfig) -> State {
+        let cl = Cluster {
+            budget: [cfg.ops_per_core, 0],
+            l1: [St::I; 2],
+            l1_ver: [0; 2],
+            seen: [0; 2],
+            cxl: St::I,
+            ver: 0,
+            pend: Pend::Idle,
+        };
+        let mut cl0 = cl.clone();
+        if cfg.second_core {
+            cl0.budget[1] = cfg.ops_per_core;
+        }
+        State {
+            cl: [cl0, cl],
+            mem_ver: 0,
+            max_ver: 0,
+            holders: 0,
+            excl: false,
+            snoop: None,
+            queue: [(0, 0); 2],
+            qlen: 0,
+            m2s: Default::default(),
+            s2m: Default::default(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.cl.iter().all(|c| {
+            c.budget.iter().all(|b| *b == 0)
+                && c.pend == Pend::Idle
+        }) && self.snoop.is_none()
+            && self.qlen == 0
+            && self
+                .m2s
+                .iter()
+                .chain(self.s2m.iter())
+                .all(|ch| ch.iter().all(|m| m.is_none()))
+    }
+
+    /// Invariants checked in every reachable state.
+    fn check(&self) -> Option<Violation> {
+        // SWMR across all private caches and bridge copies.
+        let mut writable = 0;
+        let mut readable = 0;
+        for (ci, c) in self.cl.iter().enumerate() {
+            for (k, s) in c.l1.iter().enumerate() {
+                match s {
+                    St::M => {
+                        writable += 1;
+                        readable += 1;
+                    }
+                    St::S => readable += 1,
+                    St::I => {}
+                }
+                // Inclusion: a cached line implies a CXL-cache copy.
+                if *s != St::I && c.cxl == St::I {
+                    return Some(Violation::Inclusion(format!(
+                        "cluster {ci} core {k} holds {s:?} with CXL cache I"
+                    )));
+                }
+            }
+        }
+        if writable > 1 || (writable == 1 && readable > 1) {
+            return Some(Violation::Swmr(format!(
+                "{writable} writable / {readable} readable copies"
+            )));
+        }
+        // Cluster-level SWMR at the CXL layer.
+        let cxl_writable = self.cl.iter().filter(|c| c.cxl == St::M).count();
+        let cxl_readable = self.cl.iter().filter(|c| c.cxl != St::I).count();
+        if cxl_writable > 1 || (cxl_writable == 1 && cxl_readable > 1) {
+            return Some(Violation::Swmr(format!(
+                "CXL level: {cxl_writable} writable / {cxl_readable} readable"
+            )));
+        }
+        // Quiescent convergence: when everything is done, every remaining
+        // copy must hold the newest version.
+        if self.done() {
+            for (ci, c) in self.cl.iter().enumerate() {
+                if c.cxl != St::I && c.ver != self.max_ver {
+                    return Some(Violation::Divergence(format!(
+                        "cluster {ci} CXL copy v{} != newest v{}",
+                        c.ver, self.max_ver
+                    )));
+                }
+                for (k, s) in c.l1.iter().enumerate() {
+                    if *s != St::I && c.l1_ver[k] != self.max_ver {
+                        return Some(Violation::Divergence(format!(
+                            "cluster {ci} core {k} copy v{} != newest v{}",
+                            c.l1_ver[k], self.max_ver
+                        )));
+                    }
+                }
+            }
+            let holders_expected: u8 = (0..CLUSTERS)
+                .filter(|&i| self.cl[i].cxl != St::I)
+                .map(|i| 1 << i)
+                .sum();
+            let _ = holders_expected; // directory precision is not an
+                                      // invariant (clean drops are silent)
+            if self.excl {
+                // exclusive holder must actually exist and hold the line
+                let h = self.holders.trailing_zeros() as usize;
+                if h >= CLUSTERS || self.cl[h].cxl == St::I {
+                    return Some(Violation::Divergence(
+                        "DCOH believes a vanished exclusive holder".into(),
+                    ));
+                }
+            } else if self.mem_ver != self.max_ver && self.holders == 0 {
+                return Some(Violation::Divergence(format!(
+                    "memory v{} != newest v{} with no holders",
+                    self.mem_ver, self.max_ver
+                )));
+            }
+        }
+        None
+    }
+}
+
+/// Exhaustively explore the model under `cfg`.
+pub fn check(cfg: &ModelConfig) -> CheckResult {
+    let init = State::initial(cfg);
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut frontier: VecDeque<State> = VecDeque::new();
+    seen.insert(init.clone());
+    frontier.push_back(init);
+    let mut states = 0usize;
+
+    while let Some(s) = frontier.pop_front() {
+        states += 1;
+        if states > cfg.max_states {
+            return CheckResult {
+                states,
+                violation: None,
+                truncated: true,
+            };
+        }
+        if let Some(v) = s.check() {
+            return CheckResult {
+                states,
+                violation: Some(v),
+                truncated: false,
+            };
+        }
+        let succ = successors(&s, cfg);
+        if succ.is_empty() && !s.done() {
+            return CheckResult {
+                states,
+                violation: Some(Violation::Deadlock(format!("{s:?}"))),
+                truncated: false,
+            };
+        }
+        for n in succ {
+            // Monotonic-read check is transition-local.
+            for (ci, c) in n.cl.iter().enumerate() {
+                for k in 0..2 {
+                    if c.seen[k] < s.cl[ci].seen[k] {
+                        return CheckResult {
+                            states,
+                            violation: Some(Violation::Staleness(format!(
+                                "cluster {ci} core {k} saw v{} after v{}",
+                                c.seen[k], s.cl[ci].seen[k]
+                            ))),
+                            truncated: false,
+                        };
+                    }
+                }
+            }
+            if seen.insert(n.clone()) {
+                frontier.push_back(n);
+            }
+        }
+    }
+    CheckResult {
+        states,
+        violation: None,
+        truncated: false,
+    }
+}
+
+/// All successor states (the transition relation).
+fn successors(s: &State, cfg: &ModelConfig) -> Vec<State> {
+    let mut out = Vec::new();
+    core_steps(s, &mut out);
+    device_steps(s, cfg, &mut out);
+    deliver_steps(s, cfg, &mut out);
+    recall_steps(s, cfg, &mut out);
+    out
+}
+
+/// Core actions: each core with budget may perform a load or a store.
+fn core_steps(s: &State, out: &mut Vec<State>) {
+    for ci in 0..CLUSTERS {
+        let c = &s.cl[ci];
+        for k in 0..2 {
+            if c.budget[k] == 0 {
+                continue;
+            }
+            // -- load --
+            match c.l1[k] {
+                St::S | St::M => {
+                    let mut n = s.clone();
+                    n.cl[ci].budget[k] -= 1;
+                    n.cl[ci].seen[k] = n.cl[ci].seen[k].max(c.l1_ver[k]);
+                    out.push(n);
+                }
+                St::I => {
+                    // Needs cluster-level read permission.
+                    if c.cxl != St::I {
+                        let mut n = s.clone();
+                        // Intra-cluster coherence: a dirty sibling
+                        // supplies the data and demotes to S (Fwd-GetS).
+                        for j in 0..2 {
+                            if j != k && n.cl[ci].l1[j] == St::M {
+                                n.cl[ci].ver = n.cl[ci].ver.max(n.cl[ci].l1_ver[j]);
+                                n.cl[ci].l1[j] = St::S;
+                            }
+                        }
+                        let ver = n.cl[ci].ver;
+                        n.cl[ci].budget[k] -= 1;
+                        n.cl[ci].l1[k] = St::S;
+                        n.cl[ci].l1_ver[k] = ver;
+                        n.cl[ci].seen[k] = n.cl[ci].seen[k].max(ver);
+                        out.push(n);
+                    } else if c.pend == Pend::Idle {
+                        // Rule I: delegate upward.
+                        let mut n = s.clone();
+                        n.cl[ci].pend = Pend::Fetch {
+                            excl: false,
+                            stash: None,
+                            phase: 0,
+                        };
+                        push(&mut n.m2s[ci], Msg::RdS);
+                        out.push(n);
+                    }
+                }
+            }
+            // -- store --
+            if c.l1[k] == St::M {
+                let mut n = s.clone();
+                n.cl[ci].budget[k] -= 1;
+                n.max_ver += 1;
+                n.cl[ci].l1_ver[k] = n.max_ver;
+                n.cl[ci].ver = n.max_ver;
+                n.cl[ci].seen[k] = n.max_ver;
+                out.push(n);
+            } else if c.cxl == St::M && c.pend == Pend::Idle {
+                // Cluster has global ownership: invalidate local sharers
+                // (atomic — the local domain is internally coherent) and
+                // grant M.
+                let mut n = s.clone();
+                for j in 0..2 {
+                    if j != k {
+                        n.cl[ci].l1[j] = St::I;
+                    }
+                }
+                n.cl[ci].l1[k] = St::M;
+                n.cl[ci].l1_ver[k] = c.ver;
+                out.push(n);
+            } else if c.cxl != St::M && c.pend == Pend::Idle {
+                // Rule I: delegate ownership acquisition.
+                let mut n = s.clone();
+                n.cl[ci].pend = Pend::Fetch {
+                    excl: true,
+                    stash: None,
+                    phase: 0,
+                };
+                push(&mut n.m2s[ci], Msg::RdA);
+                out.push(n);
+            }
+        }
+    }
+}
+
+/// DCOH actions: consume host→device messages (FIFO per host) and drain
+/// the blocked queue.
+fn device_steps(s: &State, _cfg: &ModelConfig, out: &mut Vec<State>) {
+    for ci in 0..CLUSTERS {
+        let Some(msg) = s.m2s[ci][0] else { continue };
+        let mut n = s.clone();
+        // shift FIFO
+        n.m2s[ci][0] = n.m2s[ci][1];
+        n.m2s[ci][1] = n.m2s[ci][2];
+        n.m2s[ci][2] = None;
+        match msg {
+            Msg::RdS | Msg::RdA => {
+                let excl = msg == Msg::RdA;
+                if n.snoop.is_some() {
+                    // blocked: queue (convoy)
+                    let qi = n.qlen as usize;
+                    assert!(qi < 2, "queue bound");
+                    n.queue[qi] = (ci as u8, excl as u8);
+                    n.qlen += 1;
+                    out.push(n);
+                } else {
+                    admit(&mut n, ci, excl);
+                    out.push(n);
+                }
+            }
+            Msg::RspClean | Msg::RspData(_) => {
+                if let Msg::RspData(v) = msg {
+                    n.mem_ver = v;
+                }
+                let Some((excl_snoop, target, requester)) = n.snoop else {
+                    // Stale response (eviction race) — ignore.
+                    out.push(n);
+                    continue;
+                };
+                if target != ci as u8 {
+                    out.push(n);
+                    continue;
+                }
+                // Snoop resolved: update holders and complete the request.
+                n.snoop = None;
+                let req = requester as usize;
+                if excl_snoop {
+                    n.holders = 1 << req;
+                    n.excl = true;
+                    push(&mut n.s2m[req], Msg::Data(true, n.mem_ver));
+                } else {
+                    // previous owner retains S (clean) unless it responded
+                    // clean-invalid; we conservatively keep it as holder
+                    // only on RspData (it wrote back and kept S).
+                    let keep = matches!(msg, Msg::RspData(_));
+                    n.holders = (1 << req) | if keep { 1 << target } else { 0 };
+                    n.excl = false;
+                    push(&mut n.s2m[req], Msg::Data(false, n.mem_ver));
+                }
+                // Drain one queued request.
+                if n.qlen > 0 {
+                    let (qc, qe) = n.queue[0];
+                    n.queue[0] = n.queue[1];
+                    n.queue[1] = (0, 0);
+                    n.qlen -= 1;
+                    admit(&mut n, qc as usize, qe == 1);
+                }
+                out.push(n);
+            }
+            Msg::Conflict => {
+                // Was the conflicting host's own request already
+                // serialized? With FIFO M2S it is iff it is not queued.
+                let queued = (0..n.qlen as usize).any(|i| n.queue[i].0 == ci as u8)
+                    || n.m2s[ci]
+                        .iter()
+                        .flatten()
+                        .any(|m| matches!(m, Msg::RdA | Msg::RdS));
+                push(&mut n.s2m[ci], Msg::ConflictAck(!queued));
+                out.push(n);
+            }
+            _ => unreachable!("device received device-bound message"),
+        }
+    }
+}
+
+/// Admit a request at the DCOH (line not blocked).
+fn admit(n: &mut State, ci: usize, excl: bool) {
+    let others: Vec<usize> = (0..CLUSTERS)
+        .filter(|&j| j != ci && n.holders & (1 << j) != 0)
+        .collect();
+    if excl {
+        if let Some(&owner) = others.first() {
+            // Snoop one holder at a time (the model has two clusters, so
+            // at most one other holder exists).
+            push(&mut n.s2m[owner], Msg::SnpInv);
+            n.snoop = Some((true, owner as u8, ci as u8));
+        } else {
+            n.holders = 1 << ci;
+            n.excl = true;
+            push(&mut n.s2m[ci], Msg::Data(true, n.mem_ver));
+        }
+    } else if n.excl && !others.is_empty() {
+        let owner = others[0];
+        push(&mut n.s2m[owner], Msg::SnpData);
+        n.snoop = Some((false, owner as u8, ci as u8));
+    } else {
+        n.holders |= 1 << ci;
+        let grant_excl = n.holders == (1 << ci);
+        n.excl = grant_excl;
+        push(&mut n.s2m[ci], Msg::Data(grant_excl, n.mem_ver));
+    }
+}
+
+/// Deliver any device→host message (unordered: each pending message is a
+/// separate successor).
+fn deliver_steps(s: &State, cfg: &ModelConfig, out: &mut Vec<State>) {
+    for ci in 0..CLUSTERS {
+        for slot in 0..3 {
+            let Some(msg) = s.s2m[ci][slot] else { continue };
+            let mut n = s.clone();
+            n.s2m[ci][slot] = None;
+            host_receive(&mut n, ci, msg, cfg);
+            out.push(n);
+        }
+    }
+}
+
+/// Host (bridge) reaction to a device message.
+fn host_receive(n: &mut State, ci: usize, msg: Msg, cfg: &ModelConfig) {
+    match msg {
+        Msg::Data(writable, ver) => {
+            let Pend::Fetch { excl, stash, phase } = n.cl[ci].pend else {
+                panic!("Data without fetch");
+            };
+            debug_assert!(!excl || writable);
+            n.cl[ci].cxl = if writable { St::M } else { St::S };
+            n.cl[ci].ver = n.cl[ci].ver.max(ver);
+            n.cl[ci].pend = Pend::Idle;
+            // Fig. 2 middle: a stashed snoop deferred until after the fill.
+            if let Some(inv) = stash {
+                match phase {
+                    2 => apply_snoop(n, ci, inv, cfg),
+                    1 => n.cl[ci].pend = Pend::AckWait { inv },
+                    _ => unreachable!("stash without conflict phase"),
+                }
+            }
+        }
+        Msg::SnpInv | Msg::SnpData => {
+            let inv = msg == Msg::SnpInv;
+            match n.cl[ci].pend {
+                Pend::Fetch { excl, phase, .. } => {
+                    if cfg.conflict_handshake {
+                        n.cl[ci].pend = Pend::Fetch {
+                            excl,
+                            stash: Some(inv),
+                            phase: if phase == 0 { 1 } else { phase },
+                        };
+                        push(&mut n.m2s[ci], Msg::Conflict);
+                    } else {
+                        // No handshake: guess "the snoop was first" and
+                        // answer from the pre-fill state while the fetch
+                        // continues — the Fig. 2 ambiguity.
+                        for j in 0..2 {
+                            n.cl[ci].l1[j] = St::I;
+                        }
+                        n.cl[ci].cxl = St::I;
+                        push(&mut n.m2s[ci], Msg::RspClean);
+                    }
+                }
+                Pend::Recall { .. } | Pend::AckWait { .. } => {
+                    // One snoop per line at a time from a blocking DCOH.
+                    unreachable!("second snoop while one is pending");
+                }
+                Pend::Idle => apply_snoop(n, ci, inv, cfg),
+            }
+        }
+        Msg::ConflictAck(serialized) => match n.cl[ci].pend {
+            Pend::Fetch { excl, stash, .. } => {
+                let Some(inv) = stash else {
+                    panic!("conflict ack without stashed snoop")
+                };
+                if serialized {
+                    // Handle the snoop after the fill (phase 2).
+                    n.cl[ci].pend = Pend::Fetch {
+                        excl,
+                        stash: Some(inv),
+                        phase: 2,
+                    };
+                } else {
+                    // Snoop first: we hold at most a clean copy.
+                    n.cl[ci].cxl = St::I;
+                    for j in 0..2 {
+                        n.cl[ci].l1[j] = St::I;
+                    }
+                    push(&mut n.m2s[ci], Msg::RspClean);
+                    n.cl[ci].pend = Pend::Fetch {
+                        excl,
+                        stash: None,
+                        phase: 0,
+                    };
+                }
+            }
+            Pend::AckWait { inv } => {
+                // The fill already arrived, so our request must have been
+                // serialized before the snoop.
+                debug_assert!(serialized, "ack(false) after fill");
+                n.cl[ci].pend = Pend::Idle;
+                apply_snoop(n, ci, inv, cfg);
+            }
+            other => panic!("conflict ack in {other:?}"),
+        },
+        _ => unreachable!("host received host-bound message"),
+    }
+}
+
+/// Apply a snoop to a stable cluster (Rule I downward delegation).
+fn apply_snoop(n: &mut State, ci: usize, inv: bool, cfg: &ModelConfig) {
+    let has_local = n.cl[ci].l1.iter().any(|s| *s != St::I);
+    if cfg.rule2_nesting && has_local {
+        // Nest: reclaim local copies first; respond in recall_steps.
+        n.cl[ci].pend = Pend::Recall { excl: inv };
+        return;
+    }
+    if !cfg.rule2_nesting && has_local {
+        // Rule II disabled: respond immediately; local copies linger and
+        // are reclaimed "later" (never, in this model) — the checker
+        // catches the resulting stale copies.
+        respond_snoop(n, ci, inv);
+        return;
+    }
+    respond_snoop(n, ci, inv);
+}
+
+fn respond_snoop(n: &mut State, ci: usize, inv: bool) {
+    let dirty = n.cl[ci].cxl == St::M;
+    if inv {
+        n.cl[ci].cxl = St::I;
+    } else {
+        n.cl[ci].cxl = if n.cl[ci].cxl == St::I { St::I } else { St::S };
+    }
+    if dirty {
+        push(&mut n.m2s[ci], Msg::RspData(n.cl[ci].ver));
+    } else {
+        push(&mut n.m2s[ci], Msg::RspClean);
+    }
+}
+
+/// Complete a nested recall: reclaim local copies, then respond.
+fn recall_steps(s: &State, _cfg: &ModelConfig, out: &mut Vec<State>) {
+    for ci in 0..CLUSTERS {
+        let Pend::Recall { excl } = s.cl[ci].pend else {
+            continue;
+        };
+        let mut n = s.clone();
+        // Reclaim local copies (conceptual store/load into the host
+        // domain). Dirty local data propagates to the bridge.
+        for j in 0..2 {
+            if n.cl[ci].l1[j] == St::M {
+                n.cl[ci].ver = n.cl[ci].ver.max(n.cl[ci].l1_ver[j]);
+                n.cl[ci].cxl = St::M;
+            }
+            if excl {
+                n.cl[ci].l1[j] = St::I;
+            } else if n.cl[ci].l1[j] == St::M {
+                n.cl[ci].l1[j] = St::S;
+                n.cl[ci].l1_ver[j] = n.cl[ci].ver;
+            }
+        }
+        n.cl[ci].pend = Pend::Idle;
+        respond_snoop(&mut n, ci, excl);
+        out.push(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_rules_hold_exhaustively() {
+        let result = check(&ModelConfig::default());
+        assert!(
+            result.violation.is_none(),
+            "violation in {} states: {}",
+            result.states,
+            result.violation.unwrap()
+        );
+        assert!(!result.truncated, "exploration truncated at {}", result.states);
+        assert!(result.states > 1_000, "suspiciously small space: {}", result.states);
+    }
+
+    #[test]
+    fn bigger_budget_still_clean() {
+        let cfg = ModelConfig {
+            ops_per_core: 3,
+            ..ModelConfig::default()
+        };
+        let result = check(&cfg);
+        assert!(result.violation.is_none(), "{:?}", result.violation);
+        assert!(!result.truncated);
+    }
+
+    #[test]
+    fn dropping_rule2_is_caught() {
+        // Fig. 4: acknowledging an invalidation before local copies are
+        // reclaimed leaves stale readable copies next to a new writer.
+        let cfg = ModelConfig {
+            rule2_nesting: false,
+            ..ModelConfig::default()
+        };
+        let result = check(&cfg);
+        assert!(
+            result.violation.is_some(),
+            "checker failed to find the Fig. 4 race"
+        );
+    }
+
+    #[test]
+    fn dropping_conflict_handshake_is_caught() {
+        // Fig. 2: without BIConflict the host guesses the serialization
+        // order and can end up with two exclusive owners.
+        let cfg = ModelConfig {
+            conflict_handshake: false,
+            ..ModelConfig::default()
+        };
+        let result = check(&cfg);
+        assert!(
+            result.violation.is_some(),
+            "checker failed to find the Fig. 2 ambiguity"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Compare one workload across the paper's protocol configurations — a
+//! single-workload slice of Fig. 10 with counter-level detail.
+//!
+//! ```sh
+//! cargo run --release --example workload_comparison [workload]
+//! ```
+
+use c3::system::GlobalProtocol;
+use c3_bench::{run_workload, RunConfig};
+use c3_protocol::mcm::Mcm;
+use c3_protocol::states::ProtocolFamily;
+use c3_workloads::WorkloadSpec;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "histogram".into());
+    let spec = WorkloadSpec::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}; available:");
+        for w in WorkloadSpec::all() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(1);
+    });
+
+    println!(
+        "workload {} ({:?}, {:?}): {} hot lines, {:.1}% shared accesses",
+        spec.name,
+        spec.suite,
+        spec.pattern,
+        spec.hot_lines,
+        spec.shared_fraction * 100.0
+    );
+
+    let configs = [
+        (
+            "MESI-MESI-MESI (baseline)",
+            (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+            GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
+        ),
+        (
+            "MESI-CXL-MESI",
+            (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+            GlobalProtocol::Cxl,
+        ),
+        (
+            "MESI-CXL-MOESI",
+            (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
+            GlobalProtocol::Cxl,
+        ),
+        (
+            "RCC-CXL-MESI (GPU-like cluster)",
+            (ProtocolFamily::Rcc, ProtocolFamily::Mesi),
+            GlobalProtocol::Cxl,
+        ),
+    ];
+
+    let mut base = None;
+    for (label, protos, global) in configs {
+        let cfg = RunConfig::scaled(protos, global, (Mcm::Weak, Mcm::Weak));
+        let r = run_workload(&spec, &cfg);
+        let base_ns = *base.get_or_insert(r.exec_ns as f64);
+        println!(
+            "\n{label}: {} ns (x{:.3})",
+            r.exec_ns,
+            r.exec_ns as f64 / base_ns
+        );
+        for key in [
+            "cxl.dcoh.bisnp_sent",
+            "cxl.dcoh.conflicts",
+            "cxl.dcoh.stalled_requests",
+            "global.dir.stalled_requests",
+        ] {
+            if let Some(v) = r.report.get(key) {
+                println!("    {key} = {v}");
+            }
+        }
+        let recalls: f64 = r
+            .report
+            .iter()
+            .filter(|(k, _)| k.ends_with("bridge.recalls"))
+            .map(|(_, v)| v)
+            .sum();
+        println!("    bridge recalls (Rule I downward delegations) = {recalls}");
+    }
+}

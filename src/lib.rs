@@ -1,0 +1,1 @@
+//! c3-repro umbrella crate: re-exports for examples and integration tests.

@@ -1,0 +1,214 @@
+//! Workspace-level integration tests: scenarios spanning every crate.
+
+use c3::system::{ClusterSpec, GlobalProtocol, SystemBuilder};
+use c3_mcm::core_model::{CoreConfig, TimingCore};
+use c3_protocol::mcm::Mcm;
+use c3_protocol::ops::{Addr, Reg, ThreadProgram};
+use c3_protocol::states::ProtocolFamily;
+use c3_sim::prelude::*;
+use c3_workloads::WorkloadSpec;
+
+/// Three heterogeneous clusters on one CXL device — beyond the paper's
+/// two-node evaluation, exercising multi-headed HDM-DB sharing.
+#[test]
+fn three_cluster_heterogeneous_system() {
+    let clusters = vec![
+        ClusterSpec::new(ProtocolFamily::Mesi, 2).with_l1(16, 4),
+        ClusterSpec::new(ProtocolFamily::Moesi, 2).with_l1(16, 4),
+        ClusterSpec::new(ProtocolFamily::Mesif, 2).with_l1(16, 4),
+    ];
+    let mk = |cluster: u64| {
+        let mut p = ThreadProgram::new();
+        for i in 0..20 {
+            p = p.rmw(Addr(5), 1, Reg(0)).store(Addr(100 + cluster), i);
+        }
+        p
+    };
+    let programs = vec![
+        vec![mk(0), mk(0)],
+        vec![mk(1), mk(1)],
+        vec![mk(2), mk(2)],
+    ];
+    let (mut sim, handles) = SystemBuilder::new(clusters, GlobalProtocol::Cxl)
+        .cxl_cache(64, 4)
+        .build_with_seq_cores(programs);
+    sim.set_event_limit(50_000_000);
+    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    // 6 cores x 20 increments, fully atomic across three protocols.
+    assert_eq!(handles.coherent_value(&sim, Addr(5)), 120);
+}
+
+/// A GPU-like RCC cluster plus a TSO/MESI cluster with timing cores,
+/// communicating through release/acquire over CXL.
+#[test]
+fn rcc_gpu_cluster_with_tso_cpu_cluster() {
+    let clusters = vec![
+        ClusterSpec::new(ProtocolFamily::Rcc, 2).with_l1(16, 4),
+        ClusterSpec::new(ProtocolFamily::Mesi, 2).with_l1(16, 4),
+    ];
+    let gpu = ThreadProgram::new()
+        .store(Addr(1), 7)
+        .store(Addr(2), 8)
+        .store_rel(Addr(3), 1); // release publishes both
+    let cpu = ThreadProgram::new()
+        .work(300_000)
+        .load_acq(Addr(3), Reg(0))
+        .load(Addr(1), Reg(1))
+        .load(Addr(2), Reg(2));
+    let idle = ThreadProgram::new();
+    let builder = SystemBuilder::new(clusters, GlobalProtocol::Cxl).cxl_cache(64, 4);
+    let programs = [vec![gpu, idle.clone()], vec![cpu, idle]];
+    let (mut sim, handles) = builder.build(move |ci, k, l1| {
+        let (mcm, family) = if ci == 0 {
+            (Mcm::Weak, ProtocolFamily::Rcc)
+        } else {
+            (Mcm::Tso, ProtocolFamily::Mesi)
+        };
+        Box::new(TimingCore::new(
+            format!("c{ci}.t{k}"),
+            l1,
+            CoreConfig::new(mcm, family),
+            programs[ci][k].clone(),
+            99,
+        ))
+    });
+    sim.set_event_limit(50_000_000);
+    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    let core = handles.cores[1][0];
+    let tc = sim.component_as::<TimingCore>(core).expect("core");
+    assert_eq!(tc.reg(Reg(0)), 1, "flag not seen");
+    assert_eq!(tc.reg(Reg(1)), 7, "release did not publish addr 1");
+    assert_eq!(tc.reg(Reg(2)), 8, "release did not publish addr 2");
+}
+
+/// The same seed must reproduce a bit-identical run (determinism is what
+/// makes litmus campaigns and calibration trustworthy).
+#[test]
+fn full_system_runs_are_deterministic() {
+    let run = || {
+        let spec = WorkloadSpec::by_name("barnes").expect("workload");
+        let clusters = vec![
+            ClusterSpec::new(ProtocolFamily::Mesi, 2).with_l1(32, 4),
+            ClusterSpec::new(ProtocolFamily::Moesi, 2).with_l1(32, 4),
+        ];
+        let builder = SystemBuilder::new(clusters, GlobalProtocol::Cxl)
+            .cxl_cache(128, 4)
+            .seed(7);
+        let programs: Vec<Vec<ThreadProgram>> = (0..2)
+            .map(|ci| {
+                (0..2)
+                    .map(|k| spec.generate(ci * 2 + k, 4, 150, 11))
+                    .collect()
+            })
+            .collect();
+        let (mut sim, _) = builder.build_with_seq_cores(programs);
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        (sim.now(), sim.events_processed())
+    };
+    assert_eq!(run(), run());
+}
+
+/// Every workload spec must run to completion on both global protocols
+/// (a smoke test across the whole 33-entry matrix, scaled down).
+#[test]
+fn all_workloads_complete_on_both_globals() {
+    for spec in WorkloadSpec::all() {
+        for global in [
+            GlobalProtocol::Cxl,
+            GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
+        ] {
+            let clusters = vec![
+                ClusterSpec::new(ProtocolFamily::Mesi, 1).with_l1(32, 4),
+                ClusterSpec::new(ProtocolFamily::Mesi, 1).with_l1(32, 4),
+            ];
+            let programs: Vec<Vec<ThreadProgram>> = (0..2)
+                .map(|ci| vec![spec.generate(ci, 2, 60, 3)])
+                .collect();
+            let (mut sim, _) = SystemBuilder::new(clusters, global)
+                .cxl_cache(64, 4)
+                .build_with_seq_cores(programs);
+            sim.set_event_limit(20_000_000);
+            assert_eq!(
+                sim.run(),
+                RunOutcome::Completed,
+                "{} deadlocked on {global:?}: {:?}",
+                spec.name,
+                sim.pending_components()
+            );
+        }
+    }
+}
+
+/// Hammer one line from four clusters with mixed protocols — an
+/// adversarial stress for the conflict handshake and recall nesting.
+#[test]
+fn four_cluster_hot_line_stress() {
+    let protos = [
+        ProtocolFamily::Mesi,
+        ProtocolFamily::Moesi,
+        ProtocolFamily::Mesif,
+        ProtocolFamily::Mesi,
+    ];
+    for seed in 0..5 {
+        let clusters: Vec<ClusterSpec> = protos
+            .iter()
+            .map(|p| ClusterSpec::new(*p, 1).with_l1(16, 2))
+            .collect();
+        let mk = |c: u64| {
+            let mut p = ThreadProgram::new();
+            for i in 0..15 {
+                p = p
+                    .rmw(Addr(1), 1, Reg(0))
+                    .store(Addr(2), c * 100 + i)
+                    .load(Addr(2), Reg(1));
+            }
+            p
+        };
+        let programs: Vec<Vec<ThreadProgram>> = (0..4).map(|c| vec![mk(c)]).collect();
+        let (mut sim, handles) = SystemBuilder::new(clusters, GlobalProtocol::Cxl)
+            .cxl_cache(32, 2)
+            .seed(1000 + seed)
+            .build_with_seq_cores(programs);
+        sim.set_event_limit(50_000_000);
+        assert_eq!(
+            sim.run(),
+            RunOutcome::Completed,
+            "seed {seed}: {:?}",
+            sim.pending_components()
+        );
+        assert_eq!(handles.coherent_value(&sim, Addr(1)), 60, "seed {seed}: lost updates");
+    }
+}
+
+/// Two line-interleaved CXL memory devices (multi-headed pooling, CXL 3.0
+/// fabrics): coherence and atomicity must hold across both devices.
+#[test]
+fn two_cxl_devices_interleaved() {
+    let clusters = vec![
+        ClusterSpec::new(ProtocolFamily::Mesi, 2).with_l1(16, 4),
+        ClusterSpec::new(ProtocolFamily::Moesi, 2).with_l1(16, 4),
+    ];
+    // Addr(5) maps to device 1, Addr(6) to device 0 (line interleave).
+    let mk = || {
+        let mut p = ThreadProgram::new();
+        for _ in 0..20 {
+            p = p.rmw(Addr(5), 1, Reg(0)).rmw(Addr(6), 1, Reg(1));
+        }
+        p
+    };
+    let programs = vec![vec![mk(), mk()], vec![mk(), mk()]];
+    let (mut sim, handles) = SystemBuilder::new(clusters, GlobalProtocol::Cxl)
+        .cxl_cache(64, 4)
+        .cxl_devices(2)
+        .build_with_seq_cores(programs);
+    sim.set_event_limit(80_000_000);
+    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(handles.global_dirs.len(), 2);
+    assert_eq!(handles.coherent_value(&sim, Addr(5)), 80);
+    assert_eq!(handles.coherent_value(&sim, Addr(6)), 80);
+    // Both devices must actually have served traffic.
+    let report = sim.report();
+    assert!(report.get("cxl.dcoh.0.writebacks").is_some());
+    assert!(report.get("cxl.dcoh.1.writebacks").is_some());
+    assert_ne!(handles.dir_for(Addr(5)), handles.dir_for(Addr(6)));
+}
