@@ -1,10 +1,13 @@
-//! Criterion benchmarks: scaled-down versions of each paper experiment
-//! plus microbenchmarks of the performance-critical substrates.
+//! Benchmarks: scaled-down versions of each paper experiment plus
+//! microbenchmarks of the performance-critical substrates.
 //!
-//! `cargo bench` runs everything; each figure has a corresponding bench
-//! group so regressions in the experiment pipelines are caught.
+//! `cargo bench` runs everything; pass a substring to run a subset
+//! (`cargo bench -- fig10`). The harness is self-contained (no external
+//! crates): each benchmark is timed with `std::time::Instant` over a
+//! fixed iteration count after one warm-up pass, so regressions in the
+//! experiment pipelines are caught without network access.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 
 use c3::generator::bridge_fsm;
 use c3::system::GlobalProtocol;
@@ -19,85 +22,103 @@ use c3_protocol::states::ProtocolFamily;
 use c3_verif::model::{check, ModelConfig};
 use c3_workloads::WorkloadSpec;
 
-fn microbenches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrates");
-    g.bench_function("cache_array_insert_get", |b| {
-        b.iter_batched(
-            || CacheArray::<u64>::new(256, 8),
-            |mut cache| {
-                for i in 0..4096u64 {
-                    cache.insert(Addr(i % 1024), i);
-                    cache.get(Addr((i * 7) % 1024));
-                }
-                cache
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("generator_moesi_cxl", |b| {
-        b.iter(|| bridge_fsm(ProtocolFamily::Moesi))
-    });
-    g.bench_function("reference_enumeration_iriw", |b| {
-        let t = LitmusTest::iriw();
-        let mcms = [Mcm::Tso, Mcm::Weak, Mcm::Tso, Mcm::Weak];
-        b.iter(|| allowed_outcomes(&t.threads, &mcms, &t.observed))
-    });
-    g.finish();
+struct Harness {
+    filter: Option<String>,
+    ran: usize,
 }
 
-fn verification(c: &mut Criterion) {
-    let mut g = c.benchmark_group("verification");
-    g.sample_size(10);
-    g.bench_function("model_check_default", |b| {
-        b.iter(|| {
-            let r = check(&ModelConfig::default());
-            assert!(r.violation.is_none());
-            r.states
-        })
-    });
-    g.finish();
+impl Harness {
+    fn new() -> Self {
+        // `cargo bench -- <filter>`; ignore libtest-style flags.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness { filter, ran: 0 }
+    }
+
+    fn bench<R>(&mut self, name: &str, iters: u32, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+        std::hint::black_box(f()); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let per = t0.elapsed().as_secs_f64() / iters as f64;
+        let (val, unit) = if per < 1e-3 {
+            (per * 1e6, "µs")
+        } else {
+            (per * 1e3, "ms")
+        };
+        println!("{name:<44} {val:>10.3} {unit}/iter  ({iters} iters)");
+    }
 }
 
-fn litmus(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table4_litmus");
-    g.sample_size(10);
+fn microbenches(h: &mut Harness) {
+    h.bench("substrates/cache_array_insert_get", 50, || {
+        let mut cache = CacheArray::<u64>::new(256, 8);
+        for i in 0..4096u64 {
+            cache.insert(Addr(i % 1024), i);
+            cache.get(Addr((i * 7) % 1024));
+        }
+        cache.len()
+    });
+    h.bench("substrates/generator_moesi_cxl", 20, || {
+        bridge_fsm(ProtocolFamily::Moesi)
+    });
+    let iriw = LitmusTest::iriw();
+    let mcms = [Mcm::Tso, Mcm::Weak, Mcm::Tso, Mcm::Weak];
+    h.bench("substrates/reference_enumeration_iriw", 5, || {
+        allowed_outcomes(&iriw.threads, &mcms, &iriw.observed)
+    });
+}
+
+fn verification(h: &mut Harness) {
+    h.bench("verification/model_check_default", 3, || {
+        let r = check(&ModelConfig::default());
+        assert!(r.violation.is_none());
+        r.states
+    });
+}
+
+fn litmus(h: &mut Harness) {
     for (name, test) in [("mp", LitmusTest::mp()), ("sb", LitmusTest::sb())] {
-        g.bench_function(name, |b| {
-            let cfg = LitmusConfig::new(
-                (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
-                GlobalProtocol::Cxl,
-                (Mcm::Tso, Mcm::Weak),
-            )
-            .runs(20);
-            b.iter(|| {
-                let r = run_litmus(&test, &cfg);
-                assert!(r.passed());
-                r.observed.len()
-            })
+        let cfg = LitmusConfig::new(
+            (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
+            GlobalProtocol::Cxl,
+            (Mcm::Tso, Mcm::Weak),
+        )
+        .runs(20);
+        h.bench(&format!("table4_litmus/{name}"), 3, || {
+            let r = run_litmus(&test, &cfg);
+            assert!(r.passed());
+            r.observed.len()
         });
     }
-    g.finish();
 }
 
-fn figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures_scaled");
-    g.sample_size(10);
+fn figures(h: &mut Harness) {
     // Fig. 10 slice: one contended and one streaming workload under the
     // baseline and the CXL configuration.
     for wname in ["histogram", "vips"] {
         for (gname, global) in [
-            ("baseline", GlobalProtocol::Hierarchical(ProtocolFamily::Mesi)),
+            (
+                "baseline",
+                GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
+            ),
             ("cxl", GlobalProtocol::Cxl),
         ] {
-            g.bench_function(format!("fig10_{wname}_{gname}"), |b| {
-                let spec = WorkloadSpec::by_name(wname).expect("workload");
-                let cfg = RunConfig::scaled(
-                    (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
-                    global,
-                    (Mcm::Weak, Mcm::Weak),
-                )
-                .quick();
-                b.iter(|| run_workload(&spec, &cfg).exec_ns)
+            let spec = WorkloadSpec::by_name(wname).expect("workload");
+            let cfg = RunConfig::scaled(
+                (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+                global,
+                (Mcm::Weak, Mcm::Weak),
+            )
+            .quick();
+            h.bench(&format!("figures_scaled/fig10_{wname}_{gname}"), 3, || {
+                run_workload(&spec, &cfg).exec_ns
             });
         }
     }
@@ -107,19 +128,26 @@ fn figures(c: &mut Criterion) {
         ("tso", (Mcm::Tso, Mcm::Tso)),
         ("mixed", (Mcm::Weak, Mcm::Tso)),
     ] {
-        g.bench_function(format!("fig9_histogram_{mname}"), |b| {
-            let spec = WorkloadSpec::by_name("histogram").expect("workload");
-            let cfg = RunConfig::scaled(
-                (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
-                GlobalProtocol::Cxl,
-                mcms,
-            )
-            .quick();
-            b.iter(|| run_workload(&spec, &cfg).exec_ns)
+        let spec = WorkloadSpec::by_name("histogram").expect("workload");
+        let cfg = RunConfig::scaled(
+            (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+            GlobalProtocol::Cxl,
+            mcms,
+        )
+        .quick();
+        h.bench(&format!("figures_scaled/fig9_histogram_{mname}"), 3, || {
+            run_workload(&spec, &cfg).exec_ns
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, microbenches, verification, litmus, figures);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    microbenches(&mut h);
+    verification(&mut h);
+    litmus(&mut h);
+    figures(&mut h);
+    if h.ran == 0 {
+        println!("no benchmarks matched the filter");
+    }
+}

@@ -39,9 +39,8 @@ fn main() {
             other => panic!("unknown arg {other}"),
         }
     }
-    let mut csv_rows = vec![
-        "workload,suite,base_ns,mesi_cxl_mesi,mesi_cxl_moesi,mesi_cxl_mesif".to_string(),
-    ];
+    let mut csv_rows =
+        vec!["workload,suite,base_ns,mesi_cxl_mesi,mesi_cxl_moesi,mesi_cxl_mesif".to_string()];
 
     let configs: Vec<(&str, RunConfig)> = vec![
         (

@@ -51,12 +51,16 @@ fn main() {
             }
             misses.push(m);
         }
-        println!("\n== {name} ==   exec: base {:.1} us, CXL {:.1} us ({:+.1}%)",
+        println!(
+            "\n== {name} ==   exec: base {:.1} us, CXL {:.1} us ({:+.1}%)",
             execs[0] as f64 / 1000.0,
             execs[1] as f64 / 1000.0,
             (execs[1] as f64 / execs[0] as f64 - 1.0) * 100.0
         );
-        println!("   misses: base {} vs CXL {} (counts should match)", misses[0], misses[1]);
+        println!(
+            "   misses: base {} vs CXL {} (counts should match)",
+            misses[0], misses[1]
+        );
         println!(
             "   {:<22} {:>14} {:>14} {:>8}",
             "band", "MESI-MESI-MESI", "MESI-CXL-MESI", "ratio"
@@ -67,7 +71,11 @@ fn main() {
             if *base == 0.0 && cxl == 0.0 {
                 continue;
             }
-            let ratio = if *base > 0.0 { cxl / base } else { f64::INFINITY };
+            let ratio = if *base > 0.0 {
+                cxl / base
+            } else {
+                f64::INFINITY
+            };
             println!(
                 "   {:<22} {:>14.1} {:>14.1} {:>8.2}",
                 label,

@@ -38,8 +38,14 @@ fn main() {
     }
 
     for (scenario, protos) in [
-        ("MESI-CXL-MESI", (ProtocolFamily::Mesi, ProtocolFamily::Mesi)),
-        ("MESI-CXL-MOESI", (ProtocolFamily::Mesi, ProtocolFamily::Moesi)),
+        (
+            "MESI-CXL-MESI",
+            (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+        ),
+        (
+            "MESI-CXL-MOESI",
+            (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
+        ),
     ] {
         println!("=== scenario {scenario} ===");
         println!(

@@ -37,7 +37,11 @@ fn main() {
             "line", "reads", "writes", "hosts"
         );
         for h in hot {
-            let marker = if h.sharers > 1 && h.writes > 0 { "  <- multi-host hot-spot" } else { "" };
+            let marker = if h.sharers > 1 && h.writes > 0 {
+                "  <- multi-host hot-spot"
+            } else {
+                ""
+            };
             println!(
                 "   {:<8} {:>8} {:>8} {:>8}{marker}",
                 h.addr.to_string(),

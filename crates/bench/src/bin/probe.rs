@@ -65,8 +65,6 @@ fn main() {
                 low += v;
             }
         }
-        println!(
-            "  hits={hits} misses={misses} miss_ns: low={low} med={med} high={high}"
-        );
+        println!("  hits={hits} misses={misses} miss_ns: low={low} med={med} high={high}");
     }
 }

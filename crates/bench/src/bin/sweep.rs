@@ -40,7 +40,12 @@ fn run(spec: &WorkloadSpec, global: GlobalProtocol, link_ns: u64) -> u64 {
             ))
         });
     sim.set_event_limit(400_000_000);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let mut exec = 0;
     for cluster in &handles.cores {
         for &c in cluster {
@@ -65,7 +70,11 @@ fn main() {
         "link(ns)", "baseline(ns)", "cxl(ns)", "ratio"
     );
     for link_ns in [5, 15, 35, 70, 140, 280] {
-        let base = run(&spec, GlobalProtocol::Hierarchical(ProtocolFamily::Mesi), link_ns);
+        let base = run(
+            &spec,
+            GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
+            link_ns,
+        );
         let cxl = run(&spec, GlobalProtocol::Cxl, link_ns);
         println!(
             "{:>9} {:>12} {:>12} {:>8.3}",

@@ -6,14 +6,41 @@ use c3_protocol::msg::{direction, mesi_equivalent, CxlOpcode};
 
 fn main() {
     println!("Table I: CXL.mem coherence messages and MESI equivalents");
-    println!("{:<12} {:<5} {:<10} Description", "Message", "Dir.", "MESI Eq.");
+    println!(
+        "{:<12} {:<5} {:<10} Description",
+        "Message", "Dir.", "MESI Eq."
+    );
     let rows = [
-        (CxlOpcode::MemRdA, "MemRd, A", "Read memory and acquire excl. ownership"),
-        (CxlOpcode::MemRdS, "MemRd, S", "Read memory and acquire sharable copy"),
-        (CxlOpcode::MemWrI, "MemWr, I", "Writeback, do not keep cachable copy"),
-        (CxlOpcode::MemWrS, "MemWr, S", "Writeback, retain current copy and state"),
-        (CxlOpcode::BiSnpData, "BISnpData", "Device request sharable copy from host"),
-        (CxlOpcode::BiSnpInv, "BISnpInv", "Device request exclusive cachable copy"),
+        (
+            CxlOpcode::MemRdA,
+            "MemRd, A",
+            "Read memory and acquire excl. ownership",
+        ),
+        (
+            CxlOpcode::MemRdS,
+            "MemRd, S",
+            "Read memory and acquire sharable copy",
+        ),
+        (
+            CxlOpcode::MemWrI,
+            "MemWr, I",
+            "Writeback, do not keep cachable copy",
+        ),
+        (
+            CxlOpcode::MemWrS,
+            "MemWr, S",
+            "Writeback, retain current copy and state",
+        ),
+        (
+            CxlOpcode::BiSnpData,
+            "BISnpData",
+            "Device request sharable copy from host",
+        ),
+        (
+            CxlOpcode::BiSnpInv,
+            "BISnpInv",
+            "Device request exclusive cachable copy",
+        ),
     ];
     for (op, name, desc) in rows {
         println!(

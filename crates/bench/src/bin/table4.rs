@@ -23,8 +23,14 @@ fn main() {
         runs = args[2].parse().expect("runs");
     }
     let protocol_combos = [
-        ("MESI-CXL-MESI", (ProtocolFamily::Mesi, ProtocolFamily::Mesi)),
-        ("MESI-CXL-MOESI", (ProtocolFamily::Mesi, ProtocolFamily::Moesi)),
+        (
+            "MESI-CXL-MESI",
+            (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+        ),
+        (
+            "MESI-CXL-MOESI",
+            (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
+        ),
     ];
     let mcm_combos = [
         ("Arm-Arm", (Mcm::Weak, Mcm::Weak)),

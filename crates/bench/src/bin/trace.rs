@@ -1,0 +1,161 @@
+//! `trace` — run one named workload with transaction tracing enabled,
+//! write a Perfetto-loadable Chrome trace JSON, and print the latency
+//! histogram summary.
+//!
+//! ```text
+//! cargo run -p c3-bench --bin trace -- vips
+//! cargo run -p c3-bench --bin trace -- histogram --out /tmp/hist.json --cap 500000 --full
+//! ```
+//!
+//! Load the emitted JSON at <https://ui.perfetto.dev> (or
+//! `chrome://tracing`): one track per component, `bridge` spans showing
+//! Rule-II nesting (snoop ⊃ writeback, evict ⊃ writeback), `l1` spans for
+//! MSHR lifetimes, instant markers for message deliveries.
+//!
+//! If the run deadlocks or hits the event limit, the post-mortem dump
+//! (every in-flight transaction, the oldest blocked one, and its wait
+//! chain) is printed instead of a trace summary.
+
+use c3::system::GlobalProtocol;
+use c3_bench::{build_sim, RunConfig};
+use c3_protocol::mcm::Mcm;
+use c3_protocol::states::ProtocolFamily;
+use c3_sim::kernel::RunOutcome;
+use c3_workloads::WorkloadSpec;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace <workload> [--out FILE] [--cap N] [--events N] [--full] [--text] [--baseline]"
+    );
+    eprintln!("       --out FILE   trace JSON path (default: trace-<workload>.json)");
+    eprintln!("       --cap N      ring-buffer capacity in events (default: 1000000)");
+    eprintln!("       --events N   cut the run off after N events (forces a post-mortem)");
+    eprintln!("       --full       paper-scale run instead of the quick configuration");
+    eprintln!("       --text       also print the compact text dump to stdout");
+    eprintln!("       --baseline   hierarchical MESI global instead of CXL");
+    eprintln!("workloads:");
+    let mut names: Vec<&str> = WorkloadSpec::all().iter().map(|w| w.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    eprintln!("  {}", names.join(" "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload = None;
+    let mut out_path = None;
+    let mut cap = 1_000_000usize;
+    let mut events = None;
+    let mut full = false;
+    let mut text = false;
+    let mut baseline = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--cap" => {
+                cap = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--events" => {
+                events = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--full" => full = true,
+            "--text" => text = true,
+            "--baseline" => baseline = true,
+            "-h" | "--help" => usage(),
+            name if workload.is_none() => workload = Some(name.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(name) = workload else { usage() };
+    let Some(spec) = WorkloadSpec::by_name(&name) else {
+        eprintln!("unknown workload: {name}");
+        usage();
+    };
+
+    let global = if baseline {
+        GlobalProtocol::Hierarchical(ProtocolFamily::Mesi)
+    } else {
+        GlobalProtocol::Cxl
+    };
+    let mut cfg = RunConfig::scaled(
+        (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+        global,
+        (Mcm::Weak, Mcm::Weak),
+    );
+    if !full {
+        cfg = cfg.quick();
+    }
+
+    let (mut sim, _handles) = build_sim(&spec, &cfg);
+    sim.set_tracing(cap);
+    if let Some(n) = events {
+        sim.set_event_limit(n);
+    }
+    let outcome = sim.run();
+
+    if matches!(outcome, RunOutcome::Deadlock | RunOutcome::EventLimit) {
+        eprintln!("{}", sim.post_mortem(outcome));
+        std::process::exit(1);
+    }
+
+    let path = out_path.unwrap_or_else(|| format!("trace-{name}.json"));
+    std::fs::write(&path, sim.trace_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    if text {
+        print!("{}", sim.trace_text());
+    }
+
+    let tracer = sim.tracer();
+    println!(
+        "{name} [{}]: {:?} at {} after {} events",
+        cfg.label(),
+        outcome,
+        sim.now(),
+        sim.events_processed()
+    );
+    println!(
+        "trace: {} buffered event(s), {} dropped (ring cap {cap}) -> {path}",
+        tracer.len(),
+        tracer.dropped()
+    );
+    println!("open in https://ui.perfetto.dev or chrome://tracing");
+
+    // Latency-histogram summary: every `*.lat.*` key the run produced.
+    let report = sim.report();
+    let mut classes: Vec<&str> = report
+        .iter()
+        .filter_map(|(k, _)| k.strip_suffix(".lat.count"))
+        .collect();
+    classes.sort_unstable();
+    if classes.is_empty() {
+        println!("no latency histograms recorded");
+        return;
+    }
+    println!(
+        "\n{:<40} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "transaction class", "count", "p50_ns", "p95_ns", "p99_ns", "max_ns"
+    );
+    for c in classes {
+        let g = |stat: &str| report.get(&format!("{c}.lat.{stat}")).unwrap_or(f64::NAN);
+        println!(
+            "{:<40} {:>10} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+            c,
+            g("count"),
+            g("p50_ns"),
+            g("p95_ns"),
+            g("p99_ns"),
+            g("max_ns")
+        );
+    }
+}

@@ -99,26 +99,15 @@ pub struct RunResult {
     pub report: Report,
 }
 
-/// Run one workload under one configuration.
+/// Build the simulated system for one workload/configuration pair
+/// without running it — used by the `trace` binary to enable tracing
+/// before the first event, and by [`run_workload_with`].
 ///
-/// # Panics
-///
-/// Panics if the simulation deadlocks (a protocol bug).
-pub fn run_workload(spec: &WorkloadSpec, cfg: &RunConfig) -> RunResult {
-    run_workload_with(spec, cfg, |_, _| ()).0
-}
-
-/// Like [`run_workload`], additionally extracting data from the finished
-/// simulation via `inspect` (e.g. the DCOH hot-spot profile).
-///
-/// # Panics
-///
-/// Panics if the simulation deadlocks (a protocol bug).
-pub fn run_workload_with<T>(
+/// The returned simulator has the standard 400 M event limit set.
+pub fn build_sim(
     spec: &WorkloadSpec,
     cfg: &RunConfig,
-    inspect: impl FnOnce(&c3_sim::kernel::Simulator<SysMsg>, &c3::system::SystemHandles) -> T,
-) -> (RunResult, T) {
+) -> (c3_sim::kernel::Simulator<SysMsg>, c3::system::SystemHandles) {
     let nthreads = cfg.cores_per_cluster * 2;
     let clusters = vec![
         ClusterSpec::new(cfg.protocols.0, cfg.cores_per_cluster).with_l1(cfg.l1.0, cfg.l1.1),
@@ -148,8 +137,33 @@ pub fn run_workload_with<T>(
         ))
     });
     sim.set_event_limit(400_000_000);
+    (sim, handles)
+}
+
+/// Run one workload under one configuration.
+///
+/// # Panics
+///
+/// Panics if the simulation deadlocks (a protocol bug).
+pub fn run_workload(spec: &WorkloadSpec, cfg: &RunConfig) -> RunResult {
+    run_workload_with(spec, cfg, |_, _| ()).0
+}
+
+/// Like [`run_workload`], additionally extracting data from the finished
+/// simulation via `inspect` (e.g. the DCOH hot-spot profile).
+///
+/// # Panics
+///
+/// Panics if the simulation deadlocks (a protocol bug).
+pub fn run_workload_with<T>(
+    spec: &WorkloadSpec,
+    cfg: &RunConfig,
+    inspect: impl FnOnce(&c3_sim::kernel::Simulator<SysMsg>, &c3::system::SystemHandles) -> T,
+) -> (RunResult, T) {
+    let (mut sim, handles) = build_sim(spec, cfg);
     let outcome = sim.run();
     if outcome != RunOutcome::Completed {
+        eprintln!("{}", sim.post_mortem(outcome));
         for &b in &handles.bridges {
             if let Some(bridge) = sim.component_as::<c3::bridge::C3Bridge>(b) {
                 eprintln!("{}", bridge.pending_summary());

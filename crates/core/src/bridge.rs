@@ -36,9 +36,13 @@ use c3_protocol::msg::{CxlMsg, Grant, HostMsg, SysMsg};
 use c3_protocol::ops::Addr;
 use c3_protocol::states::{ProtocolFamily, StableState};
 use c3_sim::component::{Component, ComponentId, Ctx};
-use c3_sim::stats::Report;
+use c3_sim::stats::{LatencyHistogram, Report};
+use c3_sim::time::Time;
+use c3_sim::trace::{InflightTxn, TxnId};
 
-use crate::generator::{bridge_fsm, baseline_fsm, CompoundFsm, HostClass, Incoming, SnoopResponse, XAccess};
+use crate::generator::{
+    baseline_fsm, bridge_fsm, CompoundFsm, HostClass, Incoming, SnoopResponse, XAccess,
+};
 
 /// What the bridge's global side speaks.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -105,6 +109,8 @@ struct PendingFetch {
     data_received: bool,
     data: u64,
     grant: StableState,
+    txn: TxnId,
+    started: Time,
 }
 
 #[derive(Debug)]
@@ -113,9 +119,7 @@ enum AfterWb {
     Eviction,
     /// Snoop response: send the `BIRsp*` once the writeback completes
     /// (the 6-hop dirty chain of §VI-C1).
-    SnoopResponse {
-        kind: Incoming,
-    },
+    SnoopResponse { kind: Incoming },
 }
 
 #[derive(Debug)]
@@ -127,6 +131,11 @@ struct PendingWb {
     /// A `BISnp*` arrived while this eviction was in flight; answer it
     /// after the writeback completes.
     snoop_after: Option<Incoming>,
+    txn: TxnId,
+    started: Time,
+    /// A snoop span shares this txn and closes once the nested writeback
+    /// completes (the Rule-II nesting made visible in traces).
+    closes_snoop: bool,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -142,12 +151,15 @@ enum StashPhase {
 struct StashedSnoop {
     kind: Incoming,
     phase: StashPhase,
+    started: Time,
 }
 
 /// An active delegated snoop: global snoop nested into the host domain.
 #[derive(Debug)]
 struct ActiveSnoop {
     kind: Incoming,
+    txn: TxnId,
+    started: Time,
 }
 
 /// The C³ bridge component.
@@ -172,7 +184,15 @@ pub struct C3Bridge {
     passive_snoop_stash: HashMap<Addr, HostMsg>,
     /// Fetches deferred until the line's in-flight writeback completes.
     deferred_fetches: HashMap<Addr, bool>,
+    /// Open eviction spans (txn + start time), keyed by victim.
+    evict_txns: HashMap<Addr, (TxnId, Time)>,
+    /// Open passive-snoop spans (txn + start time) for stashed snoops.
+    passive_snoop_txns: HashMap<Addr, (TxnId, Time)>,
     // statistics
+    fetch_lat: LatencyHistogram,
+    wb_lat: LatencyHistogram,
+    recall_lat: LatencyHistogram,
+    evict_lat: LatencyHistogram,
     global_reads: u64,
     global_writes: u64,
     conflicts_sent: u64,
@@ -204,6 +224,12 @@ impl C3Bridge {
             pending_evict_snoop: HashMap::new(),
             passive_snoop_stash: HashMap::new(),
             deferred_fetches: HashMap::new(),
+            evict_txns: HashMap::new(),
+            passive_snoop_txns: HashMap::new(),
+            fetch_lat: LatencyHistogram::default(),
+            wb_lat: LatencyHistogram::default(),
+            recall_lat: LatencyHistogram::default(),
+            evict_lat: LatencyHistogram::default(),
             global_reads: 0,
             global_writes: 0,
             conflicts_sent: 0,
@@ -284,7 +310,11 @@ impl C3Bridge {
             || self.writebacks.contains_key(&addr)
             || self.snoops.contains_key(&addr)
             || self.stash.contains_key(&addr)
-            || self.engine.as_ref().map(|e| e.is_busy(addr)).unwrap_or(false)
+            || self
+                .engine
+                .as_ref()
+                .map(|e| e.is_busy(addr))
+                .unwrap_or(false)
     }
 
     // ---- engine effect pump ----
@@ -331,7 +361,12 @@ impl C3Bridge {
     /// Begin a global fetch; returns follow-up engine effects (from
     /// eviction recalls). Fig. 7: when the CXL cache set is full, the
     /// victim's eviction completes before the fetch is issued.
-    fn start_fetch(&mut self, addr: Addr, exclusive: bool, ctx: &mut Ctx<'_, SysMsg>) -> Vec<DirEffect> {
+    fn start_fetch(
+        &mut self,
+        addr: Addr,
+        exclusive: bool,
+        ctx: &mut Ctx<'_, SysMsg>,
+    ) -> Vec<DirEffect> {
         if self.writebacks.contains_key(&addr) || self.stash.contains_key(&addr) {
             // The line is mid-downgrade, or a conflict handshake is still
             // being resolved for it: issuing a new request now would make
@@ -356,14 +391,20 @@ impl C3Bridge {
                 }
             }
             if let Some(v) = victim {
-                self.evict_waiters.entry(v).or_default().push((addr, exclusive));
+                self.evict_waiters
+                    .entry(v)
+                    .or_default()
+                    .push((addr, exclusive));
                 return self.start_eviction(v, ctx);
             }
             if self.cxl.victim(addr).is_some() {
                 // Every way is busy; wait for one of them to settle by
                 // queueing on the least-recent busy victim.
                 let (v, _) = self.cxl.victim(addr).expect("set is full");
-                self.evict_waiters.entry(v).or_default().push((addr, exclusive));
+                self.evict_waiters
+                    .entry(v)
+                    .or_default()
+                    .push((addr, exclusive));
                 return Vec::new();
             }
             // Free way: reserve it with a placeholder so concurrent fills
@@ -375,6 +416,11 @@ impl C3Bridge {
                 },
             );
         }
+        let txn = ctx.next_txn();
+        if ctx.tracing() {
+            let dir = if exclusive { "X" } else { "S" };
+            ctx.trace_begin(txn, "bridge", format!("fetch{dir} {addr}"));
+        }
         self.fetches.insert(
             addr,
             PendingFetch {
@@ -383,6 +429,8 @@ impl C3Bridge {
                 data_received: false,
                 data: 0,
                 grant: StableState::I,
+                txn,
+                started: ctx.now,
             },
         );
         if exclusive {
@@ -418,6 +466,11 @@ impl C3Bridge {
         let f = self.fetches.remove(&addr).expect("fetch pending");
         debug_assert!(f.data_received && f.acks <= 0);
         let state = f.grant;
+        self.fetch_lat.record(ctx.now.since(f.started));
+        ctx.trace_end(f.txn);
+        if ctx.tracing() {
+            ctx.trace_state(Some(addr.0), &self.cxl_state(addr), &state);
+        }
         self.cxl.insert(addr, CxlLine { state });
         if let GlobalSide::Host { dir, .. } = &self.cfg.global {
             let dir = *dir;
@@ -455,6 +508,13 @@ impl C3Bridge {
 
     fn start_eviction(&mut self, victim: Addr, ctx: &mut Ctx<'_, SysMsg>) -> Vec<DirEffect> {
         self.evictions += 1;
+        if let std::collections::hash_map::Entry::Vacant(e) = self.evict_txns.entry(victim) {
+            let txn = ctx.next_txn();
+            if ctx.tracing() {
+                ctx.trace_begin(txn, "bridge", format!("evict {victim}"));
+            }
+            e.insert((txn, ctx.now));
+        }
         let host = self.host_class(victim);
         if host.any() && self.cfg.host_family.enforces_swmr() {
             // Conceptual store into the host domain reclaims all copies.
@@ -479,11 +539,20 @@ impl C3Bridge {
     ) {
         let dirty = was_dirty || self.cxl_state(victim) == StableState::M;
         let state = self.cxl_state(victim);
+        // The nested writeback span reuses the eviction's txn so the
+        // Rule-II nesting (evict ⊃ writeback) is visible in the trace.
+        let wb_txn = match self.evict_txns.get(&victim) {
+            Some((t, _)) => *t,
+            None => ctx.next_txn(),
+        };
         match &self.cfg.global {
             GlobalSide::Cxl { .. } => {
                 let dir = self.cfg.global.dir_for(victim);
                 if dirty {
                     ctx.send(dir, SysMsg::Cxl(CxlMsg::MemWrI { addr: victim, data }));
+                    if ctx.tracing() {
+                        ctx.trace_begin(wb_txn, "bridge", format!("wb {victim}"));
+                    }
                     self.writebacks.insert(
                         victim,
                         PendingWb {
@@ -491,6 +560,9 @@ impl C3Bridge {
                             after: AfterWb::Eviction,
                             superseded: false,
                             snoop_after: None,
+                            txn: wb_txn,
+                            started: ctx.now,
+                            closes_snoop: false,
                         },
                     );
                 } else {
@@ -509,6 +581,9 @@ impl C3Bridge {
                     (false, _) => HostMsg::PutS { addr: victim },
                 };
                 ctx.send(dir, SysMsg::Host(msg));
+                if ctx.tracing() {
+                    ctx.trace_begin(wb_txn, "bridge", format!("wb {victim}"));
+                }
                 self.writebacks.insert(
                     victim,
                     PendingWb {
@@ -516,6 +591,9 @@ impl C3Bridge {
                         after: AfterWb::Eviction,
                         superseded: false,
                         snoop_after: None,
+                        txn: wb_txn,
+                        started: ctx.now,
+                        closes_snoop: false,
                     },
                 );
             }
@@ -523,7 +601,14 @@ impl C3Bridge {
     }
 
     fn finish_eviction(&mut self, victim: Addr, ctx: &mut Ctx<'_, SysMsg>) {
+        if ctx.tracing() && self.cxl.peek(victim).is_some() {
+            ctx.trace_state(Some(victim.0), &self.cxl_state(victim), &StableState::I);
+        }
         self.cxl.remove(victim);
+        if let Some((txn, started)) = self.evict_txns.remove(&victim) {
+            self.evict_lat.record(ctx.now.since(started));
+            ctx.trace_end(txn);
+        }
         if let Some(kind) = self.pending_evict_snoop.remove(&victim) {
             // A snoop raced the eviction; the line is gone (dirty data, if
             // any, already travelled in the eviction's MemWr).
@@ -575,7 +660,18 @@ impl C3Bridge {
         match plan.x_access {
             Some(x) => {
                 self.recalls_delegated += 1;
-                self.snoops.insert(addr, ActiveSnoop { kind });
+                let txn = ctx.next_txn();
+                if ctx.tracing() {
+                    ctx.trace_begin(txn, "bridge", format!("snoop {kind:?} {addr}"));
+                }
+                self.snoops.insert(
+                    addr,
+                    ActiveSnoop {
+                        kind,
+                        txn,
+                        started: ctx.now,
+                    },
+                );
                 let rk = match x {
                     XAccess::Store => RecallKind::Exclusive,
                     XAccess::Load => RecallKind::Shared,
@@ -586,7 +682,7 @@ impl C3Bridge {
             None => {
                 let data = self.engine.as_ref().map(|e| e.data(addr)).unwrap_or(0);
                 let dirty = cxl == StableState::M;
-                self.respond_snoop(addr, kind, data, dirty, ctx);
+                self.respond_snoop(addr, kind, data, dirty, None, ctx);
             }
         }
     }
@@ -610,45 +706,63 @@ impl C3Bridge {
         kind: Incoming,
         data: u64,
         dirty: bool,
+        snoop_txn: Option<TxnId>,
         ctx: &mut Ctx<'_, SysMsg>,
     ) {
         debug_assert!(matches!(self.cfg.global, GlobalSide::Cxl { .. }));
         let dir = self.cfg.global.dir_for(addr);
-        match self.fsm.snoop_response(kind, dirty) {
-            SnoopResponse::MemWrI => {
-                ctx.send(dir, SysMsg::Cxl(CxlMsg::MemWrI { addr, data }));
-                self.writebacks.insert(
-                    addr,
-                    PendingWb {
-                        data,
-                        after: AfterWb::SnoopResponse { kind },
-                        superseded: false,
-                        snoop_after: None,
-                    },
-                );
+        let response = self.fsm.snoop_response(kind, dirty);
+        if matches!(response, SnoopResponse::MemWrI | SnoopResponse::MemWrS) {
+            // Nested writeback (the 6-hop dirty chain): reuse the snoop's
+            // txn so the wb span nests inside the snoop span (Rule II).
+            let (txn, closes_snoop) = match snoop_txn {
+                Some(t) => (t, true),
+                None => (ctx.next_txn(), false),
+            };
+            let msg = if matches!(response, SnoopResponse::MemWrI) {
+                CxlMsg::MemWrI { addr, data }
+            } else {
+                CxlMsg::MemWrS { addr, data }
+            };
+            ctx.send(dir, SysMsg::Cxl(msg));
+            if ctx.tracing() {
+                ctx.trace_begin(txn, "bridge", format!("wb {addr}"));
             }
-            SnoopResponse::MemWrS => {
-                ctx.send(dir, SysMsg::Cxl(CxlMsg::MemWrS { addr, data }));
-                self.writebacks.insert(
-                    addr,
-                    PendingWb {
-                        data,
-                        after: AfterWb::SnoopResponse { kind },
-                        superseded: false,
-                        snoop_after: None,
-                    },
-                );
-            }
+            self.writebacks.insert(
+                addr,
+                PendingWb {
+                    data,
+                    after: AfterWb::SnoopResponse { kind },
+                    superseded: false,
+                    snoop_after: None,
+                    txn,
+                    started: ctx.now,
+                    closes_snoop,
+                },
+            );
+            return;
+        }
+        match response {
             SnoopResponse::BiRspI => {
                 ctx.send(dir, SysMsg::Cxl(CxlMsg::BiRspI { addr }));
+                if ctx.tracing() && self.cxl.peek(addr).is_some() {
+                    ctx.trace_state(Some(addr.0), &self.cxl_state(addr), &StableState::I);
+                }
                 self.cxl.remove(addr);
             }
             SnoopResponse::BiRspS => {
                 ctx.send(dir, SysMsg::Cxl(CxlMsg::BiRspS { addr }));
                 if let Some(l) = self.cxl.get_mut(addr) {
+                    if ctx.tracing() {
+                        ctx.trace_state(Some(addr.0), &l.state, &StableState::S);
+                    }
                     l.state = StableState::S;
                 }
             }
+            SnoopResponse::MemWrI | SnoopResponse::MemWrS => unreachable!("handled above"),
+        }
+        if let Some(t) = snoop_txn {
+            ctx.trace_end(t);
         }
     }
 
@@ -661,10 +775,15 @@ impl C3Bridge {
     ) -> Vec<DirEffect> {
         if let Some(snoop) = self.snoops.remove(&addr) {
             let dirty = was_dirty || self.cxl_state(addr) == StableState::M;
-            self.respond_snoop(addr, snoop.kind, data, dirty, ctx);
+            self.recall_lat.record(ctx.now.since(snoop.started));
+            self.respond_snoop(addr, snoop.kind, data, dirty, Some(snoop.txn), ctx);
         } else if let Some(msg) = self.passive_snoop_stash.remove(&addr) {
             let dirty = was_dirty || self.cxl_state(addr) == StableState::M;
             self.respond_host_snoop(addr, msg, data, dirty, ctx);
+            if let Some((txn, started)) = self.passive_snoop_txns.remove(&addr) {
+                self.recall_lat.record(ctx.now.since(started));
+                ctx.trace_end(txn);
+            }
             if self.evict_waiters.contains_key(&addr) {
                 // The eviction that shared this recall continues; its Put
                 // will be stale at the directory and simply acknowledged.
@@ -690,8 +809,18 @@ impl C3Bridge {
                 self.complete_fetch(addr, ctx);
             }
             CxlMsg::Cmp { .. } => {
-                let wb = self.writebacks.remove(&addr).expect("Cmp without writeback");
+                let wb = self
+                    .writebacks
+                    .remove(&addr)
+                    .expect("Cmp without writeback");
                 let dir = self.cfg.global.dir_for(addr);
+                self.wb_lat.record(ctx.now.since(wb.started));
+                ctx.trace_end(wb.txn);
+                if wb.closes_snoop {
+                    // The snoop span that wrapped this writeback completes
+                    // with it (second end pops the outer span).
+                    ctx.trace_end(wb.txn);
+                }
                 match wb.after {
                     AfterWb::Eviction => {
                         self.finish_eviction(addr, ctx);
@@ -737,6 +866,7 @@ impl C3Bridge {
                         StashedSnoop {
                             kind,
                             phase: StashPhase::AwaitingAck,
+                            started: ctx.now,
                         },
                     );
                     ctx.send(dir, SysMsg::Cxl(CxlMsg::BiConflict { addr }));
@@ -777,7 +907,18 @@ impl C3Bridge {
                     let host = self.host_class(addr);
                     if host.any() && self.cfg.host_family.enforces_swmr() {
                         self.recalls_delegated += 1;
-                        self.snoops.insert(addr, ActiveSnoop { kind });
+                        let txn = ctx.next_txn();
+                        if ctx.tracing() {
+                            ctx.trace_begin(txn, "bridge", format!("snoop {kind:?} {addr}"));
+                        }
+                        self.snoops.insert(
+                            addr,
+                            ActiveSnoop {
+                                kind,
+                                txn,
+                                started: ctx.now,
+                            },
+                        );
                         let rk = if kind == Incoming::BiSnpInv {
                             RecallKind::Exclusive
                         } else {
@@ -799,7 +940,12 @@ impl C3Bridge {
 
     /// Respond to a snoop we lost the conflict on: we held at most a clean
     /// shared copy (an upgrade in flight), so the response is clean.
-    fn respond_snoop_conflict_loser(&mut self, addr: Addr, kind: Incoming, ctx: &mut Ctx<'_, SysMsg>) {
+    fn respond_snoop_conflict_loser(
+        &mut self,
+        addr: Addr,
+        kind: Incoming,
+        ctx: &mut Ctx<'_, SysMsg>,
+    ) {
         let dir = self.cfg.global.dir_for(addr);
         let msg = match kind {
             Incoming::BiSnpInv => CxlMsg::BiRspI { addr },
@@ -911,6 +1057,11 @@ impl C3Bridge {
                 if self.evict_waiters.contains_key(&addr) {
                     // An eviction recall is already reclaiming the line;
                     // answer with its (fresh) data when it resolves.
+                    let txn = ctx.next_txn();
+                    if ctx.tracing() {
+                        ctx.trace_begin(txn, "bridge", format!("passive-snoop {addr}"));
+                    }
+                    self.passive_snoop_txns.insert(addr, (txn, ctx.now));
                     self.passive_snoop_stash.insert(addr, msg);
                     return;
                 }
@@ -931,6 +1082,11 @@ impl C3Bridge {
                     // Stash the pending passive snoop so RecallDone can
                     // answer it (keyed by line; one at a time since the
                     // global directory blocks).
+                    let txn = ctx.next_txn();
+                    if ctx.tracing() {
+                        ctx.trace_begin(txn, "bridge", format!("passive-snoop {addr}"));
+                    }
+                    self.passive_snoop_txns.insert(addr, (txn, ctx.now));
                     self.passive_snoop_stash.insert(addr, msg);
                     let effects = self.engine_mut().recall(addr, rk);
                     self.pump(effects, ctx);
@@ -942,6 +1098,8 @@ impl C3Bridge {
             }
             HostMsg::PutAck { .. } => {
                 let wb = self.writebacks.remove(&addr).expect("PutAck without Put");
+                self.wb_lat.record(ctx.now.since(wb.started));
+                ctx.trace_end(wb.txn);
                 match wb.after {
                     AfterWb::Eviction => self.finish_eviction(addr, ctx),
                     AfterWb::SnoopResponse { .. } => unreachable!("CXL-mode only"),
@@ -1016,6 +1174,132 @@ impl Component<SysMsg> for C3Bridge {
         out.set(format!("{n}.recalls"), self.recalls_delegated as f64);
         if let Some(e) = &self.engine {
             out.set(format!("{n}.local_stalls"), e.stalled_requests as f64);
+        }
+        self.fetch_lat.report_into(out, &format!("{n}.fetch.lat"));
+        self.wb_lat.report_into(out, &format!("{n}.wb.lat"));
+        self.recall_lat.report_into(out, &format!("{n}.recall.lat"));
+        self.evict_lat.report_into(out, &format!("{n}.evict.lat"));
+    }
+
+    fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {
+        fn sorted<V>(m: &HashMap<Addr, V>) -> Vec<(&Addr, &V)> {
+            let mut v: Vec<_> = m.iter().collect();
+            v.sort_by_key(|(a, _)| a.0);
+            v
+        }
+        for (a, f) in sorted(&self.fetches) {
+            out.push(InflightTxn {
+                component: self_id,
+                addr: Some(a.0),
+                kind: format!("global fetch{}", if f.exclusive { "X" } else { "S" }),
+                since: Some(f.started),
+                waiting_on: Some(self.cfg.global.dir_for(*a)),
+                detail: format!("data_received={}, acks={}", f.data_received, f.acks),
+            });
+        }
+        for (a, w) in sorted(&self.writebacks) {
+            out.push(InflightTxn {
+                component: self_id,
+                addr: Some(a.0),
+                kind: "global writeback".into(),
+                since: Some(w.started),
+                waiting_on: Some(self.cfg.global.dir_for(*a)),
+                detail: format!(
+                    "{:?}{}{}",
+                    w.after,
+                    if w.superseded { ", superseded" } else { "" },
+                    if w.snoop_after.is_some() {
+                        ", snoop queued behind"
+                    } else {
+                        ""
+                    }
+                ),
+            });
+        }
+        for (a, s) in sorted(&self.snoops) {
+            out.push(InflightTxn {
+                component: self_id,
+                addr: Some(a.0),
+                kind: format!("delegated snoop {:?}", s.kind),
+                since: Some(s.started),
+                waiting_on: None,
+                detail: "nested host recall in flight".into(),
+            });
+        }
+        for (a, s) in sorted(&self.stash) {
+            out.push(InflightTxn {
+                component: self_id,
+                addr: Some(a.0),
+                kind: format!("stashed snoop {:?}", s.kind),
+                since: Some(s.started),
+                waiting_on: Some(self.cfg.global.dir_for(*a)),
+                detail: format!("BIConflict handshake: {:?}", s.phase),
+            });
+        }
+        for (a, msg) in sorted(&self.passive_snoop_stash) {
+            out.push(InflightTxn {
+                component: self_id,
+                addr: Some(a.0),
+                kind: "passive snoop".into(),
+                since: self.passive_snoop_txns.get(a).map(|(_, t)| *t),
+                waiting_on: None,
+                detail: format!("awaiting nested recall to answer {msg:?}"),
+            });
+        }
+        for (a, kind) in sorted(&self.pending_evict_snoop) {
+            out.push(InflightTxn {
+                component: self_id,
+                addr: Some(a.0),
+                kind: format!("snoop {kind:?} behind eviction"),
+                since: None,
+                waiting_on: None,
+                detail: "answered when the eviction resolves".into(),
+            });
+        }
+        for (a, exclusive) in sorted(&self.deferred_fetches) {
+            out.push(InflightTxn {
+                component: self_id,
+                addr: Some(a.0),
+                kind: format!("deferred fetch{}", if *exclusive { "X" } else { "S" }),
+                since: None,
+                waiting_on: None,
+                detail: "waiting for the line's writeback/conflict to settle".into(),
+            });
+        }
+        for (victim, waiters) in sorted(&self.evict_waiters) {
+            for (a, exclusive) in waiters {
+                out.push(InflightTxn {
+                    component: self_id,
+                    addr: Some(a.0),
+                    kind: format!(
+                        "fetch{} queued on victim",
+                        if *exclusive { "X" } else { "S" }
+                    ),
+                    since: self.evict_txns.get(victim).map(|(_, t)| *t),
+                    waiting_on: None,
+                    detail: format!("waiting for eviction of {victim}"),
+                });
+            }
+        }
+        if let Some(e) = &self.engine {
+            for b in e.busy_lines() {
+                out.push(InflightTxn {
+                    component: self_id,
+                    addr: Some(b.addr.0),
+                    kind: "local directory txn".into(),
+                    since: None,
+                    waiting_on: b.waiting_on.or(if b.on_backend {
+                        Some(self.cfg.global.dir_for(b.addr))
+                    } else {
+                        None
+                    }),
+                    detail: if b.queued > 0 {
+                        format!("{}; {} queued request(s)", b.desc, b.queued)
+                    } else {
+                        b.desc
+                    },
+                });
+            }
         }
     }
 

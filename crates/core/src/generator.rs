@@ -524,8 +524,12 @@ impl CompoundFsm {
             "C3 translation table: host={} global={}\n",
             self.host_family, self.global_family
         ));
-        out.push_str("Message     | S        | X-Access | Action                          | S_next\n");
-        out.push_str("------------+----------+----------+---------------------------------+---------\n");
+        out.push_str(
+            "Message     | S        | X-Access | Action                          | S_next\n",
+        );
+        out.push_str(
+            "------------+----------+----------+---------------------------------+---------\n",
+        );
         for r in &self.rows {
             let x = r
                 .x_access
@@ -544,7 +548,12 @@ impl CompoundFsm {
     }
 
     /// Find a translation row.
-    pub fn row(&self, incoming: Incoming, host: HostClass, cxl: StableState) -> Option<&TranslationRow> {
+    pub fn row(
+        &self,
+        incoming: Incoming,
+        host: HostClass,
+        cxl: StableState,
+    ) -> Option<&TranslationRow> {
         self.rows
             .iter()
             .find(|r| r.incoming == incoming && r.state.host == host && r.state.cxl == cxl)
@@ -701,10 +710,7 @@ mod tests {
         assert!(fsm.is_consistent(HostClass::Owned, StableState::S));
         // But it is forbidden for MESI hosts (no O state at all).
         let mesi = bridge_fsm(ProtocolFamily::Mesi);
-        assert!(!mesi
-            .states
-            .iter()
-            .any(|s| s.host == HostClass::Owned));
+        assert!(!mesi.states.iter().any(|s| s.host == HostClass::Owned));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! reorders device-to-host messages, which is why CXL needs the
 //! `BIConflict` handshake (§III-A).
 
+use c3_cxl::directory::CxlDirectory;
 use c3_memsys::global_dir::GlobalMesiDir;
 use c3_memsys::l1::{L1Config, L1Controller};
 use c3_memsys::seqcore::SeqCore;
@@ -28,7 +29,6 @@ use c3_protocol::msg::SysMsg;
 use c3_protocol::ops::{Addr, ThreadProgram};
 use c3_protocol::ssp::SspSpec;
 use c3_protocol::states::ProtocolFamily;
-use c3_cxl::directory::CxlDirectory;
 use c3_sim::component::{Component, ComponentId};
 use c3_sim::fabric::LinkConfig;
 use c3_sim::kernel::Simulator;
@@ -364,7 +364,11 @@ impl SystemBuilder {
         &self,
         programs: Vec<Vec<ThreadProgram>>,
     ) -> (Simulator<SysMsg>, SystemHandles) {
-        assert_eq!(programs.len(), self.clusters.len(), "one program list per cluster");
+        assert_eq!(
+            programs.len(),
+            self.clusters.len(),
+            "one program list per cluster"
+        );
         for (c, p) in self.clusters.iter().zip(&programs) {
             assert_eq!(p.len(), c.cores, "one program per core");
         }

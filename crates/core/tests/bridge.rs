@@ -13,7 +13,10 @@ fn run_system(
     global: GlobalProtocol,
     programs: (Vec<ThreadProgram>, Vec<ThreadProgram>),
     seed: u64,
-) -> (c3_sim::kernel::Simulator<c3_protocol::SysMsg>, c3::system::SystemHandles) {
+) -> (
+    c3_sim::kernel::Simulator<c3_protocol::SysMsg>,
+    c3::system::SystemHandles,
+) {
     let clusters = vec![
         ClusterSpec::new(protos.0, programs.0.len()).with_l1(16, 4),
         ClusterSpec::new(protos.1, programs.1.len()).with_l1(16, 4),
@@ -74,8 +77,16 @@ fn cross_cluster_write_invalidates_remote_reader() {
                 .work(120_000)
                 .load(Addr(2), Reg(1));
             let (sim, h) = run_system(combo, global, (vec![p0], vec![p1]), 2);
-            assert_eq!(h.seq_core_reg(&sim, 1, 0, Reg(0)), 0, "{combo:?} {global:?}");
-            assert_eq!(h.seq_core_reg(&sim, 1, 0, Reg(1)), 5, "{combo:?} {global:?}");
+            assert_eq!(
+                h.seq_core_reg(&sim, 1, 0, Reg(0)),
+                0,
+                "{combo:?} {global:?}"
+            );
+            assert_eq!(
+                h.seq_core_reg(&sim, 1, 0, Reg(1)),
+                5,
+                "{combo:?} {global:?}"
+            );
         }
     }
 }
@@ -142,11 +153,7 @@ fn eviction_pressure_through_bridge() {
             sum_loads = sum_loads.load(Addr(i), Reg((i % 8) as u8));
         }
         let p0 = ThreadProgram {
-            instrs: p0
-                .instrs
-                .into_iter()
-                .chain(sum_loads.instrs)
-                .collect(),
+            instrs: p0.instrs.into_iter().chain(sum_loads.instrs).collect(),
         };
         let (sim, h) = run_system(
             (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
@@ -201,8 +208,16 @@ fn rcc_cluster_over_cxl() {
         (vec![p_rcc], vec![p_mesi]),
         7,
     );
-    assert_eq!(h.seq_core_reg(&sim, 1, 0, Reg(0)), 42, "MESI read of RCC release");
-    assert_eq!(h.seq_core_reg(&sim, 0, 0, Reg(0)), 24, "RCC acquire of MESI store");
+    assert_eq!(
+        h.seq_core_reg(&sim, 1, 0, Reg(0)),
+        42,
+        "MESI read of RCC release"
+    );
+    assert_eq!(
+        h.seq_core_reg(&sim, 0, 0, Reg(0)),
+        24,
+        "RCC acquire of MESI store"
+    );
 }
 
 #[test]
@@ -272,7 +287,10 @@ fn conflict_handshake_exercised_under_contention() {
             "corrupt value {v}"
         );
     }
-    assert!(saw_conflict, "no BIConflict across 12 seeds — handshake never exercised");
+    assert!(
+        saw_conflict,
+        "no BIConflict across 12 seeds — handshake never exercised"
+    );
 }
 
 #[test]
@@ -324,7 +342,16 @@ fn sc_cores_work_through_the_bridge() {
     assert_eq!(sim.run(), c3_sim::kernel::RunOutcome::Completed);
     // SB under SC: at least one core must see the other's store.
     use c3_mcm::core_model::TimingCore as TC;
-    let r0 = sim.component_as::<TC>(handles.cores[0][0]).unwrap().reg(Reg(0));
-    let r1 = sim.component_as::<TC>(handles.cores[1][0]).unwrap().reg(Reg(0));
-    assert!(r0 == 1 || r1 == 1, "SC forbids (0,0) in SB: got ({r0},{r1})");
+    let r0 = sim
+        .component_as::<TC>(handles.cores[0][0])
+        .unwrap()
+        .reg(Reg(0));
+    let r1 = sim
+        .component_as::<TC>(handles.cores[1][0])
+        .unwrap()
+        .reg(Reg(0));
+    assert!(
+        r0 == 1 || r1 == 1,
+        "SC forbids (0,0) in SB: got ({r0},{r1})"
+    );
 }

@@ -28,6 +28,8 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use c3_protocol::msg::{CxlGrant, CxlMsg};
 use c3_protocol::ops::Addr;
 use c3_sim::component::ComponentId;
+use c3_sim::time::Time;
+use c3_sim::trace::InflightTxn;
 
 /// Which hosts hold a line, from the device's point of view.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
@@ -88,6 +90,9 @@ struct Snoop {
     /// The request that triggered the snoop, completed once it resolves.
     requester: ComponentId,
     grant: CxlGrant,
+    /// When the snoop was issued (known only when the component wrapper
+    /// drives the engine through [`DcohEngine::handle_at`]).
+    since: Option<Time>,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -186,10 +191,50 @@ impl DcohEngine {
         let mut out = String::from("dcoh:");
         for (a, l) in &self.lines {
             if l.snoop.is_some() || !l.queue.is_empty() {
-                out.push_str(&format!(
-                    " [{a}: snoop={:?} queue={:?}]",
-                    l.snoop, l.queue
-                ));
+                out.push_str(&format!(" [{a}: snoop={:?} queue={:?}]", l.snoop, l.queue));
+            }
+        }
+        out
+    }
+
+    /// Every line with a blocking snoop in flight or queued requests,
+    /// in address order — the engine's contribution to a deadlock
+    /// post-mortem. `self_id` stamps the owning component into the
+    /// captured entries.
+    pub fn inflight(&self, self_id: ComponentId) -> Vec<InflightTxn> {
+        let mut busy: Vec<(&Addr, &Line)> = self
+            .lines
+            .iter()
+            .filter(|(_, l)| l.snoop.is_some() || !l.queue.is_empty())
+            .collect();
+        busy.sort_by_key(|(a, _)| a.0);
+        let mut out = Vec::new();
+        for (addr, l) in busy {
+            if let Some(s) = &l.snoop {
+                // A blocking transient state: the line is held hostage by
+                // the hosts that have not answered the BISnp yet.
+                let first_waiter = s.waiting.iter().next().copied();
+                out.push(InflightTxn {
+                    component: self_id,
+                    addr: Some(addr.0),
+                    kind: format!("BISnp{:?} for {}", s.kind, s.requester),
+                    since: s.since,
+                    waiting_on: first_waiter,
+                    detail: format!(
+                        "awaiting BIRsp from {:?}; {} queued request(s)",
+                        s.waiting,
+                        l.queue.len()
+                    ),
+                });
+            } else {
+                out.push(InflightTxn {
+                    component: self_id,
+                    addr: Some(addr.0),
+                    kind: "queued requests".into(),
+                    since: None,
+                    waiting_on: None,
+                    detail: format!("{} request(s) convoyed behind the line", l.queue.len()),
+                });
             }
         }
         out
@@ -197,6 +242,17 @@ impl DcohEngine {
 
     /// Process one CXL.mem message from host `src`.
     pub fn handle(&mut self, src: ComponentId, msg: CxlMsg) -> Vec<DcohEffect> {
+        self.handle_at(src, msg, None)
+    }
+
+    /// Like [`DcohEngine::handle`], with the current simulated time so
+    /// blocking snoops can be age-stamped for post-mortems.
+    pub fn handle_at(
+        &mut self,
+        src: ComponentId,
+        msg: CxlMsg,
+        now: Option<Time>,
+    ) -> Vec<DcohEffect> {
         let addr = msg.addr();
         let mut out = Vec::new();
         match msg {
@@ -213,7 +269,7 @@ impl DcohEngine {
                     self.stalled_requests += 1;
                     line.queue.push_back((src, msg));
                 } else {
-                    self.admit(src, msg, &mut out);
+                    self.admit(src, msg, now, &mut out);
                 }
             }
             // ---- writebacks: always accepted (may be a snoop's dirty
@@ -245,8 +301,8 @@ impl DcohEngine {
                 });
             }
             // ---- snoop responses ----
-            CxlMsg::BiRspI { .. } => self.snoop_response(src, addr, false, &mut out),
-            CxlMsg::BiRspS { .. } => self.snoop_response(src, addr, true, &mut out),
+            CxlMsg::BiRspI { .. } => self.snoop_response(src, addr, false, now, &mut out),
+            CxlMsg::BiRspS { .. } => self.snoop_response(src, addr, true, now, &mut out),
             // ---- conflict handshake ----
             CxlMsg::BiConflict { .. } => {
                 self.conflicts += 1;
@@ -269,7 +325,13 @@ impl DcohEngine {
         out
     }
 
-    fn admit(&mut self, src: ComponentId, msg: CxlMsg, out: &mut Vec<DcohEffect>) {
+    fn admit(
+        &mut self,
+        src: ComponentId,
+        msg: CxlMsg,
+        now: Option<Time>,
+        out: &mut Vec<DcohEffect>,
+    ) {
         let addr = msg.addr();
         let exclusive = matches!(msg, CxlMsg::MemRdA { .. });
         let line = self.lines.entry(addr).or_default();
@@ -330,6 +392,7 @@ impl DcohEngine {
                     waiting: targets,
                     requester: src,
                     grant: CxlGrant::M,
+                    since: now,
                 });
             }
             (excl, CxlHolders::Exclusive(owner)) if owner == src => {
@@ -359,6 +422,7 @@ impl DcohEngine {
                     waiting: BTreeSet::from([owner]),
                     requester: src,
                     grant: CxlGrant::M,
+                    since: now,
                 });
             }
             (false, CxlHolders::Exclusive(owner)) => {
@@ -373,6 +437,7 @@ impl DcohEngine {
                     waiting: BTreeSet::from([owner]),
                     requester: src,
                     grant: CxlGrant::S,
+                    since: now,
                 });
             }
         }
@@ -383,6 +448,7 @@ impl DcohEngine {
         src: ComponentId,
         addr: Addr,
         retained_shared: bool,
+        now: Option<Time>,
         out: &mut Vec<DcohEffect>,
     ) {
         let line = self.lines.entry(addr).or_default();
@@ -430,7 +496,7 @@ impl DcohEngine {
             let Some((h, m)) = line.queue.pop_front() else {
                 break;
             };
-            self.admit(h, m, out);
+            self.admit(h, m, now, out);
         }
     }
 }
@@ -507,10 +573,7 @@ mod tests {
                 }
             )]
         );
-        assert_eq!(
-            d.holders(X),
-            CxlHolders::Shared(BTreeSet::from([H1, H2]))
-        );
+        assert_eq!(d.holders(X), CxlHolders::Shared(BTreeSet::from([H1, H2])));
         assert!(d.idle());
     }
 
@@ -521,10 +584,7 @@ mod tests {
         d.handle(H1, CxlMsg::MemRdS { addr: X });
         d.handle(H2, CxlMsg::MemRdS { addr: X });
         d.handle(H1, CxlMsg::BiRspS { addr: X });
-        assert_eq!(
-            d.holders(X),
-            CxlHolders::Shared(BTreeSet::from([H1, H2]))
-        );
+        assert_eq!(d.holders(X), CxlHolders::Shared(BTreeSet::from([H1, H2])));
         let eff = d.handle(H3, CxlMsg::MemRdA { addr: X });
         let s = sends(&eff);
         assert_eq!(s.len(), 2);
@@ -556,7 +616,13 @@ mod tests {
         let eff = d.handle(H1, CxlMsg::BiRspI { addr: X });
         let s = sends(&eff);
         assert!(s.iter().any(|(h, m)| *h == H2
-            && matches!(m, CxlMsg::MemData { grant: CxlGrant::M, .. })));
+            && matches!(
+                m,
+                CxlMsg::MemData {
+                    grant: CxlGrant::M,
+                    ..
+                }
+            )));
         assert!(s
             .iter()
             .any(|(h, m)| *h == H2 && matches!(m, CxlMsg::BiSnpData { .. })));
@@ -630,7 +696,14 @@ mod tests {
         let eff = d.handle(H1, CxlMsg::BiRspI { addr: X });
         assert!(matches!(
             sends(&eff)[0],
-            (H2, CxlMsg::MemData { data: 7, grant: CxlGrant::M, .. })
+            (
+                H2,
+                CxlMsg::MemData {
+                    data: 7,
+                    grant: CxlGrant::M,
+                    ..
+                }
+            )
         ));
     }
 
@@ -679,7 +752,13 @@ mod tests {
         let eff = d.handle(H3, CxlMsg::MemRdS { addr: X });
         assert!(matches!(
             sends(&eff)[0],
-            (H3, CxlMsg::MemData { grant: CxlGrant::S, .. })
+            (
+                H3,
+                CxlMsg::MemData {
+                    grant: CxlGrant::S,
+                    ..
+                }
+            )
         ));
         assert_eq!(
             d.holders(X),

@@ -6,6 +6,7 @@ use c3_protocol::msg::SysMsg;
 use c3_sim::component::{Component, ComponentId, Ctx};
 use c3_sim::stats::Report;
 use c3_sim::time::Delay;
+use c3_sim::trace::InflightTxn;
 
 use crate::dcoh::{DcohEffect, DcohEngine};
 
@@ -50,7 +51,7 @@ impl Component<SysMsg> for CxlDirectory {
         let SysMsg::Cxl(m) = msg else {
             panic!("CXL directory received {msg:?}");
         };
-        for effect in self.engine.handle(src, m) {
+        for effect in self.engine.handle_at(src, m, Some(ctx.now)) {
             match effect {
                 DcohEffect::Send {
                     dst,
@@ -80,6 +81,10 @@ impl Component<SysMsg> for CxlDirectory {
         out.set(format!("{n}.bisnp_sent"), self.engine.bisnp_sent as f64);
         out.set(format!("{n}.conflicts"), self.engine.conflicts as f64);
         out.set(format!("{n}.writebacks"), self.engine.writebacks as f64);
+    }
+
+    fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {
+        out.extend(self.engine.inflight(self_id));
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -171,13 +171,17 @@ impl TimingCore {
                 // Fences gate per their ordering rules — handled through
                 // must_order's `between` inspection below; an incomplete
                 // *RCC* fence (which must reach the L1) blocks everything.
-                Instr::Fence(_)
-                    if self.cfg.family == ProtocolFamily::Rcc => {
-                        return false;
-                    }
+                Instr::Fence(_) if self.cfg.family == ProtocolFamily::Rcc => {
+                    return false;
+                }
                 _ => {}
             }
-            if must_order(effective_mcm, earlier, &self.program.instrs[i + 1..j], instr) {
+            if must_order(
+                effective_mcm,
+                earlier,
+                &self.program.instrs[i + 1..j],
+                instr,
+            ) {
                 return false;
             }
         }
@@ -343,9 +347,7 @@ impl TimingCore {
             .rev()
             .filter(|&&i| i < j)
             .find_map(|&i| match self.program.instrs[i] {
-                Instr::Store {
-                    addr: a, val, ..
-                } if a == addr => Some(val),
+                Instr::Store { addr: a, val, .. } if a == addr => Some(val),
                 _ => None,
             })
     }
@@ -512,13 +514,15 @@ mod tests {
 
     #[test]
     fn release_store_waits_for_earlier_accesses() {
-        let p = ThreadProgram::new().store(Addr(1), 1).instrs.into_iter().chain(
-            [Instr::Store {
+        let p = ThreadProgram::new()
+            .store(Addr(1), 1)
+            .instrs
+            .into_iter()
+            .chain([Instr::Store {
                 addr: Addr(2),
                 val: 1,
                 order: AccessOrder::Release,
-            }],
-        );
+            }]);
         let p = ThreadProgram {
             instrs: p.collect(),
         };

@@ -163,7 +163,10 @@ pub fn run_litmus(test: &LitmusTest, cfg: &LitmusConfig) -> LitmusReport {
     let c1: Vec<usize> = (0..n).filter(|i| i % 2 == 1).collect();
 
     for run in 0..cfg.runs {
-        let seed = cfg.base_seed.wrapping_add(run as u64).wrapping_mul(0x9E37_79B9);
+        let seed = cfg
+            .base_seed
+            .wrapping_add(run as u64)
+            .wrapping_mul(0x9E37_79B9);
         let mut run_rng = rng.fork(run as u64);
         let clusters = vec![
             ClusterSpec::new(cfg.protocols.0, c0.len().max(1)).with_l1(16, 4),
@@ -191,13 +194,9 @@ pub fn run_litmus(test: &LitmusTest, cfg: &LitmusConfig) -> LitmusReport {
                 Some(&ti) => (programs[ti].clone(), ti),
                 None => (ThreadProgram::new(), usize::MAX), // filler core
             };
-            let stagger = if ti == usize::MAX {
-                0
-            } else {
-                staggers[ti]
-            };
-            let mut core_cfg = CoreConfig::new(mcm, family)
-                .with_start_delay(Delay::from_ns(stagger));
+            let stagger = if ti == usize::MAX { 0 } else { staggers[ti] };
+            let mut core_cfg =
+                CoreConfig::new(mcm, family).with_start_delay(Delay::from_ns(stagger));
             core_cfg.issue_jitter = 16;
             Box::new(TimingCore::new(
                 format!("c{ci}.t{k}"),

@@ -155,7 +155,9 @@ pub fn parse_litmus(text: &str) -> Result<ParsedLitmus, LitmusParseError> {
                         });
                     }
                     "store" => {
-                        let var = toks.get(1).ok_or_else(|| err(lineno, "store needs a var"))?;
+                        let var = toks
+                            .get(1)
+                            .ok_or_else(|| err(lineno, "store needs a var"))?;
                         let val: u64 = toks
                             .get(2)
                             .ok_or_else(|| err(lineno, "store needs a value"))?
@@ -327,7 +329,12 @@ observe P1:r0 P1:r1
         for test in LitmusTest::extended_suite() {
             let text = to_text(&test);
             let parsed = parse_litmus(&text).unwrap_or_else(|e| panic!("{}: {e}", test.name));
-            assert_eq!(parsed.test.threads.len(), test.threads.len(), "{}", test.name);
+            assert_eq!(
+                parsed.test.threads.len(),
+                test.threads.len(),
+                "{}",
+                test.name
+            );
             // Semantics must survive the round trip: identical allowed sets.
             let mcms = vec![Mcm::Weak; test.threads.len()];
             let a = allowed_outcomes(&test.threads, &mcms, &test.observed);
@@ -368,6 +375,9 @@ observe mem:x mem:y
         assert_eq!(parsed.test.observed.mem.len(), 2);
         let mcms = [Mcm::Weak, Mcm::Weak];
         let allowed = allowed_outcomes(&parsed.test.threads, &mcms, &parsed.test.observed);
-        assert!(!allowed.contains(&vec![2, 2]), "2+2W forbidden with releases");
+        assert!(
+            !allowed.contains(&vec![2, 2]),
+            "2+2W forbidden with releases"
+        );
     }
 }

@@ -77,7 +77,10 @@ pub fn allowed_outcomes(
                 // their ordering effect is static (between-scan).
                 let mut m = 0u64;
                 for (i, ins) in t.instrs.iter().enumerate() {
-                    if matches!(ins, Instr::Fence(_) | Instr::Work(_) | Instr::Prefetch { .. }) {
+                    if matches!(
+                        ins,
+                        Instr::Fence(_) | Instr::Work(_) | Instr::Prefetch { .. }
+                    ) {
                         m |= 1 << i;
                     }
                 }
@@ -185,7 +188,10 @@ mod tests {
     fn mp_relaxed_outcome_appears_without_sync_on_weak() {
         let t = LitmusTest::mp().without_sync();
         let out = allowed(&t, &[Mcm::Weak, Mcm::Weak]);
-        assert!(out.contains(&vec![1, 0]), "weak MP must allow (1,0) unsynced");
+        assert!(
+            out.contains(&vec![1, 0]),
+            "weak MP must allow (1,0) unsynced"
+        );
     }
 
     #[test]
@@ -207,7 +213,11 @@ mod tests {
     #[test]
     fn sb_forbidden_with_fences_everywhere() {
         let t = LitmusTest::sb();
-        for mcms in [[Mcm::Tso, Mcm::Tso], [Mcm::Weak, Mcm::Weak], [Mcm::Tso, Mcm::Weak]] {
+        for mcms in [
+            [Mcm::Tso, Mcm::Tso],
+            [Mcm::Weak, Mcm::Weak],
+            [Mcm::Tso, Mcm::Weak],
+        ] {
             let out = allowed(&t, &mcms);
             assert!(!out.contains(&vec![0, 0]), "{mcms:?}");
         }

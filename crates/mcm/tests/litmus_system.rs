@@ -53,15 +53,15 @@ fn sb_and_lb_pass_on_cxl() {
 
 #[test]
 fn iriw_passes_heterogeneous_protocols() {
-    let cfg = LitmusConfig::new(MESI_CXL_MOESI, GlobalProtocol::Cxl, (Mcm::Tso, Mcm::Weak))
-        .runs(60);
+    let cfg =
+        LitmusConfig::new(MESI_CXL_MOESI, GlobalProtocol::Cxl, (Mcm::Tso, Mcm::Weak)).runs(60);
     check(&LitmusTest::iriw(), &cfg);
 }
 
 #[test]
 fn two_plus_two_w_and_r_and_s_pass() {
-    let cfg = LitmusConfig::new(MESI_CXL_MOESI, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak))
-        .runs(80);
+    let cfg =
+        LitmusConfig::new(MESI_CXL_MOESI, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak)).runs(80);
     check(&LitmusTest::two_plus_two_w(), &cfg);
     check(&LitmusTest::r(), &cfg);
     check(&LitmusTest::s(), &cfg);
@@ -83,8 +83,8 @@ fn hierarchical_baseline_also_passes() {
 fn control_unsynced_mp_shows_relaxed_outcome_on_weak() {
     // The paper's control experiment: with synchronization removed, the
     // tests must stop passing unconditionally (§VI-A).
-    let cfg = LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak))
-        .runs(400);
+    let cfg =
+        LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak)).runs(400);
     let synced_allowed = reference_allowed(&LitmusTest::mp(), &cfg);
     let report = run_litmus(&LitmusTest::mp().without_sync(), &cfg);
     assert!(
@@ -94,13 +94,16 @@ fn control_unsynced_mp_shows_relaxed_outcome_on_weak() {
     );
     // And the unsynced run must still be within the weak model's own
     // allowed set — relaxed, but never incoherent.
-    assert!(report.passed(), "incoherent outcome: {:?}", report.forbidden);
+    assert!(
+        report.passed(),
+        "incoherent outcome: {:?}",
+        report.forbidden
+    );
 }
 
 #[test]
 fn control_unsynced_sb_shows_store_buffering_on_tso() {
-    let cfg = LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, (Mcm::Tso, Mcm::Tso))
-        .runs(200);
+    let cfg = LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, (Mcm::Tso, Mcm::Tso)).runs(200);
     let synced_allowed = reference_allowed(&LitmusTest::sb(), &cfg);
     let report = run_litmus(&LitmusTest::sb().without_sync(), &cfg);
     assert!(
@@ -116,8 +119,7 @@ fn tso_store_store_order_holds_without_fences() {
     // Selective fence removal (§VI-A): a TSO writer keeps MP safe with no
     // synchronization at all, because TSO preserves store-store order —
     // provided the reader is also ordered (TSO preserves load-load).
-    let cfg = LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, (Mcm::Tso, Mcm::Tso))
-        .runs(150);
+    let cfg = LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, (Mcm::Tso, Mcm::Tso)).runs(150);
     let report = run_litmus(&LitmusTest::mp().without_sync(), &cfg);
     assert!(
         !report.observed.contains(&vec![1, 0]),
@@ -129,8 +131,8 @@ fn tso_store_store_order_holds_without_fences() {
 #[test]
 fn corr_coherence_holds_unsynced_everywhere() {
     for protocols in [MESI_CXL_MESI, MESI_CXL_MOESI] {
-        let cfg = LitmusConfig::new(protocols, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak))
-            .runs(80);
+        let cfg =
+            LitmusConfig::new(protocols, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak)).runs(80);
         check(&LitmusTest::corr(), &cfg);
     }
 }
@@ -152,8 +154,8 @@ fn rcc_cluster_litmus_mp() {
 
 #[test]
 fn extended_suite_passes_spot_checks() {
-    let cfg = LitmusConfig::new(MESI_CXL_MOESI, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak))
-        .runs(60);
+    let cfg =
+        LitmusConfig::new(MESI_CXL_MOESI, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak)).runs(60);
     check(&LitmusTest::wrc(), &cfg);
     check(&LitmusTest::corr2(), &cfg);
     check(&LitmusTest::wwc(), &cfg);

@@ -189,6 +189,24 @@ impl Line {
     }
 }
 
+/// A line with in-flight directory work, captured for a deadlock
+/// post-mortem (see [`DirEngine::busy_lines`]).
+#[derive(Clone, Debug)]
+pub struct BusyLine {
+    /// The line.
+    pub addr: Addr,
+    /// Human-readable summary of the in-flight transaction / recall.
+    pub desc: String,
+    /// The component the transaction waits on, when the engine knows it
+    /// (a requester owing an Unblock). Backend suspensions report `None`
+    /// here — the owning component knows its backend and fills that in.
+    pub waiting_on: Option<ComponentId>,
+    /// Whether the transaction is suspended on the backend (Rule I).
+    pub on_backend: bool,
+    /// Requests queued behind the busy line.
+    pub queued: usize,
+}
+
 /// The directory engine. See the module docs for the role it plays.
 #[derive(Debug)]
 pub struct DirEngine {
@@ -251,6 +269,62 @@ impl DirEngine {
         self.lines
             .values()
             .all(|l| !l.blocks_requests() && l.queue.is_empty() && l.pending_recall.is_empty())
+    }
+
+    /// Every line with in-flight or queued work, in address order —
+    /// the engine's contribution to a deadlock post-mortem.
+    pub fn busy_lines(&self) -> Vec<BusyLine> {
+        let mut busy: Vec<BusyLine> = self
+            .lines
+            .iter()
+            .filter(|(_, l)| {
+                l.blocks_requests() || !l.queue.is_empty() || !l.pending_recall.is_empty()
+            })
+            .map(|(addr, l)| {
+                let mut parts = Vec::new();
+                let mut waiting_on = None;
+                let mut on_backend = false;
+                if let Some(h) = &l.host {
+                    match h.phase {
+                        HostPhase::WaitUnblock => {
+                            waiting_on = Some(h.requester);
+                            parts.push(format!("txn from {} awaiting Unblock", h.requester));
+                        }
+                        ref phase => {
+                            on_backend = true;
+                            parts.push(format!(
+                                "txn from {} suspended on backend ({phase:?})",
+                                h.requester
+                            ));
+                        }
+                    }
+                }
+                if let Some(r) = &l.recall {
+                    parts.push(format!(
+                        "recall {:?} awaiting {} ack(s){}",
+                        r.kind,
+                        r.pending_acks,
+                        if r.need_data && !r.got_data {
+                            " + data"
+                        } else {
+                            ""
+                        }
+                    ));
+                }
+                if !l.pending_recall.is_empty() {
+                    parts.push(format!("{} recall(s) queued", l.pending_recall.len()));
+                }
+                BusyLine {
+                    addr: *addr,
+                    desc: parts.join("; "),
+                    waiting_on,
+                    on_backend,
+                    queued: l.queue.len(),
+                }
+            })
+            .collect();
+        busy.sort_by_key(|b| b.addr);
+        busy
     }
 
     /// Handle a host-domain message from cache `src`.
@@ -339,7 +413,10 @@ impl DirEngine {
         data: u64,
         perms: BackendPerms,
     ) -> Vec<DirEffect> {
-        debug_assert!(perms.write_ok, "backend_write_done without write permission");
+        debug_assert!(
+            perms.write_ok,
+            "backend_write_done without write permission"
+        );
         self.backend_resume(addr, data, perms, true)
     }
 
@@ -636,8 +713,7 @@ impl DirEngine {
                     },
                 });
                 busy.need_data = true;
-                line.holders = if self.policy.owner_after_fwd_gets == c3_protocol::StableState::O
-                {
+                line.holders = if self.policy.owner_after_fwd_gets == c3_protocol::StableState::O {
                     Holders::Owned(owner, BTreeSet::new())
                 } else {
                     Holders::Shared(BTreeSet::from([owner]))
@@ -715,7 +791,13 @@ impl DirEngine {
     }
 
     /// Admit a request on an idle line.
-    fn admit(&mut self, src: ComponentId, msg: HostMsg, perms: BackendPerms, out: &mut Vec<DirEffect>) {
+    fn admit(
+        &mut self,
+        src: ComponentId,
+        msg: HostMsg,
+        perms: BackendPerms,
+        out: &mut Vec<DirEffect>,
+    ) {
         let addr = msg.addr();
         c3_sim::sim_trace!(
             "    engine{}: admit {msg:?} from {src} holders={:?} perms={perms:?}",
@@ -1076,10 +1158,7 @@ mod tests {
     fn unblock(engine: &mut DirEngine, src: ComponentId, addr: Addr, st: StableState) {
         engine.handle_host(
             src,
-            HostMsg::Unblock {
-                addr,
-                to_state: st,
-            },
+            HostMsg::Unblock { addr, to_state: st },
             BackendPerms::ALL,
         );
     }
@@ -1182,7 +1261,14 @@ mod tests {
         assert_eq!(invs.len(), 2);
         assert!(invs.contains(&A) && invs.contains(&B));
         assert!(s.iter().any(|(d, m)| *d == C
-            && matches!(m, HostMsg::Data { grant: Grant::M, acks: 2, .. })));
+            && matches!(
+                m,
+                HostMsg::Data {
+                    grant: Grant::M,
+                    acks: 2,
+                    ..
+                }
+            )));
         assert_eq!(e.holders(X), Holders::Exclusive(C));
     }
 
@@ -1251,7 +1337,13 @@ mod tests {
         let eff = e.handle_host(B, HostMsg::GetS { addr: X }, perms_s);
         assert!(matches!(
             sends(&eff)[0],
-            (B, HostMsg::Data { grant: Grant::F, .. })
+            (
+                B,
+                HostMsg::Data {
+                    grant: Grant::F,
+                    ..
+                }
+            )
         ));
         unblock(&mut e, B, X, StableState::F);
         // C asks: forwarded to B (the F holder), C becomes the new F.
@@ -1364,7 +1456,12 @@ mod tests {
         let eff = e.recall(X, RecallKind::Exclusive);
         assert_eq!(sends(&eff).len(), 2);
         let eff = e.handle_host(A, HostMsg::InvAck { addr: X }, BackendPerms::ALL);
-        assert!(eff.is_empty() || !eff.iter().any(|x| matches!(x, DirEffect::RecallDone { .. })));
+        assert!(
+            eff.is_empty()
+                || !eff
+                    .iter()
+                    .any(|x| matches!(x, DirEffect::RecallDone { .. }))
+        );
         let eff = e.handle_host(B, HostMsg::InvAck { addr: X }, BackendPerms::ALL);
         assert!(eff.iter().any(|x| matches!(
             x,
@@ -1385,7 +1482,9 @@ mod tests {
         e.handle_host(A, HostMsg::GetS { addr: X }, perms_s);
         unblock(&mut e, A, X, StableState::S);
         let eff = e.recall(X, RecallKind::Shared);
-        assert!(eff.iter().any(|x| matches!(x, DirEffect::RecallDone { .. })));
+        assert!(eff
+            .iter()
+            .any(|x| matches!(x, DirEffect::RecallDone { .. })));
         // Sharers keep their copies.
         assert_eq!(e.holders(X), Holders::Shared(BTreeSet::from([A])));
     }
@@ -1406,9 +1505,8 @@ mod tests {
             },
             BackendPerms::ALL,
         );
-        assert!(sends(&eff)
-            .iter()
-            .any(|(d, m)| *d == A && matches!(m, HostMsg::FwdGetM { requestor, .. } if *requestor == DIR)));
+        assert!(sends(&eff).iter().any(|(d, m)| *d == A
+            && matches!(m, HostMsg::FwdGetM { requestor, .. } if *requestor == DIR)));
     }
 
     #[test]
@@ -1430,12 +1528,21 @@ mod tests {
             .iter()
             .any(|(d, m)| *d == B && matches!(m, HostMsg::Inv { .. })));
         let eff = e.handle_host(B, HostMsg::InvAck { addr: X }, BackendPerms::ALL);
-        assert!(eff.iter().any(|x| matches!(x, DirEffect::RecallDone { .. })));
+        assert!(eff
+            .iter()
+            .any(|x| matches!(x, DirEffect::RecallDone { .. })));
         // Later, the backend grants ownership; A's GetM resumes with no
         // sharers left to invalidate.
         let eff = e.backend_write_done(X, 5, BackendPerms::ALL);
         assert!(sends(&eff).iter().any(|(d, m)| *d == A
-            && matches!(m, HostMsg::Data { grant: Grant::M, acks: 0, .. })));
+            && matches!(
+                m,
+                HostMsg::Data {
+                    grant: Grant::M,
+                    acks: 0,
+                    ..
+                }
+            )));
     }
 
     #[test]
@@ -1454,10 +1561,9 @@ mod tests {
             .any(|(d, m)| *d == A && matches!(m, HostMsg::WtAck { .. })));
         // recall completes immediately (self-invalidation protocol)
         let eff = e.recall(X, RecallKind::Exclusive);
-        assert!(eff.iter().any(|x| matches!(
-            x,
-            DirEffect::RecallDone { data: 9, .. }
-        )));
+        assert!(eff
+            .iter()
+            .any(|x| matches!(x, DirEffect::RecallDone { data: 9, .. })));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use c3_protocol::ssp::DirPolicy;
 use c3_sim::component::{Component, ComponentId, Ctx};
 use c3_sim::stats::Report;
 use c3_sim::time::Delay;
+use c3_sim::trace::InflightTxn;
 
 use crate::direngine::{BackendPerms, DirEffect, DirEngine};
 
@@ -109,6 +110,24 @@ impl Component<SysMsg> for GlobalMesiDir {
             out.set(format!("{n}.stalled_requests"), e.stalled_requests as f64);
         }
         out.set(format!("{n}.data_responses"), self.data_responses as f64);
+    }
+
+    fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {
+        let Some(e) = &self.engine else { return };
+        for b in e.busy_lines() {
+            out.push(InflightTxn {
+                component: self_id,
+                addr: Some(b.addr.0),
+                kind: "directory txn".into(),
+                since: None,
+                waiting_on: b.waiting_on,
+                detail: if b.queued > 0 {
+                    format!("{}; {} queued request(s)", b.desc, b.queued)
+                } else {
+                    b.desc
+                },
+            });
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

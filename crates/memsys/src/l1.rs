@@ -13,8 +13,9 @@ use c3_protocol::msg::{CoreReq, CoreResp, Grant, HostMsg, SysMsg};
 use c3_protocol::ops::{Addr, FenceKind, Instr};
 use c3_protocol::states::{ProtocolFamily, StableState};
 use c3_sim::component::{Component, ComponentId, Ctx};
-use c3_sim::stats::{LatencyBands, Report};
+use c3_sim::stats::{LatencyBands, LatencyHistogram, Report};
 use c3_sim::time::{Delay, Time};
+use c3_sim::trace::{InflightTxn, TxnId};
 
 use crate::cache::CacheArray;
 
@@ -110,6 +111,8 @@ struct Mshr {
     /// Whether this write-through belongs to an in-progress release flush.
     from_release: bool,
     started: Time,
+    /// Trace span key: the miss transaction this MSHR carries.
+    txn: TxnId,
 }
 
 #[derive(Debug)]
@@ -130,6 +133,8 @@ pub struct MissStats {
     pub misses: u64,
     /// Miss latency distribution (Fig. 11 bands).
     pub bands: LatencyBands,
+    /// Full miss-latency distribution (log2 buckets, p50/p95/p99/max).
+    pub hist: LatencyHistogram,
 }
 
 /// The private cache controller component.
@@ -207,7 +212,44 @@ impl L1Controller {
 
     /// Tell the core a line was lost (TSO cores squash speculative loads).
     fn hint_core(&self, addr: Addr, ctx: &mut Ctx<'_, SysMsg>) {
-        ctx.send_direct(self.cfg.core, SysMsg::InvHint { addr }, self.cfg.hit_latency);
+        ctx.send_direct(
+            self.cfg.core,
+            SysMsg::InvHint { addr },
+            self.cfg.hit_latency,
+        );
+    }
+
+    /// Allocate an MSHR for `addr`, opening its trace span. Every miss
+    /// transaction this cache carries goes through here, so the span
+    /// begin/end pairs stay balanced with MSHR lifetime.
+    fn open_mshr(
+        &mut self,
+        addr: Addr,
+        tstate: TState,
+        data: u64,
+        initiator: Option<CoreReq>,
+        from_release: bool,
+        ctx: &mut Ctx<'_, SysMsg>,
+    ) {
+        let txn = ctx.next_txn();
+        if ctx.tracing() {
+            let name = format!("{tstate:?} {addr}");
+            ctx.trace_begin(txn, "l1", name);
+        }
+        self.mshrs.insert(
+            addr,
+            Mshr {
+                tstate,
+                data,
+                acks: 0,
+                data_received: false,
+                initiator,
+                pending: VecDeque::new(),
+                from_release,
+                started: ctx.now,
+                txn,
+            },
+        );
     }
 
     /// Make room for `addr`, starting a victim eviction if necessary.
@@ -280,19 +322,7 @@ impl L1Controller {
             }
             StableState::I => unreachable!("I lines are not resident"),
         };
-        self.mshrs.insert(
-            vaddr,
-            Mshr {
-                tstate,
-                data: line.data,
-                acks: 0,
-                data_received: false,
-                initiator: None,
-                pending: VecDeque::new(),
-                from_release: false,
-                started: ctx.now,
-            },
-        );
+        self.open_mshr(vaddr, tstate, line.data, None, false, ctx);
         self.send_dir(msg, ctx);
     }
 
@@ -328,19 +358,7 @@ impl L1Controller {
             if let Some(l) = self.array.get_mut(a) {
                 l.state = StableState::S;
             }
-            self.mshrs.insert(
-                a,
-                Mshr {
-                    tstate: TState::WT_A,
-                    data,
-                    acks: 0,
-                    data_received: false,
-                    initiator: None,
-                    pending: VecDeque::new(),
-                    from_release: true,
-                    started: ctx.now,
-                },
-            );
+            self.open_mshr(a, TState::WT_A, data, None, true, ctx);
             self.send_dir(HostMsg::WriteThrough { addr: a, data }, ctx);
             self.writebacks += 1;
             count += 1;
@@ -407,19 +425,12 @@ impl L1Controller {
                 present => {
                     let upgrade = present.is_some();
                     self.stats[AccessKind::Store as usize].misses += 1;
-                    self.mshrs.insert(
-                        addr,
-                        Mshr {
-                            tstate: if upgrade { TState::SM_AD } else { TState::IM_AD },
-                            data: 0,
-                            acks: 0,
-                            data_received: false,
-                            initiator: Some(req),
-                            pending: VecDeque::new(),
-                            from_release: false,
-                            started: ctx.now,
-                        },
-                    );
+                    let tstate = if upgrade {
+                        TState::SM_AD
+                    } else {
+                        TState::IM_AD
+                    };
+                    self.open_mshr(addr, tstate, 0, Some(req), false, ctx);
                     self.send_dir(HostMsg::GetM { addr }, ctx);
                 }
             }
@@ -444,19 +455,7 @@ impl L1Controller {
                     }
                     _ => {
                         self.stats[AccessKind::Load as usize].misses += 1;
-                        self.mshrs.insert(
-                            addr,
-                            Mshr {
-                                tstate: TState::IS_D,
-                                data: 0,
-                                acks: 0,
-                                data_received: false,
-                                initiator: Some(req),
-                                pending: VecDeque::new(),
-                                from_release: false,
-                                started: ctx.now,
-                            },
-                        );
+                        self.open_mshr(addr, TState::IS_D, 0, Some(req), false, ctx);
                         self.send_dir(HostMsg::GetS { addr }, ctx);
                     }
                 }
@@ -498,36 +497,12 @@ impl L1Controller {
                     Some(_) => {
                         // readable copy: upgrade
                         self.stats[AccessKind::Store as usize].misses += 1;
-                        self.mshrs.insert(
-                            addr,
-                            Mshr {
-                                tstate: TState::SM_AD,
-                                data: 0,
-                                acks: 0,
-                                data_received: false,
-                                initiator: Some(req),
-                                pending: VecDeque::new(),
-                                from_release: false,
-                                started: ctx.now,
-                            },
-                        );
+                        self.open_mshr(addr, TState::SM_AD, 0, Some(req), false, ctx);
                         self.send_dir(HostMsg::GetM { addr }, ctx);
                     }
                     None => {
                         self.stats[AccessKind::Store as usize].misses += 1;
-                        self.mshrs.insert(
-                            addr,
-                            Mshr {
-                                tstate: TState::IM_AD,
-                                data: 0,
-                                acks: 0,
-                                data_received: false,
-                                initiator: Some(req),
-                                pending: VecDeque::new(),
-                                from_release: false,
-                                started: ctx.now,
-                            },
-                        );
+                        self.open_mshr(addr, TState::IM_AD, 0, Some(req), false, ctx);
                         self.send_dir(HostMsg::GetM { addr }, ctx);
                     }
                 }
@@ -537,19 +512,7 @@ impl L1Controller {
                     // GPU-style: atomics execute at the shared level.
                     self.array.remove(addr); // local copy would go stale
                     self.stats[AccessKind::Rmw as usize].misses += 1;
-                    self.mshrs.insert(
-                        addr,
-                        Mshr {
-                            tstate: TState::AT_D,
-                            data: add,
-                            acks: 0,
-                            data_received: false,
-                            initiator: Some(req),
-                            pending: VecDeque::new(),
-                            from_release: false,
-                            started: ctx.now,
-                        },
-                    );
+                    self.open_mshr(addr, TState::AT_D, add, Some(req), false, ctx);
                     self.send_dir(HostMsg::AtomicRmw { addr, add }, ctx);
                     return;
                 }
@@ -564,36 +527,12 @@ impl L1Controller {
                     }
                     Some(_) => {
                         self.stats[AccessKind::Rmw as usize].misses += 1;
-                        self.mshrs.insert(
-                            addr,
-                            Mshr {
-                                tstate: TState::SM_AD,
-                                data: 0,
-                                acks: 0,
-                                data_received: false,
-                                initiator: Some(req),
-                                pending: VecDeque::new(),
-                                from_release: false,
-                                started: ctx.now,
-                            },
-                        );
+                        self.open_mshr(addr, TState::SM_AD, 0, Some(req), false, ctx);
                         self.send_dir(HostMsg::GetM { addr }, ctx);
                     }
                     None => {
                         self.stats[AccessKind::Rmw as usize].misses += 1;
-                        self.mshrs.insert(
-                            addr,
-                            Mshr {
-                                tstate: TState::IM_AD,
-                                data: 0,
-                                acks: 0,
-                                data_received: false,
-                                initiator: Some(req),
-                                pending: VecDeque::new(),
-                                from_release: false,
-                                started: ctx.now,
-                            },
-                        );
+                        self.open_mshr(addr, TState::IM_AD, 0, Some(req), false, ctx);
                         self.send_dir(HostMsg::GetM { addr }, ctx);
                     }
                 }
@@ -642,7 +581,13 @@ impl L1Controller {
         self.ensure_way(addr, ctx);
         let evicted = self.array.insert(addr, line);
         debug_assert!(evicted.is_none(), "way freed by ensure_way");
-        self.stats[kind as usize].bands.record(ctx.now.since(mshr.started));
+        let latency = ctx.now.since(mshr.started);
+        self.stats[kind as usize].bands.record(latency);
+        self.stats[kind as usize].hist.record(latency);
+        ctx.trace_end(mshr.txn);
+        if ctx.tracing() {
+            ctx.trace_state(Some(addr.0), &mshr.tstate, &final_state);
+        }
         if !matches!(initiator.instr, Instr::Prefetch { .. }) {
             self.respond(&initiator, value, ctx);
         }
@@ -665,6 +610,7 @@ impl L1Controller {
     fn retire_mshr(&mut self, addr: Addr, ctx: &mut Ctx<'_, SysMsg>) {
         let mshr = self.mshrs.remove(&addr).expect("mshr present");
         debug_assert!(mshr.initiator.is_none());
+        ctx.trace_end(mshr.txn);
         for req in mshr.pending {
             self.handle_core(req, ctx);
         }
@@ -707,16 +653,18 @@ impl L1Controller {
                     self.complete_fill(addr, StableState::M, ctx);
                 }
             }
-            HostMsg::FwdGetS { requestor, grant, .. } => {
+            HostMsg::FwdGetS {
+                requestor, grant, ..
+            } => {
                 let family = self.cfg.family;
                 // An upgrading O/F owner (SM_AD) can be asked to supply: the
                 // line is still resident; serve it and keep upgrading.
-                if matches!(
-                    self.mshrs.get(&addr).map(|m| m.tstate),
-                    Some(TState::SM_AD)
-                ) {
+                if matches!(self.mshrs.get(&addr).map(|m| m.tstate), Some(TState::SM_AD)) {
                     let line = *self.array.peek(addr).expect("upgrader holds the line");
-                    debug_assert!(line.state.supplies_data(), "FwdGetS to non-supplier upgrader");
+                    debug_assert!(
+                        line.state.supplies_data(),
+                        "FwdGetS to non-supplier upgrader"
+                    );
                     let dirty = line.state.is_dirty();
                     ctx.send(
                         requestor,
@@ -840,17 +788,19 @@ impl L1Controller {
                 }
                 self.array.get_mut(addr).expect("present").state = next;
             }
-            HostMsg::FwdGetM { requestor, acks, .. } => {
+            HostMsg::FwdGetM {
+                requestor, acks, ..
+            } => {
                 // An upgrading O/F owner loses its copy to a racing writer
                 // (or recall): supply from the resident line, fall back to
                 // IM_AD and let the own upgrade refill later.
-                if matches!(
-                    self.mshrs.get(&addr).map(|m| m.tstate),
-                    Some(TState::SM_AD)
-                ) {
+                if matches!(self.mshrs.get(&addr).map(|m| m.tstate), Some(TState::SM_AD)) {
                     let line = self.array.remove(addr).expect("upgrader holds the line");
                     self.hint_core(addr, ctx);
-                    debug_assert!(line.state.supplies_data(), "FwdGetM to non-supplier upgrader");
+                    debug_assert!(
+                        line.state.supplies_data(),
+                        "FwdGetM to non-supplier upgrader"
+                    );
                     ctx.send(
                         requestor,
                         SysMsg::Host(HostMsg::Data {
@@ -930,18 +880,17 @@ impl L1Controller {
                     ),
                     "Inv for non-shared line {line:?}"
                 );
+                if ctx.tracing() {
+                    if let Some(l) = line {
+                        ctx.trace_state(Some(addr.0), &l.state, &StableState::I);
+                    }
+                }
                 ctx.send(requestor, SysMsg::Host(HostMsg::InvAck { addr }));
             }
             HostMsg::PutAck { .. } => {
                 debug_assert!(matches!(
                     self.mshrs.get(&addr).map(|m| m.tstate),
-                    Some(
-                        TState::MI_A
-                            | TState::OI_A
-                            | TState::EI_A
-                            | TState::SI_A
-                            | TState::II_A
-                    )
+                    Some(TState::MI_A | TState::OI_A | TState::EI_A | TState::SI_A | TState::II_A)
                 ));
                 self.retire_mshr(addr, ctx);
             }
@@ -968,9 +917,10 @@ impl L1Controller {
                 debug_assert_eq!(mshr.tstate, TState::AT_D);
                 let mshr = self.mshrs.remove(&addr).expect("present");
                 let initiator = mshr.initiator.expect("atomic has initiator");
-                self.stats[AccessKind::Rmw as usize]
-                    .bands
-                    .record(ctx.now.since(mshr.started));
+                let latency = ctx.now.since(mshr.started);
+                self.stats[AccessKind::Rmw as usize].bands.record(latency);
+                self.stats[AccessKind::Rmw as usize].hist.record(latency);
+                ctx.trace_end(mshr.txn);
                 self.respond(&initiator, old, ctx);
                 for req in mshr.pending {
                     self.handle_core(req, ctx);
@@ -999,6 +949,36 @@ impl Component<SysMsg> for L1Controller {
         self.mshrs.is_empty() && self.release.is_none()
     }
 
+    fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {
+        let mut entries: Vec<_> = self.mshrs.iter().collect();
+        entries.sort_by_key(|(a, _)| a.0);
+        for (addr, m) in entries {
+            out.push(InflightTxn {
+                component: self_id,
+                addr: Some(addr.0),
+                kind: format!("mshr {:?}", m.tstate),
+                since: Some(m.started),
+                waiting_on: Some(self.cfg.dir),
+                detail: format!(
+                    "acks={}, data_received={}, {} deferred req(s)",
+                    m.acks,
+                    m.data_received,
+                    m.pending.len()
+                ),
+            });
+        }
+        if let Some(r) = &self.release {
+            out.push(InflightTxn {
+                component: self_id,
+                addr: None,
+                kind: "release flush".into(),
+                since: None,
+                waiting_on: Some(self.cfg.dir),
+                detail: format!("{} write-through(s) outstanding", r.remaining),
+            });
+        }
+    }
+
     fn report(&self, out: &mut Report) {
         let n = &self.name;
         for (kind, label) in [
@@ -1009,6 +989,7 @@ impl Component<SysMsg> for L1Controller {
             let s = &self.stats[kind as usize];
             out.set(format!("{n}.{label}.hits"), s.hits as f64);
             out.set(format!("{n}.{label}.misses"), s.misses as f64);
+            s.hist.report_into(out, &format!("{n}.{label}.lat"));
             for band in c3_sim::stats::Band::ALL {
                 out.set(
                     format!("{n}.{label}.miss_ns.{band}"),

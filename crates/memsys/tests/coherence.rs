@@ -127,7 +127,10 @@ fn eviction_pressure_preserves_values() {
                 synced += 1;
             }
         }
-        assert!(synced >= (n / 2) as usize as u64, "{family}: only {synced} lines written back");
+        assert!(
+            synced >= (n / 2) as usize as u64,
+            "{family}: only {synced} lines written back"
+        );
     }
 }
 
@@ -160,8 +163,12 @@ fn rmw_contention_is_atomic() {
             }
             p
         };
-        let (mut sim, cores, _) =
-            flat_system(family, vec![mk_with_readback(true), mk_with_readback(false)], 16, 2);
+        let (mut sim, cores, _) = flat_system(
+            family,
+            vec![mk_with_readback(true), mk_with_readback(false)],
+            16,
+            2,
+        );
         run(&mut sim);
         let core = sim.component_as::<SeqCore>(cores[0]).unwrap();
         assert_eq!(core.reg(Reg(1)), 100, "{family}: lost updates");

@@ -173,7 +173,12 @@ fn sm_ad_plus_inv_downgrades_to_im_ad() {
         ),
     ];
     let (mut sim, l1, driver) = harness(ProtocolFamily::Mesi, script);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let msgs = host_msgs(&sim.component_as::<Driver>(driver).unwrap().log);
     // The L1 acked the invalidation...
     assert!(msgs.iter().any(|m| matches!(m, HostMsg::InvAck { .. })));
@@ -181,9 +186,13 @@ fn sm_ad_plus_inv_downgrades_to_im_ad() {
     let l1c = sim.component_as::<L1Controller>(l1).unwrap();
     assert_eq!(l1c.line(X), Some((StableState::M, 8)));
     // Unblock(M) was sent after completion.
-    assert!(msgs
-        .iter()
-        .any(|m| matches!(m, HostMsg::Unblock { to_state: StableState::M, .. })));
+    assert!(msgs.iter().any(|m| matches!(
+        m,
+        HostMsg::Unblock {
+            to_state: StableState::M,
+            ..
+        }
+    )));
 }
 
 #[test]
@@ -200,7 +209,11 @@ fn acks_may_arrive_before_data() {
             }),
         ),
         // InvAck arrives first (from the invalidated sharer).
-        (Time::from_ns(30), L1, SysMsg::Host(HostMsg::InvAck { addr: X })),
+        (
+            Time::from_ns(30),
+            L1,
+            SysMsg::Host(HostMsg::InvAck { addr: X }),
+        ),
         // Data arrives later, expecting 1 ack.
         (
             Time::from_ns(50),
@@ -215,7 +228,12 @@ fn acks_may_arrive_before_data() {
         ),
     ];
     let (mut sim, l1, driver) = harness(ProtocolFamily::Mesi, script);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let l1c = sim.component_as::<L1Controller>(l1).unwrap();
     assert_eq!(l1c.line(X), Some((StableState::M, 5)));
     let msgs = host_msgs(&sim.component_as::<Driver>(driver).unwrap().log);
@@ -264,7 +282,12 @@ fn fwd_getm_on_dirty_owner_supplies_and_invalidates() {
         ),
     ];
     let (mut sim, l1, driver) = harness(ProtocolFamily::Mesi, script);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let msgs = host_msgs(&sim.component_as::<Driver>(driver).unwrap().log);
     // The L1 supplied dirty data with an M grant.
     assert!(msgs.iter().any(|m| matches!(
@@ -314,8 +337,16 @@ fn rcc_release_writes_through_all_dirty_lines() {
             }),
         ),
         // Acks for all three write-throughs.
-        (Time::from_ns(40), L1, SysMsg::Host(HostMsg::WtAck { addr: X })),
-        (Time::from_ns(42), L1, SysMsg::Host(HostMsg::WtAck { addr: y })),
+        (
+            Time::from_ns(40),
+            L1,
+            SysMsg::Host(HostMsg::WtAck { addr: X }),
+        ),
+        (
+            Time::from_ns(42),
+            L1,
+            SysMsg::Host(HostMsg::WtAck { addr: y }),
+        ),
         (
             Time::from_ns(44),
             L1,
@@ -323,7 +354,12 @@ fn rcc_release_writes_through_all_dirty_lines() {
         ),
     ];
     let (mut sim, l1, driver) = harness(ProtocolFamily::Rcc, script);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let msgs = host_msgs(&sim.component_as::<Driver>(driver).unwrap().log);
     let wts: Vec<_> = msgs
         .iter()
@@ -407,7 +443,12 @@ fn rcc_acquire_drops_clean_lines_only() {
         ),
     ];
     let (mut sim, l1, _) = harness(ProtocolFamily::Rcc, script);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let l1c = sim.component_as::<L1Controller>(l1).unwrap();
     // The clean copy self-invalidated at the acquire; the dirty one stayed.
     assert_eq!(l1c.line_state(X), StableState::I);
@@ -447,12 +488,23 @@ fn fwd_gets_on_moesi_owner_keeps_ownership() {
         ),
     ];
     let (mut sim, l1, driver) = harness(ProtocolFamily::Moesi, script);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let l1c = sim.component_as::<L1Controller>(l1).unwrap();
-    assert_eq!(l1c.line(X), Some((StableState::O, 77)), "MOESI owner keeps O");
+    assert_eq!(
+        l1c.line(X),
+        Some((StableState::O, 77)),
+        "MOESI owner keeps O"
+    );
     let msgs = host_msgs(&sim.component_as::<Driver>(driver).unwrap().log);
     // Data supplied to the requestor, but NO DataToDir (MOESI keeps dirty).
-    assert!(msgs.iter().any(|m| matches!(m, HostMsg::Data { data: 77, .. })));
+    assert!(msgs
+        .iter()
+        .any(|m| matches!(m, HostMsg::Data { data: 77, .. })));
     assert!(!msgs.iter().any(|m| matches!(m, HostMsg::DataToDir { .. })));
 }
 
@@ -489,13 +541,27 @@ fn fwd_gets_on_mesi_owner_writes_back() {
         ),
     ];
     let (mut sim, l1, driver) = harness(ProtocolFamily::Mesi, script);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let l1c = sim.component_as::<L1Controller>(l1).unwrap();
-    assert_eq!(l1c.line(X), Some((StableState::S, 77)), "MESI owner demotes to S");
+    assert_eq!(
+        l1c.line(X),
+        Some((StableState::S, 77)),
+        "MESI owner demotes to S"
+    );
     let msgs = host_msgs(&sim.component_as::<Driver>(driver).unwrap().log);
-    assert!(msgs
-        .iter()
-        .any(|m| matches!(m, HostMsg::DataToDir { data: 77, dirty: true, .. })));
+    assert!(msgs.iter().any(|m| matches!(
+        m,
+        HostMsg::DataToDir {
+            data: 77,
+            dirty: true,
+            ..
+        }
+    )));
 }
 
 #[test]
@@ -558,7 +624,12 @@ fn si_a_plus_inv_still_completes_eviction() {
         ),
     ];
     let (mut sim, l1, driver) = harness(ProtocolFamily::Mesi, script);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let msgs = host_msgs(&sim.component_as::<Driver>(driver).unwrap().log);
     assert!(msgs.iter().any(|m| matches!(m, HostMsg::InvAck { .. })));
     let l1c = sim.component_as::<L1Controller>(l1).unwrap();
@@ -601,7 +672,12 @@ fn mesif_forward_state_supplies_and_demotes() {
         ),
     ];
     let (mut sim, l1, driver) = harness(ProtocolFamily::Mesif, script);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let l1c = sim.component_as::<L1Controller>(l1).unwrap();
     assert_eq!(l1c.line(X), Some((StableState::S, 3)));
     let msgs = host_msgs(&sim.component_as::<Driver>(driver).unwrap().log);
@@ -642,7 +718,12 @@ fn rcc_atomic_executes_remotely() {
         ),
     ];
     let (mut sim, l1, driver) = harness(ProtocolFamily::Rcc, script);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let msgs = host_msgs(&sim.component_as::<Driver>(driver).unwrap().log);
     // The RMW travelled to the directory level (GPU-style remote atomic).
     assert!(msgs

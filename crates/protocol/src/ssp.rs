@@ -332,7 +332,7 @@ impl SspSpec {
                 t(I, Release, vec![], Fixed(I)),
                 t(S, Load, vec![], Fixed(S)),
                 t(S, Store, vec![LocalWrite], Fixed(M)),
-                t(S, Evict, vec![], Fixed(I)), // silent clean drop
+                t(S, Evict, vec![], Fixed(I)),   // silent clean drop
                 t(S, Acquire, vec![], Fixed(I)), // self-invalidate
                 t(S, Release, vec![], Fixed(S)),
                 t(M, Load, vec![], Fixed(M)),
@@ -498,9 +498,7 @@ mod tests {
         let dup = spec.transitions[0].clone();
         spec.transitions.push(dup);
         let errs = spec.validate().unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, SspError::Ambiguous(_, _))));
+        assert!(errs.iter().any(|e| matches!(e, SspError::Ambiguous(_, _))));
     }
 
     #[test]

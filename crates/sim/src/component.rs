@@ -12,6 +12,7 @@ use crate::fabric::Fabric;
 use crate::rng::SimRng;
 use crate::stats::Report;
 use crate::time::{Delay, Time};
+use crate::trace::{InflightTxn, Tracer, TxnId};
 
 /// Identifies a component within one [`crate::kernel::Simulator`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -69,6 +70,13 @@ pub trait Component<M: Message>: Any {
     /// Contribute statistics to a run report.
     fn report(&self, _out: &mut Report) {}
 
+    /// Describe every transaction currently in flight inside this
+    /// component (MSHR entries, suspended directory transactions, pending
+    /// bridge nests, blocked snoops). Called by the kernel when building
+    /// a deadlock post-mortem; `self_id` is the component's own id for
+    /// stamping into the captured entries. The default reports nothing.
+    fn inflight(&self, _self_id: ComponentId, _out: &mut Vec<InflightTxn>) {}
+
     /// Upcast for post-run inspection.
     fn as_any(&self) -> &dyn Any;
 
@@ -104,6 +112,7 @@ pub struct Ctx<'a, M: Message> {
     pub(crate) fabric: &'a mut Fabric,
     pub(crate) rng: &'a mut SimRng,
     pub(crate) outbox: &'a mut Vec<Emit<M>>,
+    pub(crate) tracer: &'a mut Tracer,
 }
 
 impl<'a, M: Message> Ctx<'a, M> {
@@ -120,6 +129,8 @@ impl<'a, M: Message> Ctx<'a, M> {
         let arrival = self
             .fabric
             .deliver(self.self_id, dst, msg.size_bytes(), self.now, self.rng);
+        self.tracer
+            .msg_send(self.now, self.self_id, dst, msg.size_bytes(), &msg);
         self.outbox.push(Emit::Deliver {
             at: arrival,
             dst,
@@ -144,6 +155,8 @@ impl<'a, M: Message> Ctx<'a, M> {
             self.now + extra,
             self.rng,
         );
+        self.tracer
+            .msg_send(self.now, self.self_id, dst, msg.size_bytes(), &msg);
         self.outbox.push(Emit::Deliver {
             at: arrival,
             dst,
@@ -155,6 +168,8 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// Send `msg` to `dst` over a direct port with a fixed `delay`,
     /// bypassing the fabric (e.g. core ↔ private L1, 1 cycle).
     pub fn send_direct(&mut self, dst: ComponentId, msg: M, delay: Delay) {
+        self.tracer
+            .msg_send(self.now, self.self_id, dst, msg.size_bytes(), &msg);
         self.outbox.push(Emit::Deliver {
             at: self.now + delay,
             dst,
@@ -177,6 +192,50 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// sparingly in protocol logic — intended for workload/jitter modelling).
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
+    }
+
+    /// The simulator's transaction tracer. Every record method is a
+    /// cheap no-op when tracing is disabled; guard genuinely expensive
+    /// argument construction on [`Ctx::tracing`].
+    pub fn tracer(&mut self) -> &mut Tracer {
+        self.tracer
+    }
+
+    /// Whether transaction tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Allocate a transaction id. Always increments (even with tracing
+    /// off) so enabling tracing never changes component control flow.
+    pub fn next_txn(&mut self) -> TxnId {
+        self.tracer.next_txn()
+    }
+
+    /// Open a transaction span on this component's track at the current
+    /// time. Guard expensive `name` construction on [`Ctx::tracing`].
+    pub fn trace_begin(&mut self, txn: TxnId, class: &'static str, name: String) {
+        self.tracer.begin(self.now, self.self_id, txn, class, name);
+    }
+
+    /// Close the innermost open span of `txn` at the current time.
+    pub fn trace_end(&mut self, txn: TxnId) {
+        self.tracer.end(self.now, self.self_id, txn);
+    }
+
+    /// Record a state transition on this component's track.
+    pub fn trace_state(
+        &mut self,
+        addr: Option<u64>,
+        from: &dyn std::fmt::Debug,
+        to: &dyn std::fmt::Debug,
+    ) {
+        self.tracer.state(self.now, self.self_id, addr, from, to);
+    }
+
+    /// Record a point event on this component's track.
+    pub fn trace_instant(&mut self, class: &'static str, name: String) {
+        self.tracer.instant(self.now, self.self_id, class, name);
     }
 }
 

@@ -12,6 +12,7 @@ use crate::fabric::Fabric;
 use crate::rng::SimRng;
 use crate::stats::Report;
 use crate::time::Time;
+use crate::trace::{PostMortem, Tracer};
 
 #[derive(Debug)]
 enum EventKind<M> {
@@ -103,6 +104,7 @@ pub struct Simulator<M: Message> {
     event_limit: u64,
     time_limit: Time,
     started: bool,
+    tracer: Tracer,
 }
 
 impl<M: Message> Simulator<M> {
@@ -119,6 +121,7 @@ impl<M: Message> Simulator<M> {
             event_limit: u64::MAX,
             time_limit: Time::MAX,
             started: false,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -147,6 +150,58 @@ impl<M: Message> Simulator<M> {
     /// Cap on simulated time.
     pub fn set_time_limit(&mut self, limit: Time) {
         self.time_limit = limit;
+    }
+
+    /// Enable transaction tracing, keeping the newest `cap` records.
+    /// Call before [`Simulator::run`]; tracing changes nothing about the
+    /// simulation itself (timing, reports, and outcomes are identical
+    /// with tracing on or off).
+    pub fn set_tracing(&mut self, cap: usize) {
+        self.tracer = Tracer::enabled(cap);
+    }
+
+    /// The transaction tracer (inspect buffered records, drop counts).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access (e.g. for out-of-band instants in tests).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Component names indexed by [`ComponentId::index`] — the track
+    /// labels for trace export.
+    pub fn component_names(&self) -> Vec<String> {
+        self.components.iter().map(|c| c.name()).collect()
+    }
+
+    /// Export the buffered trace as Chrome trace-event JSON
+    /// (Perfetto-loadable). See [`Tracer::chrome_json`].
+    pub fn trace_json(&self) -> String {
+        self.tracer.chrome_json(&self.component_names())
+    }
+
+    /// Export the buffered trace as a compact text dump.
+    pub fn trace_text(&self) -> String {
+        self.tracer.text_dump(&self.component_names())
+    }
+
+    /// Capture a structured dump of every in-flight transaction —
+    /// call after [`Simulator::run`] returns [`RunOutcome::Deadlock`] or
+    /// [`RunOutcome::EventLimit`] to see what wedged and who it waits on.
+    pub fn post_mortem(&self, outcome: RunOutcome) -> PostMortem {
+        let mut txns = Vec::new();
+        for (i, c) in self.components.iter().enumerate() {
+            c.inflight(ComponentId(i as u32), &mut txns);
+        }
+        PostMortem {
+            outcome: format!("{outcome:?}"),
+            at: self.now,
+            events: self.events_processed,
+            txns,
+            names: self.component_names(),
+        }
     }
 
     /// Current simulated time.
@@ -205,6 +260,7 @@ impl<M: Message> Simulator<M> {
                 fabric: &mut self.fabric,
                 rng: &mut self.rng,
                 outbox: &mut outbox,
+                tracer: &mut self.tracer,
             };
             self.components[i].start(&mut ctx);
             self.drain_outbox(&mut outbox);
@@ -231,12 +287,18 @@ impl<M: Message> Simulator<M> {
             self.now = ev.at;
             self.events_processed += 1;
             let idx = ev.dst.index();
+            if self.tracer.is_enabled() {
+                if let EventKind::Deliver { src, msg } = &ev.kind {
+                    self.tracer.msg_deliver(self.now, *src, ev.dst, msg);
+                }
+            }
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: ev.dst,
                 fabric: &mut self.fabric,
                 rng: &mut self.rng,
                 outbox: &mut outbox,
+                tracer: &mut self.tracer,
             };
             match ev.kind {
                 EventKind::Deliver { src, msg } => self.components[idx].handle(msg, src, &mut ctx),
@@ -264,7 +326,10 @@ impl<M: Message> Simulator<M> {
 
     /// Inspect a component's concrete type after (or during) a run.
     pub fn component_as<T: 'static>(&self, id: ComponentId) -> Option<&T> {
-        self.components.get(id.index())?.as_any().downcast_ref::<T>()
+        self.components
+            .get(id.index())?
+            .as_any()
+            .downcast_ref::<T>()
     }
 
     /// Mutable variant of [`Simulator::component_as`].
@@ -344,7 +409,9 @@ mod tests {
         }));
         sim.component_as_mut::<Player>(a).unwrap().peer = Some(b);
         sim.component_as_mut::<Player>(b).unwrap().peer = Some(a);
-        let link = sim.fabric_mut().add_link(crate::fabric::LinkConfig::intra_cluster());
+        let link = sim
+            .fabric_mut()
+            .add_link(crate::fabric::LinkConfig::intra_cluster());
         sim.fabric_mut().set_route_bidi(a, b, vec![link]);
         (sim, a, b)
     }
@@ -423,6 +490,130 @@ mod tests {
     }
 
     #[test]
+    fn tracing_records_sends_and_deliveries() {
+        let (mut sim, _, _) = pingpong(3);
+        sim.set_tracing(1024);
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let sends = sim
+            .tracer()
+            .records()
+            .filter(|r| matches!(r.event, crate::trace::TraceEvent::MsgSend { .. }))
+            .count();
+        let delivers = sim
+            .tracer()
+            .records()
+            .filter(|r| matches!(r.event, crate::trace::TraceEvent::MsgDeliver { .. }))
+            .count();
+        assert_eq!(sends, 4);
+        assert_eq!(delivers, 4);
+        let json = sim.trace_json();
+        crate::trace::validate_json(&json).expect("valid trace JSON");
+        assert!(sim.trace_text().contains("deliver"));
+    }
+
+    #[test]
+    fn tracing_does_not_change_outcome_or_timing() {
+        let (mut plain, _, _) = pingpong(200);
+        let (mut traced, _, _) = pingpong(200);
+        traced.set_tracing(64);
+        assert_eq!(plain.run(), traced.run());
+        assert_eq!(plain.now(), traced.now());
+        assert_eq!(plain.events_processed(), traced.events_processed());
+        assert_eq!(plain.report(), traced.report());
+    }
+
+    /// A requester that sends one message into a black hole and reports
+    /// the resulting stuck transaction via `inflight` — the minimal
+    /// forced-deadlock shape.
+    struct StuckRequester {
+        hole: ComponentId,
+        sent_at: Option<Time>,
+    }
+    impl Component<Ball> for StuckRequester {
+        fn name(&self) -> String {
+            "requester".into()
+        }
+        fn start(&mut self, ctx: &mut Ctx<'_, Ball>) {
+            self.sent_at = Some(ctx.now);
+            ctx.send_direct(self.hole, Ball(7), Delay::from_ns(1));
+        }
+        fn handle(&mut self, _m: Ball, _s: ComponentId, _c: &mut Ctx<'_, Ball>) {}
+        fn done(&self) -> bool {
+            false // the response never comes
+        }
+        fn inflight(&self, self_id: ComponentId, out: &mut Vec<crate::trace::InflightTxn>) {
+            out.push(crate::trace::InflightTxn {
+                component: self_id,
+                addr: Some(0x40),
+                kind: "request(pending)".into(),
+                since: self.sent_at,
+                waiting_on: Some(self.hole),
+                detail: "no response received".into(),
+            });
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Receives and drops everything, never answering.
+    struct BlackHole {
+        swallowed: u32,
+    }
+    impl Component<Ball> for BlackHole {
+        fn name(&self) -> String {
+            "blackhole".into()
+        }
+        fn handle(&mut self, _m: Ball, _s: ComponentId, _c: &mut Ctx<'_, Ball>) {
+            self.swallowed += 1;
+        }
+        fn inflight(&self, self_id: ComponentId, out: &mut Vec<crate::trace::InflightTxn>) {
+            if self.swallowed > 0 {
+                out.push(crate::trace::InflightTxn {
+                    component: self_id,
+                    addr: Some(0x40),
+                    kind: "swallowed request".into(),
+                    since: None,
+                    waiting_on: None,
+                    detail: format!("{} message(s) never answered", self.swallowed),
+                });
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn forced_deadlock_post_mortem_names_blocked_txn_and_holder() {
+        let mut sim: Simulator<Ball> = Simulator::new(1);
+        let hole = sim.add_component(Box::new(BlackHole { swallowed: 0 }));
+        sim.add_component(Box::new(StuckRequester {
+            hole,
+            sent_at: None,
+        }));
+        assert_eq!(sim.run(), RunOutcome::Deadlock);
+        let pm = sim.post_mortem(RunOutcome::Deadlock);
+        assert_eq!(pm.txns.len(), 2);
+        let oldest = pm.oldest().expect("has inflight txns");
+        assert_eq!(oldest.kind, "request(pending)");
+        assert_eq!(oldest.waiting_on, Some(hole));
+        let chain = pm.wait_chain(oldest);
+        assert_eq!(chain.len(), 2);
+        let text = pm.to_string();
+        assert!(text.contains("oldest blocked: requester request(pending) @0x40"));
+        assert!(text.contains("waiting on blackhole"));
+        assert!(text
+            .contains("wait chain: requester [request(pending)] -> blackhole [swallowed request]"));
+    }
+
+    #[test]
     fn same_time_events_fifo_by_seq() {
         // Two wakes scheduled for the same instant must fire in schedule order.
         struct Recorder {
@@ -451,6 +642,9 @@ mod tests {
         let mut sim: Simulator<Ball> = Simulator::new(1);
         let id = sim.add_component(Box::new(Recorder { order: vec![] }));
         sim.run();
-        assert_eq!(sim.component_as::<Recorder>(id).unwrap().order, vec![1, 2, 3]);
+        assert_eq!(
+            sim.component_as::<Recorder>(id).unwrap().order,
+            vec![1, 2, 3]
+        );
     }
 }

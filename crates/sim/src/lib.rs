@@ -47,6 +47,7 @@ pub mod kernel;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 /// Whether protocol-event tracing is enabled (`C3_TRACE=1` in the
 /// environment). Components print message-level traces to stderr when set.
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use crate::fabric::{Fabric, LinkConfig, LinkId};
     pub use crate::kernel::{RunOutcome, Simulator};
     pub use crate::rng::SimRng;
-    pub use crate::stats::{Band, LatencyBands, Report};
+    pub use crate::stats::{Band, LatencyBands, LatencyHistogram, Report};
     pub use crate::time::{Delay, Time};
+    pub use crate::trace::{InflightTxn, PostMortem, Tracer, TxnId};
 }

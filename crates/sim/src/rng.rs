@@ -60,10 +60,7 @@ impl SimRng {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -159,7 +156,7 @@ mod tests {
         let a = SimRng::seed_from(7);
         let mut a2 = SimRng::seed_from(7);
         a2.next_u64(); // parent state not consumed by fork in `a`
-        // fork depends only on seed state at fork time
+                       // fork depends only on seed state at fork time
         assert_eq!(a.fork(3), SimRng::seed_from(7).fork(3));
         assert_ne!(a.fork(3), a2.fork(3));
     }

@@ -113,6 +113,157 @@ impl LatencyBands {
     }
 }
 
+/// A log2-bucketed latency histogram with deterministic percentiles.
+///
+/// Complements [`LatencyBands`]: the three paper bands answer *which
+/// protocol flow* a miss took, the histogram answers *how the latency is
+/// distributed* within a transaction class (p50/p95/p99/max). Buckets
+/// are powers of two in picoseconds — bucket `i` holds latencies whose
+/// bit length is `i` — so recording is branch-free and the merge of two
+/// histograms is exact and associative.
+///
+/// # Examples
+///
+/// ```
+/// use c3_sim::stats::LatencyHistogram;
+/// use c3_sim::time::Delay;
+/// let mut h = LatencyHistogram::new();
+/// for ns in [10, 20, 30, 1000] {
+///     h.record(Delay::from_ns(ns));
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max().as_ns(), 1000);
+/// assert!(h.percentile(0.50) <= h.percentile(0.99));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; 64],
+    total_ps: u64,
+    max_ps: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; 64],
+            total_ps: 0,
+            max_ps: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(ps: u64) -> usize {
+        (64 - ps.leading_zeros()) as usize
+    }
+
+    /// Upper bound (inclusive) of bucket `i`, in picoseconds.
+    fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, latency: Delay) {
+        let ps = latency.as_ps();
+        let b = Self::bucket_of(ps).min(63);
+        self.counts[b] += 1;
+        self.total_ps = self.total_ps.saturating_add(ps);
+        self.max_ps = self.max_ps.max(ps);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exact maximum sample.
+    pub fn max(&self) -> Delay {
+        Delay::from_ps(self.max_ps)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_ps as f64 / n as f64 / 1_000.0
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// containing it — a deterministic, conservative estimate (within 2×
+    /// of the true value). The top populated bucket reports the exact
+    /// maximum. Returns zero when empty.
+    pub fn percentile(&self, q: f64) -> Delay {
+        let n = self.count();
+        if n == 0 {
+            return Delay::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The last populated bucket's upper bound is the exact max.
+                let is_top = self.counts[i + 1..].iter().all(|&c| c == 0);
+                let ps = if is_top {
+                    self.max_ps
+                } else {
+                    Self::bucket_upper(i)
+                };
+                return Delay::from_ps(ps);
+            }
+        }
+        Delay::from_ps(self.max_ps)
+    }
+
+    /// Merge another histogram into this one. Associative and
+    /// commutative: merging per-component histograms in any order yields
+    /// the same result as recording every sample into one histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for i in 0..64 {
+            self.counts[i] += other.counts[i];
+        }
+        self.total_ps = self.total_ps.saturating_add(other.total_ps);
+        self.max_ps = self.max_ps.max(other.max_ps);
+    }
+
+    /// Emit `prefix.p50_ns` / `p95_ns` / `p99_ns` / `max_ns` / `count`
+    /// into a [`Report`]. Empty histograms emit nothing, keeping reports
+    /// for runs that never exercised a class byte-identical to the seed.
+    pub fn report_into(&self, out: &mut Report, prefix: &str) {
+        if self.count() == 0 {
+            return;
+        }
+        out.set(
+            format!("{prefix}.p50_ns"),
+            self.percentile(0.50).as_ns() as f64,
+        );
+        out.set(
+            format!("{prefix}.p95_ns"),
+            self.percentile(0.95).as_ns() as f64,
+        );
+        out.set(
+            format!("{prefix}.p99_ns"),
+            self.percentile(0.99).as_ns() as f64,
+        );
+        out.set(format!("{prefix}.max_ns"), self.max().as_ns() as f64);
+        out.set(format!("{prefix}.count"), self.count() as f64);
+    }
+}
+
 /// A flat, ordered key → value report assembled from all components.
 ///
 /// Keys are dotted paths (`"cluster0.l1.2.load_misses"`). Values are `f64`
@@ -214,6 +365,63 @@ mod tests {
         assert_eq!(r.sum_prefix("l1."), 9.0);
         assert_eq!(r.len(), 3);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for ns in 1..=100u64 {
+            h.record(Delay::from_ns(ns));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), Delay::from_ns(100));
+        // p50 of 1..=100ns lies in the 32768..65535ps bucket.
+        let p50 = h.percentile(0.50);
+        assert!(p50 >= Delay::from_ns(50) && p50 <= Delay::from_ns(131));
+        // monotone in q; top quantiles report the exact max
+        assert!(h.percentile(0.5) <= h.percentile(0.95));
+        assert_eq!(h.percentile(1.0), Delay::from_ns(100));
+        assert_eq!(LatencyHistogram::new().percentile(0.5), Delay::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative() {
+        let samples: Vec<u64> = (0..60).map(|i| (i * 37 + 11) % 2000).collect();
+        let mut parts = [
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        ];
+        let mut whole = LatencyHistogram::new();
+        for (i, ns) in samples.iter().enumerate() {
+            parts[i % 3].record(Delay::from_ns(*ns));
+            whole.record(Delay::from_ns(*ns));
+        }
+        // (a ⊕ b) ⊕ c
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // a ⊕ (b ⊕ c)
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn histogram_report_keys() {
+        let mut h = LatencyHistogram::new();
+        h.record(Delay::from_ns(10));
+        let mut r = Report::new();
+        h.report_into(&mut r, "l1.load");
+        assert_eq!(r.get("l1.load.count"), Some(1.0));
+        assert_eq!(r.get("l1.load.max_ns"), Some(10.0));
+        // empty histograms contribute nothing
+        let mut r2 = Report::new();
+        LatencyHistogram::new().report_into(&mut r2, "x");
+        assert!(r2.is_empty());
     }
 
     #[test]

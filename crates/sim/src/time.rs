@@ -219,7 +219,12 @@ mod tests {
     #[test]
     fn saturating() {
         assert_eq!(Time::MAX + Delay::from_ns(1), Time::MAX);
-        assert_eq!(Delay::from_ps(u64::MAX).saturating_add(Delay::from_ps(1)).as_ps(), u64::MAX);
+        assert_eq!(
+            Delay::from_ps(u64::MAX)
+                .saturating_add(Delay::from_ps(1))
+                .as_ps(),
+            u64::MAX
+        );
     }
 
     #[test]

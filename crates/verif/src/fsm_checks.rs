@@ -53,9 +53,7 @@ pub fn check_fsm(fsm: &CompoundFsm) -> Vec<FsmDefect> {
     // snoop has BISnpInv coverage, and exclusive holders have BISnpData
     // coverage; every state has host-request rows.
     for s in &fsm.states {
-        if s.cxl != StableState::I
-            && fsm.row(Incoming::BiSnpInv, s.host, s.cxl).is_none()
-        {
+        if s.cxl != StableState::I && fsm.row(Incoming::BiSnpInv, s.host, s.cxl).is_none() {
             defects.push(FsmDefect::MissingRow(format!("BISnpInv in {s}")));
         }
         if s.cxl.can_write() && fsm.row(Incoming::BiSnpData, s.host, s.cxl).is_none() {

@@ -247,10 +247,10 @@ impl State {
     }
 
     fn done(&self) -> bool {
-        self.cl.iter().all(|c| {
-            c.budget.iter().all(|b| *b == 0)
-                && c.pend == Pend::Idle
-        }) && self.snoop.is_none()
+        self.cl
+            .iter()
+            .all(|c| c.budget.iter().all(|b| *b == 0) && c.pend == Pend::Idle)
+            && self.snoop.is_none()
             && self.qlen == 0
             && self
                 .m2s
@@ -776,8 +776,16 @@ mod tests {
             result.states,
             result.violation.unwrap()
         );
-        assert!(!result.truncated, "exploration truncated at {}", result.states);
-        assert!(result.states > 1_000, "suspiciously small space: {}", result.states);
+        assert!(
+            !result.truncated,
+            "exploration truncated at {}",
+            result.states
+        );
+        assert!(
+            result.states > 1_000,
+            "suspiciously small space: {}",
+            result.states
+        );
     }
 
     #[test]

@@ -198,13 +198,17 @@ impl WorkloadSpec {
                             window_start =
                                 (window_start + self.reuse_window / 2) % layout.private_lines;
                         }
-                        Addr(private_base + (window_start + walk % self.reuse_window) % layout.private_lines)
+                        Addr(
+                            private_base
+                                + (window_start + walk % self.reuse_window) % layout.private_lines,
+                        )
                     }
                 };
                 (a, false, false)
             };
             // Pick the operation.
-            let is_pc_writer = self.pattern == Pattern::ProducerConsumer && thread.is_multiple_of(2);
+            let is_pc_writer =
+                self.pattern == Pattern::ProducerConsumer && thread.is_multiple_of(2);
             let write = force_write
                 || rng.chance(if shared && is_pc_writer {
                     0.8
@@ -228,59 +232,324 @@ impl WorkloadSpec {
     pub fn all() -> Vec<WorkloadSpec> {
         use Pattern::*;
         use Suite::*;
-        let w = |name, suite, pattern, footprint, reuse, hot, sharedf, hotf, wf, rmwf, work, sync| {
-            WorkloadSpec {
-                name,
-                suite,
-                pattern,
-                footprint,
-                reuse_window: reuse,
-                hot_lines: hot,
-                shared_fraction: sharedf,
-                hot_fraction: hotf,
-                write_fraction: wf,
-                rmw_fraction: rmwf,
-                work_cycles: work,
-                sync_every: sync,
-            }
-        };
+        let w =
+            |name, suite, pattern, footprint, reuse, hot, sharedf, hotf, wf, rmwf, work, sync| {
+                WorkloadSpec {
+                    name,
+                    suite,
+                    pattern,
+                    footprint,
+                    reuse_window: reuse,
+                    hot_lines: hot,
+                    shared_fraction: sharedf,
+                    hot_fraction: hotf,
+                    write_fraction: wf,
+                    rmw_fraction: rmwf,
+                    work_cycles: work,
+                    sync_every: sync,
+                }
+            };
         vec![
             // ---- Splash-4 (14) ----
-            w("barnes", Splash4, Migratory, 2048, 38, 8, 0.009, 0.50, 0.35, 0.04, 6, 512),
-            w("cholesky", Splash4, Stencil, 4096, 64, 4, 0.007, 0.15, 0.30, 0.008, 10, 1024),
-            w("fft", Splash4, Streaming, 4096, 76, 2, 0.008, 0.08, 0.45, 0.0, 8, 2048),
-            w("fmm", Splash4, Migratory, 3072, 51, 6, 0.008, 0.30, 0.30, 0.02, 8, 1024),
-            w("lu-cont", Splash4, Stencil, 4096, 64, 4, 0.009, 0.18, 0.40, 0.0, 8, 1024),
-            w("lu-ncont", Splash4, Stencil, 4096, 38, 8, 0.015, 0.45, 0.40, 0.016, 6, 512),
-            w("ocean-cont", Splash4, Stencil, 8192, 89, 4, 0.006, 0.10, 0.35, 0.0, 10, 1024),
-            w("ocean-ncont", Splash4, Stencil, 8192, 64, 6, 0.008, 0.20, 0.35, 0.008, 8, 1024),
-            w("radiosity", Splash4, Migratory, 2048, 44, 8, 0.008, 0.38, 0.30, 0.032, 6, 512),
-            w("radix", Splash4, Streaming, 8192, 76, 4, 0.008, 0.15, 0.50, 0.02, 6, 2048),
-            w("raytrace", Splash4, Random, 8192, 76, 2, 0.005, 0.06, 0.10, 0.008, 8, 2048),
-            w("volrend", Splash4, Random, 4096, 64, 2, 0.006, 0.08, 0.15, 0.008, 8, 2048),
-            w("water-nsq", Splash4, Migratory, 2048, 51, 4, 0.007, 0.22, 0.30, 0.02, 8, 1024),
-            w("water-sp", Splash4, Stencil, 3072, 57, 3, 0.007, 0.14, 0.30, 0.012, 8, 1024),
+            w(
+                "barnes", Splash4, Migratory, 2048, 38, 8, 0.009, 0.50, 0.35, 0.04, 6, 512,
+            ),
+            w(
+                "cholesky", Splash4, Stencil, 4096, 64, 4, 0.007, 0.15, 0.30, 0.008, 10, 1024,
+            ),
+            w(
+                "fft", Splash4, Streaming, 4096, 76, 2, 0.008, 0.08, 0.45, 0.0, 8, 2048,
+            ),
+            w(
+                "fmm", Splash4, Migratory, 3072, 51, 6, 0.008, 0.30, 0.30, 0.02, 8, 1024,
+            ),
+            w(
+                "lu-cont", Splash4, Stencil, 4096, 64, 4, 0.009, 0.18, 0.40, 0.0, 8, 1024,
+            ),
+            w(
+                "lu-ncont", Splash4, Stencil, 4096, 38, 8, 0.015, 0.45, 0.40, 0.016, 6, 512,
+            ),
+            w(
+                "ocean-cont",
+                Splash4,
+                Stencil,
+                8192,
+                89,
+                4,
+                0.006,
+                0.10,
+                0.35,
+                0.0,
+                10,
+                1024,
+            ),
+            w(
+                "ocean-ncont",
+                Splash4,
+                Stencil,
+                8192,
+                64,
+                6,
+                0.008,
+                0.20,
+                0.35,
+                0.008,
+                8,
+                1024,
+            ),
+            w(
+                "radiosity",
+                Splash4,
+                Migratory,
+                2048,
+                44,
+                8,
+                0.008,
+                0.38,
+                0.30,
+                0.032,
+                6,
+                512,
+            ),
+            w(
+                "radix", Splash4, Streaming, 8192, 76, 4, 0.008, 0.15, 0.50, 0.02, 6, 2048,
+            ),
+            w(
+                "raytrace", Splash4, Random, 8192, 76, 2, 0.005, 0.06, 0.10, 0.008, 8, 2048,
+            ),
+            w(
+                "volrend", Splash4, Random, 4096, 64, 2, 0.006, 0.08, 0.15, 0.008, 8, 2048,
+            ),
+            w(
+                "water-nsq",
+                Splash4,
+                Migratory,
+                2048,
+                51,
+                4,
+                0.007,
+                0.22,
+                0.30,
+                0.02,
+                8,
+                1024,
+            ),
+            w(
+                "water-sp", Splash4, Stencil, 3072, 57, 3, 0.007, 0.14, 0.30, 0.012, 8, 1024,
+            ),
             // ---- PARSEC (11) ----
-            w("blackscholes", Parsec, Streaming, 4096, 89, 1, 0.002, 0.05, 0.30, 0.0, 12, 0),
-            w("bodytrack", Parsec, ProducerConsumer, 3072, 57, 4, 0.008, 0.18, 0.30, 0.016, 8, 1024),
-            w("canneal", Parsec, Migratory, 8192, 38, 8, 0.011, 0.40, 0.35, 0.04, 5, 512),
-            w("dedup", Parsec, ProducerConsumer, 4096, 51, 6, 0.01, 0.22, 0.40, 0.024, 6, 1024),
-            w("ferret", Parsec, ProducerConsumer, 4096, 57, 4, 0.007, 0.16, 0.25, 0.016, 8, 1024),
-            w("fluidanimate", Parsec, Stencil, 6144, 57, 6, 0.009, 0.22, 0.40, 0.02, 6, 512),
-            w("freqmine", Parsec, Random, 6144, 64, 4, 0.007, 0.14, 0.25, 0.02, 8, 1024),
-            w("streamcluster", Parsec, Reduction, 4096, 51, 6, 0.009, 0.28, 0.30, 0.04, 6, 512),
-            w("swaptions", Parsec, Streaming, 3072, 83, 1, 0.002, 0.05, 0.30, 0.0, 12, 0),
-            w("vips", Parsec, Streaming, 6144, 89, 1, 0.0017, 0.04, 0.35, 0.0, 10, 0),
-            w("x264", Parsec, ProducerConsumer, 6144, 64, 4, 0.007, 0.12, 0.30, 0.008, 8, 1024),
+            w(
+                "blackscholes",
+                Parsec,
+                Streaming,
+                4096,
+                89,
+                1,
+                0.002,
+                0.05,
+                0.30,
+                0.0,
+                12,
+                0,
+            ),
+            w(
+                "bodytrack",
+                Parsec,
+                ProducerConsumer,
+                3072,
+                57,
+                4,
+                0.008,
+                0.18,
+                0.30,
+                0.016,
+                8,
+                1024,
+            ),
+            w(
+                "canneal", Parsec, Migratory, 8192, 38, 8, 0.011, 0.40, 0.35, 0.04, 5, 512,
+            ),
+            w(
+                "dedup",
+                Parsec,
+                ProducerConsumer,
+                4096,
+                51,
+                6,
+                0.01,
+                0.22,
+                0.40,
+                0.024,
+                6,
+                1024,
+            ),
+            w(
+                "ferret",
+                Parsec,
+                ProducerConsumer,
+                4096,
+                57,
+                4,
+                0.007,
+                0.16,
+                0.25,
+                0.016,
+                8,
+                1024,
+            ),
+            w(
+                "fluidanimate",
+                Parsec,
+                Stencil,
+                6144,
+                57,
+                6,
+                0.009,
+                0.22,
+                0.40,
+                0.02,
+                6,
+                512,
+            ),
+            w(
+                "freqmine", Parsec, Random, 6144, 64, 4, 0.007, 0.14, 0.25, 0.02, 8, 1024,
+            ),
+            w(
+                "streamcluster",
+                Parsec,
+                Reduction,
+                4096,
+                51,
+                6,
+                0.009,
+                0.28,
+                0.30,
+                0.04,
+                6,
+                512,
+            ),
+            w(
+                "swaptions",
+                Parsec,
+                Streaming,
+                3072,
+                83,
+                1,
+                0.002,
+                0.05,
+                0.30,
+                0.0,
+                12,
+                0,
+            ),
+            w(
+                "vips", Parsec, Streaming, 6144, 89, 1, 0.0017, 0.04, 0.35, 0.0, 10, 0,
+            ),
+            w(
+                "x264",
+                Parsec,
+                ProducerConsumer,
+                6144,
+                64,
+                4,
+                0.007,
+                0.12,
+                0.30,
+                0.008,
+                8,
+                1024,
+            ),
             // ---- Phoenix (8) ----
-            w("histogram", Phoenix, Reduction, 2048, 38, 12, 0.010, 0.60, 0.50, 0.12, 4, 256),
-            w("kmeans", Phoenix, Reduction, 3072, 51, 8, 0.009, 0.30, 0.30, 0.048, 6, 512),
-            w("linear-regression", Phoenix, Reduction, 2048, 64, 4, 0.008, 0.22, 0.25, 0.04, 8, 512),
-            w("matrix-multiply", Phoenix, Streaming, 6144, 76, 2, 0.004, 0.06, 0.20, 0.0, 8, 2048),
-            w("pca", Phoenix, Stencil, 4096, 64, 4, 0.007, 0.15, 0.25, 0.016, 8, 1024),
-            w("string-match", Phoenix, Streaming, 4096, 76, 2, 0.004, 0.06, 0.15, 0.008, 10, 0),
-            w("word-count", Phoenix, Reduction, 3072, 44, 10, 0.012, 0.50, 0.40, 0.088, 5, 256),
-            w("reverse-index", Phoenix, Reduction, 4096, 51, 8, 0.009, 0.35, 0.35, 0.06, 6, 512),
+            w(
+                "histogram",
+                Phoenix,
+                Reduction,
+                2048,
+                38,
+                12,
+                0.010,
+                0.60,
+                0.50,
+                0.12,
+                4,
+                256,
+            ),
+            w(
+                "kmeans", Phoenix, Reduction, 3072, 51, 8, 0.009, 0.30, 0.30, 0.048, 6, 512,
+            ),
+            w(
+                "linear-regression",
+                Phoenix,
+                Reduction,
+                2048,
+                64,
+                4,
+                0.008,
+                0.22,
+                0.25,
+                0.04,
+                8,
+                512,
+            ),
+            w(
+                "matrix-multiply",
+                Phoenix,
+                Streaming,
+                6144,
+                76,
+                2,
+                0.004,
+                0.06,
+                0.20,
+                0.0,
+                8,
+                2048,
+            ),
+            w(
+                "pca", Phoenix, Stencil, 4096, 64, 4, 0.007, 0.15, 0.25, 0.016, 8, 1024,
+            ),
+            w(
+                "string-match",
+                Phoenix,
+                Streaming,
+                4096,
+                76,
+                2,
+                0.004,
+                0.06,
+                0.15,
+                0.008,
+                10,
+                0,
+            ),
+            w(
+                "word-count",
+                Phoenix,
+                Reduction,
+                3072,
+                44,
+                10,
+                0.012,
+                0.50,
+                0.40,
+                0.088,
+                5,
+                256,
+            ),
+            w(
+                "reverse-index",
+                Phoenix,
+                Reduction,
+                4096,
+                51,
+                8,
+                0.009,
+                0.35,
+                0.35,
+                0.06,
+                6,
+                512,
+            ),
         ]
     }
 
@@ -291,7 +560,10 @@ impl WorkloadSpec {
 
     /// Workloads of one suite.
     pub fn suite(suite: Suite) -> Vec<WorkloadSpec> {
-        Self::all().into_iter().filter(|w| w.suite == suite).collect()
+        Self::all()
+            .into_iter()
+            .filter(|w| w.suite == suite)
+            .collect()
     }
 }
 
@@ -328,11 +600,7 @@ mod tests {
     fn generated_ops_count_matches() {
         let spec = WorkloadSpec::by_name("vips").unwrap();
         let p = spec.generate(0, 8, 300, 1);
-        let mem_ops = p
-            .instrs
-            .iter()
-            .filter(|i| i.addr().is_some())
-            .count();
+        let mem_ops = p.instrs.iter().filter(|i| i.addr().is_some()).count();
         // sync flag accesses may add a few
         assert!((300..=320).contains(&mem_ops), "{mem_ops}");
     }

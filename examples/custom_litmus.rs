@@ -28,7 +28,10 @@ observe P1:r0 mem:x
 
 fn main() {
     let parsed = parse_litmus(TEST).expect("valid litmus text");
-    println!("parsed test '{}' with variables {:?}", parsed.name, parsed.vars);
+    println!(
+        "parsed test '{}' with variables {:?}",
+        parsed.name, parsed.vars
+    );
 
     let cfg = LitmusConfig::new(
         (ProtocolFamily::Moesi, ProtocolFamily::Mesi),

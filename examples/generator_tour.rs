@@ -6,7 +6,7 @@
 //! cargo run --example generator_tour
 //! ```
 
-use c3::generator::{bridge_fsm, Generator, GenError};
+use c3::generator::{bridge_fsm, GenError, Generator};
 use c3_protocol::ssp::SspSpec;
 use c3_protocol::states::ProtocolFamily;
 

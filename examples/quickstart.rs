@@ -30,15 +30,17 @@ fn main() {
         .rmw(Addr(0x10), 1, Reg(1));
 
     let builder = SystemBuilder::new(clusters, GlobalProtocol::Cxl);
-    let (mut sim, handles) = builder.build_with_seq_cores(vec![
-        vec![producer, idle.clone()],
-        vec![consumer, idle],
-    ]);
+    let (mut sim, handles) =
+        builder.build_with_seq_cores(vec![vec![producer, idle.clone()], vec![consumer, idle]]);
 
     let outcome = sim.run();
     assert_eq!(outcome, RunOutcome::Completed);
 
-    println!("simulated {} events in {} simulated ns", sim.events_processed(), sim.now().as_ns());
+    println!(
+        "simulated {} events in {} simulated ns",
+        sim.events_processed(),
+        sim.now().as_ns()
+    );
     println!(
         "consumer observed flag = {}",
         handles.seq_core_reg(&sim, 1, 0, Reg(0))

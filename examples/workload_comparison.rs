@@ -12,7 +12,9 @@ use c3_protocol::states::ProtocolFamily;
 use c3_workloads::WorkloadSpec;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "histogram".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "histogram".into());
     let spec = WorkloadSpec::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown workload {name}; available:");
         for w in WorkloadSpec::all() {

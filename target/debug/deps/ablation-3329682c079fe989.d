@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-3329682c079fe989.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-3329682c079fe989: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-c9b0ba19c7984481.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-c9b0ba19c7984481: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bridge-32f8f87794cb69b6.d: crates/core/tests/bridge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbridge-32f8f87794cb69b6.rmeta: crates/core/tests/bridge.rs Cargo.toml
+
+crates/core/tests/bridge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bridge-87d8d703fe4eaeed.d: crates/core/tests/bridge.rs
+
+/root/repo/target/debug/deps/bridge-87d8d703fe4eaeed: crates/core/tests/bridge.rs
+
+crates/core/tests/bridge.rs:

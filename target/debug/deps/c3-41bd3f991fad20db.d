@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/c3-41bd3f991fad20db.d: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libc3-41bd3f991fad20db.rlib: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libc3-41bd3f991fad20db.rmeta: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bridge.rs:
+crates/core/src/generator.rs:
+crates/core/src/system.rs:

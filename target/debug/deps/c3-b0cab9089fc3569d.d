@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/c3-b0cab9089fc3569d.d: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc3-b0cab9089fc3569d.rmeta: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bridge.rs:
+crates/core/src/generator.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/c3-d732655d8e9f23e4.d: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/c3-d732655d8e9f23e4: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bridge.rs:
+crates/core/src/generator.rs:
+crates/core/src/system.rs:

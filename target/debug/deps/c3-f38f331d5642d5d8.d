@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/c3-f38f331d5642d5d8.d: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc3-f38f331d5642d5d8.rmeta: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bridge.rs:
+crates/core/src/generator.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

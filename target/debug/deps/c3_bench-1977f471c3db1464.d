@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/c3_bench-1977f471c3db1464.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/c3_bench-1977f471c3db1464: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/c3_bench-b3bd6926463bddd0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libc3_bench-b3bd6926463bddd0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libc3_bench-b3bd6926463bddd0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

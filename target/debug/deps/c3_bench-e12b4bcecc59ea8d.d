@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/c3_bench-e12b4bcecc59ea8d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc3_bench-e12b4bcecc59ea8d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

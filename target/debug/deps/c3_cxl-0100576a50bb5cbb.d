@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/c3_cxl-0100576a50bb5cbb.d: crates/cxl/src/lib.rs crates/cxl/src/dcoh.rs crates/cxl/src/directory.rs
+
+/root/repo/target/debug/deps/libc3_cxl-0100576a50bb5cbb.rlib: crates/cxl/src/lib.rs crates/cxl/src/dcoh.rs crates/cxl/src/directory.rs
+
+/root/repo/target/debug/deps/libc3_cxl-0100576a50bb5cbb.rmeta: crates/cxl/src/lib.rs crates/cxl/src/dcoh.rs crates/cxl/src/directory.rs
+
+crates/cxl/src/lib.rs:
+crates/cxl/src/dcoh.rs:
+crates/cxl/src/directory.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/c3_cxl-022b7fbe2c0b4047.d: crates/cxl/src/lib.rs crates/cxl/src/dcoh.rs crates/cxl/src/directory.rs
+
+/root/repo/target/debug/deps/c3_cxl-022b7fbe2c0b4047: crates/cxl/src/lib.rs crates/cxl/src/dcoh.rs crates/cxl/src/directory.rs
+
+crates/cxl/src/lib.rs:
+crates/cxl/src/dcoh.rs:
+crates/cxl/src/directory.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/c3_cxl-8616334bc06f3a84.d: crates/cxl/src/lib.rs crates/cxl/src/dcoh.rs crates/cxl/src/directory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc3_cxl-8616334bc06f3a84.rmeta: crates/cxl/src/lib.rs crates/cxl/src/dcoh.rs crates/cxl/src/directory.rs Cargo.toml
+
+crates/cxl/src/lib.rs:
+crates/cxl/src/dcoh.rs:
+crates/cxl/src/directory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/c3_mcm-05eec8b5c83ed094.d: crates/mcm/src/lib.rs crates/mcm/src/core_model.rs crates/mcm/src/harness.rs crates/mcm/src/litmus.rs crates/mcm/src/litmus_text.rs crates/mcm/src/reference.rs
+
+/root/repo/target/debug/deps/c3_mcm-05eec8b5c83ed094: crates/mcm/src/lib.rs crates/mcm/src/core_model.rs crates/mcm/src/harness.rs crates/mcm/src/litmus.rs crates/mcm/src/litmus_text.rs crates/mcm/src/reference.rs
+
+crates/mcm/src/lib.rs:
+crates/mcm/src/core_model.rs:
+crates/mcm/src/harness.rs:
+crates/mcm/src/litmus.rs:
+crates/mcm/src/litmus_text.rs:
+crates/mcm/src/reference.rs:

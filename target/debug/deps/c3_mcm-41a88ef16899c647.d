@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/c3_mcm-41a88ef16899c647.d: crates/mcm/src/lib.rs crates/mcm/src/core_model.rs crates/mcm/src/harness.rs crates/mcm/src/litmus.rs crates/mcm/src/litmus_text.rs crates/mcm/src/reference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc3_mcm-41a88ef16899c647.rmeta: crates/mcm/src/lib.rs crates/mcm/src/core_model.rs crates/mcm/src/harness.rs crates/mcm/src/litmus.rs crates/mcm/src/litmus_text.rs crates/mcm/src/reference.rs Cargo.toml
+
+crates/mcm/src/lib.rs:
+crates/mcm/src/core_model.rs:
+crates/mcm/src/harness.rs:
+crates/mcm/src/litmus.rs:
+crates/mcm/src/litmus_text.rs:
+crates/mcm/src/reference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/c3_mcm-f2e23fd7e72dfc2e.d: crates/mcm/src/lib.rs crates/mcm/src/core_model.rs crates/mcm/src/harness.rs crates/mcm/src/litmus.rs crates/mcm/src/litmus_text.rs crates/mcm/src/reference.rs
+
+/root/repo/target/debug/deps/libc3_mcm-f2e23fd7e72dfc2e.rlib: crates/mcm/src/lib.rs crates/mcm/src/core_model.rs crates/mcm/src/harness.rs crates/mcm/src/litmus.rs crates/mcm/src/litmus_text.rs crates/mcm/src/reference.rs
+
+/root/repo/target/debug/deps/libc3_mcm-f2e23fd7e72dfc2e.rmeta: crates/mcm/src/lib.rs crates/mcm/src/core_model.rs crates/mcm/src/harness.rs crates/mcm/src/litmus.rs crates/mcm/src/litmus_text.rs crates/mcm/src/reference.rs
+
+crates/mcm/src/lib.rs:
+crates/mcm/src/core_model.rs:
+crates/mcm/src/harness.rs:
+crates/mcm/src/litmus.rs:
+crates/mcm/src/litmus_text.rs:
+crates/mcm/src/reference.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/c3_memsys-4506adde19a29839.d: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/direngine.rs crates/memsys/src/global_dir.rs crates/memsys/src/l1.rs crates/memsys/src/seqcore.rs
+
+/root/repo/target/debug/deps/libc3_memsys-4506adde19a29839.rlib: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/direngine.rs crates/memsys/src/global_dir.rs crates/memsys/src/l1.rs crates/memsys/src/seqcore.rs
+
+/root/repo/target/debug/deps/libc3_memsys-4506adde19a29839.rmeta: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/direngine.rs crates/memsys/src/global_dir.rs crates/memsys/src/l1.rs crates/memsys/src/seqcore.rs
+
+crates/memsys/src/lib.rs:
+crates/memsys/src/cache.rs:
+crates/memsys/src/direngine.rs:
+crates/memsys/src/global_dir.rs:
+crates/memsys/src/l1.rs:
+crates/memsys/src/seqcore.rs:

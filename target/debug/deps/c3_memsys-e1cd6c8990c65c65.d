@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/c3_memsys-e1cd6c8990c65c65.d: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/direngine.rs crates/memsys/src/global_dir.rs crates/memsys/src/l1.rs crates/memsys/src/seqcore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc3_memsys-e1cd6c8990c65c65.rmeta: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/direngine.rs crates/memsys/src/global_dir.rs crates/memsys/src/l1.rs crates/memsys/src/seqcore.rs Cargo.toml
+
+crates/memsys/src/lib.rs:
+crates/memsys/src/cache.rs:
+crates/memsys/src/direngine.rs:
+crates/memsys/src/global_dir.rs:
+crates/memsys/src/l1.rs:
+crates/memsys/src/seqcore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

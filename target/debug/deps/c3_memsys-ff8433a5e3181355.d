@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/c3_memsys-ff8433a5e3181355.d: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/direngine.rs crates/memsys/src/global_dir.rs crates/memsys/src/l1.rs crates/memsys/src/seqcore.rs
+
+/root/repo/target/debug/deps/c3_memsys-ff8433a5e3181355: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/direngine.rs crates/memsys/src/global_dir.rs crates/memsys/src/l1.rs crates/memsys/src/seqcore.rs
+
+crates/memsys/src/lib.rs:
+crates/memsys/src/cache.rs:
+crates/memsys/src/direngine.rs:
+crates/memsys/src/global_dir.rs:
+crates/memsys/src/l1.rs:
+crates/memsys/src/seqcore.rs:

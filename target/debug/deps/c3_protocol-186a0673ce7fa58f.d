@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/c3_protocol-186a0673ce7fa58f.d: crates/protocol/src/lib.rs crates/protocol/src/mcm.rs crates/protocol/src/msg.rs crates/protocol/src/ops.rs crates/protocol/src/ssp.rs crates/protocol/src/ssp_text.rs crates/protocol/src/states.rs
+
+/root/repo/target/debug/deps/libc3_protocol-186a0673ce7fa58f.rlib: crates/protocol/src/lib.rs crates/protocol/src/mcm.rs crates/protocol/src/msg.rs crates/protocol/src/ops.rs crates/protocol/src/ssp.rs crates/protocol/src/ssp_text.rs crates/protocol/src/states.rs
+
+/root/repo/target/debug/deps/libc3_protocol-186a0673ce7fa58f.rmeta: crates/protocol/src/lib.rs crates/protocol/src/mcm.rs crates/protocol/src/msg.rs crates/protocol/src/ops.rs crates/protocol/src/ssp.rs crates/protocol/src/ssp_text.rs crates/protocol/src/states.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/mcm.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/ops.rs:
+crates/protocol/src/ssp.rs:
+crates/protocol/src/ssp_text.rs:
+crates/protocol/src/states.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/c3_protocol-6b10a39c8e7a0974.d: crates/protocol/src/lib.rs crates/protocol/src/mcm.rs crates/protocol/src/msg.rs crates/protocol/src/ops.rs crates/protocol/src/ssp.rs crates/protocol/src/ssp_text.rs crates/protocol/src/states.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc3_protocol-6b10a39c8e7a0974.rmeta: crates/protocol/src/lib.rs crates/protocol/src/mcm.rs crates/protocol/src/msg.rs crates/protocol/src/ops.rs crates/protocol/src/ssp.rs crates/protocol/src/ssp_text.rs crates/protocol/src/states.rs Cargo.toml
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/mcm.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/ops.rs:
+crates/protocol/src/ssp.rs:
+crates/protocol/src/ssp_text.rs:
+crates/protocol/src/states.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

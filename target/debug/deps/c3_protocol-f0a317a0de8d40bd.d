@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/c3_protocol-f0a317a0de8d40bd.d: crates/protocol/src/lib.rs crates/protocol/src/mcm.rs crates/protocol/src/msg.rs crates/protocol/src/ops.rs crates/protocol/src/ssp.rs crates/protocol/src/ssp_text.rs crates/protocol/src/states.rs
+
+/root/repo/target/debug/deps/c3_protocol-f0a317a0de8d40bd: crates/protocol/src/lib.rs crates/protocol/src/mcm.rs crates/protocol/src/msg.rs crates/protocol/src/ops.rs crates/protocol/src/ssp.rs crates/protocol/src/ssp_text.rs crates/protocol/src/states.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/mcm.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/ops.rs:
+crates/protocol/src/ssp.rs:
+crates/protocol/src/ssp_text.rs:
+crates/protocol/src/states.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/c3_repro-0501fe7273c4804b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libc3_repro-0501fe7273c4804b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libc3_repro-0501fe7273c4804b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/c3_repro-33931060b205841f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc3_repro-33931060b205841f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

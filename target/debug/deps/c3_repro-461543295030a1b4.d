@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/c3_repro-461543295030a1b4.d: src/lib.rs
+
+/root/repo/target/debug/deps/c3_repro-461543295030a1b4: src/lib.rs
+
+src/lib.rs:

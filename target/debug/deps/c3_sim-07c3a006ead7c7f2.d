@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/c3_sim-07c3a006ead7c7f2.d: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/fabric.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc3_sim-07c3a006ead7c7f2.rmeta: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/fabric.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/component.rs:
+crates/sim/src/fabric.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/c3_sim-7e0ce330695310d3.d: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/fabric.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/c3_sim-7e0ce330695310d3: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/fabric.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/component.rs:
+crates/sim/src/fabric.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/c3_sim-d5687ea8cce72740.d: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/fabric.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libc3_sim-d5687ea8cce72740.rlib: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/fabric.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libc3_sim-d5687ea8cce72740.rmeta: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/fabric.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/component.rs:
+crates/sim/src/fabric.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/c3_verif-09f874b6c877f4c6.d: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs
+
+/root/repo/target/debug/deps/libc3_verif-09f874b6c877f4c6.rlib: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs
+
+/root/repo/target/debug/deps/libc3_verif-09f874b6c877f4c6.rmeta: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs
+
+crates/verif/src/lib.rs:
+crates/verif/src/fsm_checks.rs:
+crates/verif/src/model.rs:

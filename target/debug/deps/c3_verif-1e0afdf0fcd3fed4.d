@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/c3_verif-1e0afdf0fcd3fed4.d: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs
+
+/root/repo/target/debug/deps/c3_verif-1e0afdf0fcd3fed4: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs
+
+crates/verif/src/lib.rs:
+crates/verif/src/fsm_checks.rs:
+crates/verif/src/model.rs:

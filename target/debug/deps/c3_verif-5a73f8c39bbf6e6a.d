@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/c3_verif-5a73f8c39bbf6e6a.d: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc3_verif-5a73f8c39bbf6e6a.rmeta: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs Cargo.toml
+
+crates/verif/src/lib.rs:
+crates/verif/src/fsm_checks.rs:
+crates/verif/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/c3_verif-deea284730b9b75b.d: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc3_verif-deea284730b9b75b.rmeta: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs Cargo.toml
+
+crates/verif/src/lib.rs:
+crates/verif/src/fsm_checks.rs:
+crates/verif/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

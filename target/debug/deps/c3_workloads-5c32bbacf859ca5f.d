@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/c3_workloads-5c32bbacf859ca5f.d: crates/workloads/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc3_workloads-5c32bbacf859ca5f.rmeta: crates/workloads/src/lib.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/c3_workloads-b23ce4c7ca8d1c83.d: crates/workloads/src/lib.rs
+
+/root/repo/target/debug/deps/c3_workloads-b23ce4c7ca8d1c83: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/c3_workloads-ee75ccdf07b187d8.d: crates/workloads/src/lib.rs
+
+/root/repo/target/debug/deps/libc3_workloads-ee75ccdf07b187d8.rlib: crates/workloads/src/lib.rs
+
+/root/repo/target/debug/deps/libc3_workloads-ee75ccdf07b187d8.rmeta: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coherence-4229449c098cf388.d: crates/memsys/tests/coherence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoherence-4229449c098cf388.rmeta: crates/memsys/tests/coherence.rs Cargo.toml
+
+crates/memsys/tests/coherence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

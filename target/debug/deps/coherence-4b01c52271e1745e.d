@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coherence-4b01c52271e1745e.d: crates/memsys/tests/coherence.rs
+
+/root/repo/target/debug/deps/coherence-4b01c52271e1745e: crates/memsys/tests/coherence.rs
+
+crates/memsys/tests/coherence.rs:

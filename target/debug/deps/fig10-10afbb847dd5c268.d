@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-10afbb847dd5c268.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-10afbb847dd5c268: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-f1ebdf2b9e2e8818.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-f1ebdf2b9e2e8818: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-e537f8d5b99f9835.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-e537f8d5b99f9835: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-fbc139f87234d86e.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-fbc139f87234d86e: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-6298dcb7d78bbad5.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-6298dcb7d78bbad5: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-7855090c02721b85.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-7855090c02721b85: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_system-441b65af64369ce8.d: tests/full_system.rs
+
+/root/repo/target/debug/deps/full_system-441b65af64369ce8: tests/full_system.rs
+
+tests/full_system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hotspots-3e3edeee415bca42.d: crates/bench/src/bin/hotspots.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotspots-3e3edeee415bca42.rmeta: crates/bench/src/bin/hotspots.rs Cargo.toml
+
+crates/bench/src/bin/hotspots.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

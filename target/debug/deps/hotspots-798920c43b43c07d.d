@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hotspots-798920c43b43c07d.d: crates/bench/src/bin/hotspots.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotspots-798920c43b43c07d.rmeta: crates/bench/src/bin/hotspots.rs Cargo.toml
+
+crates/bench/src/bin/hotspots.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

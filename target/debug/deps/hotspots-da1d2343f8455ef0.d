@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotspots-da1d2343f8455ef0.d: crates/bench/src/bin/hotspots.rs
+
+/root/repo/target/debug/deps/hotspots-da1d2343f8455ef0: crates/bench/src/bin/hotspots.rs
+
+crates/bench/src/bin/hotspots.rs:

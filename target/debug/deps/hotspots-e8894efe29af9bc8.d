@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotspots-e8894efe29af9bc8.d: crates/bench/src/bin/hotspots.rs
+
+/root/repo/target/debug/deps/hotspots-e8894efe29af9bc8: crates/bench/src/bin/hotspots.rs
+
+crates/bench/src/bin/hotspots.rs:

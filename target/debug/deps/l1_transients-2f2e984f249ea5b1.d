@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/l1_transients-2f2e984f249ea5b1.d: crates/memsys/tests/l1_transients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libl1_transients-2f2e984f249ea5b1.rmeta: crates/memsys/tests/l1_transients.rs Cargo.toml
+
+crates/memsys/tests/l1_transients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

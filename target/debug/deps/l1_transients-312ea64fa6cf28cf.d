@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/l1_transients-312ea64fa6cf28cf.d: crates/memsys/tests/l1_transients.rs
+
+/root/repo/target/debug/deps/l1_transients-312ea64fa6cf28cf: crates/memsys/tests/l1_transients.rs
+
+crates/memsys/tests/l1_transients.rs:

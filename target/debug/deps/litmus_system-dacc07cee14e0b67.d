@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/litmus_system-dacc07cee14e0b67.d: crates/mcm/tests/litmus_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitmus_system-dacc07cee14e0b67.rmeta: crates/mcm/tests/litmus_system.rs Cargo.toml
+
+crates/mcm/tests/litmus_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

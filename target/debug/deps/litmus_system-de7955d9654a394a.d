@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus_system-de7955d9654a394a.d: crates/mcm/tests/litmus_system.rs
+
+/root/repo/target/debug/deps/litmus_system-de7955d9654a394a: crates/mcm/tests/litmus_system.rs
+
+crates/mcm/tests/litmus_system.rs:

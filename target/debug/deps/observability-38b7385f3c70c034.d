@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-38b7385f3c70c034.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-38b7385f3c70c034: tests/observability.rs
+
+tests/observability.rs:

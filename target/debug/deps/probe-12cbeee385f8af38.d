@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-12cbeee385f8af38.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-12cbeee385f8af38: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-c4717b77066e46e9.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-c4717b77066e46e9: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

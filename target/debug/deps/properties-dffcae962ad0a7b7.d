@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dffcae962ad0a7b7.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-dffcae962ad0a7b7: tests/properties.rs
+
+tests/properties.rs:

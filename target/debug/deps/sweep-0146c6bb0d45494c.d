@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-0146c6bb0d45494c.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-0146c6bb0d45494c: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-bf99add94ec228bd.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-bf99add94ec228bd: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-53e8fa8c5da246f6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-53e8fa8c5da246f6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

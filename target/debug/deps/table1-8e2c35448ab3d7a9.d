@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-8e2c35448ab3d7a9.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-8e2c35448ab3d7a9: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-15f272ba8f2f9f4f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-15f272ba8f2f9f4f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-e60607da976ee27e.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-e60607da976ee27e: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-d0c3d47cfb1b3400.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-d0c3d47cfb1b3400: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-e6014eb19575c1e4.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-e6014eb19575c1e4: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace-24d8fec0e7d52993.d: crates/bench/src/bin/trace.rs
+
+/root/repo/target/debug/deps/trace-24d8fec0e7d52993: crates/bench/src/bin/trace.rs
+
+crates/bench/src/bin/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-7bb3c1fd7ff583cf.d: crates/bench/src/bin/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace-7bb3c1fd7ff583cf.rmeta: crates/bench/src/bin/trace.rs Cargo.toml
+
+crates/bench/src/bin/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace-f2cebf32f4a83e63.d: crates/bench/src/bin/trace.rs
+
+/root/repo/target/debug/deps/trace-f2cebf32f4a83e63: crates/bench/src/bin/trace.rs
+
+crates/bench/src/bin/trace.rs:

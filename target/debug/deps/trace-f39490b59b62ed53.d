@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-f39490b59b62ed53.d: crates/bench/src/bin/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace-f39490b59b62ed53.rmeta: crates/bench/src/bin/trace.rs Cargo.toml
+
+crates/bench/src/bin/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

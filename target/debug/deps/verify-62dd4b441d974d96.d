@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify-62dd4b441d974d96.d: crates/bench/src/bin/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify-62dd4b441d974d96.rmeta: crates/bench/src/bin/verify.rs Cargo.toml
+
+crates/bench/src/bin/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify-9f1da1e32e49780d.d: crates/bench/src/bin/verify.rs
+
+/root/repo/target/debug/deps/verify-9f1da1e32e49780d: crates/bench/src/bin/verify.rs
+
+crates/bench/src/bin/verify.rs:

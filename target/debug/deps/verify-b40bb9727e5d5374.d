@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify-b40bb9727e5d5374.d: crates/bench/src/bin/verify.rs
+
+/root/repo/target/debug/deps/verify-b40bb9727e5d5374: crates/bench/src/bin/verify.rs
+
+crates/bench/src/bin/verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_litmus-3a29d189b05d0a13.d: examples/custom_litmus.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_litmus-3a29d189b05d0a13.rmeta: examples/custom_litmus.rs Cargo.toml
+
+examples/custom_litmus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

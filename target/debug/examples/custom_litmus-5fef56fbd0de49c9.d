@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_litmus-5fef56fbd0de49c9.d: examples/custom_litmus.rs
+
+/root/repo/target/debug/examples/custom_litmus-5fef56fbd0de49c9: examples/custom_litmus.rs
+
+examples/custom_litmus.rs:

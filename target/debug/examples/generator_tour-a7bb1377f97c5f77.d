@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/generator_tour-a7bb1377f97c5f77.d: examples/generator_tour.rs
+
+/root/repo/target/debug/examples/generator_tour-a7bb1377f97c5f77: examples/generator_tour.rs
+
+examples/generator_tour.rs:

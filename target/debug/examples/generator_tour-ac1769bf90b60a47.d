@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/generator_tour-ac1769bf90b60a47.d: examples/generator_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgenerator_tour-ac1769bf90b60a47.rmeta: examples/generator_tour.rs Cargo.toml
+
+examples/generator_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/litmus_heterogeneous-0844ef7633857f9d.d: examples/litmus_heterogeneous.rs
+
+/root/repo/target/debug/examples/litmus_heterogeneous-0844ef7633857f9d: examples/litmus_heterogeneous.rs
+
+examples/litmus_heterogeneous.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/litmus_heterogeneous-32b7ca4c3f5dbb2b.d: examples/litmus_heterogeneous.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblitmus_heterogeneous-32b7ca4c3f5dbb2b.rmeta: examples/litmus_heterogeneous.rs Cargo.toml
+
+examples/litmus_heterogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

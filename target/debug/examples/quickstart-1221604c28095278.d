@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1221604c28095278.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1221604c28095278: examples/quickstart.rs
+
+examples/quickstart.rs:

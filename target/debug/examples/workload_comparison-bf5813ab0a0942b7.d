@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/workload_comparison-bf5813ab0a0942b7.d: examples/workload_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworkload_comparison-bf5813ab0a0942b7.rmeta: examples/workload_comparison.rs Cargo.toml
+
+examples/workload_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_comparison-ee41b64297ad20a2.d: examples/workload_comparison.rs
+
+/root/repo/target/debug/examples/workload_comparison-ee41b64297ad20a2: examples/workload_comparison.rs
+
+examples/workload_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-2d96ee258914a034.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-2d96ee258914a034: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-62da45156a673eb9.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-62da45156a673eb9: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bridge-2a81b73bf35ff99f.d: crates/core/tests/bridge.rs
+
+/root/repo/target/release/deps/bridge-2a81b73bf35ff99f: crates/core/tests/bridge.rs
+
+crates/core/tests/bridge.rs:

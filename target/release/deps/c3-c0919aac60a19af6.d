@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/c3-c0919aac60a19af6.d: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libc3-c0919aac60a19af6.rlib: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libc3-c0919aac60a19af6.rmeta: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bridge.rs:
+crates/core/src/generator.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/c3-ce6632a37d309d48.d: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/c3-ce6632a37d309d48: crates/core/src/lib.rs crates/core/src/bridge.rs crates/core/src/generator.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bridge.rs:
+crates/core/src/generator.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/c3_bench-17a63d904c0c6aa7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/c3_bench-17a63d904c0c6aa7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

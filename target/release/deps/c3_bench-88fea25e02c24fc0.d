@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/c3_bench-88fea25e02c24fc0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libc3_bench-88fea25e02c24fc0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libc3_bench-88fea25e02c24fc0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

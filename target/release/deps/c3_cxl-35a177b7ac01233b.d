@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/c3_cxl-35a177b7ac01233b.d: crates/cxl/src/lib.rs crates/cxl/src/dcoh.rs crates/cxl/src/directory.rs
+
+/root/repo/target/release/deps/c3_cxl-35a177b7ac01233b: crates/cxl/src/lib.rs crates/cxl/src/dcoh.rs crates/cxl/src/directory.rs
+
+crates/cxl/src/lib.rs:
+crates/cxl/src/dcoh.rs:
+crates/cxl/src/directory.rs:

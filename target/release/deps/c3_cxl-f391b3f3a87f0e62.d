@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/c3_cxl-f391b3f3a87f0e62.d: crates/cxl/src/lib.rs crates/cxl/src/dcoh.rs crates/cxl/src/directory.rs
+
+/root/repo/target/release/deps/libc3_cxl-f391b3f3a87f0e62.rlib: crates/cxl/src/lib.rs crates/cxl/src/dcoh.rs crates/cxl/src/directory.rs
+
+/root/repo/target/release/deps/libc3_cxl-f391b3f3a87f0e62.rmeta: crates/cxl/src/lib.rs crates/cxl/src/dcoh.rs crates/cxl/src/directory.rs
+
+crates/cxl/src/lib.rs:
+crates/cxl/src/dcoh.rs:
+crates/cxl/src/directory.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/c3_mcm-3449024b9d86b87c.d: crates/mcm/src/lib.rs crates/mcm/src/core_model.rs crates/mcm/src/harness.rs crates/mcm/src/litmus.rs crates/mcm/src/litmus_text.rs crates/mcm/src/reference.rs
+
+/root/repo/target/release/deps/libc3_mcm-3449024b9d86b87c.rlib: crates/mcm/src/lib.rs crates/mcm/src/core_model.rs crates/mcm/src/harness.rs crates/mcm/src/litmus.rs crates/mcm/src/litmus_text.rs crates/mcm/src/reference.rs
+
+/root/repo/target/release/deps/libc3_mcm-3449024b9d86b87c.rmeta: crates/mcm/src/lib.rs crates/mcm/src/core_model.rs crates/mcm/src/harness.rs crates/mcm/src/litmus.rs crates/mcm/src/litmus_text.rs crates/mcm/src/reference.rs
+
+crates/mcm/src/lib.rs:
+crates/mcm/src/core_model.rs:
+crates/mcm/src/harness.rs:
+crates/mcm/src/litmus.rs:
+crates/mcm/src/litmus_text.rs:
+crates/mcm/src/reference.rs:

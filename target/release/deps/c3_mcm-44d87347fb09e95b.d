@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/c3_mcm-44d87347fb09e95b.d: crates/mcm/src/lib.rs crates/mcm/src/core_model.rs crates/mcm/src/harness.rs crates/mcm/src/litmus.rs crates/mcm/src/litmus_text.rs crates/mcm/src/reference.rs
+
+/root/repo/target/release/deps/c3_mcm-44d87347fb09e95b: crates/mcm/src/lib.rs crates/mcm/src/core_model.rs crates/mcm/src/harness.rs crates/mcm/src/litmus.rs crates/mcm/src/litmus_text.rs crates/mcm/src/reference.rs
+
+crates/mcm/src/lib.rs:
+crates/mcm/src/core_model.rs:
+crates/mcm/src/harness.rs:
+crates/mcm/src/litmus.rs:
+crates/mcm/src/litmus_text.rs:
+crates/mcm/src/reference.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/c3_memsys-2b2abaab9f819e26.d: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/direngine.rs crates/memsys/src/global_dir.rs crates/memsys/src/l1.rs crates/memsys/src/seqcore.rs
+
+/root/repo/target/release/deps/libc3_memsys-2b2abaab9f819e26.rlib: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/direngine.rs crates/memsys/src/global_dir.rs crates/memsys/src/l1.rs crates/memsys/src/seqcore.rs
+
+/root/repo/target/release/deps/libc3_memsys-2b2abaab9f819e26.rmeta: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/direngine.rs crates/memsys/src/global_dir.rs crates/memsys/src/l1.rs crates/memsys/src/seqcore.rs
+
+crates/memsys/src/lib.rs:
+crates/memsys/src/cache.rs:
+crates/memsys/src/direngine.rs:
+crates/memsys/src/global_dir.rs:
+crates/memsys/src/l1.rs:
+crates/memsys/src/seqcore.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/c3_memsys-b6bb3832aa86dfdd.d: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/direngine.rs crates/memsys/src/global_dir.rs crates/memsys/src/l1.rs crates/memsys/src/seqcore.rs
+
+/root/repo/target/release/deps/c3_memsys-b6bb3832aa86dfdd: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/direngine.rs crates/memsys/src/global_dir.rs crates/memsys/src/l1.rs crates/memsys/src/seqcore.rs
+
+crates/memsys/src/lib.rs:
+crates/memsys/src/cache.rs:
+crates/memsys/src/direngine.rs:
+crates/memsys/src/global_dir.rs:
+crates/memsys/src/l1.rs:
+crates/memsys/src/seqcore.rs:

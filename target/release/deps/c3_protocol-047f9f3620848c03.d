@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/c3_protocol-047f9f3620848c03.d: crates/protocol/src/lib.rs crates/protocol/src/mcm.rs crates/protocol/src/msg.rs crates/protocol/src/ops.rs crates/protocol/src/ssp.rs crates/protocol/src/ssp_text.rs crates/protocol/src/states.rs
+
+/root/repo/target/release/deps/c3_protocol-047f9f3620848c03: crates/protocol/src/lib.rs crates/protocol/src/mcm.rs crates/protocol/src/msg.rs crates/protocol/src/ops.rs crates/protocol/src/ssp.rs crates/protocol/src/ssp_text.rs crates/protocol/src/states.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/mcm.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/ops.rs:
+crates/protocol/src/ssp.rs:
+crates/protocol/src/ssp_text.rs:
+crates/protocol/src/states.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/c3_protocol-78e11da11868d43a.d: crates/protocol/src/lib.rs crates/protocol/src/mcm.rs crates/protocol/src/msg.rs crates/protocol/src/ops.rs crates/protocol/src/ssp.rs crates/protocol/src/ssp_text.rs crates/protocol/src/states.rs
+
+/root/repo/target/release/deps/libc3_protocol-78e11da11868d43a.rlib: crates/protocol/src/lib.rs crates/protocol/src/mcm.rs crates/protocol/src/msg.rs crates/protocol/src/ops.rs crates/protocol/src/ssp.rs crates/protocol/src/ssp_text.rs crates/protocol/src/states.rs
+
+/root/repo/target/release/deps/libc3_protocol-78e11da11868d43a.rmeta: crates/protocol/src/lib.rs crates/protocol/src/mcm.rs crates/protocol/src/msg.rs crates/protocol/src/ops.rs crates/protocol/src/ssp.rs crates/protocol/src/ssp_text.rs crates/protocol/src/states.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/mcm.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/ops.rs:
+crates/protocol/src/ssp.rs:
+crates/protocol/src/ssp_text.rs:
+crates/protocol/src/states.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/c3_repro-72650a8106fe34aa.d: src/lib.rs
+
+/root/repo/target/release/deps/c3_repro-72650a8106fe34aa: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/c3_repro-78ce7004715d8054.d: src/lib.rs
+
+/root/repo/target/release/deps/libc3_repro-78ce7004715d8054.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libc3_repro-78ce7004715d8054.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/c3_sim-2ed68a6b3c5dbc57.d: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/fabric.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/c3_sim-2ed68a6b3c5dbc57: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/fabric.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/component.rs:
+crates/sim/src/fabric.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/c3_sim-bf352a6e9c56879e.d: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/fabric.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libc3_sim-bf352a6e9c56879e.rlib: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/fabric.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libc3_sim-bf352a6e9c56879e.rmeta: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/fabric.rs crates/sim/src/kernel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/component.rs:
+crates/sim/src/fabric.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/c3_verif-4fb7e43f551d22c6.d: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs
+
+/root/repo/target/release/deps/c3_verif-4fb7e43f551d22c6: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs
+
+crates/verif/src/lib.rs:
+crates/verif/src/fsm_checks.rs:
+crates/verif/src/model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/c3_verif-8c0f38f948571875.d: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs
+
+/root/repo/target/release/deps/libc3_verif-8c0f38f948571875.rlib: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs
+
+/root/repo/target/release/deps/libc3_verif-8c0f38f948571875.rmeta: crates/verif/src/lib.rs crates/verif/src/fsm_checks.rs crates/verif/src/model.rs
+
+crates/verif/src/lib.rs:
+crates/verif/src/fsm_checks.rs:
+crates/verif/src/model.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/c3_workloads-836aaedc0893f396.d: crates/workloads/src/lib.rs
+
+/root/repo/target/release/deps/libc3_workloads-836aaedc0893f396.rlib: crates/workloads/src/lib.rs
+
+/root/repo/target/release/deps/libc3_workloads-836aaedc0893f396.rmeta: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/c3_workloads-e335795bdad76c14.d: crates/workloads/src/lib.rs
+
+/root/repo/target/release/deps/c3_workloads-e335795bdad76c14: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coherence-c5772e1f089168e6.d: crates/memsys/tests/coherence.rs
+
+/root/repo/target/release/deps/coherence-c5772e1f089168e6: crates/memsys/tests/coherence.rs
+
+crates/memsys/tests/coherence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-33b135ce456f24c7.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-33b135ce456f24c7: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

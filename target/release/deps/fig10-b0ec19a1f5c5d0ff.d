@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-b0ec19a1f5c5d0ff.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-b0ec19a1f5c5d0ff: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

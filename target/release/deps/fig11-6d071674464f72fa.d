@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-6d071674464f72fa.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-6d071674464f72fa: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-f6b9faefcea26f0a.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-f6b9faefcea26f0a: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-2f89a82443b0dba1.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-2f89a82443b0dba1: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-56b7a1ac2a6aec52.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-56b7a1ac2a6aec52: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

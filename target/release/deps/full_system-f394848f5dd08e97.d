@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_system-f394848f5dd08e97.d: tests/full_system.rs
+
+/root/repo/target/release/deps/full_system-f394848f5dd08e97: tests/full_system.rs
+
+tests/full_system.rs:

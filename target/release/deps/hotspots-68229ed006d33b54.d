@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotspots-68229ed006d33b54.d: crates/bench/src/bin/hotspots.rs
+
+/root/repo/target/release/deps/hotspots-68229ed006d33b54: crates/bench/src/bin/hotspots.rs
+
+crates/bench/src/bin/hotspots.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotspots-9235ebbc0b0f3884.d: crates/bench/src/bin/hotspots.rs
+
+/root/repo/target/release/deps/hotspots-9235ebbc0b0f3884: crates/bench/src/bin/hotspots.rs
+
+crates/bench/src/bin/hotspots.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/l1_transients-a4d50874d980fbcf.d: crates/memsys/tests/l1_transients.rs
+
+/root/repo/target/release/deps/l1_transients-a4d50874d980fbcf: crates/memsys/tests/l1_transients.rs
+
+crates/memsys/tests/l1_transients.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/litmus_system-030b842f05a0c787.d: crates/mcm/tests/litmus_system.rs
+
+/root/repo/target/release/deps/litmus_system-030b842f05a0c787: crates/mcm/tests/litmus_system.rs
+
+crates/mcm/tests/litmus_system.rs:

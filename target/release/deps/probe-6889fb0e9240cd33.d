@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-6889fb0e9240cd33.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-6889fb0e9240cd33: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-7ab5665239c4a022.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-7ab5665239c4a022: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-a638dc72fcadf4af.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-a638dc72fcadf4af: tests/properties.rs
+
+tests/properties.rs:

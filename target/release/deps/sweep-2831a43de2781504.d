@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-2831a43de2781504.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-2831a43de2781504: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

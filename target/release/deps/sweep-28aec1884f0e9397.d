@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-28aec1884f0e9397.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-28aec1884f0e9397: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

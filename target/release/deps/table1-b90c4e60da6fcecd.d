@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-b90c4e60da6fcecd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-b90c4e60da6fcecd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

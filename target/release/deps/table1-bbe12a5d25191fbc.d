@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-bbe12a5d25191fbc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-bbe12a5d25191fbc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-086c212753ba0909.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-086c212753ba0909: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

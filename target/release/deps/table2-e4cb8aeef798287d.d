@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-e4cb8aeef798287d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-e4cb8aeef798287d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-529018813d9a87fa.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-529018813d9a87fa: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

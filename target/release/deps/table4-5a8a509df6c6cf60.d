@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-5a8a509df6c6cf60.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-5a8a509df6c6cf60: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace-12f0e682b4d2afdb.d: crates/bench/src/bin/trace.rs
+
+/root/repo/target/release/deps/trace-12f0e682b4d2afdb: crates/bench/src/bin/trace.rs
+
+crates/bench/src/bin/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/verify-e2a770fc789cae24.d: crates/bench/src/bin/verify.rs
+
+/root/repo/target/release/deps/verify-e2a770fc789cae24: crates/bench/src/bin/verify.rs
+
+crates/bench/src/bin/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/verify-fb7de63ac1534d1d.d: crates/bench/src/bin/verify.rs
+
+/root/repo/target/release/deps/verify-fb7de63ac1534d1d: crates/bench/src/bin/verify.rs
+
+crates/bench/src/bin/verify.rs:

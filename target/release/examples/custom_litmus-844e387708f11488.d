@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_litmus-844e387708f11488.d: examples/custom_litmus.rs
+
+/root/repo/target/release/examples/custom_litmus-844e387708f11488: examples/custom_litmus.rs
+
+examples/custom_litmus.rs:

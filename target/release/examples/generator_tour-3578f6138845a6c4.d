@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/generator_tour-3578f6138845a6c4.d: examples/generator_tour.rs
+
+/root/repo/target/release/examples/generator_tour-3578f6138845a6c4: examples/generator_tour.rs
+
+examples/generator_tour.rs:

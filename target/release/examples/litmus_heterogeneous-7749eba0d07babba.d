@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/litmus_heterogeneous-7749eba0d07babba.d: examples/litmus_heterogeneous.rs
+
+/root/repo/target/release/examples/litmus_heterogeneous-7749eba0d07babba: examples/litmus_heterogeneous.rs
+
+examples/litmus_heterogeneous.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-97151c91c03cd4e8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-97151c91c03cd4e8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/workload_comparison-f145f246805269e5.d: examples/workload_comparison.rs
+
+/root/repo/target/release/examples/workload_comparison-f145f246805269e5: examples/workload_comparison.rs
+
+examples/workload_comparison.rs:

@@ -24,16 +24,17 @@ fn three_cluster_heterogeneous_system() {
         }
         p
     };
-    let programs = vec![
-        vec![mk(0), mk(0)],
-        vec![mk(1), mk(1)],
-        vec![mk(2), mk(2)],
-    ];
+    let programs = vec![vec![mk(0), mk(0)], vec![mk(1), mk(1)], vec![mk(2), mk(2)]];
     let (mut sim, handles) = SystemBuilder::new(clusters, GlobalProtocol::Cxl)
         .cxl_cache(64, 4)
         .build_with_seq_cores(programs);
     sim.set_event_limit(50_000_000);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     // 6 cores x 20 increments, fully atomic across three protocols.
     assert_eq!(handles.coherent_value(&sim, Addr(5)), 120);
 }
@@ -73,7 +74,12 @@ fn rcc_gpu_cluster_with_tso_cpu_cluster() {
         ))
     });
     sim.set_event_limit(50_000_000);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let core = handles.cores[1][0];
     let tc = sim.component_as::<TimingCore>(core).expect("core");
     assert_eq!(tc.reg(Reg(0)), 1, "flag not seen");
@@ -121,9 +127,8 @@ fn all_workloads_complete_on_both_globals() {
                 ClusterSpec::new(ProtocolFamily::Mesi, 1).with_l1(32, 4),
                 ClusterSpec::new(ProtocolFamily::Mesi, 1).with_l1(32, 4),
             ];
-            let programs: Vec<Vec<ThreadProgram>> = (0..2)
-                .map(|ci| vec![spec.generate(ci, 2, 60, 3)])
-                .collect();
+            let programs: Vec<Vec<ThreadProgram>> =
+                (0..2).map(|ci| vec![spec.generate(ci, 2, 60, 3)]).collect();
             let (mut sim, _) = SystemBuilder::new(clusters, global)
                 .cxl_cache(64, 4)
                 .build_with_seq_cores(programs);
@@ -176,7 +181,11 @@ fn four_cluster_hot_line_stress() {
             "seed {seed}: {:?}",
             sim.pending_components()
         );
-        assert_eq!(handles.coherent_value(&sim, Addr(1)), 60, "seed {seed}: lost updates");
+        assert_eq!(
+            handles.coherent_value(&sim, Addr(1)),
+            60,
+            "seed {seed}: lost updates"
+        );
     }
 }
 
@@ -202,7 +211,12 @@ fn two_cxl_devices_interleaved() {
         .cxl_devices(2)
         .build_with_seq_cores(programs);
     sim.set_event_limit(80_000_000);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     assert_eq!(handles.global_dirs.len(), 2);
     assert_eq!(handles.coherent_value(&sim, Addr(5)), 80);
     assert_eq!(handles.coherent_value(&sim, Addr(6)), 80);

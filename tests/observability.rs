@@ -1,0 +1,120 @@
+//! Integration tests for the observability subsystem: the determinism
+//! guard (tracing must not perturb the simulation), trace-export
+//! validity on a real workload, and post-mortems for truncated runs.
+
+use c3::system::GlobalProtocol;
+use c3_bench::{build_sim, RunConfig};
+use c3_protocol::mcm::Mcm;
+use c3_protocol::states::ProtocolFamily;
+use c3_sim::kernel::RunOutcome;
+use c3_sim::trace::validate_json;
+use c3_workloads::WorkloadSpec;
+
+fn quick_cfg(global: GlobalProtocol) -> RunConfig {
+    RunConfig::scaled(
+        (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+        global,
+        (Mcm::Weak, Mcm::Weak),
+    )
+    .quick()
+}
+
+/// Tracing must be an observer: enabling it cannot change the outcome,
+/// the finish time, the event count, or any statistic in the report.
+#[test]
+fn tracing_enabled_run_produces_identical_report() {
+    let spec = WorkloadSpec::by_name("vips").unwrap();
+    for global in [
+        GlobalProtocol::Cxl,
+        GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
+    ] {
+        let cfg = quick_cfg(global);
+
+        let (mut plain, _) = build_sim(&spec, &cfg);
+        let plain_outcome = plain.run();
+
+        let (mut traced, _) = build_sim(&spec, &cfg);
+        traced.set_tracing(1 << 20);
+        let traced_outcome = traced.run();
+
+        assert_eq!(plain_outcome, traced_outcome);
+        assert_eq!(plain.now(), traced.now());
+        assert_eq!(plain.events_processed(), traced.events_processed());
+        let a = format!("{}", plain.report());
+        let b = format!("{}", traced.report());
+        assert_eq!(a, b, "tracing changed the report under {global:?}");
+        assert!(!traced.tracer().is_empty(), "traced run recorded nothing");
+    }
+}
+
+/// A real workload's Chrome trace export is valid JSON with balanced
+/// begin/end pairs, and the bridge spans appear in it.
+#[test]
+fn real_workload_trace_json_is_valid_and_has_bridge_spans() {
+    let spec = WorkloadSpec::by_name("histogram").unwrap();
+    let (mut sim, _) = build_sim(&spec, &quick_cfg(GlobalProtocol::Cxl));
+    sim.set_tracing(1 << 20);
+    assert_eq!(sim.run(), RunOutcome::Completed);
+
+    let json = sim.trace_json();
+    validate_json(&json).expect("trace export must be valid JSON");
+    assert!(json.contains("\"ph\":\"b\""), "no duration-begin events");
+    assert!(json.contains("\"ph\":\"e\""), "no duration-end events");
+    assert!(json.contains("\"cat\":\"bridge\""), "no bridge spans");
+    assert!(json.contains("\"cat\":\"l1\""), "no l1 spans");
+    // Balance check: every begin has a matching end per (cat, id).
+    let begins = json.matches("\"ph\":\"b\"").count();
+    let ends = json.matches("\"ph\":\"e\"").count();
+    assert_eq!(begins, ends, "unbalanced async events");
+
+    let text = sim.trace_text();
+    assert!(text.contains("begin"));
+    assert!(text.contains("[bridge]"));
+}
+
+/// A run truncated by the event limit yields a post-mortem naming at
+/// least one in-flight transaction and the component it waits on.
+#[test]
+fn event_limited_run_produces_post_mortem_with_wait_chain() {
+    let spec = WorkloadSpec::by_name("histogram").unwrap();
+    let (mut sim, _) = build_sim(&spec, &quick_cfg(GlobalProtocol::Cxl));
+    // Cut the run off mid-flight: plenty of MSHRs and fetches open.
+    sim.set_event_limit(600);
+    let outcome = sim.run();
+    assert_eq!(outcome, RunOutcome::EventLimit);
+
+    let pm = sim.post_mortem(outcome);
+    assert!(
+        !pm.txns.is_empty(),
+        "mid-run truncation must leave in-flight transactions"
+    );
+    let oldest = pm.oldest().expect("at least one transaction");
+    assert!(oldest.since.is_some(), "oldest txn should be age-stamped");
+    let dump = pm.to_string();
+    assert!(dump.contains("post-mortem"));
+    assert!(dump.contains("oldest blocked"), "dump: {dump}");
+    // Somebody in the chain names the component it waits on.
+    assert!(
+        pm.txns.iter().any(|t| t.waiting_on.is_some()),
+        "no transaction names its holder:\n{dump}"
+    );
+    let chain = pm.wait_chain(oldest);
+    assert!(!chain.is_empty());
+}
+
+/// Ring truncation: a tiny capacity still exports balanced, valid JSON
+/// and reports the number of dropped records.
+#[test]
+fn tiny_ring_capacity_still_exports_valid_trace() {
+    let spec = WorkloadSpec::by_name("vips").unwrap();
+    let (mut sim, _) = build_sim(&spec, &quick_cfg(GlobalProtocol::Cxl));
+    sim.set_tracing(64);
+    assert_eq!(sim.run(), RunOutcome::Completed);
+    assert!(sim.tracer().dropped() > 0, "expected ring overflow");
+    assert!(sim.tracer().len() <= 64);
+    let json = sim.trace_json();
+    validate_json(&json).expect("truncated trace must still be valid");
+    let begins = json.matches("\"ph\":\"b\"").count();
+    let ends = json.matches("\"ph\":\"e\"").count();
+    assert_eq!(begins, ends, "truncation broke begin/end balance");
+}

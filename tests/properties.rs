@@ -1,9 +1,13 @@
-//! Property-based tests (proptest) on core invariants.
+//! Randomized property tests on core invariants.
 //!
 //! The headline property: for *randomly generated* concurrent programs,
 //! every outcome the full timing simulator produces must lie within the
 //! allowed set of the operational compound-MCM reference model — a
 //! randomized, machine-checked version of the paper's litmus methodology.
+//!
+//! Cases are generated with the repo's own deterministic
+//! [`c3_sim::rng::SimRng`] (no external dependency), so every failure is
+//! reproducible from the case index printed in the assertion message.
 
 use c3::system::{ClusterSpec, GlobalProtocol, SystemBuilder};
 use c3_mcm::core_model::{CoreConfig, TimingCore};
@@ -14,21 +18,27 @@ use c3_protocol::mcm::Mcm;
 use c3_protocol::ops::{AccessOrder, Addr, Instr, Reg, ThreadProgram};
 use c3_protocol::states::ProtocolFamily;
 use c3_sim::kernel::RunOutcome;
+use c3_sim::rng::SimRng;
 use c3_sim::time::Delay;
-use proptest::prelude::*;
 
-/// Strategy: a small random instruction over 2 addresses / 3 values.
-fn arb_instr(reg_counter: std::rc::Rc<std::cell::Cell<u8>>) -> impl Strategy<Value = Instr> {
-    let addrs = prop_oneof![Just(Addr(0x40)), Just(Addr(0x41))];
-    let orders = prop_oneof![
-        Just(AccessOrder::Relaxed),
-        Just(AccessOrder::Acquire),
-        Just(AccessOrder::Release),
-    ];
-    (addrs, 1u64..4, orders, 0u8..4).prop_map(move |(addr, val, order, kind)| match kind {
+/// A small random instruction over 2 addresses / 3 values, mirroring the
+/// distribution the litmus enumeration exercises.
+fn gen_instr(rng: &mut SimRng, reg_counter: &mut u8) -> Instr {
+    let addr = if rng.below(2) == 0 {
+        Addr(0x40)
+    } else {
+        Addr(0x41)
+    };
+    let val = rng.range(1, 3);
+    let order = match rng.below(3) {
+        0 => AccessOrder::Relaxed,
+        1 => AccessOrder::Acquire,
+        _ => AccessOrder::Release,
+    };
+    match rng.below(4) {
         0 | 1 => {
-            let r = reg_counter.get();
-            reg_counter.set((r + 1) % 8);
+            let r = *reg_counter;
+            *reg_counter = (r + 1) % 8;
             Instr::Load {
                 addr,
                 reg: Reg(r),
@@ -49,8 +59,8 @@ fn arb_instr(reg_counter: std::rc::Rc<std::cell::Cell<u8>>) -> impl Strategy<Val
             },
         },
         _ => {
-            let r = reg_counter.get();
-            reg_counter.set((r + 1) % 8);
+            let r = *reg_counter;
+            *reg_counter = (r + 1) % 8;
             Instr::Rmw {
                 addr,
                 add: val,
@@ -58,13 +68,23 @@ fn arb_instr(reg_counter: std::rc::Rc<std::cell::Cell<u8>>) -> impl Strategy<Val
                 order: AccessOrder::SeqCst,
             }
         }
-    })
+    }
 }
 
-fn arb_program(max_len: usize) -> impl Strategy<Value = ThreadProgram> {
-    let counter = std::rc::Rc::new(std::cell::Cell::new(0u8));
-    prop::collection::vec(arb_instr(counter), 1..=max_len)
-        .prop_map(|instrs| ThreadProgram { instrs })
+fn gen_program(rng: &mut SimRng, reg_counter: &mut u8, max_len: u64) -> ThreadProgram {
+    let len = rng.range(1, max_len);
+    let instrs = (0..len).map(|_| gen_instr(rng, reg_counter)).collect();
+    ThreadProgram { instrs }
+}
+
+/// Two-thread program pair; registers are numbered across both threads so
+/// observations are unambiguous (mirrors the shared counter the proptest
+/// strategies used).
+fn gen_program_pair(rng: &mut SimRng, max_len: u64) -> [ThreadProgram; 2] {
+    let mut reg_counter = 0u8;
+    let p0 = gen_program(rng, &mut reg_counter, max_len);
+    let p1 = gen_program(rng, &mut reg_counter, max_len);
+    [p0, p1]
 }
 
 fn observation_of(programs: &[ThreadProgram]) -> Observation {
@@ -74,7 +94,10 @@ fn observation_of(programs: &[ThreadProgram]) -> Observation {
             regs.push((ti, r));
         }
     }
-    Observation { regs, mem: vec![Addr(0x40), Addr(0x41)] }
+    Observation {
+        regs,
+        mem: vec![Addr(0x40), Addr(0x41)],
+    }
 }
 
 fn run_once(
@@ -94,8 +117,7 @@ fn run_once(
         .build(move |ci, _k, l1| {
             let mcm = if ci == 0 { mcms.0 } else { mcms.1 };
             let family = if ci == 0 { protos.0 } else { protos.1 };
-            let mut cfg = CoreConfig::new(mcm, family)
-                .with_start_delay(Delay::from_ns(seed % 37));
+            let mut cfg = CoreConfig::new(mcm, family).with_start_delay(Delay::from_ns(seed % 37));
             cfg.issue_jitter = 12;
             Box::new(TimingCore::new(
                 format!("t{ci}"),
@@ -106,7 +128,12 @@ fn run_once(
             ))
         });
     sim.set_event_limit(5_000_000);
-    assert_eq!(sim.run(), RunOutcome::Completed, "{:?}", sim.pending_components());
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{:?}",
+        sim.pending_components()
+    );
     let obs = observation_of(programs);
     let mut out = Vec::new();
     for (ti, reg) in &obs.regs {
@@ -121,53 +148,50 @@ fn run_once(
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Randomized litmus: the simulator's outcome for random two-thread
-    /// programs under any MCM pairing is always allowed by the compound
-    /// reference model.
-    #[test]
-    fn simulator_outcomes_within_compound_model(
-        p0 in arb_program(4),
-        p1 in arb_program(4),
-        mcm_sel in 0u8..3,
-        seed in 0u64..6,
-    ) {
-        let mcms = match mcm_sel {
+/// Randomized litmus: the simulator's outcome for random two-thread
+/// programs under any MCM pairing is always allowed by the compound
+/// reference model.
+#[test]
+fn simulator_outcomes_within_compound_model() {
+    let mut rng = SimRng::seed_from(0x51AB);
+    for case in 0..24u64 {
+        let programs = gen_program_pair(&mut rng, 4);
+        let mcms = match rng.below(3) {
             0 => (Mcm::Weak, Mcm::Weak),
             1 => (Mcm::Tso, Mcm::Weak),
             _ => (Mcm::Tso, Mcm::Tso),
         };
-        let programs = [p0, p1];
+        let seed = rng.below(6);
         let obs = observation_of(&programs);
-        let allowed = allowed_outcomes(
-            &programs,
-            &[mcms.0, mcms.1],
-            &obs,
-        );
+        let allowed = allowed_outcomes(&programs, &[mcms.0, mcms.1], &obs);
         let outcome = run_once(
             &programs,
             mcms,
             (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
             0xABC0 + seed,
         );
-        prop_assert!(
+        assert!(
             allowed.contains(&outcome),
-            "outcome {outcome:?} not in allowed set {allowed:?} for {programs:?} under {mcms:?}"
+            "case {case}: outcome {outcome:?} not in allowed set {allowed:?} \
+             for {programs:?} under {mcms:?}"
         );
     }
+}
 
-    /// The cache array behaves like a bounded map: any sequence of
-    /// inserts/removes/gets agrees with a HashMap model for resident keys,
-    /// and never exceeds capacity.
-    #[test]
-    fn cache_array_matches_model(ops in prop::collection::vec((0u64..64, 0u8..3, 0u32..1000), 1..200)) {
+/// The cache array behaves like a bounded map: any sequence of
+/// inserts/removes/gets agrees with a HashMap model for resident keys,
+/// and never exceeds capacity.
+#[test]
+fn cache_array_matches_model() {
+    let mut rng = SimRng::seed_from(0xCAC4E);
+    for case in 0..40u64 {
         let mut cache: CacheArray<u32> = CacheArray::new(4, 2);
         let mut model: std::collections::HashMap<Addr, u32> = Default::default();
-        for (a, op, val) in ops {
-            let addr = Addr(a);
-            match op {
+        let ops = rng.range(1, 200);
+        for _ in 0..ops {
+            let addr = Addr(rng.below(64));
+            let val = rng.below(1000) as u32;
+            match rng.below(3) {
                 0 => {
                     if let Some((evicted, _)) = cache.insert(addr, val) {
                         model.remove(&evicted);
@@ -180,108 +204,126 @@ proptest! {
                 }
                 _ => {
                     if let Some(v) = cache.get(addr) {
-                        prop_assert_eq!(Some(v), model.get(&addr), "stale value for {}", addr);
+                        assert_eq!(
+                            Some(v),
+                            model.get(&addr),
+                            "case {case}: stale value for {addr}"
+                        );
                     }
                 }
             }
-            prop_assert!(cache.len() <= cache.capacity());
-            prop_assert!(cache.len() <= model.len());
+            assert!(cache.len() <= cache.capacity(), "case {case}");
+            assert!(cache.len() <= model.len(), "case {case}");
         }
     }
+}
 
-    /// Workload generation is total and in-bounds for arbitrary geometry.
-    #[test]
-    fn workload_generation_is_total(
-        widx in 0usize..33,
-        threads in 1usize..9,
-        ops in 1usize..150,
-        seed in 0u64..1000,
-    ) {
+/// Workload generation is total and in-bounds for arbitrary geometry.
+#[test]
+fn workload_generation_is_total() {
+    let mut rng = SimRng::seed_from(0x3011);
+    for case in 0..60u64 {
+        let widx = rng.below(33) as usize;
+        let threads = rng.range(1, 8) as usize;
+        let ops = rng.range(1, 149) as usize;
+        let seed = rng.below(1000);
         let spec = c3_workloads::WorkloadSpec::all()[widx];
         let t = threads - 1;
         let p = spec.generate(t, threads, ops, seed);
         let layout = spec.layout(threads);
         let bound = layout.shared_lines + threads as u64 * layout.private_lines;
         let mem_ops = p.instrs.iter().filter(|i| i.addr().is_some()).count();
-        prop_assert!(mem_ops >= ops);
+        assert!(mem_ops >= ops, "case {case} ({})", spec.name);
         for i in &p.instrs {
             if let Some(a) = i.addr() {
-                prop_assert!(a.0 < bound);
+                assert!(
+                    a.0 < bound,
+                    "case {case} ({}): {a} out of bounds",
+                    spec.name
+                );
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Ordered fabric links deliver in FIFO order under arbitrary traffic;
-    /// arrival never precedes departure plus the link latency.
-    #[test]
-    fn ordered_links_are_fifo(sends in prop::collection::vec((0u64..50, 1u32..300), 1..80)) {
-        use c3_sim::fabric::{Fabric, LinkConfig};
-        use c3_sim::component::ComponentId;
-        use c3_sim::rng::SimRng;
-        use c3_sim::time::Time;
+/// Ordered fabric links deliver in FIFO order under arbitrary traffic;
+/// arrival never precedes departure plus the link latency.
+#[test]
+fn ordered_links_are_fifo() {
+    use c3_sim::component::ComponentId;
+    use c3_sim::fabric::{Fabric, LinkConfig};
+    use c3_sim::time::Time;
+    let mut rng = SimRng::seed_from(0xF1F0);
+    for case in 0..32u64 {
         let mut f = Fabric::new();
         let l = f.add_link(LinkConfig::intra_cluster());
         f.set_route(ComponentId(0), ComponentId(1), vec![l]);
-        let mut rng = SimRng::seed_from(1);
+        let mut link_rng = SimRng::seed_from(1);
         let mut now = 0u64;
         let mut prev_arrival = Time::ZERO;
-        for (gap, size) in sends {
-            now += gap;
-            let t = f.deliver(ComponentId(0), ComponentId(1), size, Time::from_ns(now), &mut rng);
-            prop_assert!(t >= prev_arrival, "FIFO violated");
-            prop_assert!(t >= Time::from_ns(now) + c3_sim::time::Delay::from_cycles(11, 2_000));
+        let sends = rng.range(1, 80);
+        for _ in 0..sends {
+            now += rng.below(50);
+            let size = rng.range(1, 299) as u32;
+            let t = f.deliver(
+                ComponentId(0),
+                ComponentId(1),
+                size,
+                Time::from_ns(now),
+                &mut link_rng,
+            );
+            assert!(t >= prev_arrival, "case {case}: FIFO violated");
+            assert!(
+                t >= Time::from_ns(now) + c3_sim::time::Delay::from_cycles(11, 2_000),
+                "case {case}: arrival precedes minimum latency"
+            );
             prev_arrival = t;
         }
     }
+}
 
-    /// The reference enumerator is monotone in synchronization: adding
-    /// sync can only shrink (or keep) the allowed outcome set.
-    #[test]
-    fn sync_never_adds_behaviours(
-        p0 in arb_program(3),
-        p1 in arb_program(3),
-    ) {
+/// The reference enumerator is monotone in synchronization: adding
+/// sync can only shrink (or keep) the allowed outcome set.
+#[test]
+fn sync_never_adds_behaviours() {
+    let mut rng = SimRng::seed_from(0x5AFE);
+    for case in 0..32u64 {
+        let [p0, p1] = gen_program_pair(&mut rng, 3);
         let obs = observation_of(&[p0.clone(), p1.clone()]);
         let mcms = [Mcm::Weak, Mcm::Weak];
         let synced = allowed_outcomes(&[p0.clone(), p1.clone()], &mcms, &obs);
-        let stripped = allowed_outcomes(
-            &[p0.without_sync(), p1.without_sync()],
-            &mcms,
-            &obs,
-        );
-        prop_assert!(
+        let stripped = allowed_outcomes(&[p0.without_sync(), p1.without_sync()], &mcms, &obs);
+        assert!(
             synced.is_subset(&stripped),
-            "sync added outcomes: {:?} vs {:?}",
+            "case {case}: sync added outcomes: {:?} vs {:?}",
             synced.difference(&stripped).collect::<Vec<_>>(),
             stripped
         );
     }
+}
 
-    /// TSO allows a subset of the weak model's behaviours.
-    #[test]
-    fn tso_is_stronger_than_weak(
-        p0 in arb_program(3),
-        p1 in arb_program(3),
-    ) {
+/// TSO allows a subset of the weak model's behaviours.
+#[test]
+fn tso_is_stronger_than_weak() {
+    let mut rng = SimRng::seed_from(0x7050);
+    for case in 0..32u64 {
+        let [p0, p1] = gen_program_pair(&mut rng, 3);
         let obs = observation_of(&[p0.clone(), p1.clone()]);
         let tso = allowed_outcomes(&[p0.clone(), p1.clone()], &[Mcm::Tso, Mcm::Tso], &obs);
         let weak = allowed_outcomes(&[p0, p1], &[Mcm::Weak, Mcm::Weak], &obs);
-        prop_assert!(tso.is_subset(&weak));
+        assert!(tso.is_subset(&weak), "case {case}");
     }
+}
 
-    /// SC allows a subset of TSO's behaviours.
-    #[test]
-    fn sc_is_stronger_than_tso(
-        p0 in arb_program(3),
-        p1 in arb_program(3),
-    ) {
+/// SC allows a subset of TSO's behaviours.
+#[test]
+fn sc_is_stronger_than_tso() {
+    let mut rng = SimRng::seed_from(0x5C70);
+    for case in 0..32u64 {
+        let [p0, p1] = gen_program_pair(&mut rng, 3);
         let obs = observation_of(&[p0.clone(), p1.clone()]);
         let sc = allowed_outcomes(&[p0.clone(), p1.clone()], &[Mcm::Sc, Mcm::Sc], &obs);
         let tso = allowed_outcomes(&[p0, p1], &[Mcm::Tso, Mcm::Tso], &obs);
-        prop_assert!(sc.is_subset(&tso));
+        assert!(sc.is_subset(&tso), "case {case}");
     }
 }
