@@ -102,11 +102,9 @@ fn main() {
     }
     let outcome = sim.run();
 
-    if matches!(outcome, RunOutcome::Deadlock | RunOutcome::EventLimit) {
-        eprintln!("{}", sim.post_mortem(outcome));
-        std::process::exit(1);
-    }
-
+    // Write the trace before anything else: a truncated run is exactly
+    // when the trace is most valuable (it shows what led up to the stall),
+    // so the file must land on disk even when we exit nonzero below.
     let path = out_path.unwrap_or_else(|| format!("trace-{name}.json"));
     std::fs::write(&path, sim.trace_json()).unwrap_or_else(|e| {
         eprintln!("cannot write {path}: {e}");
@@ -114,6 +112,15 @@ fn main() {
     });
     if text {
         print!("{}", sim.trace_text());
+    }
+
+    if matches!(
+        outcome,
+        RunOutcome::Deadlock | RunOutcome::EventLimit | RunOutcome::TimeLimit
+    ) {
+        eprintln!("{}", sim.post_mortem(outcome));
+        eprintln!("partial trace written to {path}");
+        std::process::exit(1);
     }
 
     let tracer = sim.tracer();

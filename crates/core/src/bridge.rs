@@ -37,12 +37,15 @@ use c3_protocol::ops::Addr;
 use c3_protocol::states::{ProtocolFamily, StableState};
 use c3_sim::component::{Component, ComponentId, Ctx};
 use c3_sim::stats::{LatencyHistogram, Report};
-use c3_sim::time::Time;
+use c3_sim::time::{Delay, Time};
 use c3_sim::trace::{InflightTxn, TxnId};
 
 use crate::generator::{
     baseline_fsm, bridge_fsm, CompoundFsm, HostClass, Incoming, SnoopResponse, XAccess,
 };
+
+/// Wake token for the resilience timer scan (see [`ResilienceConfig`]).
+const TIMER_TOKEN: u64 = 1;
 
 /// What the bridge's global side speaks.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -94,6 +97,47 @@ pub struct BridgeConfig {
     /// directory plus peer bridges); used to classify incoming host-domain
     /// messages in passive mode.
     pub global_peers: Vec<ComponentId>,
+    /// Timeout/retry policy for global-side transactions. `None` (the
+    /// default wiring) keeps the bridge's historical fail-stop behaviour:
+    /// no timers are armed and unexpected completions panic. Only
+    /// meaningful in CXL mode — the intra-cluster and passive host paths
+    /// are modelled as reliable.
+    pub resilience: Option<ResilienceConfig>,
+}
+
+/// Timeout/retry/backoff policy for the bridge's global-side transactions
+/// (and, symmetrically, the DCOH's blocking snoops).
+///
+/// A transaction that sees no completion within `timeout` is re-issued
+/// under a fresh transaction id (Rule II: the retry is a new nested
+/// attempt, never a mutation of the old one), with the deadline doubling
+/// on each attempt (bounded exponential backoff). After `max_retries`
+/// re-issues the transaction is *abandoned*: it completes locally with an
+/// error status — poisoned data for fetches — rather than wedging the
+/// cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceConfig {
+    /// Deadline for the first attempt; doubles per retry.
+    pub timeout: Delay,
+    /// Re-issues after the original send (0 = timeout straight to abandon).
+    pub max_retries: u32,
+}
+
+impl ResilienceConfig {
+    /// A policy sized for the simulated fabric: first deadline `timeout_ns`
+    /// nanoseconds, then 2×, 4×, ... for `max_retries` attempts.
+    pub fn new(timeout_ns: u64, max_retries: u32) -> Self {
+        ResilienceConfig {
+            timeout: Delay::from_ns(timeout_ns),
+            max_retries,
+        }
+    }
+
+    /// Deadline for attempt `attempts` (0-based), with the backoff shift
+    /// capped so the doubling can never overflow.
+    pub fn deadline_after(&self, now: Time, attempts: u32) -> Time {
+        now + self.timeout.times(1u64 << attempts.min(16))
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -111,6 +155,14 @@ struct PendingFetch {
     grant: StableState,
     txn: TxnId,
     started: Time,
+    /// The fill carried a CXL poison mark (or the fetch was abandoned).
+    poisoned: bool,
+    /// Resilience: re-issues so far; deadline of the current attempt
+    /// (`None` when no policy is configured).
+    attempts: u32,
+    deadline: Option<Time>,
+    /// Open retry span (ended by the next retry or the completion).
+    retry_txn: Option<TxnId>,
 }
 
 #[derive(Debug)]
@@ -136,6 +188,10 @@ struct PendingWb {
     /// A snoop span shares this txn and closes once the nested writeback
     /// completes (the Rule-II nesting made visible in traces).
     closes_snoop: bool,
+    /// Resilience (CXL mode): the exact message to re-issue on timeout.
+    resend: Option<CxlMsg>,
+    attempts: u32,
+    deadline: Option<Time>,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -152,6 +208,9 @@ struct StashedSnoop {
     kind: Incoming,
     phase: StashPhase,
     started: Time,
+    /// Resilience: BIConflict re-sends so far / current deadline.
+    attempts: u32,
+    deadline: Option<Time>,
 }
 
 /// An active delegated snoop: global snoop nested into the host domain.
@@ -188,6 +247,11 @@ pub struct C3Bridge {
     evict_txns: HashMap<Addr, (TxnId, Time)>,
     /// Open passive-snoop spans (txn + start time) for stashed snoops.
     passive_snoop_txns: HashMap<Addr, (TxnId, Time)>,
+    /// Lines whose cluster-level copy carries a CXL poison mark; local
+    /// fills of these lines are delivered with `Data { poisoned: true }`.
+    /// Cleared when dirty (freshly stored) data overwrites the line and on
+    /// eviction — the next device fill is clean.
+    poisoned_lines: HashSet<Addr>,
     // statistics
     fetch_lat: LatencyHistogram,
     wb_lat: LatencyHistogram,
@@ -199,6 +263,10 @@ pub struct C3Bridge {
     snoops_received: u64,
     evictions: u64,
     recalls_delegated: u64,
+    retries: u64,
+    abandoned: u64,
+    dup_suppressed: u64,
+    poisoned_fills: u64,
 }
 
 impl C3Bridge {
@@ -226,6 +294,7 @@ impl C3Bridge {
             deferred_fetches: HashMap::new(),
             evict_txns: HashMap::new(),
             passive_snoop_txns: HashMap::new(),
+            poisoned_lines: HashSet::new(),
             fetch_lat: LatencyHistogram::default(),
             wb_lat: LatencyHistogram::default(),
             recall_lat: LatencyHistogram::default(),
@@ -236,6 +305,10 @@ impl C3Bridge {
             snoops_received: 0,
             evictions: 0,
             recalls_delegated: 0,
+            retries: 0,
+            abandoned: 0,
+            dup_suppressed: 0,
+            poisoned_fills: 0,
         }
     }
 
@@ -273,6 +346,25 @@ impl C3Bridge {
     /// Cluster-level data value (post-run inspection).
     pub fn data(&self, addr: Addr) -> u64 {
         self.engine.as_ref().map(|e| e.data(addr)).unwrap_or(0)
+    }
+
+    /// Lines whose cluster-level copy carries a poison mark, sorted
+    /// (post-run inspection).
+    pub fn poisoned_lines(&self) -> Vec<Addr> {
+        let mut v: Vec<Addr> = self.poisoned_lines.iter().copied().collect();
+        v.sort_by_key(|a| a.0);
+        v
+    }
+
+    /// Global-side re-issues performed so far (post-run inspection).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Transactions that exhausted their retry budget and completed with
+    /// an error status (post-run inspection).
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
     }
 
     fn engine_mut(&mut self) -> &mut DirEngine {
@@ -323,7 +415,30 @@ impl C3Bridge {
         let mut q: VecDeque<DirEffect> = first.into();
         while let Some(e) = q.pop_front() {
             match e {
-                DirEffect::Send { dst, msg } => ctx.send(dst, SysMsg::Host(msg)),
+                DirEffect::Send { dst, msg } => {
+                    // Graceful degradation: fills of a poisoned cluster
+                    // line carry the poison mark down to the L1 instead of
+                    // pretending the data is good.
+                    let msg = match msg {
+                        HostMsg::Data {
+                            addr,
+                            data,
+                            grant,
+                            acks,
+                            dirty,
+                            poisoned: _,
+                        } if self.poisoned_lines.contains(&addr) => HostMsg::Data {
+                            addr,
+                            data,
+                            grant,
+                            acks,
+                            dirty,
+                            poisoned: true,
+                        },
+                        m => m,
+                    };
+                    ctx.send(dst, SysMsg::Host(msg));
+                }
                 DirEffect::BackendRead { addr } => {
                     let more = self.start_fetch(addr, false, ctx);
                     q.extend(more);
@@ -332,10 +447,17 @@ impl C3Bridge {
                     let more = self.start_fetch(addr, true, ctx);
                     q.extend(more);
                 }
-                DirEffect::DataUpdated { addr, .. } => {
+                DirEffect::DataUpdated { addr, poisoned, .. } => {
                     // Dirty data arrived at the cluster level: global E
                     // silently becomes M (mirrors the host's silent
-                    // upgrade at the global level).
+                    // upgrade at the global level). A clean store heals
+                    // any poison mark; a poisoned writeback keeps the
+                    // mark travelling with the junk data.
+                    if poisoned {
+                        self.poisoned_lines.insert(addr);
+                    } else {
+                        self.poisoned_lines.remove(&addr);
+                    }
                     if let Some(l) = self.cxl.get_mut(addr) {
                         if l.state == StableState::E {
                             l.state = StableState::M;
@@ -431,6 +553,10 @@ impl C3Bridge {
                 grant: StableState::I,
                 txn,
                 started: ctx.now,
+                poisoned: false,
+                attempts: 0,
+                deadline: self.arm_timer(ctx, 0),
+                retry_txn: None,
             },
         );
         if exclusive {
@@ -460,6 +586,20 @@ impl C3Bridge {
         Vec::new()
     }
 
+    /// Arm the deadline for a fresh global-side transaction attempt and
+    /// schedule the wakeup that will check it. A no-op (`None`) without a
+    /// resilience policy or outside CXL mode — the passive host path is
+    /// modelled as reliable.
+    fn arm_timer(&self, ctx: &mut Ctx<'_, SysMsg>, attempts: u32) -> Option<Time> {
+        if !matches!(self.cfg.global, GlobalSide::Cxl { .. }) {
+            return None;
+        }
+        let r = self.cfg.resilience.as_ref()?;
+        let deadline = r.deadline_after(ctx.now, attempts);
+        ctx.wake_after(deadline.since(ctx.now), TIMER_TOKEN);
+        Some(deadline)
+    }
+
     /// Complete a fetch: install the line, resume the suspended engine
     /// transaction, and deal with a stashed conflict snoop.
     fn complete_fetch(&mut self, addr: Addr, ctx: &mut Ctx<'_, SysMsg>) {
@@ -467,6 +607,16 @@ impl C3Bridge {
         debug_assert!(f.data_received && f.acks <= 0);
         let state = f.grant;
         self.fetch_lat.record(ctx.now.since(f.started));
+        if f.poisoned {
+            self.poisoned_fills += 1;
+            self.poisoned_lines.insert(addr);
+        } else {
+            // A clean refill replaces whatever poisoned copy we held.
+            self.poisoned_lines.remove(&addr);
+        }
+        if let Some(rt) = f.retry_txn {
+            ctx.trace_end(rt);
+        }
         ctx.trace_end(f.txn);
         if ctx.tracing() {
             ctx.trace_state(Some(addr.0), &self.cxl_state(addr), &state);
@@ -549,10 +699,16 @@ impl C3Bridge {
             GlobalSide::Cxl { .. } => {
                 let dir = self.cfg.global.dir_for(victim);
                 if dirty {
-                    ctx.send(dir, SysMsg::Cxl(CxlMsg::MemWrI { addr: victim, data }));
+                    let msg = CxlMsg::MemWrI {
+                        addr: victim,
+                        data,
+                        poisoned: self.poisoned_lines.contains(&victim),
+                    };
+                    ctx.send(dir, SysMsg::Cxl(msg));
                     if ctx.tracing() {
                         ctx.trace_begin(wb_txn, "bridge", format!("wb {victim}"));
                     }
+                    let deadline = self.arm_timer(ctx, 0);
                     self.writebacks.insert(
                         victim,
                         PendingWb {
@@ -563,6 +719,9 @@ impl C3Bridge {
                             txn: wb_txn,
                             started: ctx.now,
                             closes_snoop: false,
+                            resend: Some(msg),
+                            attempts: 0,
+                            deadline,
                         },
                     );
                 } else {
@@ -576,7 +735,11 @@ impl C3Bridge {
                 // The hierarchical directory is precise: every eviction is
                 // announced and acknowledged.
                 let msg = match (dirty, state) {
-                    (true, _) => HostMsg::PutM { addr: victim, data },
+                    (true, _) => HostMsg::PutM {
+                        addr: victim,
+                        data,
+                        poisoned: self.poisoned_lines.contains(&victim),
+                    },
                     (false, StableState::E) => HostMsg::PutE { addr: victim },
                     (false, _) => HostMsg::PutS { addr: victim },
                 };
@@ -594,6 +757,9 @@ impl C3Bridge {
                         txn: wb_txn,
                         started: ctx.now,
                         closes_snoop: false,
+                        resend: None,
+                        attempts: 0,
+                        deadline: None,
                     },
                 );
             }
@@ -605,6 +771,9 @@ impl C3Bridge {
             ctx.trace_state(Some(victim.0), &self.cxl_state(victim), &StableState::I);
         }
         self.cxl.remove(victim);
+        // The line leaves the cluster; a future refill comes from the
+        // device's (unpoisoned) copy.
+        self.poisoned_lines.remove(&victim);
         if let Some((txn, started)) = self.evict_txns.remove(&victim) {
             self.evict_lat.record(ctx.now.since(started));
             ctx.trace_end(txn);
@@ -620,6 +789,48 @@ impl C3Bridge {
                 self.pump(more, ctx);
             }
         }
+    }
+
+    /// Complete a global writeback — on its `Cmp`, or locally when retry
+    /// exhaustion abandons it: record latency, close the trace spans, and
+    /// perform the after-action (finish the eviction or send the deferred
+    /// snoop response).
+    fn finish_writeback(&mut self, addr: Addr, wb: PendingWb, ctx: &mut Ctx<'_, SysMsg>) {
+        let dir = self.cfg.global.dir_for(addr);
+        self.wb_lat.record(ctx.now.since(wb.started));
+        ctx.trace_end(wb.txn);
+        if wb.closes_snoop {
+            // The snoop span that wrapped this writeback completes
+            // with it (second end pops the outer span).
+            ctx.trace_end(wb.txn);
+        }
+        match wb.after {
+            AfterWb::Eviction => {
+                self.finish_eviction(addr, ctx);
+                if let Some(kind) = wb.snoop_after {
+                    // A snoop raced our eviction: the MemWr carried
+                    // the data; complete the handshake now.
+                    let msg = match kind {
+                        Incoming::BiSnpInv => CxlMsg::BiRspI { addr },
+                        _ => CxlMsg::BiRspI { addr },
+                    };
+                    ctx.send(dir, SysMsg::Cxl(msg));
+                }
+            }
+            AfterWb::SnoopResponse { kind } => {
+                let (msg, next) = match kind {
+                    Incoming::BiSnpInv => (CxlMsg::BiRspI { addr }, StableState::I),
+                    _ => (CxlMsg::BiRspS { addr }, StableState::S),
+                };
+                ctx.send(dir, SysMsg::Cxl(msg));
+                if next == StableState::I {
+                    self.cxl.remove(addr);
+                } else if let Some(l) = self.cxl.get_mut(addr) {
+                    l.state = next;
+                }
+            }
+        }
+        self.resume_deferred(addr, ctx);
     }
 
     /// Resume a fetch that waited for this line's writeback to complete.
@@ -719,15 +930,25 @@ impl C3Bridge {
                 Some(t) => (t, true),
                 None => (ctx.next_txn(), false),
             };
+            let poisoned = self.poisoned_lines.contains(&addr);
             let msg = if matches!(response, SnoopResponse::MemWrI) {
-                CxlMsg::MemWrI { addr, data }
+                CxlMsg::MemWrI {
+                    addr,
+                    data,
+                    poisoned,
+                }
             } else {
-                CxlMsg::MemWrS { addr, data }
+                CxlMsg::MemWrS {
+                    addr,
+                    data,
+                    poisoned,
+                }
             };
             ctx.send(dir, SysMsg::Cxl(msg));
             if ctx.tracing() {
                 ctx.trace_begin(txn, "bridge", format!("wb {addr}"));
             }
+            let deadline = self.arm_timer(ctx, 0);
             self.writebacks.insert(
                 addr,
                 PendingWb {
@@ -738,6 +959,9 @@ impl C3Bridge {
                     txn,
                     started: ctx.now,
                     closes_snoop,
+                    resend: Some(msg),
+                    attempts: 0,
+                    deadline,
                 },
             );
             return;
@@ -801,55 +1025,51 @@ impl C3Bridge {
     fn handle_cxl(&mut self, msg: CxlMsg, ctx: &mut Ctx<'_, SysMsg>) {
         let addr = msg.addr();
         match msg {
-            CxlMsg::MemData { data, grant, .. } => {
-                let f = self.fetches.get_mut(&addr).expect("MemData without fetch");
+            CxlMsg::MemData {
+                data,
+                grant,
+                poisoned,
+                ..
+            } => {
+                let Some(f) = self.fetches.get_mut(&addr) else {
+                    // A duplicated fill, or the response to a retry whose
+                    // original attempt already completed the fetch: the
+                    // directory state is unchanged, so it is safe (and
+                    // required for idempotency) to ignore it.
+                    if self.cfg.resilience.is_some() {
+                        self.dup_suppressed += 1;
+                        return;
+                    }
+                    panic!("MemData without fetch");
+                };
                 f.data = data;
                 f.data_received = true;
                 f.grant = grant.state();
+                f.poisoned |= poisoned;
                 self.complete_fetch(addr, ctx);
             }
             CxlMsg::Cmp { .. } => {
-                let wb = self
-                    .writebacks
-                    .remove(&addr)
-                    .expect("Cmp without writeback");
-                let dir = self.cfg.global.dir_for(addr);
-                self.wb_lat.record(ctx.now.since(wb.started));
-                ctx.trace_end(wb.txn);
-                if wb.closes_snoop {
-                    // The snoop span that wrapped this writeback completes
-                    // with it (second end pops the outer span).
-                    ctx.trace_end(wb.txn);
-                }
-                match wb.after {
-                    AfterWb::Eviction => {
-                        self.finish_eviction(addr, ctx);
-                        if let Some(kind) = wb.snoop_after {
-                            // A snoop raced our eviction: the MemWr carried
-                            // the data; complete the handshake now.
-                            let msg = match kind {
-                                Incoming::BiSnpInv => CxlMsg::BiRspI { addr },
-                                _ => CxlMsg::BiRspI { addr },
-                            };
-                            ctx.send(dir, SysMsg::Cxl(msg));
-                        }
+                let Some(wb) = self.writebacks.remove(&addr) else {
+                    // Duplicate completion (replayed Cmp, or the ack of a
+                    // retried MemWr that already completed).
+                    if self.cfg.resilience.is_some() {
+                        self.dup_suppressed += 1;
+                        return;
                     }
-                    AfterWb::SnoopResponse { kind } => {
-                        let (msg, next) = match kind {
-                            Incoming::BiSnpInv => (CxlMsg::BiRspI { addr }, StableState::I),
-                            _ => (CxlMsg::BiRspS { addr }, StableState::S),
-                        };
-                        ctx.send(dir, SysMsg::Cxl(msg));
-                        if next == StableState::I {
-                            self.cxl.remove(addr);
-                        } else if let Some(l) = self.cxl.get_mut(addr) {
-                            l.state = next;
-                        }
-                    }
-                }
-                self.resume_deferred(addr, ctx);
+                    panic!("Cmp without writeback");
+                };
+                self.finish_writeback(addr, wb, ctx);
             }
             CxlMsg::BiSnpInv { .. } | CxlMsg::BiSnpData { .. } => {
+                if self.cfg.resilience.is_some()
+                    && (self.snoops.contains_key(&addr) || self.stash.contains_key(&addr))
+                {
+                    // A re-issued (or duplicated) snoop for a line whose
+                    // handshake is still in flight; the original will
+                    // answer it.
+                    self.dup_suppressed += 1;
+                    return;
+                }
                 self.snoops_received += 1;
                 let kind = if matches!(msg, CxlMsg::BiSnpInv { .. }) {
                     Incoming::BiSnpInv
@@ -861,12 +1081,15 @@ impl C3Bridge {
                     // ask the directory which came first.
                     let dir = self.cfg.global.dir_for(addr);
                     self.conflicts_sent += 1;
+                    let deadline = self.arm_timer(ctx, 0);
                     self.stash.insert(
                         addr,
                         StashedSnoop {
                             kind,
                             phase: StashPhase::AwaitingAck,
                             started: ctx.now,
+                            attempts: 0,
+                            deadline,
                         },
                     );
                     ctx.send(dir, SysMsg::Cxl(CxlMsg::BiConflict { addr }));
@@ -885,12 +1108,27 @@ impl C3Bridge {
                 request_was_serialized,
                 ..
             } => {
-                let s = self.stash.get_mut(&addr).expect("ack without conflict");
+                let Some(s) = self.stash.get_mut(&addr) else {
+                    // Duplicate ack (replay, or the answer to a retried
+                    // BIConflict whose first ack already resolved it).
+                    if self.cfg.resilience.is_some() {
+                        self.dup_suppressed += 1;
+                        return;
+                    }
+                    panic!("ack without conflict");
+                };
+                if self.cfg.resilience.is_some() && s.phase != StashPhase::AwaitingAck {
+                    self.dup_suppressed += 1;
+                    return;
+                }
                 debug_assert_eq!(s.phase, StashPhase::AwaitingAck);
                 if request_was_serialized {
                     if self.fetches.contains_key(&addr) {
                         // Fig. 2 middle: wait for our completion first.
                         s.phase = StashPhase::AwaitingFill;
+                        // The handshake is resolved; the fill has its own
+                        // timer.
+                        s.deadline = None;
                     } else {
                         // Fill already arrived and completed.
                         let s = self.stash.remove(&addr).expect("checked");
@@ -980,9 +1218,11 @@ impl C3Bridge {
                         grant: Grant::M,
                         acks,
                         dirty,
+                        poisoned: self.poisoned_lines.contains(&addr),
                     }),
                 );
                 self.cxl.remove(addr);
+                self.poisoned_lines.remove(&addr);
             }
             HostMsg::FwdGetS {
                 requestor, grant, ..
@@ -995,10 +1235,19 @@ impl C3Bridge {
                         grant,
                         acks: 0,
                         dirty,
+                        poisoned: self.poisoned_lines.contains(&addr),
                     }),
                 );
                 if dirty {
-                    ctx.send(dir, SysMsg::Host(HostMsg::DataToDir { addr, data, dirty }));
+                    ctx.send(
+                        dir,
+                        SysMsg::Host(HostMsg::DataToDir {
+                            addr,
+                            data,
+                            dirty,
+                            poisoned: self.poisoned_lines.contains(&addr),
+                        }),
+                    );
                 }
                 if let Some(l) = self.cxl.get_mut(addr) {
                     l.state = StableState::S;
@@ -1025,12 +1274,17 @@ impl C3Bridge {
         let addr = msg.addr();
         match msg {
             HostMsg::Data {
-                data, grant, acks, ..
+                data,
+                grant,
+                acks,
+                poisoned,
+                ..
             } => {
                 let f = self.fetches.get_mut(&addr).expect("Data without fetch");
                 f.data = data;
                 f.data_received = true;
                 f.grant = grant.state();
+                f.poisoned |= poisoned;
                 f.acks += acks as i32;
                 if f.acks <= 0 {
                     self.complete_fetch(addr, ctx);
@@ -1110,6 +1364,158 @@ impl C3Bridge {
         }
     }
 
+    // ---- resilience timers ----
+
+    /// Check every armed deadline against the current time; re-issue the
+    /// global message for expired attempts (fresh transaction, doubled
+    /// deadline — Rule II treats the retry as a new nested attempt) and
+    /// abandon transactions that exhausted their retry budget so the
+    /// cluster degrades instead of wedging.
+    fn scan_timers(&mut self, ctx: &mut Ctx<'_, SysMsg>) {
+        let Some(r) = self.cfg.resilience else {
+            return;
+        };
+        let now = ctx.now;
+
+        // Expired global fetches. (Addresses are sorted: HashMap iteration
+        // order is not deterministic across runs.)
+        let mut expired: Vec<Addr> = self
+            .fetches
+            .iter()
+            .filter(|(_, f)| f.deadline.is_some_and(|d| d <= now))
+            .map(|(a, _)| *a)
+            .collect();
+        expired.sort_by_key(|a| a.0);
+        for addr in expired {
+            let f = self.fetches.get_mut(&addr).expect("collected above");
+            let retry_txn = f.retry_txn.take();
+            let abandon = f.attempts >= r.max_retries;
+            if abandon {
+                // Complete with poisoned data: the requester observes an
+                // error value instead of the whole cluster deadlocking.
+                f.deadline = None;
+                f.data_received = true;
+                f.acks = 0;
+                f.poisoned = true;
+                f.grant = if f.exclusive {
+                    // E (not M): writable, but clean — the poisoned
+                    // placeholder must never be written back to the device.
+                    StableState::E
+                } else {
+                    StableState::S
+                };
+            } else {
+                f.attempts += 1;
+                f.deadline = Some(r.deadline_after(now, f.attempts));
+            }
+            let exclusive = f.exclusive;
+            let attempts = f.attempts;
+            if let Some(rt) = retry_txn {
+                ctx.trace_end(rt);
+            }
+            if abandon {
+                self.abandoned += 1;
+                if ctx.tracing() {
+                    ctx.trace_instant("fault", format!("abandon fetch {addr}"));
+                }
+                self.complete_fetch(addr, ctx);
+            } else {
+                self.retries += 1;
+                let txn = ctx.next_txn();
+                self.fetches
+                    .get_mut(&addr)
+                    .expect("still pending")
+                    .retry_txn = Some(txn);
+                if ctx.tracing() {
+                    ctx.trace_begin(txn, "bridge", format!("retry#{attempts} fetch {addr}"));
+                }
+                ctx.wake_after(r.deadline_after(now, attempts).since(now), TIMER_TOKEN);
+                let dir = self.cfg.global.dir_for(addr);
+                let msg = if exclusive {
+                    CxlMsg::MemRdA { addr }
+                } else {
+                    CxlMsg::MemRdS { addr }
+                };
+                ctx.send(dir, SysMsg::Cxl(msg));
+            }
+        }
+
+        // Expired global writebacks.
+        let mut expired: Vec<Addr> = self
+            .writebacks
+            .iter()
+            .filter(|(_, w)| w.deadline.is_some_and(|d| d <= now))
+            .map(|(a, _)| *a)
+            .collect();
+        expired.sort_by_key(|a| a.0);
+        for addr in expired {
+            let w = self.writebacks.get_mut(&addr).expect("collected above");
+            if w.attempts >= r.max_retries {
+                // Abandon: complete locally. The device copy may now be
+                // stale — the abandonment is counted and traced.
+                let wb = self.writebacks.remove(&addr).expect("present");
+                self.abandoned += 1;
+                if ctx.tracing() {
+                    ctx.trace_instant("fault", format!("abandon wb {addr}"));
+                }
+                self.finish_writeback(addr, wb, ctx);
+            } else {
+                w.attempts += 1;
+                w.deadline = Some(r.deadline_after(now, w.attempts));
+                let attempts = w.attempts;
+                let msg = w.resend.expect("CXL writebacks store their message");
+                self.retries += 1;
+                if ctx.tracing() {
+                    ctx.trace_instant("fault", format!("retry#{attempts} wb {addr}"));
+                }
+                ctx.wake_after(r.deadline_after(now, attempts).since(now), TIMER_TOKEN);
+                ctx.send(self.cfg.global.dir_for(addr), SysMsg::Cxl(msg));
+            }
+        }
+
+        // Expired BIConflict handshakes (only the AwaitingAck phase waits
+        // on the wire; AwaitingFill rides the fetch's own timer).
+        let mut expired: Vec<Addr> = self
+            .stash
+            .iter()
+            .filter(|(_, s)| {
+                s.phase == StashPhase::AwaitingAck && s.deadline.is_some_and(|d| d <= now)
+            })
+            .map(|(a, _)| *a)
+            .collect();
+        expired.sort_by_key(|a| a.0);
+        for addr in expired {
+            let s = self.stash.get_mut(&addr).expect("collected above");
+            if s.attempts >= r.max_retries {
+                // Concede the race: answer the snoop as the conflict
+                // loser; our own request stays pending under its timer.
+                let s = self.stash.remove(&addr).expect("present");
+                self.abandoned += 1;
+                if ctx.tracing() {
+                    ctx.trace_instant("fault", format!("abandon conflict {addr}"));
+                }
+                self.respond_snoop_conflict_loser(addr, s.kind, ctx);
+                if let Some(l) = self.cxl.get_mut(addr) {
+                    l.state = StableState::I;
+                }
+                self.resume_deferred(addr, ctx);
+            } else {
+                s.attempts += 1;
+                s.deadline = Some(r.deadline_after(now, s.attempts));
+                let attempts = s.attempts;
+                self.retries += 1;
+                if ctx.tracing() {
+                    ctx.trace_instant("fault", format!("retry#{attempts} conflict {addr}"));
+                }
+                ctx.wake_after(r.deadline_after(now, attempts).since(now), TIMER_TOKEN);
+                ctx.send(
+                    self.cfg.global.dir_for(addr),
+                    SysMsg::Cxl(CxlMsg::BiConflict { addr }),
+                );
+            }
+        }
+    }
+
     /// Handle a message from the local cluster (an L1).
     fn handle_local_host(&mut self, msg: HostMsg, src: ComponentId, ctx: &mut Ctx<'_, SysMsg>) {
         let addr = msg.addr();
@@ -1152,6 +1558,12 @@ impl Component<SysMsg> for C3Bridge {
         }
     }
 
+    fn on_wake(&mut self, token: u64, ctx: &mut Ctx<'_, SysMsg>) {
+        if token == TIMER_TOKEN {
+            self.scan_timers(ctx);
+        }
+    }
+
     fn done(&self) -> bool {
         self.fetches.is_empty()
             && self.writebacks.is_empty()
@@ -1175,6 +1587,16 @@ impl Component<SysMsg> for C3Bridge {
         if let Some(e) = &self.engine {
             out.set(format!("{n}.local_stalls"), e.stalled_requests as f64);
         }
+        // Resilience counters exist only when a policy is configured so
+        // default-wired runs stay byte-identical to the fail-stop bridge.
+        if self.cfg.resilience.is_some() {
+            out.set(format!("{n}.retries"), self.retries as f64);
+            out.set(format!("{n}.abandoned"), self.abandoned as f64);
+            out.set(format!("{n}.dup_suppressed"), self.dup_suppressed as f64);
+        }
+        if self.poisoned_fills > 0 {
+            out.set(format!("{n}.poisoned_fills"), self.poisoned_fills as f64);
+        }
         self.fetch_lat.report_into(out, &format!("{n}.fetch.lat"));
         self.wb_lat.report_into(out, &format!("{n}.wb.lat"));
         self.recall_lat.report_into(out, &format!("{n}.recall.lat"));
@@ -1194,7 +1616,14 @@ impl Component<SysMsg> for C3Bridge {
                 kind: format!("global fetch{}", if f.exclusive { "X" } else { "S" }),
                 since: Some(f.started),
                 waiting_on: Some(self.cfg.global.dir_for(*a)),
-                detail: format!("data_received={}, acks={}", f.data_received, f.acks),
+                detail: if f.attempts > 0 {
+                    format!(
+                        "data_received={}, acks={}, retries={}",
+                        f.data_received, f.acks, f.attempts
+                    )
+                } else {
+                    format!("data_received={}, acks={}", f.data_received, f.acks)
+                },
             });
         }
         for (a, w) in sorted(&self.writebacks) {

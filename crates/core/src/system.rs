@@ -21,7 +21,7 @@
 //! reorders device-to-host messages, which is why CXL needs the
 //! `BIConflict` handshake (§III-A).
 
-use c3_cxl::directory::CxlDirectory;
+use c3_cxl::directory::{CxlDirectory, SnoopRetryPolicy};
 use c3_memsys::global_dir::GlobalMesiDir;
 use c3_memsys::l1::{L1Config, L1Controller};
 use c3_memsys::seqcore::SeqCore;
@@ -34,7 +34,7 @@ use c3_sim::fabric::LinkConfig;
 use c3_sim::kernel::Simulator;
 use c3_sim::time::Delay;
 
-use crate::bridge::{BridgeConfig, C3Bridge, GlobalSide};
+use crate::bridge::{BridgeConfig, C3Bridge, GlobalSide, ResilienceConfig};
 
 /// The protocol joining the clusters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -110,6 +110,7 @@ pub struct SystemBuilder {
     ordered_s2m: bool,
     cxl_devices: usize,
     link_latency: Delay,
+    resilience: Option<ResilienceConfig>,
 }
 
 /// Component ids of an assembled system.
@@ -129,6 +130,10 @@ pub struct SystemHandles {
     pub global: GlobalProtocol,
     /// Cluster protocols.
     pub protocols: Vec<ProtocolFamily>,
+    /// The fabric link ids making up the cross-cluster (CXL or
+    /// hierarchical) star — the range to target with a
+    /// [`c3_sim::fault::FaultPlan`] to perturb only the global fabric.
+    pub cxl_links: std::ops::Range<u32>,
 }
 
 impl SystemBuilder {
@@ -145,7 +150,17 @@ impl SystemBuilder {
             ordered_s2m: false,
             cxl_devices: 1,
             link_latency: Delay::from_ns(70),
+            resilience: None,
         }
+    }
+
+    /// Enable timeout/retry/backoff on the bridges' global transactions
+    /// and the DCOH's blocking snoops (CXL mode). Without this the system
+    /// keeps its historical fail-stop behaviour: a lost message deadlocks
+    /// and the post-mortem names the wedged transaction.
+    pub fn resilience(mut self, cfg: ResilienceConfig) -> Self {
+        self.resilience = Some(cfg);
+        self
     }
 
     /// Override the cross-cluster link latency (Table III: 70 ns).
@@ -237,8 +252,14 @@ impl SystemBuilder {
                     } else {
                         format!("cxl.dcoh.{i}")
                     };
-                    let got =
-                        sim.add_component(Box::new(CxlDirectory::new(name, self.mem_latency)));
+                    let mut dcoh = CxlDirectory::new(name, self.mem_latency);
+                    if let Some(r) = self.resilience {
+                        dcoh = dcoh.with_resilience(SnoopRetryPolicy {
+                            timeout: r.timeout,
+                            max_retries: r.max_retries,
+                        });
+                    }
+                    let got = sim.add_component(Box::new(dcoh));
                     assert_eq!(got, expect);
                 }
             }
@@ -276,6 +297,7 @@ impl SystemBuilder {
                     cxl_sets: self.cxl_sets,
                     cxl_ways: self.cxl_ways,
                     global_peers: peers,
+                    resilience: self.resilience,
                 },
             )));
             assert_eq!(got, bridge_ids[ci]);
@@ -322,6 +344,7 @@ impl SystemBuilder {
             GlobalProtocol::Cxl if !self.ordered_s2m => unordered,
             _ => ordered.clone(),
         };
+        let cxl_links_start = sim.fabric_mut().link_count();
         for &b in &bridge_ids {
             for &d in &dir_ids {
                 let up1 = sim.fabric_mut().add_link(ordered.clone());
@@ -332,6 +355,7 @@ impl SystemBuilder {
                 sim.fabric_mut().set_route(d, b, vec![down1, down2]);
             }
         }
+        let cxl_links = cxl_links_start..sim.fabric_mut().link_count();
         // Bridge ↔ bridge (passive-mode 3-hop transfers): ordered.
         for &a in &bridge_ids {
             for &b in &bridge_ids {
@@ -351,6 +375,7 @@ impl SystemBuilder {
             global_dirs: dir_ids,
             global: self.global,
             protocols: self.clusters.iter().map(|c| c.protocol).collect(),
+            cxl_links,
         };
         (sim, handles)
     }
@@ -438,6 +463,33 @@ impl SystemHandles {
                 .expect("dir")
                 .data(addr),
         }
+    }
+
+    /// Addresses known-poisoned anywhere in the system after a run: the
+    /// union of every L1's poisoned lines and every bridge's poison marks,
+    /// sorted and deduplicated. Useful to exclude lines from value checks
+    /// after a faulty run — a poisoned line's data is by definition junk.
+    pub fn poisoned_addrs(&self, sim: &Simulator<SysMsg>) -> Vec<Addr> {
+        let mut out = Vec::new();
+        for cluster in &self.l1s {
+            for &l1 in cluster {
+                let l1c = sim.component_as::<L1Controller>(l1).expect("l1");
+                out.extend(l1c.poisoned_lines());
+            }
+        }
+        for &b in &self.bridges {
+            let bridge = sim.component_as::<C3Bridge>(b).expect("bridge");
+            out.extend(bridge.poisoned_lines());
+        }
+        if matches!(self.global, GlobalProtocol::Cxl) {
+            for &d in &self.global_dirs {
+                let dir = sim.component_as::<CxlDirectory>(d).expect("dcoh");
+                out.extend(dir.engine().poisoned_addrs());
+            }
+        }
+        out.sort_by_key(|a| a.0);
+        out.dedup();
+        out
     }
 
     /// Register value of core `(cluster, index)` after a run with

@@ -28,7 +28,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use c3_protocol::msg::{CxlGrant, CxlMsg};
 use c3_protocol::ops::Addr;
 use c3_sim::component::ComponentId;
-use c3_sim::time::Time;
+use c3_sim::time::{Delay, Time};
 use c3_sim::trace::InflightTxn;
 
 /// Which hosts hold a line, from the device's point of view.
@@ -91,14 +91,20 @@ struct Snoop {
     requester: ComponentId,
     grant: CxlGrant,
     /// When the snoop was issued (known only when the component wrapper
-    /// drives the engine through [`DcohEngine::handle_at`]).
+    /// drives the engine through [`DcohEngine::handle_at`]); reset on
+    /// every re-issue.
     since: Option<Time>,
+    /// `BISnp` re-issues so far (see [`DcohEngine::expire_snoops`]).
+    retries: u32,
 }
 
 #[derive(Clone, Debug, Default)]
 struct Line {
     holders: CxlHolders,
     data: u64,
+    /// The device copy is known-corrupt: a poisoned MemWr landed here and
+    /// no clean write has replaced it yet. Served fills carry the mark.
+    poisoned: bool,
     snoop: Option<Snoop>,
     queue: VecDeque<(ComponentId, CxlMsg)>,
     /// Profiling (§VI-C1): read/write request counts and requesting hosts.
@@ -133,6 +139,24 @@ pub struct DcohEngine {
     pub conflicts: u64,
     /// Writebacks received.
     pub writebacks: u64,
+    /// Resilient mode: tolerate duplicated / stale messages (a lossy
+    /// fabric with host-side retry replays them) instead of treating them
+    /// as protocol bugs. Off by default — fail-stop behaviour is the
+    /// better debugging default on a reliable fabric.
+    pub resilient: bool,
+    /// Resilient mode: duplicate requests suppressed.
+    pub dup_suppressed: u64,
+    /// Resilient mode: exclusive grants replayed because the recorded
+    /// owner re-requested a line — the original `MemData` was lost.
+    pub grants_replayed: u64,
+    /// Resilient mode: writebacks from a non-holder whose data was NOT
+    /// applied (stale epoch).
+    pub stale_writebacks: u64,
+    /// Resilient mode: `BISnp` re-issues after a response timeout.
+    pub bisnp_resent: u64,
+    /// Resilient mode: blocking snoops force-completed after retry
+    /// exhaustion (the blocked requester got poisoned data).
+    pub snoops_forced: u64,
 }
 
 impl DcohEngine {
@@ -146,9 +170,23 @@ impl DcohEngine {
         self.lines.get(&addr).map(|l| l.data).unwrap_or(0)
     }
 
-    /// Seed device memory (initialization).
+    /// Seed device memory (initialization). Seeded data is clean.
     pub fn seed_data(&mut self, addr: Addr, data: u64) {
-        self.lines.entry(addr).or_default().data = data;
+        let line = self.lines.entry(addr).or_default();
+        line.data = data;
+        line.poisoned = false;
+    }
+
+    /// Lines whose device copy is poison-marked, sorted.
+    pub fn poisoned_addrs(&self) -> Vec<Addr> {
+        let mut out: Vec<Addr> = self
+            .lines
+            .iter()
+            .filter(|(_, l)| l.poisoned)
+            .map(|(a, _)| *a)
+            .collect();
+        out.sort_by_key(|a| a.0);
+        out
     }
 
     /// Host-level holders of a line.
@@ -259,6 +297,42 @@ impl DcohEngine {
             // ---- requests: blocked while a snoop is in flight ----
             CxlMsg::MemRdA { .. } | CxlMsg::MemRdS { .. } => {
                 let line = self.lines.entry(addr).or_default();
+                if self.resilient {
+                    // A retried (or fabric-duplicated) request from a host
+                    // whose original is still being served — either the
+                    // snoop it triggered is in flight or the original sits
+                    // in the convoy queue. Admitting it twice would grant
+                    // the line twice.
+                    let dup = line.snoop.as_ref().is_some_and(|s| s.requester == src)
+                        || line.queue.iter().any(|(h, m)| *h == src && *m == msg);
+                    if dup {
+                        self.dup_suppressed += 1;
+                        return out;
+                    }
+                    // A retry from the line's recorded exclusive owner:
+                    // the grant we sent was lost in the fabric. Replay it
+                    // directly — queueing it would deadlock whenever the
+                    // in-flight snoop targets that same owner, because the
+                    // owner cannot answer a snoop for a fill it never got.
+                    if line.holders == CxlHolders::Exclusive(src) {
+                        self.grants_replayed += 1;
+                        out.push(DcohEffect::Send {
+                            dst: src,
+                            msg: CxlMsg::MemData {
+                                addr,
+                                data: line.data,
+                                grant: if matches!(msg, CxlMsg::MemRdA { .. }) {
+                                    CxlGrant::M
+                                } else {
+                                    CxlGrant::E
+                                },
+                                poisoned: line.poisoned,
+                            },
+                            needs_memory: true,
+                        });
+                        return out;
+                    }
+                }
                 if matches!(msg, CxlMsg::MemRdA { .. }) {
                     line.writes += 1;
                 } else {
@@ -274,12 +348,21 @@ impl DcohEngine {
             }
             // ---- writebacks: always accepted (may be a snoop's dirty
             // response or an eviction racing one) ----
-            CxlMsg::MemWrI { data, .. } => {
+            CxlMsg::MemWrI { data, poisoned, .. } => {
                 self.writebacks += 1;
                 let line = self.lines.entry(addr).or_default();
-                line.data = data;
-                if line.holders == CxlHolders::Exclusive(src) {
-                    line.holders = CxlHolders::None;
+                if self.resilient && Self::writeback_is_stale(&line.holders, src) {
+                    // A replayed or out-of-epoch MemWr: the line moved on
+                    // (another host owns it). Applying the stale data
+                    // would clobber the newer copy; still complete the
+                    // sender so it can make progress.
+                    self.stale_writebacks += 1;
+                } else {
+                    line.data = data;
+                    line.poisoned = poisoned;
+                    if line.holders == CxlHolders::Exclusive(src) {
+                        line.holders = CxlHolders::None;
+                    }
                 }
                 out.push(DcohEffect::Send {
                     dst: src,
@@ -287,12 +370,17 @@ impl DcohEngine {
                     needs_memory: true,
                 });
             }
-            CxlMsg::MemWrS { data, .. } => {
+            CxlMsg::MemWrS { data, poisoned, .. } => {
                 self.writebacks += 1;
                 let line = self.lines.entry(addr).or_default();
-                line.data = data;
-                if line.holders == CxlHolders::Exclusive(src) {
-                    line.holders = CxlHolders::Shared(BTreeSet::from([src]));
+                if self.resilient && Self::writeback_is_stale(&line.holders, src) {
+                    self.stale_writebacks += 1;
+                } else {
+                    line.data = data;
+                    line.poisoned = poisoned;
+                    if line.holders == CxlHolders::Exclusive(src) {
+                        line.holders = CxlHolders::Shared(BTreeSet::from([src]));
+                    }
                 }
                 out.push(DcohEffect::Send {
                     dst: src,
@@ -325,6 +413,102 @@ impl DcohEngine {
         out
     }
 
+    /// Whether a writeback from `src` is out-of-epoch: the directory no
+    /// longer records `src` as a holder, so the line has been granted to
+    /// someone else since the data left `src`.
+    fn writeback_is_stale(holders: &CxlHolders, src: ComponentId) -> bool {
+        match holders {
+            CxlHolders::None => false,
+            CxlHolders::Exclusive(h) => *h != src,
+            CxlHolders::Shared(set) => !set.contains(&src),
+        }
+    }
+
+    /// Re-issue `BISnp*` for blocking snoops whose response deadline has
+    /// passed (doubling the deadline each retry) and force-complete snoops
+    /// that exhausted `max_retries` — the blocked requester is granted the
+    /// device's current copy **marked poisoned**, since a dirty owner that
+    /// never responded may hold newer data. Called periodically by the
+    /// component wrapper when a retry policy is configured.
+    pub fn expire_snoops(
+        &mut self,
+        now: Time,
+        timeout: Delay,
+        max_retries: u32,
+    ) -> Vec<DcohEffect> {
+        let mut out = Vec::new();
+        // Sorted for determinism: HashMap iteration order varies per run.
+        let mut expired: Vec<Addr> = self
+            .lines
+            .iter()
+            .filter(|(_, l)| {
+                l.snoop.as_ref().is_some_and(|s| {
+                    s.since
+                        .is_some_and(|t| t + timeout.times(1u64 << s.retries.min(16)) <= now)
+                })
+            })
+            .map(|(a, _)| *a)
+            .collect();
+        expired.sort_by_key(|a| a.0);
+        for addr in expired {
+            let line = self.lines.get_mut(&addr).expect("collected above");
+            let snoop = line.snoop.as_mut().expect("collected above");
+            if snoop.retries < max_retries {
+                snoop.retries += 1;
+                snoop.since = Some(now);
+                let kind = snoop.kind;
+                let targets: Vec<ComponentId> = snoop.waiting.iter().copied().collect();
+                self.bisnp_resent += targets.len() as u64;
+                for dst in targets {
+                    out.push(DcohEffect::Send {
+                        dst,
+                        msg: match kind {
+                            SnoopKind::Inv => CxlMsg::BiSnpInv { addr },
+                            SnoopKind::Data => CxlMsg::BiSnpData { addr },
+                        },
+                        needs_memory: false,
+                    });
+                }
+            } else {
+                // Give up on the unresponsive holder(s): unblock the line
+                // with the device copy, poison-marked because a dirty
+                // response may never arrive.
+                let snoop = line.snoop.take().expect("collected above");
+                self.snoops_forced += 1;
+                match snoop.kind {
+                    SnoopKind::Inv => {
+                        line.holders = CxlHolders::Exclusive(snoop.requester);
+                    }
+                    SnoopKind::Data => {
+                        line.holders = CxlHolders::Shared(BTreeSet::from([snoop.requester]));
+                    }
+                }
+                out.push(DcohEffect::Send {
+                    dst: snoop.requester,
+                    msg: CxlMsg::MemData {
+                        addr,
+                        data: line.data,
+                        grant: snoop.grant,
+                        poisoned: true,
+                    },
+                    needs_memory: true,
+                });
+                // Drain the convoy now that the line is unblocked.
+                loop {
+                    let line = self.lines.get_mut(&addr).expect("line exists");
+                    if line.snoop.is_some() {
+                        break;
+                    }
+                    let Some((h, m)) = line.queue.pop_front() else {
+                        break;
+                    };
+                    self.admit(h, m, Some(now), &mut out);
+                }
+            }
+        }
+        out
+    }
+
     fn admit(
         &mut self,
         src: ComponentId,
@@ -346,6 +530,7 @@ impl DcohEngine {
                         addr,
                         data: line.data,
                         grant,
+                        poisoned: line.poisoned,
                     },
                     needs_memory: true,
                 });
@@ -359,6 +544,7 @@ impl DcohEngine {
                         addr,
                         data: line.data,
                         grant: CxlGrant::S,
+                        poisoned: line.poisoned,
                     },
                     needs_memory: true,
                 });
@@ -374,6 +560,7 @@ impl DcohEngine {
                             addr,
                             data: line.data,
                             grant: CxlGrant::M,
+                            poisoned: line.poisoned,
                         },
                         needs_memory: true,
                     });
@@ -393,6 +580,7 @@ impl DcohEngine {
                     requester: src,
                     grant: CxlGrant::M,
                     since: now,
+                    retries: 0,
                 });
             }
             (excl, CxlHolders::Exclusive(owner)) if owner == src => {
@@ -406,6 +594,7 @@ impl DcohEngine {
                         addr,
                         data: line.data,
                         grant: if excl { CxlGrant::M } else { CxlGrant::E },
+                        poisoned: line.poisoned,
                     },
                     needs_memory: true,
                 });
@@ -423,6 +612,7 @@ impl DcohEngine {
                     requester: src,
                     grant: CxlGrant::M,
                     since: now,
+                    retries: 0,
                 });
             }
             (false, CxlHolders::Exclusive(owner)) => {
@@ -438,6 +628,7 @@ impl DcohEngine {
                     requester: src,
                     grant: CxlGrant::S,
                     since: now,
+                    retries: 0,
                 });
             }
         }
@@ -484,6 +675,7 @@ impl DcohEngine {
                 addr,
                 data: line.data,
                 grant: snoop.grant,
+                poisoned: line.poisoned,
             },
             needs_memory: true,
         });
@@ -531,7 +723,8 @@ mod tests {
                 CxlMsg::MemData {
                     addr: X,
                     data: 5,
-                    grant: CxlGrant::E
+                    grant: CxlGrant::E,
+                    poisoned: false
                 }
             )]
         );
@@ -559,7 +752,14 @@ mod tests {
         assert_eq!(sends(&eff), vec![(H1, CxlMsg::BiSnpData { addr: X })]);
         assert!(!d.idle());
         // Owner was dirty: writes back retaining S, then responds BIRspS.
-        let eff = d.handle(H1, CxlMsg::MemWrS { addr: X, data: 9 });
+        let eff = d.handle(
+            H1,
+            CxlMsg::MemWrS {
+                addr: X,
+                data: 9,
+                poisoned: false,
+            },
+        );
         assert_eq!(sends(&eff), vec![(H1, CxlMsg::Cmp { addr: X })]);
         let eff = d.handle(H1, CxlMsg::BiRspS { addr: X });
         assert_eq!(
@@ -569,7 +769,8 @@ mod tests {
                 CxlMsg::MemData {
                     addr: X,
                     data: 9,
-                    grant: CxlGrant::S
+                    grant: CxlGrant::S,
+                    poisoned: false
                 }
             )]
         );
@@ -667,7 +868,14 @@ mod tests {
     fn eviction_writeback_clears_owner() {
         let mut d = DcohEngine::new();
         d.handle(H1, CxlMsg::MemRdA { addr: X });
-        let eff = d.handle(H1, CxlMsg::MemWrI { addr: X, data: 44 });
+        let eff = d.handle(
+            H1,
+            CxlMsg::MemWrI {
+                addr: X,
+                data: 44,
+                poisoned: false,
+            },
+        );
         assert_eq!(sends(&eff), vec![(H1, CxlMsg::Cmp { addr: X })]);
         assert_eq!(d.holders(X), CxlHolders::None);
         assert_eq!(d.data(X), 44);
@@ -691,7 +899,14 @@ mod tests {
         let mut d = DcohEngine::new();
         d.handle(H1, CxlMsg::MemRdA { addr: X });
         d.handle(H2, CxlMsg::MemRdA { addr: X }); // BISnpInv -> H1
-        let eff = d.handle(H1, CxlMsg::MemWrI { addr: X, data: 7 });
+        let eff = d.handle(
+            H1,
+            CxlMsg::MemWrI {
+                addr: X,
+                data: 7,
+                poisoned: false,
+            },
+        );
         assert_eq!(sends(&eff), vec![(H1, CxlMsg::Cmp { addr: X })]);
         let eff = d.handle(H1, CxlMsg::BiRspI { addr: X });
         assert!(matches!(
@@ -721,7 +936,8 @@ mod tests {
                 CxlMsg::MemData {
                     addr: X,
                     data: 0,
-                    grant: CxlGrant::M
+                    grant: CxlGrant::M,
+                    poisoned: false
                 }
             )]
         );
@@ -733,6 +949,58 @@ mod tests {
                 ..
             }
         ));
+        assert!(d.idle());
+    }
+
+    #[test]
+    fn lost_grant_is_replayed_to_owner_despite_pending_snoop() {
+        // H1 is granted M but the MemData is lost in the fabric; H2's
+        // request then snoops H1. H1's retry must get the grant replayed
+        // — queueing it behind a snoop aimed at H1 itself would deadlock
+        // (H1 cannot answer a snoop for a fill it never received).
+        let mut d = DcohEngine::new();
+        d.resilient = true;
+        d.handle(H1, CxlMsg::MemRdA { addr: X });
+        d.handle(H2, CxlMsg::MemRdA { addr: X }); // BISnpInv -> H1
+        let eff = d.handle(H1, CxlMsg::MemRdA { addr: X }); // retry
+        assert_eq!(
+            sends(&eff),
+            vec![(
+                H1,
+                CxlMsg::MemData {
+                    addr: X,
+                    data: 0,
+                    grant: CxlGrant::M,
+                    poisoned: false
+                }
+            )]
+        );
+        assert_eq!(d.grants_replayed, 1);
+        // The snoop is untouched: once H1 answers it, H2 is served.
+        let eff = d.handle(H1, CxlMsg::BiRspI { addr: X });
+        assert!(matches!(
+            sends(&eff)[0],
+            (
+                H2,
+                CxlMsg::MemData {
+                    grant: CxlGrant::M,
+                    ..
+                }
+            )
+        ));
+        // H2 now owns the line, so its own retry is likewise replayed.
+        let eff = d.handle(H2, CxlMsg::MemRdA { addr: X });
+        assert!(matches!(
+            sends(&eff)[0],
+            (
+                H2,
+                CxlMsg::MemData {
+                    grant: CxlGrant::M,
+                    ..
+                }
+            )
+        ));
+        assert_eq!(d.grants_replayed, 2);
         assert!(d.idle());
     }
 

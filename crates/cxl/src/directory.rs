@@ -10,6 +10,20 @@ use c3_sim::trace::InflightTxn;
 
 use crate::dcoh::{DcohEffect, DcohEngine};
 
+/// Wake token for the snoop-deadline scan.
+const TIMER_TOKEN: u64 = 1;
+
+/// Timeout/retry policy for the DCOH's blocking snoops (the device-side
+/// mirror of the bridge's resilience config; kept as its own type because
+/// the bridge crate depends on this one, not the other way round).
+#[derive(Clone, Copy, Debug)]
+pub struct SnoopRetryPolicy {
+    /// Deadline for the first `BISnp`; doubles per re-issue.
+    pub timeout: Delay,
+    /// Re-issues before the snoop is force-completed with poisoned data.
+    pub max_retries: u32,
+}
+
 /// The CXL memory device: DCOH directory + DDR5 back-end (Table III:
 /// 10 ns access latency).
 #[derive(Debug)]
@@ -17,6 +31,9 @@ pub struct CxlDirectory {
     name: String,
     engine: DcohEngine,
     mem_latency: Delay,
+    retry: Option<SnoopRetryPolicy>,
+    /// Whether a deadline-scan wakeup is already scheduled.
+    armed: bool,
 }
 
 impl CxlDirectory {
@@ -27,7 +44,17 @@ impl CxlDirectory {
             name: name.into(),
             engine: DcohEngine::new(),
             mem_latency,
+            retry: None,
+            armed: false,
         }
+    }
+
+    /// Enable snoop timeout/retry and the engine's resilient mode
+    /// (duplicate suppression, stale-writeback guard).
+    pub fn with_resilience(mut self, policy: SnoopRetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self.engine.resilient = true;
+        self
     }
 
     /// Access the underlying engine (inspection / seeding).
@@ -39,19 +66,9 @@ impl CxlDirectory {
     pub fn engine_mut(&mut self) -> &mut DcohEngine {
         &mut self.engine
     }
-}
 
-impl Component<SysMsg> for CxlDirectory {
-    fn name(&self) -> String {
-        self.name.clone()
-    }
-
-    fn handle(&mut self, msg: SysMsg, src: ComponentId, ctx: &mut Ctx<'_, SysMsg>) {
-        c3_sim::sim_trace!("[{}] {} <- {src}: {msg:?}", ctx.now, self.name);
-        let SysMsg::Cxl(m) = msg else {
-            panic!("CXL directory received {msg:?}");
-        };
-        for effect in self.engine.handle_at(src, m, Some(ctx.now)) {
+    fn dispatch(&mut self, effects: Vec<DcohEffect>, ctx: &mut Ctx<'_, SysMsg>) {
+        for effect in effects {
             match effect {
                 DcohEffect::Send {
                     dst,
@@ -68,6 +85,44 @@ impl Component<SysMsg> for CxlDirectory {
         }
     }
 
+    /// Keep one deadline-scan wakeup in flight while snoops are blocking.
+    fn rearm(&mut self, ctx: &mut Ctx<'_, SysMsg>) {
+        if let Some(p) = self.retry {
+            if !self.armed && !self.engine.idle() {
+                self.armed = true;
+                ctx.wake_after(p.timeout, TIMER_TOKEN);
+            }
+        }
+    }
+}
+
+impl Component<SysMsg> for CxlDirectory {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn handle(&mut self, msg: SysMsg, src: ComponentId, ctx: &mut Ctx<'_, SysMsg>) {
+        c3_sim::sim_trace!("[{}] {} <- {src}: {msg:?}", ctx.now, self.name);
+        let SysMsg::Cxl(m) = msg else {
+            panic!("CXL directory received {msg:?}");
+        };
+        let effects = self.engine.handle_at(src, m, Some(ctx.now));
+        self.dispatch(effects, ctx);
+        self.rearm(ctx);
+    }
+
+    fn on_wake(&mut self, token: u64, ctx: &mut Ctx<'_, SysMsg>) {
+        if token != TIMER_TOKEN {
+            return;
+        }
+        self.armed = false;
+        if let Some(p) = self.retry {
+            let effects = self.engine.expire_snoops(ctx.now, p.timeout, p.max_retries);
+            self.dispatch(effects, ctx);
+        }
+        self.rearm(ctx);
+    }
+
     fn done(&self) -> bool {
         self.engine.idle()
     }
@@ -81,6 +136,27 @@ impl Component<SysMsg> for CxlDirectory {
         out.set(format!("{n}.bisnp_sent"), self.engine.bisnp_sent as f64);
         out.set(format!("{n}.conflicts"), self.engine.conflicts as f64);
         out.set(format!("{n}.writebacks"), self.engine.writebacks as f64);
+        // Resilience counters exist only when the retry policy is
+        // configured so default-wired runs keep byte-identical reports.
+        if self.retry.is_some() {
+            out.set(
+                format!("{n}.dup_suppressed"),
+                self.engine.dup_suppressed as f64,
+            );
+            out.set(
+                format!("{n}.stale_writebacks"),
+                self.engine.stale_writebacks as f64,
+            );
+            out.set(
+                format!("{n}.grants_replayed"),
+                self.engine.grants_replayed as f64,
+            );
+            out.set(format!("{n}.bisnp_resent"), self.engine.bisnp_resent as f64);
+            out.set(
+                format!("{n}.snoops_forced"),
+                self.engine.snoops_forced as f64,
+            );
+        }
     }
 
     fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {

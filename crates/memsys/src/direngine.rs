@@ -123,6 +123,9 @@ pub enum DirEffect {
         addr: Addr,
         /// New contents.
         data: u64,
+        /// The new contents carry a poison mark (known-corrupt payload
+        /// from a recovery abandonment); a clean update heals the mark.
+        poisoned: bool,
     },
     /// A recall completed: all local copies satisfy the requested
     /// condition and `data` is the current line value.
@@ -177,6 +180,8 @@ struct Line {
     holders: Holders,
     fholder: Option<ComponentId>,
     data: u64,
+    /// The directory's data copy is known-corrupt (poisoned writeback).
+    poisoned: bool,
     host: Option<HostBusy>,
     recall: Option<RecallBusy>,
     pending_recall: VecDeque<RecallKind>,
@@ -344,14 +349,25 @@ impl DirEngine {
             HostMsg::PutS { .. } | HostMsg::PutE { .. } => {
                 self.handle_put_clean(src, addr, &mut out);
             }
-            HostMsg::PutM { data, .. } | HostMsg::PutO { data, .. } => {
-                self.handle_put_dirty(src, addr, data, &mut out);
+            HostMsg::PutM { data, poisoned, .. } | HostMsg::PutO { data, poisoned, .. } => {
+                self.handle_put_dirty(src, addr, data, poisoned, &mut out);
             }
             HostMsg::InvAck { .. } => {
                 self.recall_ack(addr, &mut out);
             }
-            HostMsg::Data { data, dirty, .. } | HostMsg::DataToDir { data, dirty, .. } => {
-                self.recall_data(addr, data, dirty, &mut out);
+            HostMsg::Data {
+                data,
+                dirty,
+                poisoned,
+                ..
+            }
+            | HostMsg::DataToDir {
+                data,
+                dirty,
+                poisoned,
+                ..
+            } => {
+                self.recall_data(addr, data, dirty, poisoned, &mut out);
             }
             HostMsg::Unblock { to_state, .. } => {
                 let line = self.lines.entry(addr).or_default();
@@ -519,6 +535,7 @@ impl DirEngine {
         src: ComponentId,
         addr: Addr,
         data: u64,
+        poisoned: bool,
         out: &mut Vec<DirEffect>,
     ) {
         let line = self.lines.entry(addr).or_default();
@@ -562,7 +579,12 @@ impl DirEngine {
             msg: HostMsg::PutAck { addr },
         });
         if updated {
-            out.push(DirEffect::DataUpdated { addr, data });
+            line.poisoned = poisoned;
+            out.push(DirEffect::DataUpdated {
+                addr,
+                data,
+                poisoned,
+            });
         }
     }
 
@@ -578,14 +600,26 @@ impl DirEngine {
         self.try_finish_recall(addr, out);
     }
 
-    fn recall_data(&mut self, addr: Addr, data: u64, dirty: bool, out: &mut Vec<DirEffect>) {
+    fn recall_data(
+        &mut self,
+        addr: Addr,
+        data: u64,
+        dirty: bool,
+        poisoned: bool,
+        out: &mut Vec<DirEffect>,
+    ) {
         let line = self.lines.entry(addr).or_default();
         let Some(r) = &mut line.recall else {
             // Duplicate data (e.g. MESI owners send both Data and DataToDir
             // when the recall requestor is the directory itself).
             if dirty {
                 line.data = data;
-                out.push(DirEffect::DataUpdated { addr, data });
+                line.poisoned = poisoned;
+                out.push(DirEffect::DataUpdated {
+                    addr,
+                    data,
+                    poisoned,
+                });
             }
             return;
         };
@@ -596,7 +630,12 @@ impl DirEngine {
         r.dirty |= dirty;
         line.data = data;
         if dirty {
-            out.push(DirEffect::DataUpdated { addr, data });
+            line.poisoned = poisoned;
+            out.push(DirEffect::DataUpdated {
+                addr,
+                data,
+                poisoned,
+            });
         }
         self.try_finish_recall(addr, out);
     }
@@ -820,7 +859,13 @@ impl DirEngine {
                 }
                 let line = self.lines.entry(addr).or_default();
                 line.data = data;
-                out.push(DirEffect::DataUpdated { addr, data });
+                // A write-through is a fresh full-line store: it heals.
+                line.poisoned = false;
+                out.push(DirEffect::DataUpdated {
+                    addr,
+                    data,
+                    poisoned: false,
+                });
                 out.push(DirEffect::Send {
                     dst: src,
                     msg: HostMsg::WtAck { addr },
@@ -841,7 +886,12 @@ impl DirEngine {
                 let old = line.data;
                 line.data = old.wrapping_add(add);
                 let data = line.data;
-                out.push(DirEffect::DataUpdated { addr, data });
+                // An atomic derives from the old value: junk stays junk.
+                out.push(DirEffect::DataUpdated {
+                    addr,
+                    data,
+                    poisoned: line.poisoned,
+                });
                 out.push(DirEffect::Send {
                     dst: src,
                     msg: HostMsg::AtomicResp { addr, old },
@@ -893,6 +943,7 @@ impl DirEngine {
                         grant,
                         acks: 0,
                         dirty: false,
+                        poisoned: line.poisoned,
                     },
                 });
                 if policy.eager_invalidation {
@@ -929,6 +980,7 @@ impl DirEngine {
                             grant,
                             acks: 0,
                             dirty: false,
+                            poisoned: line.poisoned,
                         },
                     });
                 }
@@ -1014,6 +1066,7 @@ impl DirEngine {
                         grant: Grant::M,
                         acks: 0,
                         dirty: false,
+                        poisoned: line.poisoned,
                     },
                 });
                 line.holders = Holders::Exclusive(src);
@@ -1051,6 +1104,7 @@ impl DirEngine {
                         grant: Grant::M,
                         acks: invs.len() as u32,
                         dirty: false,
+                        poisoned: line.poisoned,
                     },
                 });
                 line.holders = Holders::Exclusive(src);
@@ -1097,6 +1151,7 @@ impl DirEngine {
                             grant: Grant::M,
                             acks: invs.len() as u32,
                             dirty: false,
+                            poisoned: line.poisoned,
                         },
                     });
                 } else {
@@ -1381,8 +1436,20 @@ mod tests {
         let mut e = mesi_engine();
         e.handle_host(A, HostMsg::GetM { addr: X }, BackendPerms::ALL);
         unblock(&mut e, A, X, StableState::M);
-        let eff = e.handle_host(A, HostMsg::PutM { addr: X, data: 99 }, BackendPerms::ALL);
-        assert!(eff.contains(&DirEffect::DataUpdated { addr: X, data: 99 }));
+        let eff = e.handle_host(
+            A,
+            HostMsg::PutM {
+                addr: X,
+                data: 99,
+                poisoned: false,
+            },
+            BackendPerms::ALL,
+        );
+        assert!(eff.contains(&DirEffect::DataUpdated {
+            addr: X,
+            data: 99,
+            poisoned: false
+        }));
         assert!(sends(&eff)
             .iter()
             .any(|(d, m)| *d == A && matches!(m, HostMsg::PutAck { .. })));
@@ -1398,7 +1465,15 @@ mod tests {
         // B takes ownership (3-hop via A).
         e.handle_host(B, HostMsg::GetM { addr: X }, BackendPerms::ALL);
         // A's eviction crossed the FwdGetM: stale PutM arrives.
-        let eff = e.handle_host(A, HostMsg::PutM { addr: X, data: 123 }, BackendPerms::ALL);
+        let eff = e.handle_host(
+            A,
+            HostMsg::PutM {
+                addr: X,
+                data: 123,
+                poisoned: false,
+            },
+            BackendPerms::ALL,
+        );
         assert!(!eff
             .iter()
             .any(|x| matches!(x, DirEffect::DataUpdated { .. })));
@@ -1427,6 +1502,7 @@ mod tests {
                 grant: Grant::M,
                 acks: 0,
                 dirty: true,
+                poisoned: false,
             },
             BackendPerms::ALL,
         );
@@ -1555,7 +1631,11 @@ mod tests {
             HostMsg::WriteThrough { addr: X, data: 9 },
             BackendPerms::ALL,
         );
-        assert!(eff.contains(&DirEffect::DataUpdated { addr: X, data: 9 }));
+        assert!(eff.contains(&DirEffect::DataUpdated {
+            addr: X,
+            data: 9,
+            poisoned: false
+        }));
         assert!(sends(&eff)
             .iter()
             .any(|(d, m)| *d == A && matches!(m, HostMsg::WtAck { .. })));

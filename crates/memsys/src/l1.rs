@@ -66,6 +66,10 @@ pub enum AccessKind {
 struct Line {
     state: StableState,
     data: u64,
+    /// CXL-style poison mark: the value arrived corrupted. Reads complete
+    /// (and are counted) instead of aborting; a full-line store overwrites
+    /// the payload and clears the mark.
+    poisoned: bool,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,6 +114,9 @@ struct Mshr {
     pending: VecDeque<CoreReq>,
     /// Whether this write-through belongs to an in-progress release flush.
     from_release: bool,
+    /// Whether the fill data (or the evicted line this MSHR drains) is
+    /// poisoned.
+    poisoned: bool,
     started: Time,
     /// Trace span key: the miss transaction this MSHR carries.
     txn: TxnId,
@@ -150,6 +157,7 @@ pub struct L1Controller {
     writebacks: u64,
     invalidations_received: u64,
     self_invalidations: u64,
+    poisoned_reads: u64,
 }
 
 impl L1Controller {
@@ -165,6 +173,7 @@ impl L1Controller {
             writebacks: 0,
             invalidations_received: 0,
             self_invalidations: 0,
+            poisoned_reads: 0,
         }
     }
 
@@ -184,6 +193,25 @@ impl L1Controller {
     /// Stable state and data currently held for `addr`, if resident.
     pub fn line(&self, addr: Addr) -> Option<(StableState, u64)> {
         self.array.peek(addr).map(|l| (l.state, l.data))
+    }
+
+    /// Whether the resident copy of `addr` carries a poison mark.
+    pub fn line_poisoned(&self, addr: Addr) -> bool {
+        self.array.peek(addr).is_some_and(|l| l.poisoned)
+    }
+
+    /// Addresses of every resident poisoned line.
+    pub fn poisoned_lines(&self) -> Vec<Addr> {
+        self.array
+            .iter()
+            .filter(|(_, l)| l.poisoned)
+            .map(|(a, _)| a)
+            .collect()
+    }
+
+    /// Loads that returned poisoned data (graceful degradation counter).
+    pub fn poisoned_reads(&self) -> u64 {
+        self.poisoned_reads
     }
 
     fn kind_of(instr: &Instr) -> AccessKind {
@@ -246,6 +274,7 @@ impl L1Controller {
                 initiator,
                 pending: VecDeque::new(),
                 from_release,
+                poisoned: false,
                 started: ctx.now,
                 txn,
             },
@@ -306,6 +335,7 @@ impl L1Controller {
                         HostMsg::PutM {
                             addr: vaddr,
                             data: line.data,
+                            poisoned: line.poisoned,
                         },
                     )
                 }
@@ -317,12 +347,16 @@ impl L1Controller {
                     HostMsg::PutO {
                         addr: vaddr,
                         data: line.data,
+                        poisoned: line.poisoned,
                     },
                 )
             }
             StableState::I => unreachable!("I lines are not resident"),
         };
         self.open_mshr(vaddr, tstate, line.data, None, false, ctx);
+        // An evicted poisoned line may still be asked to supply data
+        // (Fwd* while the Put* drains); keep the mark with the buffer.
+        self.mshrs.get_mut(&vaddr).expect("just opened").poisoned = line.poisoned;
         self.send_dir(msg, ctx);
     }
 
@@ -450,6 +484,9 @@ impl L1Controller {
                 match self.array.get(addr) {
                     Some(line) if line.state.can_read() => {
                         let v = line.data;
+                        if line.poisoned {
+                            self.poisoned_reads += 1;
+                        }
                         self.stats[AccessKind::Load as usize].hits += 1;
                         self.respond(&req, v, ctx);
                     }
@@ -471,6 +508,7 @@ impl L1Controller {
                             Line {
                                 state: StableState::M,
                                 data: val,
+                                poisoned: false,
                             },
                         );
                     } else {
@@ -492,6 +530,7 @@ impl L1Controller {
                         let l = self.array.get_mut(addr).expect("present");
                         l.state = StableState::M; // silent E -> M upgrade
                         l.data = val;
+                        l.poisoned = false; // full-line overwrite heals poison
                         self.respond(&req, 0, ctx);
                     }
                     Some(_) => {
@@ -519,6 +558,11 @@ impl L1Controller {
                 match self.array.get(addr).copied() {
                     Some(line) if line.state.can_write() => {
                         self.stats[AccessKind::Rmw as usize].hits += 1;
+                        if line.poisoned {
+                            // The old value read by the RMW is corrupt, and
+                            // so is anything derived from it.
+                            self.poisoned_reads += 1;
+                        }
                         let l = self.array.get_mut(addr).expect("present");
                         let old = l.data;
                         l.state = StableState::M;
@@ -551,19 +595,29 @@ impl L1Controller {
         let mut line = Line {
             state,
             data: mshr.data,
+            poisoned: mshr.poisoned,
         };
         let initiator = mshr.initiator.take().expect("core-initiated fill");
         let kind = Self::kind_of(&initiator.instr);
         let value = match initiator.instr {
-            Instr::Load { .. } => line.data,
+            Instr::Load { .. } => {
+                if line.poisoned {
+                    self.poisoned_reads += 1;
+                }
+                line.data
+            }
             Instr::Store { val, .. } => {
                 debug_assert!(state.can_write());
                 line.state = StableState::M;
                 line.data = val;
+                line.poisoned = false; // full-line overwrite heals poison
                 0
             }
             Instr::Rmw { add, .. } => {
                 debug_assert!(state.can_write());
+                if line.poisoned {
+                    self.poisoned_reads += 1;
+                }
                 let old = line.data;
                 line.state = StableState::M;
                 line.data = old.wrapping_add(add);
@@ -620,10 +674,15 @@ impl L1Controller {
         let addr = msg.addr();
         match msg {
             HostMsg::Data {
-                data, grant, acks, ..
+                data,
+                grant,
+                acks,
+                poisoned,
+                ..
             } => {
                 let mshr = self.mshrs.get_mut(&addr).expect("Data without MSHR");
                 mshr.data = data;
+                mshr.poisoned |= poisoned;
                 mshr.data_received = true;
                 mshr.acks += acks as i32;
                 match mshr.tstate {
@@ -674,6 +733,7 @@ impl L1Controller {
                             grant,
                             acks: 0,
                             dirty,
+                            poisoned: line.poisoned,
                         }),
                     );
                     let next = match family {
@@ -686,6 +746,7 @@ impl L1Controller {
                                 addr,
                                 data: line.data,
                                 dirty,
+                                poisoned: line.poisoned,
                             },
                             ctx,
                         );
@@ -707,12 +768,14 @@ impl L1Controller {
                                     grant,
                                     acks: 0,
                                     dirty: false,
+                                    poisoned: mshr.poisoned,
                                 }),
                             );
                         }
                         TState::MI_A | TState::EI_A => {
                             let dirty = mshr.tstate == TState::MI_A;
                             let data = mshr.data;
+                            let poisoned = mshr.poisoned;
                             ctx.send(
                                 requestor,
                                 SysMsg::Host(HostMsg::Data {
@@ -721,11 +784,20 @@ impl L1Controller {
                                     grant,
                                     acks: 0,
                                     dirty,
+                                    poisoned: mshr.poisoned,
                                 }),
                             );
                             if family != ProtocolFamily::Moesi {
                                 mshr.tstate = TState::SI_A;
-                                self.send_dir(HostMsg::DataToDir { addr, data, dirty }, ctx);
+                                self.send_dir(
+                                    HostMsg::DataToDir {
+                                        addr,
+                                        data,
+                                        dirty,
+                                        poisoned,
+                                    },
+                                    ctx,
+                                );
                             }
                             // MOESI: remain dirty owner; eviction continues.
                         }
@@ -739,6 +811,7 @@ impl L1Controller {
                                     grant,
                                     acks: 0,
                                     dirty: true,
+                                    poisoned: mshr.poisoned,
                                 }),
                             );
                         }
@@ -765,6 +838,7 @@ impl L1Controller {
                         grant,
                         acks: 0,
                         dirty,
+                        poisoned: line.poisoned,
                     }),
                 );
                 // MOESI suppliers stay owner (M/O → O, and clean E → O as
@@ -782,6 +856,7 @@ impl L1Controller {
                             addr,
                             data: line.data,
                             dirty,
+                            poisoned: line.poisoned,
                         },
                         ctx,
                     );
@@ -809,6 +884,7 @@ impl L1Controller {
                             grant: Grant::M,
                             acks,
                             dirty: line.state.is_dirty(),
+                            poisoned: line.poisoned,
                         }),
                     );
                     self.mshrs.get_mut(&addr).expect("present").tstate = TState::IM_AD;
@@ -826,6 +902,7 @@ impl L1Controller {
                                     grant: Grant::M,
                                     acks,
                                     dirty,
+                                    poisoned: mshr.poisoned,
                                 }),
                             );
                             mshr.tstate = TState::II_A;
@@ -845,6 +922,7 @@ impl L1Controller {
                         grant: Grant::M,
                         acks,
                         dirty: line.state.is_dirty(),
+                        poisoned: line.poisoned,
                     }),
                 );
             }
@@ -1010,6 +1088,11 @@ impl Component<SysMsg> for L1Controller {
             format!("{n}.self_invalidations"),
             self.self_invalidations as f64,
         );
+        // Only present when poison actually reached a consumer, so
+        // fault-free runs keep byte-identical reports.
+        if self.poisoned_reads > 0 {
+            out.set(format!("{n}.poisoned_reads"), self.poisoned_reads as f64);
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -139,6 +139,7 @@ fn sm_ad_plus_inv_downgrades_to_im_ad() {
                 grant: Grant::S,
                 acks: 0,
                 dirty: false,
+                poisoned: false,
             }),
         ),
         // Upgrade store -> SM_AD.
@@ -169,6 +170,7 @@ fn sm_ad_plus_inv_downgrades_to_im_ad() {
                 grant: Grant::M,
                 acks: 0,
                 dirty: false,
+                poisoned: false,
             }),
         ),
     ];
@@ -224,6 +226,7 @@ fn acks_may_arrive_before_data() {
                 grant: Grant::M,
                 acks: 1,
                 dirty: false,
+                poisoned: false,
             }),
         ),
     ];
@@ -269,6 +272,7 @@ fn fwd_getm_on_dirty_owner_supplies_and_invalidates() {
                 grant: Grant::M,
                 acks: 0,
                 dirty: false,
+                poisoned: false,
             }),
         ),
         (
@@ -296,6 +300,7 @@ fn fwd_getm_on_dirty_owner_supplies_and_invalidates() {
             data: 42,
             grant: Grant::M,
             dirty: true,
+            poisoned: false,
             ..
         }
     )));
@@ -407,6 +412,7 @@ fn rcc_acquire_drops_clean_lines_only() {
                 grant: Grant::S,
                 acks: 0,
                 dirty: false,
+                poisoned: false,
             }),
         ),
         (
@@ -439,6 +445,7 @@ fn rcc_acquire_drops_clean_lines_only() {
                 grant: Grant::S,
                 acks: 0,
                 dirty: false,
+                poisoned: false,
             }),
         ),
     ];
@@ -475,6 +482,7 @@ fn fwd_gets_on_moesi_owner_keeps_ownership() {
                 grant: Grant::M,
                 acks: 0,
                 dirty: false,
+                poisoned: false,
             }),
         ),
         (
@@ -528,6 +536,7 @@ fn fwd_gets_on_mesi_owner_writes_back() {
                 grant: Grant::M,
                 acks: 0,
                 dirty: false,
+                poisoned: false,
             }),
         ),
         (
@@ -589,6 +598,7 @@ fn si_a_plus_inv_still_completes_eviction() {
                 grant: Grant::S,
                 acks: 0,
                 dirty: false,
+                poisoned: false,
             }),
         ),
         // Fill the 2-way set far enough to evict X: the tiny 4x2 array
@@ -610,6 +620,7 @@ fn si_a_plus_inv_still_completes_eviction() {
                 grant: Grant::S,
                 acks: 0,
                 dirty: false,
+                poisoned: false,
             }),
         ),
         // Direct Inv for X while stable-S (baseline sanity within the same
@@ -658,6 +669,7 @@ fn mesif_forward_state_supplies_and_demotes() {
                 grant: Grant::F,
                 acks: 0,
                 dirty: false,
+                poisoned: false,
             }),
         ),
         // A forwarded read: supply, pass F to the requester, demote to S.
@@ -689,6 +701,7 @@ fn mesif_forward_state_supplies_and_demotes() {
             data: 3,
             grant: Grant::F,
             dirty: false,
+            poisoned: false,
             ..
         }
     )));

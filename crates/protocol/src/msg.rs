@@ -95,6 +95,8 @@ pub enum HostMsg {
         addr: Addr,
         /// Line contents.
         data: u64,
+        /// Contents are known-corrupt; the mark must travel with the data.
+        poisoned: bool,
     },
     /// Owned-state eviction with data (MOESI).
     PutO {
@@ -102,6 +104,8 @@ pub enum HostMsg {
         addr: Addr,
         /// Line contents.
         data: u64,
+        /// Contents are known-corrupt; the mark must travel with the data.
+        poisoned: bool,
     },
     /// RCC release-time write-through of a dirty line.
     WriteThrough {
@@ -181,6 +185,10 @@ pub enum HostMsg {
         /// Whether the supplier's copy was dirty with respect to the
         /// directory (drives writeback decisions on recalls).
         dirty: bool,
+        /// Whether the payload is poisoned (CXL-style error containment:
+        /// the value is unusable, but the protocol completes normally and
+        /// the consumer records the error instead of aborting).
+        poisoned: bool,
     },
     /// Data sent from a downgrading owner back to the directory.
     DataToDir {
@@ -190,6 +198,8 @@ pub enum HostMsg {
         data: u64,
         /// Whether the copy was dirty (directory must treat as writeback).
         dirty: bool,
+        /// Contents are known-corrupt; the mark must travel with the data.
+        poisoned: bool,
     },
     /// Invalidation acknowledgement (sharer -> requestor / directory).
     InvAck {
@@ -289,6 +299,9 @@ pub enum CxlMsg {
         addr: Addr,
         /// Line contents.
         data: u64,
+        /// CXL.mem M2S RwD poison: the payload is known-corrupt and the
+        /// device must remember that when it later serves the line.
+        poisoned: bool,
     },
     /// `MemWr, S`: write back, retain the copy in S (MESI `WB`).
     MemWrS {
@@ -296,6 +309,8 @@ pub enum CxlMsg {
         addr: Addr,
         /// Line contents.
         data: u64,
+        /// CXL.mem M2S RwD poison (see [`CxlMsg::MemWrI`]).
+        poisoned: bool,
     },
     /// Clean response to `BISnpInv`: host no longer holds the line.
     BiRspI {
@@ -324,6 +339,9 @@ pub enum CxlMsg {
         data: u64,
         /// Ownership conferred.
         grant: CxlGrant,
+        /// Whether the payload is poisoned (CXL.mem poison semantics: the
+        /// completion succeeds but the data is marked unusable).
+        poisoned: bool,
     },
     /// Completion for `MemWr*`.
     Cmp {
@@ -460,6 +478,25 @@ impl Message for SysMsg {
             }
         }
     }
+
+    /// Poison faults apply to the data-carrying messages — fills in one
+    /// direction, writebacks in the other (CXL.mem defines poison on both
+    /// S2M DRS and M2S RwD). Control messages refuse the poison.
+    fn poison(&mut self) -> bool {
+        match self {
+            SysMsg::Host(HostMsg::Data { poisoned, .. })
+            | SysMsg::Host(HostMsg::DataToDir { poisoned, .. })
+            | SysMsg::Host(HostMsg::PutM { poisoned, .. })
+            | SysMsg::Host(HostMsg::PutO { poisoned, .. })
+            | SysMsg::Cxl(CxlMsg::MemData { poisoned, .. })
+            | SysMsg::Cxl(CxlMsg::MemWrI { poisoned, .. })
+            | SysMsg::Cxl(CxlMsg::MemWrS { poisoned, .. }) => {
+                *poisoned = true;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 impl From<HostMsg> for SysMsg {
@@ -505,6 +542,7 @@ mod tests {
             grant: Grant::S,
             acks: 0,
             dirty: false,
+            poisoned: false,
         });
         let ctrl = SysMsg::Host(HostMsg::GetS { addr: Addr(0) });
         assert_eq!(data.size_bytes(), DATA_MSG_BYTES);
@@ -512,6 +550,7 @@ mod tests {
         let cxl_data = SysMsg::Cxl(CxlMsg::MemWrI {
             addr: Addr(0),
             data: 9,
+            poisoned: false,
         });
         assert_eq!(cxl_data.size_bytes(), DATA_MSG_BYTES);
         let req = SysMsg::CoreReq(CoreReq {

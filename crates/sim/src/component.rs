@@ -35,10 +35,20 @@ impl std::fmt::Display for ComponentId {
 ///
 /// `size_bytes` feeds the fabric's serialization model (flits, Table III of
 /// the paper). The default corresponds to one intra-cluster flit.
-pub trait Message: std::fmt::Debug + 'static {
+///
+/// `Clone` is required so the fault layer can deliver duplicates; protocol
+/// messages are small `Copy` enums, so this costs nothing.
+pub trait Message: std::fmt::Debug + Clone + 'static {
     /// Wire size used for serialization delay; headers included.
     fn size_bytes(&self) -> u32 {
         72
+    }
+
+    /// Mark this message's data payload as poisoned, returning `true` if
+    /// it carries a poisonable payload. The default refuses: poison faults
+    /// only apply to messages that opt in (data-carrying responses).
+    fn poison(&mut self) -> bool {
+        false
     }
 }
 
@@ -129,14 +139,7 @@ impl<'a, M: Message> Ctx<'a, M> {
         let arrival = self
             .fabric
             .deliver(self.self_id, dst, msg.size_bytes(), self.now, self.rng);
-        self.tracer
-            .msg_send(self.now, self.self_id, dst, msg.size_bytes(), &msg);
-        self.outbox.push(Emit::Deliver {
-            at: arrival,
-            dst,
-            src: self.self_id,
-            msg,
-        });
+        self.inject(dst, msg, self.now, arrival);
     }
 
     /// Like [`Ctx::send`], but the message enters the fabric only after
@@ -148,17 +151,66 @@ impl<'a, M: Message> Ctx<'a, M> {
     ///
     /// Panics if no route from `self` to `dst` is configured.
     pub fn send_after(&mut self, dst: ComponentId, msg: M, extra: Delay) {
-        let arrival = self.fabric.deliver(
-            self.self_id,
-            dst,
-            msg.size_bytes(),
-            self.now + extra,
-            self.rng,
-        );
+        let inject = self.now + extra;
+        let arrival = self
+            .fabric
+            .deliver(self.self_id, dst, msg.size_bytes(), inject, self.rng);
+        self.inject(dst, msg, inject, arrival);
+    }
+
+    /// Common tail of [`Ctx::send`]/[`Ctx::send_after`]: consult the
+    /// fault plan (a no-op unless one is installed on the fabric) and
+    /// enqueue the delivery, the duplicate, or nothing. Every applied
+    /// fault is recorded as a `fault` instant on the sender's trace track.
+    fn inject(&mut self, dst: ComponentId, mut msg: M, inject: Time, arrival: Time) {
         self.tracer
             .msg_send(self.now, self.self_id, dst, msg.size_bytes(), &msg);
+        let d = self.fabric.decide_faults(self.self_id, dst, inject);
+        if d.drop {
+            if self.tracer.is_enabled() {
+                self.tracer
+                    .instant(self.now, self.self_id, "fault", format!("drop {msg:?}"));
+            }
+            return;
+        }
+        if d.poison && msg.poison() {
+            if let Some(plan) = self.fabric.fault_plan_mut() {
+                plan.note_poison_applied();
+            }
+            if self.tracer.is_enabled() {
+                self.tracer
+                    .instant(self.now, self.self_id, "fault", format!("poison {msg:?}"));
+            }
+        }
+        if d.extra > Delay::ZERO && self.tracer.is_enabled() {
+            self.tracer.instant(
+                self.now,
+                self.self_id,
+                "fault",
+                format!("delay +{:?} {msg:?}", d.extra),
+            );
+        }
+        if d.duplicate {
+            let dup_arrival =
+                self.fabric
+                    .deliver(self.self_id, dst, msg.size_bytes(), inject, self.rng);
+            if self.tracer.is_enabled() {
+                self.tracer.instant(
+                    self.now,
+                    self.self_id,
+                    "fault",
+                    format!("duplicate {msg:?}"),
+                );
+            }
+            self.outbox.push(Emit::Deliver {
+                at: dup_arrival + d.extra,
+                dst,
+                src: self.self_id,
+                msg: msg.clone(),
+            });
+        }
         self.outbox.push(Emit::Deliver {
-            at: arrival,
+            at: arrival + d.extra,
             dst,
             src: self.self_id,
             msg,
@@ -243,7 +295,7 @@ impl<'a, M: Message> Ctx<'a, M> {
 mod tests {
     use super::*;
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Ping;
     impl Message for Ping {}
 

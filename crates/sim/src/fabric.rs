@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use crate::component::ComponentId;
+use crate::fault::{FaultDecision, FaultPlan};
 use crate::rng::SimRng;
 use crate::time::{Delay, Time};
 
@@ -109,6 +110,7 @@ struct Link {
 pub struct Fabric {
     links: Vec<Link>,
     routes: HashMap<(ComponentId, ComponentId), Vec<LinkId>>,
+    fault: Option<FaultPlan>,
 }
 
 impl Fabric {
@@ -214,6 +216,50 @@ impl Fabric {
                     self.set_route(a, b, vec![ports[i].0, ports[j].1]);
                 }
             }
+        }
+    }
+
+    /// Number of links installed so far. Snapshot before and after a
+    /// wiring step to learn which [`LinkId`] range that step created
+    /// (ids are sequential), e.g. to target fault injection at just the
+    /// CXL links.
+    pub fn link_count(&self) -> u32 {
+        self.links.len() as u32
+    }
+
+    /// Install a fault plan. Messages crossing faulted links are then
+    /// subject to drop / duplicate / delay / poison decisions; without a
+    /// plan the fabric behaves exactly as before (zero extra RNG draws).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Mutable access to the installed fault plan (e.g. to script exact
+    /// drops from a test).
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.fault.as_mut()
+    }
+
+    /// Decide the fate of a message about to cross `src → dst` at `now`.
+    /// Fault-free (and draw-free) when no plan is installed or no route
+    /// exists (direct-port sends bypass the fabric and are never faulted).
+    pub(crate) fn decide_faults(
+        &mut self,
+        src: ComponentId,
+        dst: ComponentId,
+        now: Time,
+    ) -> FaultDecision {
+        let Some(plan) = self.fault.as_mut() else {
+            return FaultDecision::CLEAR;
+        };
+        match self.routes.get(&(src, dst)) {
+            Some(route) => plan.decide(route, now),
+            None => FaultDecision::CLEAR,
         }
     }
 

@@ -66,7 +66,7 @@ pub enum RunOutcome {
 /// ```
 /// use c3_sim::prelude::*;
 ///
-/// #[derive(Debug)]
+/// #[derive(Debug, Clone)]
 /// struct Tick(u32);
 /// impl Message for Tick {}
 ///
@@ -321,6 +321,12 @@ impl<M: Message> Simulator<M> {
         }
         out.set("sim.time_ns", self.now.as_ns() as f64);
         out.set("sim.events", self.events_processed as f64);
+        // Fault counters only exist when a plan is installed, so
+        // fault-free runs stay byte-identical to builds without the
+        // fault layer.
+        if let Some(plan) = self.fabric.fault_plan() {
+            plan.report_into(&mut out);
+        }
         out
     }
 
@@ -352,7 +358,7 @@ mod tests {
     use crate::time::Delay;
     use std::any::Any;
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Ball(u32);
     impl Message for Ball {}
 

@@ -19,7 +19,7 @@
 //! ```
 //! use c3_sim::prelude::*;
 //!
-//! #[derive(Debug)]
+//! #[derive(Debug, Clone)]
 //! struct Nudge;
 //! impl Message for Nudge {}
 //!
@@ -43,6 +43,7 @@
 
 pub mod component;
 pub mod fabric;
+pub mod fault;
 pub mod kernel;
 pub mod rng;
 pub mod stats;
@@ -71,6 +72,7 @@ macro_rules! sim_trace {
 pub mod prelude {
     pub use crate::component::{Component, ComponentId, Ctx, Message};
     pub use crate::fabric::{Fabric, LinkConfig, LinkId};
+    pub use crate::fault::{FaultPlan, Flap, LinkFaults};
     pub use crate::kernel::{RunOutcome, Simulator};
     pub use crate::rng::SimRng;
     pub use crate::stats::{Band, LatencyBands, LatencyHistogram, Report};
