@@ -37,15 +37,20 @@ const CORES_PER_CLUSTER: usize = 2;
 const CLUSTERS: usize = 2;
 
 fn usage() -> ! {
-    eprintln!("usage: chaos [--seed N] [--iters N] [--drop P] [--dup P] [--delay P] [--poison P]");
+    eprintln!(
+        "usage: chaos [--seed N] [--iters N] [--threads N] [--drop P] [--dup P] [--delay P] \
+         [--poison P]"
+    );
     eprintln!("       with no rate flags, sweeps drop rates 0 / 1% / 2% / 5%");
     eprintln!("       plus one mixed dup+delay+poison round");
     std::process::exit(2);
 }
 
 /// One soak run; panics (→ nonzero exit) on any violated invariant.
-/// Returns the rendered report for the determinism check.
-fn run_once(seed: u64, iters: u64, faults: LinkFaults, label: &str) -> String {
+/// Returns the summary line (printed by the caller in sweep order, so
+/// parallel soaks keep deterministic output) and the rendered report for
+/// the determinism check.
+fn run_once(seed: u64, iters: u64, faults: LinkFaults, label: &str) -> (String, String) {
     let clusters = vec![
         ClusterSpec::new(ProtocolFamily::Mesi, CORES_PER_CLUSTER).with_l1(32, 4),
         ClusterSpec::new(ProtocolFamily::Moesi, CORES_PER_CLUSTER).with_l1(32, 4),
@@ -148,7 +153,7 @@ fn run_once(seed: u64, iters: u64, faults: LinkFaults, label: &str) -> String {
             .map(|(_, v)| v)
             .sum::<f64>();
     }
-    println!(
+    let summary = format!(
         "{label}: Completed at {} after {} events; {injected} fault(s) injected, \
          {resil} recovery action(s), {checked} line(s) exact, {skipped} poisoned line(s) excluded",
         sim.now(),
@@ -159,13 +164,14 @@ fn run_once(seed: u64, iters: u64, faults: LinkFaults, label: &str) -> String {
     for (k, v) in report.iter() {
         rendered.push_str(&format!("{k}={v}\n"));
     }
-    rendered
+    (summary, rendered)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 42u64;
     let mut iters = 60u64;
+    let mut threads = c3_bench::runner::default_threads();
     let mut explicit: Option<LinkFaults> = None;
     let mut it = args.iter();
     fn num<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>) -> T {
@@ -177,6 +183,7 @@ fn main() {
         match a.as_str() {
             "--seed" => seed = num(&mut it),
             "--iters" => iters = num(&mut it),
+            "--threads" => threads = num(&mut it),
             "--drop" => explicit.get_or_insert_with(LinkFaults::default).drop_p = num(&mut it),
             "--dup" => explicit.get_or_insert_with(LinkFaults::default).dup_p = num(&mut it),
             "--delay" => {
@@ -221,10 +228,16 @@ fn main() {
         v
     };
 
-    for (label, faults) in &sweeps {
-        let a = run_once(seed, iters, *faults, label);
-        let b = run_once(seed, iters, *faults, label);
+    // Sweep points are independent seeded runs; soak them in parallel on
+    // the shared runner and print summaries in sweep order afterwards.
+    let summaries = c3_bench::runner::run_indexed(threads, &sweeps, |_, (label, faults)| {
+        let (summary, a) = run_once(seed, iters, *faults, label);
+        let (_, b) = run_once(seed, iters, *faults, label);
         assert_eq!(a, b, "{label}: same seed produced different reports");
+        summary
+    });
+    for s in &summaries {
+        println!("{s}");
     }
     println!("chaos: all {} sweep point(s) converged", sweeps.len());
 }

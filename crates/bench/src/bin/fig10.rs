@@ -7,11 +7,15 @@
 //! workloads (histogram, barnes, lu-ncont) most affected and streaming
 //! workloads (vips) barely affected.
 //!
+//! The 33 × 4 grid runs in parallel on the shared runner; the table is
+//! identical for any thread count.
+//!
 //! Usage: `cargo run --release -p c3-bench --bin fig10 [-- --ops N]
-//! [--workloads a,b,c]`
+//! [--workloads a,b,c] [--csv PATH] [--json PATH] [--threads N]`
 
 use c3::system::GlobalProtocol;
-use c3_bench::{geomean, run_workload, RunConfig};
+use c3_bench::runner::{self, Experiment};
+use c3_bench::{geomean, RunConfig};
 use c3_protocol::mcm::Mcm;
 use c3_protocol::states::ProtocolFamily;
 use c3_workloads::{Suite, WorkloadSpec};
@@ -21,6 +25,8 @@ fn main() {
     let mut ops = 1500usize;
     let mut filter: Option<Vec<String>> = None;
     let mut csv: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut threads = runner::default_threads();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -34,6 +40,14 @@ fn main() {
             }
             "--csv" => {
                 csv = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--json" => {
+                json = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--threads" => {
+                threads = args[i + 1].parse().expect("threads");
                 i += 2;
             }
             other => panic!("unknown arg {other}"),
@@ -77,6 +91,27 @@ fn main() {
         ),
     ];
 
+    let specs: Vec<WorkloadSpec> = WorkloadSpec::all()
+        .into_iter()
+        .filter(|spec| {
+            filter
+                .as_ref()
+                .map(|f| f.iter().any(|n| n == spec.name))
+                .unwrap_or(true)
+        })
+        .collect();
+
+    // Row-major grid: results[4*w + c] is workload w under config c.
+    let mut grid = Vec::new();
+    for spec in &specs {
+        for (_, cfg) in &configs {
+            let mut cfg = *cfg;
+            cfg.ops_per_core = ops;
+            grid.push(Experiment::new(*spec, cfg));
+        }
+    }
+    let results = runner::run_grid(threads, &grid);
+
     println!("Figure 10: normalized execution time (baseline MESI-MESI-MESI = 1.00)");
     println!(
         "{:<18} {:>8} {:>15} {:>15} {:>15}",
@@ -86,19 +121,14 @@ fn main() {
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let mut per_suite: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 3]; 3];
 
-    for spec in WorkloadSpec::all() {
-        if let Some(f) = &filter {
-            if !f.iter().any(|n| n == spec.name) {
-                continue;
-            }
-        }
-        let mut times = Vec::new();
-        for (_, cfg) in &configs {
-            let mut cfg = *cfg;
-            cfg.ops_per_core = ops;
-            let r = run_workload(&spec, &cfg);
-            times.push(r.exec_ns as f64);
-        }
+    for (w, spec) in specs.iter().enumerate() {
+        let times: Vec<f64> = (0..4)
+            .map(|c| {
+                results[4 * w + c]
+                    .expect_completed(&grid[4 * w + c].tag)
+                    .exec_ns as f64
+            })
+            .collect();
         let base = times[0];
         let norm: Vec<f64> = times.iter().map(|t| t / base).collect();
         println!(
@@ -131,6 +161,10 @@ fn main() {
 
     if let Some(path) = csv {
         std::fs::write(&path, csv_rows.join("\n") + "\n").expect("write csv");
+        println!("\n(wrote {path})");
+    }
+    if let Some(path) = json {
+        std::fs::write(&path, runner::grid_json(&grid, &results, true)).expect("write json");
         println!("\n(wrote {path})");
     }
     println!("\nPer-suite geomean (normalized):");

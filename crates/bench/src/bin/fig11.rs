@@ -9,10 +9,15 @@
 //! flat; vips is insensitive. Miss *counts* stay the same: CXL makes each
 //! cross-cluster transaction costlier, it does not add misses.
 //!
-//! Usage: `cargo run --release -p c3-bench --bin fig11 [-- --ops N]`
+//! The 4 × 2 grid runs in parallel on the shared runner; the tables are
+//! identical for any thread count.
+//!
+//! Usage: `cargo run --release -p c3-bench --bin fig11 [-- --ops N]
+//! [--threads N]`
 
 use c3::system::GlobalProtocol;
-use c3_bench::{miss_breakdown, run_workload, RunConfig};
+use c3_bench::runner::{self, Experiment};
+use c3_bench::{miss_breakdown, RunConfig};
 use c3_protocol::mcm::Mcm;
 use c3_protocol::states::ProtocolFamily;
 use c3_workloads::WorkloadSpec;
@@ -20,27 +25,50 @@ use c3_workloads::WorkloadSpec;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut ops = 1500usize;
-    if args.len() >= 3 && args[1] == "--ops" {
-        ops = args[2].parse().expect("ops");
+    let mut threads = runner::default_threads();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ops" => {
+                ops = args[i + 1].parse().expect("ops");
+                i += 2;
+            }
+            "--threads" => {
+                threads = args[i + 1].parse().expect("threads");
+                i += 2;
+            }
+            other => panic!("unknown arg {other}"),
+        }
     }
     let workloads = ["histogram", "barnes", "lu-ncont", "vips"];
-    println!("Figure 11: total miss cycles (us) by latency band and instruction type");
+    let globals = [
+        GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
+        GlobalProtocol::Cxl,
+    ];
+
+    // Row-major grid: results[2*w + g] is workload w under global g.
+    let mut grid = Vec::new();
     for name in workloads {
         let spec = WorkloadSpec::by_name(name).expect("workload");
-        let mut rows = Vec::new();
-        let mut execs = Vec::new();
-        let mut misses = Vec::new();
-        for global in [
-            GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
-            GlobalProtocol::Cxl,
-        ] {
+        for global in globals {
             let mut cfg = RunConfig::scaled(
                 (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
                 global,
                 (Mcm::Weak, Mcm::Weak),
             );
             cfg.ops_per_core = ops;
-            let r = run_workload(&spec, &cfg);
+            grid.push(Experiment::new(spec, cfg));
+        }
+    }
+    let results = runner::run_grid(threads, &grid);
+
+    println!("Figure 11: total miss cycles (us) by latency band and instruction type");
+    for (w, name) in workloads.iter().enumerate() {
+        let mut rows = Vec::new();
+        let mut execs = Vec::new();
+        let mut misses = Vec::new();
+        for g in 0..2 {
+            let r = results[2 * w + g].expect_completed(&grid[2 * w + g].tag);
             rows.push(miss_breakdown(&r.report));
             execs.push(r.exec_ns);
             let mut m = 0.0;

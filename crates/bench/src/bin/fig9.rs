@@ -9,11 +9,15 @@
 //! bridges heterogeneous MCMs without dragging the weak cluster down to
 //! TSO speed.
 //!
-//! Usage: `cargo run --release -p c3-bench --bin fig9 [-- --ops N]`
+//! The workload × MCM grid of each scenario runs in parallel on the
+//! shared runner; the tables are identical for any thread count.
+//!
+//! Usage: `cargo run --release -p c3-bench --bin fig9 [-- --ops N]
+//! [--workloads a,b,c] [--threads N]`
 
 use c3::system::GlobalProtocol;
-use c3_bench::{geomean, run_workload, RunConfig};
-use c3_mcm::core_model::TimingCore;
+use c3_bench::runner::{self, Experiment};
+use c3_bench::{geomean, RunConfig};
 use c3_protocol::mcm::Mcm;
 use c3_protocol::states::ProtocolFamily;
 use c3_workloads::{Suite, WorkloadSpec};
@@ -22,6 +26,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut ops = 1200usize;
     let mut filter: Option<Vec<String>> = None;
+    let mut threads = runner::default_threads();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,9 +38,27 @@ fn main() {
                 filter = Some(args[i + 1].split(',').map(|s| s.to_string()).collect());
                 i += 2;
             }
+            "--threads" => {
+                threads = args[i + 1].parse().expect("threads");
+                i += 2;
+            }
             other => panic!("unknown arg {other}"),
         }
     }
+    let specs: Vec<WorkloadSpec> = WorkloadSpec::all()
+        .into_iter()
+        .filter(|spec| {
+            filter
+                .as_ref()
+                .map(|f| f.iter().any(|n| n == spec.name))
+                .unwrap_or(true)
+        })
+        .collect();
+    let mcm_combos = [
+        (Mcm::Weak, Mcm::Weak),
+        (Mcm::Tso, Mcm::Tso),
+        (Mcm::Weak, Mcm::Tso),
+    ];
 
     for (scenario, protos) in [
         (
@@ -47,35 +70,39 @@ fn main() {
             (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
         ),
     ] {
+        // The grid is specs × mcm_combos, in row-major order, so
+        // results[3*w + k] is workload w under MCM combo k.
+        let mut grid = Vec::new();
+        for spec in &specs {
+            for mcms in mcm_combos {
+                let mut cfg = RunConfig::scaled(protos, GlobalProtocol::Cxl, mcms);
+                cfg.ops_per_core = ops;
+                grid.push(Experiment::new(*spec, cfg).tagged(format!(
+                    "{}/{}/{:?}-{:?}",
+                    spec.name,
+                    cfg.label(),
+                    mcms.0,
+                    mcms.1
+                )));
+            }
+        }
+        let results = runner::run_grid(threads, &grid);
+
         println!("=== scenario {scenario} ===");
         println!(
             "{:<18} {:>10} {:>10} {:>10} {:>12}",
             "workload", "Arm-Arm", "TSO-TSO", "Arm-TSO", "Arm@mixed"
         );
-        let mcm_combos = [
-            (Mcm::Weak, Mcm::Weak),
-            (Mcm::Tso, Mcm::Tso),
-            (Mcm::Weak, Mcm::Tso),
-        ];
         let mut suite_norm: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 3]; 3];
-        for spec in WorkloadSpec::all() {
-            if let Some(f) = &filter {
-                if !f.iter().any(|n| n == spec.name) {
-                    continue;
-                }
-            }
-            let mut times = Vec::new();
-            let mut mixed_weak_cluster = 0.0;
-            for mcms in mcm_combos {
-                let mut cfg = RunConfig::scaled(protos, GlobalProtocol::Cxl, mcms);
-                cfg.ops_per_core = ops;
-                let r = run_workload(&spec, &cfg);
-                times.push(r.exec_ns as f64);
-                if mcms == (Mcm::Weak, Mcm::Tso) {
-                    // cluster 0 is the weak one in the mixed assignment
-                    mixed_weak_cluster = r.cluster_ns[0] as f64;
-                }
-            }
+        for (w, spec) in specs.iter().enumerate() {
+            let cell = |k: usize| {
+                results[3 * w + k]
+                    .expect_completed(&grid[3 * w + k].tag)
+                    .clone()
+            };
+            let times: Vec<f64> = (0..3).map(|k| cell(k).exec_ns as f64).collect();
+            // cluster 0 is the weak one in the mixed (Weak, Tso) assignment
+            let mixed_weak_cluster = cell(2).cluster_ns[0] as f64;
             let base = times[0];
             println!(
                 "{:<18} {:>10.3} {:>10.3} {:>10.3} {:>12.3}",
@@ -126,5 +153,4 @@ fn main() {
         }
         println!();
     }
-    let _ = TimingCore::reg; // keep the import meaningful for rustdoc
 }

@@ -1,0 +1,178 @@
+//! `perf` — kernel-throughput microbench tracking the perf trajectory.
+//!
+//! Two measurements:
+//!
+//! * **ping-pong**: two components exchanging one message over a single
+//!   intra-cluster link — a pure event-kernel hot-path workload (heap
+//!   pop, fabric deliver, handler dispatch, outbox drain) with almost no
+//!   component logic, so events/sec here is the kernel's ceiling;
+//! * **workload**: a real C³ run (`vips`, MESI-CXL-MESI) — events/sec
+//!   with protocol logic, caches and the full topology in the loop.
+//!
+//! Writes the measurements as JSON (default `BENCH_perf.json`) so CI can
+//! archive one point per commit. Exits nonzero if either measurement
+//! reports zero throughput.
+//!
+//! Usage: `cargo run --release -p c3-bench --bin perf [-- --quick]
+//! [--exchanges N] [--out PATH]`
+
+use std::any::Any;
+
+use c3::system::GlobalProtocol;
+use c3_bench::runner::{self, Experiment};
+use c3_bench::RunConfig;
+use c3_protocol::mcm::Mcm;
+use c3_protocol::states::ProtocolFamily;
+use c3_sim::prelude::*;
+use c3_workloads::WorkloadSpec;
+
+#[derive(Debug, Clone)]
+struct Ball(u64);
+impl Message for Ball {}
+
+/// Ping-pong player: returns the ball until the exchange budget drains.
+struct Player {
+    peer: Option<ComponentId>,
+    budget: u64,
+    serve: bool,
+    done: bool,
+}
+
+impl Component<Ball> for Player {
+    fn name(&self) -> String {
+        "player".into()
+    }
+    fn start(&mut self, ctx: &mut Ctx<'_, Ball>) {
+        if self.serve {
+            ctx.send(self.peer.unwrap(), Ball(0));
+        }
+    }
+    fn handle(&mut self, msg: Ball, _src: ComponentId, ctx: &mut Ctx<'_, Ball>) {
+        if msg.0 < self.budget {
+            ctx.send(self.peer.unwrap(), Ball(msg.0 + 1));
+        } else {
+            self.done = true;
+        }
+    }
+    fn done(&self) -> bool {
+        self.done || !self.serve
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// (events, sim_ns, wall_ms, events_per_sec) of an `exchanges`-long
+/// ping-pong over one intra-cluster link.
+fn pingpong(exchanges: u64) -> (u64, u64, f64, f64) {
+    // Odd-numbered balls land on the server, whose `done` flag gates the
+    // run — an odd budget puts the final ball there.
+    let exchanges = exchanges | 1;
+    let mut sim: Simulator<Ball> = Simulator::new(1);
+    let a = sim.add_component(Box::new(Player {
+        peer: None,
+        budget: exchanges,
+        serve: true,
+        done: false,
+    }));
+    let b = sim.add_component(Box::new(Player {
+        peer: None,
+        budget: exchanges,
+        serve: false,
+        done: false,
+    }));
+    sim.component_as_mut::<Player>(a).unwrap().peer = Some(b);
+    sim.component_as_mut::<Player>(b).unwrap().peer = Some(a);
+    let link = sim.fabric_mut().add_link(LinkConfig::intra_cluster());
+    sim.fabric_mut().set_route_bidi(a, b, vec![link]);
+    sim.set_perf_reporting(true);
+    assert_eq!(sim.run(), RunOutcome::Completed, "ping-pong wedged");
+    let report = sim.report();
+    let eps = report
+        .get("sim.events_per_sec")
+        .expect("perf reporting surfaces sim.events_per_sec");
+    (
+        sim.events_processed(),
+        sim.now().as_ns(),
+        sim.wall_time().as_secs_f64() * 1_000.0,
+        eps,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut quick = false;
+    let mut exchanges: Option<u64> = None;
+    let mut out = "BENCH_perf.json".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--exchanges" => {
+                exchanges = Some(args[i + 1].parse().expect("exchanges"));
+                i += 2;
+            }
+            "--out" => {
+                out = args[i + 1].clone();
+                i += 2;
+            }
+            other => panic!("unknown arg {other}"),
+        }
+    }
+    let exchanges = exchanges.unwrap_or(if quick { 200_000 } else { 2_000_000 }) | 1;
+
+    let (pp_events, pp_sim_ns, pp_wall_ms, pp_eps) = pingpong(exchanges);
+    println!(
+        "pingpong : {pp_events} events in {pp_wall_ms:.1} ms -> {:.2} M events/sec",
+        pp_eps / 1e6
+    );
+
+    let mut cfg = RunConfig::scaled(
+        (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+        GlobalProtocol::Cxl,
+        (Mcm::Weak, Mcm::Weak),
+    );
+    if quick {
+        cfg = cfg.quick();
+    }
+    let spec = WorkloadSpec::by_name("vips").expect("workload");
+    let exp = Experiment::new(spec, cfg);
+    let r = runner::run_experiment(&exp);
+    r.expect_completed(&exp.tag);
+    println!(
+        "workload : {} ({}) {} events in {:.1} ms -> {:.2} M events/sec",
+        spec.name,
+        cfg.label(),
+        r.events,
+        r.wall_ms,
+        r.events_per_sec / 1e6
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"perf\",\n  \"quick\": {quick},\n  \"pingpong\": {{\"exchanges\": \
+         {exchanges}, \"events\": {pp_events}, \"sim_ns\": {pp_sim_ns}, \"wall_ms\": \
+         {pp_wall_ms:.3}, \"events_per_sec\": {pp_eps:.0}}},\n  \"workload\": {{\"name\": \
+         \"{}\", \"config\": \"{}\", \"events\": {}, \"sim_ns\": {}, \"exec_ns\": {}, \
+         \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}\n}}\n",
+        runner::json_escape(spec.name),
+        runner::json_escape(&cfg.label()),
+        r.events,
+        r.sim_ns,
+        r.exec_ns,
+        r.wall_ms,
+        r.events_per_sec,
+    );
+    std::fs::write(&out, &json).expect("write perf json");
+    println!("(wrote {out})");
+
+    if pp_eps <= 0.0 || r.events_per_sec <= 0.0 {
+        eprintln!("perf: zero throughput measured");
+        std::process::exit(1);
+    }
+}

@@ -9,73 +9,74 @@
 //! and the *relative* gap stabilizes — the protocol penalty scales with
 //! the number of message hops, which is CXL's structural property.
 //!
-//! Usage: `cargo run --release -p c3-bench --bin sweep [-- --workload W]`
+//! All 12 grid cells (6 latencies × 2 globals) run in parallel on the
+//! shared runner; the table is identical for any thread count.
+//!
+//! Usage: `cargo run --release -p c3-bench --bin sweep
+//! [-- --workload W] [--threads N] [--json PATH]`
 
-use c3::system::{ClusterSpec, GlobalProtocol, SystemBuilder};
-use c3_mcm::core_model::{CoreConfig, TimingCore};
+use c3::system::GlobalProtocol;
+use c3_bench::runner::{self, Experiment};
+use c3_bench::RunConfig;
 use c3_protocol::mcm::Mcm;
 use c3_protocol::states::ProtocolFamily;
-use c3_sim::kernel::RunOutcome;
-use c3_sim::time::Delay;
 use c3_workloads::WorkloadSpec;
-
-fn run(spec: &WorkloadSpec, global: GlobalProtocol, link_ns: u64) -> u64 {
-    let cores = 4usize;
-    let clusters = vec![
-        ClusterSpec::new(ProtocolFamily::Mesi, cores).with_l1(128, 4),
-        ClusterSpec::new(ProtocolFamily::Mesi, cores).with_l1(128, 4),
-    ];
-    let spec = *spec;
-    let (mut sim, handles) = SystemBuilder::new(clusters, global)
-        .cxl_cache(2048, 8)
-        .link_latency(Delay::from_ns(link_ns))
-        .build(move |ci, k, l1| {
-            let thread = ci * cores + k;
-            Box::new(TimingCore::new(
-                format!("c{ci}.core{k}"),
-                l1,
-                CoreConfig::new(Mcm::Weak, ProtocolFamily::Mesi),
-                spec.generate(thread, cores * 2, 1000, 0xC3),
-                0xC3 ^ (thread as u64) << 32,
-            ))
-        });
-    sim.set_event_limit(400_000_000);
-    assert_eq!(
-        sim.run(),
-        RunOutcome::Completed,
-        "{:?}",
-        sim.pending_components()
-    );
-    let mut exec = 0;
-    for cluster in &handles.cores {
-        for &c in cluster {
-            let tc = sim.component_as::<TimingCore>(c).expect("core");
-            exec = exec.max(tc.finished_at().map(|t| t.as_ns()).unwrap_or(0));
-        }
-    }
-    exec
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let wname = if args.len() >= 3 && args[1] == "--workload" {
-        args[2].clone()
-    } else {
-        "histogram".to_string()
-    };
+    let mut wname = "histogram".to_string();
+    let mut threads = runner::default_threads();
+    let mut json: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                wname = args[i + 1].clone();
+                i += 2;
+            }
+            "--threads" => {
+                threads = args[i + 1].parse().expect("threads");
+                i += 2;
+            }
+            "--json" => {
+                json = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => panic!("unknown arg {other}"),
+        }
+    }
     let spec = WorkloadSpec::by_name(&wname).expect("workload");
+
+    let link_points: [u64; 6] = [5, 15, 35, 70, 140, 280];
+    let mut grid = Vec::new();
+    for &link_ns in &link_points {
+        for global in [
+            GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
+            GlobalProtocol::Cxl,
+        ] {
+            let mut cfg = RunConfig::scaled(
+                (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+                global,
+                (Mcm::Weak, Mcm::Weak),
+            )
+            .link_ns(link_ns);
+            cfg.ops_per_core = 1000;
+            grid.push(Experiment::new(spec, cfg).tagged(format!("link{link_ns}/{}", cfg.label())));
+        }
+    }
+
+    let results = runner::run_grid(threads, &grid);
+
     println!("Link-latency sweep, workload {wname} (normalized CXL/baseline):");
     println!(
         "{:>9} {:>12} {:>12} {:>8}",
         "link(ns)", "baseline(ns)", "cxl(ns)", "ratio"
     );
-    for link_ns in [5, 15, 35, 70, 140, 280] {
-        let base = run(
-            &spec,
-            GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
-            link_ns,
-        );
-        let cxl = run(&spec, GlobalProtocol::Cxl, link_ns);
+    for (i, &link_ns) in link_points.iter().enumerate() {
+        let base = results[2 * i].expect_completed(&grid[2 * i].tag).exec_ns;
+        let cxl = results[2 * i + 1]
+            .expect_completed(&grid[2 * i + 1].tag)
+            .exec_ns;
         println!(
             "{:>9} {:>12} {:>12} {:>8.3}",
             link_ns,
@@ -85,4 +86,8 @@ fn main() {
         );
     }
     println!("\n(70 ns is the paper's Table III operating point)");
+    if let Some(path) = json {
+        std::fs::write(&path, runner::grid_json(&grid, &results, true)).expect("write json");
+        println!("(wrote {path})");
+    }
 }

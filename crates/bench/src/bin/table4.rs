@@ -7,10 +7,16 @@
 //! Also runs the paper's control experiment: with synchronization removed,
 //! relaxed outcomes must appear on weak clusters.
 //!
-//! Usage: `cargo run --release -p c3-bench --bin table4 [-- --runs N]`
+//! The 7 × 2 × 3 campaign matrix runs in parallel on the shared runner;
+//! every cell is an independent seeded campaign, so the table is
+//! identical for any thread count.
+//!
+//! Usage: `cargo run --release -p c3-bench --bin table4 [-- --runs N]
+//! [--threads N]`
 //! (the paper uses 100 000 runs per cell; the default here is 400)
 
 use c3::system::GlobalProtocol;
+use c3_bench::runner;
 use c3_mcm::harness::{reference_allowed, run_litmus, LitmusConfig};
 use c3_mcm::litmus::LitmusTest;
 use c3_protocol::mcm::Mcm;
@@ -19,8 +25,20 @@ use c3_protocol::states::ProtocolFamily;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut runs = 400usize;
-    if args.len() >= 3 && args[1] == "--runs" {
-        runs = args[2].parse().expect("runs");
+    let mut threads = runner::default_threads();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--runs" => {
+                runs = args[i + 1].parse().expect("runs");
+                i += 2;
+            }
+            "--threads" => {
+                threads = args[i + 1].parse().expect("threads");
+                i += 2;
+            }
+            other => panic!("unknown arg {other}"),
+        }
     }
     let protocol_combos = [
         (
@@ -38,6 +56,22 @@ fn main() {
         ("TSO-TSO", (Mcm::Tso, Mcm::Tso)),
     ];
 
+    // Row-major campaign matrix: cells[(6*t) + (3*p) + m] is test t under
+    // protocol combo p with MCM combo m.
+    let tests = LitmusTest::paper_suite();
+    let mut cells = Vec::new();
+    for test in &tests {
+        for (_, protos) in &protocol_combos {
+            for (_, mcms) in &mcm_combos {
+                cells.push((test.clone(), *protos, *mcms));
+            }
+        }
+    }
+    let reports = runner::run_indexed(threads, &cells, |_, (test, protos, mcms)| {
+        let cfg = LitmusConfig::new(*protos, GlobalProtocol::Cxl, *mcms).runs(runs);
+        run_litmus(test, &cfg)
+    });
+
     println!("Table IV: litmus results ({runs} randomized runs per cell)");
     print!("{:<10}", "Test");
     for (pname, _) in &protocol_combos {
@@ -49,20 +83,17 @@ fn main() {
     println!();
 
     let mut all_passed = true;
-    for test in LitmusTest::paper_suite() {
+    for (t, test) in tests.iter().enumerate() {
         print!("{:<10}", test.name);
-        for (_, protos) in &protocol_combos {
-            for (_, mcms) in &mcm_combos {
-                let cfg = LitmusConfig::new(*protos, GlobalProtocol::Cxl, *mcms).runs(runs);
-                let report = run_litmus(&test, &cfg);
-                let mark = if report.passed() {
-                    format!("✓({:.0}%)", report.coverage() * 100.0)
-                } else {
-                    all_passed = false;
-                    "✗".to_string()
-                };
-                print!(" {mark:>9}");
-            }
+        for cell in 0..6 {
+            let report = &reports[6 * t + cell];
+            let mark = if report.passed() {
+                format!("✓({:.0}%)", report.coverage() * 100.0)
+            } else {
+                all_passed = false;
+                "✗".to_string()
+            };
+            print!(" {mark:>9}");
         }
         println!();
     }
@@ -71,24 +102,26 @@ fn main() {
     // Control experiment (§VI-A): removing synchronization must expose
     // relaxed outcomes on weak clusters.
     println!("\nControl: synchronization removed (forbidden-under-sync outcomes MUST appear)");
-    let mut controls_ok = true;
-    for test in [LitmusTest::mp(), LitmusTest::sb(), LitmusTest::lb()] {
+    let control_tests = [LitmusTest::mp(), LitmusTest::sb(), LitmusTest::lb()];
+    let controls = runner::run_indexed(threads, &control_tests, |_, test| {
         let cfg = LitmusConfig::new(
             (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
             GlobalProtocol::Cxl,
             (Mcm::Weak, Mcm::Weak),
         )
         .runs(runs.max(400));
-        let synced = reference_allowed(&test, &cfg);
+        let synced = reference_allowed(test, &cfg);
         let report = run_litmus(&test.without_sync(), &cfg);
-        let relaxed = report.relaxed_observed(&synced);
-        let coherent = report.passed();
-        controls_ok &= relaxed && coherent;
+        (report.relaxed_observed(&synced), report.passed())
+    });
+    let mut controls_ok = true;
+    for (test, (relaxed, coherent)) in control_tests.iter().zip(&controls) {
+        controls_ok &= relaxed & coherent;
         println!(
             "  {:<10} relaxed outcome observed: {}   still coherent: {}",
             test.name,
-            if relaxed { "yes ✓" } else { "NO ✗" },
-            if coherent { "yes ✓" } else { "NO ✗" }
+            if *relaxed { "yes ✓" } else { "NO ✗" },
+            if *coherent { "yes ✓" } else { "NO ✗" }
         );
     }
 

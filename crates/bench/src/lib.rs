@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod runner;
+
 use c3::system::{ClusterSpec, GlobalProtocol, SystemBuilder};
 use c3_mcm::core_model::{CoreConfig, TimingCore};
 use c3_protocol::mcm::Mcm;
@@ -43,6 +45,9 @@ pub struct RunConfig {
     pub seed: u64,
     /// Ablation: force an ordered device→host channel.
     pub ordered_s2m: bool,
+    /// Cross-cluster CXL link latency (Table III default: 70 ns). The
+    /// `sweep` binary varies this; everything else keeps the default.
+    pub link_latency: Delay,
 }
 
 impl RunConfig {
@@ -62,6 +67,7 @@ impl RunConfig {
             cxl_cache: (2048, 8),
             seed: 0xC3,
             ordered_s2m: false,
+            link_latency: Delay::from_ns(70),
         }
     }
 
@@ -69,6 +75,12 @@ impl RunConfig {
     pub fn quick(mut self) -> Self {
         self.cores_per_cluster = 2;
         self.ops_per_core = 150;
+        self
+    }
+
+    /// Override the cross-cluster link latency (sensitivity sweeps).
+    pub fn link_ns(mut self, ns: u64) -> Self {
+        self.link_latency = Delay::from_ns(ns);
         self
     }
 
@@ -116,6 +128,7 @@ pub fn build_sim(
     let builder = SystemBuilder::new(clusters, cfg.global)
         .cxl_cache(cfg.cxl_cache.0, cfg.cxl_cache.1)
         .seed(cfg.seed)
+        .link_latency(cfg.link_latency)
         .ordered_s2m(cfg.ordered_s2m);
     let spec_copy = *spec;
     let mcms = cfg.mcms;
@@ -179,6 +192,25 @@ pub fn run_workload_with<T>(
             sim.pending_components()
         );
     }
+    let (exec_ns, cluster_ns) = exec_times(&sim, &handles);
+    let extra = inspect(&sim, &handles);
+    (
+        RunResult {
+            exec_ns,
+            cluster_ns,
+            report: sim.report(),
+        },
+        extra,
+    )
+}
+
+/// Per-cluster and overall completion times (ns) of a finished run: the
+/// max over each cluster's cores of `TimingCore::finished_at`, and the
+/// max over clusters — the paper's execution-time metric.
+pub fn exec_times(
+    sim: &c3_sim::kernel::Simulator<SysMsg>,
+    handles: &c3::system::SystemHandles,
+) -> (u64, Vec<u64>) {
     let mut exec_ns = 0;
     let mut cluster_ns = Vec::new();
     for cluster in &handles.cores {
@@ -190,15 +222,7 @@ pub fn run_workload_with<T>(
         cluster_ns.push(t_cluster);
         exec_ns = exec_ns.max(t_cluster);
     }
-    let extra = inspect(&sim, &handles);
-    (
-        RunResult {
-            exec_ns,
-            cluster_ns,
-            report: sim.report(),
-        },
-        extra,
-    )
+    (exec_ns, cluster_ns)
 }
 
 /// Geometric mean (the paper's per-suite aggregation).

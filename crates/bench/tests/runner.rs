@@ -1,0 +1,148 @@
+//! Integration tests for the parallel experiment runner and the
+//! event-kernel hot path it exercises:
+//!
+//! * N-thread output is byte-identical to 1-thread output on the same
+//!   grid (determinism under parallelism);
+//! * the `perf` microbench completes in `--quick` mode and reports
+//!   nonzero events/sec;
+//! * same-seed runs render byte-identical `report_dump`-style reports,
+//!   pinned by fingerprint so fabric/kernel hot-path changes that shift
+//!   behaviour (rather than just speed) fail loudly.
+
+use c3::system::GlobalProtocol;
+use c3_bench::runner::{self, Experiment};
+use c3_bench::{run_workload, RunConfig};
+use c3_protocol::mcm::Mcm;
+use c3_protocol::states::ProtocolFamily;
+use c3_workloads::WorkloadSpec;
+
+fn tiny_grid() -> Vec<Experiment> {
+    let mut grid = Vec::new();
+    for name in ["vips", "histogram"] {
+        let spec = WorkloadSpec::by_name(name).expect("workload");
+        for global in [
+            GlobalProtocol::Hierarchical(ProtocolFamily::Mesi),
+            GlobalProtocol::Cxl,
+        ] {
+            let mut cfg = RunConfig::scaled(
+                (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+                global,
+                (Mcm::Weak, Mcm::Weak),
+            )
+            .quick();
+            cfg.ops_per_core = 120;
+            grid.push(Experiment::new(spec, cfg));
+        }
+    }
+    grid
+}
+
+/// The runner's deterministic JSON must not depend on how many worker
+/// threads executed the grid (completion order is scheduling noise; the
+/// results are keyed by config index).
+#[test]
+fn grid_json_is_thread_count_invariant() {
+    let grid = tiny_grid();
+    let one = runner::grid_json(&grid, &runner::run_grid(1, &grid), false);
+    for threads in [2, 4, 8] {
+        let n = runner::grid_json(&grid, &runner::run_grid(threads, &grid), false);
+        assert_eq!(one, n, "JSON differs between 1 and {threads} threads");
+    }
+    // Sanity: the JSON actually carries the grid.
+    assert_eq!(one.matches("\"outcome\":\"Completed\"").count(), grid.len());
+}
+
+/// Full per-cell equality (reports included), not just the JSON view.
+#[test]
+fn parallel_results_match_sequential_results() {
+    let grid = tiny_grid();
+    let seq = runner::run_grid(1, &grid);
+    let par = runner::run_grid(4, &grid);
+    for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(a.outcome, b.outcome, "cell {i}");
+        assert_eq!(a.exec_ns, b.exec_ns, "cell {i}");
+        assert_eq!(a.cluster_ns, b.cluster_ns, "cell {i}");
+        assert_eq!(a.sim_ns, b.sim_ns, "cell {i}");
+        assert_eq!(a.events, b.events, "cell {i}");
+        assert_eq!(a.report, b.report, "cell {i}");
+    }
+}
+
+/// `--bin perf --quick` must complete and report nonzero events/sec.
+#[test]
+fn perf_quick_smoke() {
+    let out = std::env::temp_dir().join(format!("c3-perf-smoke-{}.json", std::process::id()));
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_perf"))
+        .args(["--quick", "--exchanges", "5000"])
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("spawn perf");
+    assert!(
+        output.status.success(),
+        "perf --quick failed:\n{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let json = std::fs::read_to_string(&out).expect("perf json written");
+    let _ = std::fs::remove_file(&out);
+    // Both measurements must be present with nonzero throughput: the
+    // perf bin itself exits nonzero on zero throughput, so reaching here
+    // with the fields present is the assertion — plus a direct parse.
+    for section in ["\"pingpong\"", "\"workload\""] {
+        assert!(json.contains(section), "missing {section} in {json}");
+    }
+    let eps: Vec<f64> = json
+        .match_indices("\"events_per_sec\": ")
+        .map(|(i, pat)| {
+            let rest = &json[i + pat.len()..];
+            let end = rest.find(['}', ',']).unwrap();
+            rest[..end].trim().parse().expect("events_per_sec number")
+        })
+        .collect();
+    assert_eq!(eps.len(), 2, "two measurements in {json}");
+    assert!(eps.iter().all(|&e| e > 0.0), "zero throughput in {json}");
+}
+
+/// Render a report the way `--bin report_dump` does.
+fn render(spec: &WorkloadSpec, cfg: &RunConfig) -> String {
+    let r = run_workload(spec, cfg);
+    let mut lines: Vec<String> = r.report.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    lines.sort_unstable();
+    format!("exec_ns={}\n{}", r.exec_ns, lines.join("\n"))
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Same-seed, same-config runs must render byte-identical reports, and
+/// the rendering is pinned by fingerprint: any fabric/kernel "pure
+/// optimization" that actually changes simulated behaviour (timing,
+/// event counts, RNG draws) trips this test. Re-pin deliberately when a
+/// behaviour change is intended (e.g. the inclusive-jitter fix).
+#[test]
+fn report_dump_byte_identity() {
+    let spec = WorkloadSpec::by_name("barnes").expect("workload");
+    let mut cfg = RunConfig::scaled(
+        (ProtocolFamily::Mesi, ProtocolFamily::Moesi),
+        GlobalProtocol::Cxl,
+        (Mcm::Weak, Mcm::Weak),
+    )
+    .quick();
+    cfg.ops_per_core = 200;
+    let a = render(&spec, &cfg);
+    let b = render(&spec, &cfg);
+    assert_eq!(a, b, "same-seed runs rendered different reports");
+    assert_eq!(
+        fnv1a(&a),
+        4_553_830_574_658_468_899u64,
+        "pinned report fingerprint changed — if the behaviour change is \
+         intentional, re-pin this constant\nreport:\n{a}"
+    );
+}

@@ -163,8 +163,10 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// enqueue the delivery, the duplicate, or nothing. Every applied
     /// fault is recorded as a `fault` instant on the sender's trace track.
     fn inject(&mut self, dst: ComponentId, mut msg: M, inject: Time, arrival: Time) {
-        self.tracer
-            .msg_send(self.now, self.self_id, dst, msg.size_bytes(), &msg);
+        if self.tracer.is_enabled() {
+            self.tracer
+                .msg_send(self.now, self.self_id, dst, msg.size_bytes(), &msg);
+        }
         let d = self.fabric.decide_faults(self.self_id, dst, inject);
         if d.drop {
             if self.tracer.is_enabled() {
@@ -220,8 +222,10 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// Send `msg` to `dst` over a direct port with a fixed `delay`,
     /// bypassing the fabric (e.g. core ↔ private L1, 1 cycle).
     pub fn send_direct(&mut self, dst: ComponentId, msg: M, delay: Delay) {
-        self.tracer
-            .msg_send(self.now, self.self_id, dst, msg.size_bytes(), &msg);
+        if self.tracer.is_enabled() {
+            self.tracer
+                .msg_send(self.now, self.self_id, dst, msg.size_bytes(), &msg);
+        }
         self.outbox.push(Emit::Deliver {
             at: self.now + delay,
             dst,

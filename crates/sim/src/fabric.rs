@@ -162,14 +162,20 @@ impl Fabric {
         now: Time,
         rng: &mut SimRng,
     ) -> Time {
-        let route = self
-            .routes
+        // Borrow the route in place: `routes` and `links` are disjoint
+        // fields, so indexing links mutably while iterating the route
+        // needs no per-message clone of the `Vec<LinkId>`.
+        let Fabric {
+            ref mut links,
+            ref routes,
+            ..
+        } = *self;
+        let route = routes
             .get(&(src, dst))
-            .unwrap_or_else(|| panic!("no route configured {src} -> {dst}"))
-            .clone();
+            .unwrap_or_else(|| panic!("no route configured {src} -> {dst}"));
         let mut t = now;
-        for lid in route {
-            let link = &mut self.links[lid.0 as usize];
+        for &lid in route {
+            let link = &mut links[lid.0 as usize];
             let flits = size.div_ceil(link.cfg.flit_bytes).max(1) as u64;
             let ser = link.cfg.flit_time.times(flits);
             let start = t.max(link.next_free);
@@ -182,7 +188,8 @@ impl Fabric {
                 arrival = arrival.max(link.last_arrival);
                 link.last_arrival = arrival;
             } else if link.cfg.jitter > Delay::ZERO {
-                arrival += Delay::from_ps(rng.below(link.cfg.jitter.as_ps().max(1)));
+                // Inclusive bound: the configured maximum jitter is drawable.
+                arrival += Delay::from_ps(rng.below(link.cfg.jitter.as_ps() + 1));
             }
             t = arrival;
         }
@@ -338,6 +345,34 @@ mod tests {
         let t = f.deliver(a, b, 72, Time::ZERO, &mut rng);
         assert!(t >= Time::from_ns(70));
         assert!(t <= Time::from_ns(95));
+    }
+
+    #[test]
+    fn jitter_bound_is_inclusive() {
+        // The configured maximum jitter must actually be drawable: with a
+        // 3 ps jitter there are exactly four possible offsets (0..=3) and
+        // a few hundred draws cover all of them.
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let mut cfg = LinkConfig::cxl();
+        cfg.jitter = Delay::from_ps(3);
+        let base = cfg.latency + cfg.router + cfg.flit_time; // 72 B = 1 flit
+        let l = f.add_link(cfg);
+        f.set_route(a, b, vec![l]);
+        let mut rng = SimRng::seed_from(8);
+        let mut seen = [false; 4];
+        for i in 0..400u64 {
+            // Space sends out so serialization never queues behind next_free.
+            let now = Time::from_ns(i * 1_000);
+            let t = f.deliver(a, b, 72, now, &mut rng);
+            let jitter_ps = (t - (now + base)).as_ps();
+            assert!(jitter_ps <= 3, "jitter {jitter_ps} ps above configured max");
+            seen[jitter_ps as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "not every jitter offset drawn: {seen:?}"
+        );
     }
 
     #[test]

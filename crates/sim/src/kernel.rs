@@ -105,6 +105,15 @@ pub struct Simulator<M: Message> {
     time_limit: Time,
     started: bool,
     tracer: Tracer,
+    /// Scratch buffer for component emissions, kept across events and
+    /// across `run()` calls so the hot loop never reallocates it.
+    outbox: Vec<Emit<M>>,
+    /// Wall-clock time spent inside `run()` (accumulated across calls).
+    wall: std::time::Duration,
+    /// When set, `report()` includes the wall-clock-derived
+    /// `sim.events_per_sec` key. Off by default so same-seed reports
+    /// stay byte-identical run to run.
+    report_perf: bool,
 }
 
 impl<M: Message> Simulator<M> {
@@ -122,6 +131,9 @@ impl<M: Message> Simulator<M> {
             time_limit: Time::MAX,
             started: false,
             tracer: Tracer::disabled(),
+            outbox: Vec::new(),
+            wall: std::time::Duration::ZERO,
+            report_perf: false,
         }
     }
 
@@ -214,6 +226,29 @@ impl<M: Message> Simulator<M> {
         self.events_processed
     }
 
+    /// Wall-clock time spent inside [`Simulator::run`] so far.
+    pub fn wall_time(&self) -> std::time::Duration {
+        self.wall
+    }
+
+    /// Kernel throughput: events delivered per wall-clock second across
+    /// all `run()` calls so far (0.0 before the first event).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Opt in to the wall-clock-derived `sim.events_per_sec` key in
+    /// [`Simulator::report`]. Off by default: wall-clock varies run to
+    /// run, and default reports must stay byte-identical for a seed.
+    pub fn set_perf_reporting(&mut self, on: bool) {
+        self.report_perf = on;
+    }
+
     /// Whether every component reports `done`.
     pub fn all_done(&self) -> bool {
         self.components.iter().all(|c| c.done())
@@ -251,7 +286,7 @@ impl<M: Message> Simulator<M> {
     }
 
     fn start_components(&mut self) {
-        let mut outbox = Vec::new();
+        let mut outbox = std::mem::take(&mut self.outbox);
         for i in 0..self.components.len() {
             let id = ComponentId(i as u32);
             let mut ctx = Ctx {
@@ -265,24 +300,42 @@ impl<M: Message> Simulator<M> {
             self.components[i].start(&mut ctx);
             self.drain_outbox(&mut outbox);
         }
+        self.outbox = outbox;
         self.started = true;
     }
 
     /// Run until the queue drains or a limit is hit.
     pub fn run(&mut self) -> RunOutcome {
+        let t0 = std::time::Instant::now();
+        let outcome = self.run_inner();
+        self.wall += t0.elapsed();
+        outcome
+    }
+
+    fn run_inner(&mut self) -> RunOutcome {
         if !self.started {
             self.start_components();
         }
-        let mut outbox = Vec::new();
-        while let Some(Reverse(ev)) = self.queue.pop() {
+        // Take the scratch outbox out of `self` so the event loop can
+        // borrow it alongside the component table; one allocation serves
+        // every event of every run() call.
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let outcome = loop {
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                break if self.all_done() {
+                    RunOutcome::Completed
+                } else {
+                    RunOutcome::Deadlock
+                };
+            };
             if ev.at > self.time_limit {
                 // Push back so a later run() with a higher limit can resume.
                 self.queue.push(Reverse(ev));
-                return RunOutcome::TimeLimit;
+                break RunOutcome::TimeLimit;
             }
             if self.events_processed >= self.event_limit {
                 self.queue.push(Reverse(ev));
-                return RunOutcome::EventLimit;
+                break RunOutcome::EventLimit;
             }
             self.now = ev.at;
             self.events_processed += 1;
@@ -305,12 +358,9 @@ impl<M: Message> Simulator<M> {
                 EventKind::Wake { token } => self.components[idx].on_wake(token, &mut ctx),
             }
             self.drain_outbox(&mut outbox);
-        }
-        if self.all_done() {
-            RunOutcome::Completed
-        } else {
-            RunOutcome::Deadlock
-        }
+        };
+        self.outbox = outbox;
+        outcome
     }
 
     /// Collect statistics from every component into one report.
@@ -321,6 +371,9 @@ impl<M: Message> Simulator<M> {
         }
         out.set("sim.time_ns", self.now.as_ns() as f64);
         out.set("sim.events", self.events_processed as f64);
+        if self.report_perf {
+            out.set("sim.events_per_sec", self.events_per_sec());
+        }
         // Fault counters only exist when a plan is installed, so
         // fault-free runs stay byte-identical to builds without the
         // fault layer.
