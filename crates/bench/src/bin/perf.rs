@@ -3,28 +3,40 @@
 //! Two measurements:
 //!
 //! * **ping-pong**: two components exchanging one message over a single
-//!   intra-cluster link — a pure event-kernel hot-path workload (heap
-//!   pop, fabric deliver, handler dispatch, outbox drain) with almost no
+//!   intra-cluster link — a pure event-kernel hot-path workload (calendar
+//!   queue pop, fabric deliver, handler dispatch) with almost no
 //!   component logic, so events/sec here is the kernel's ceiling;
 //! * **workload**: a real C³ run (`vips`, MESI-CXL-MESI) — events/sec
 //!   with protocol logic, caches and the full topology in the loop.
 //!
-//! Writes the measurements as JSON (default `BENCH_perf.json`) so CI can
-//! archive one point per commit. Exits nonzero if either measurement
-//! reports zero throughput.
+//! Each measurement reports **events/sec** (wall-clock, noisy) and
+//! **allocs/event** (exact and deterministic for a seed — the process
+//! runs under [`c3_bench::alloc::CountingAlloc`]). Results append to the
+//! `runs` array of the output JSON (default `BENCH_perf.json`), so
+//! successive invocations — and CI's per-commit artifacts — accumulate
+//! comparable points instead of overwriting each other.
+//!
+//! Exits nonzero if either measurement reports zero throughput, or if
+//! `--alloc-budget FILE` is given and any measurement exceeds its
+//! committed allocs/event budget (the deterministic perf gate; see
+//! `crates/bench/alloc_budget.txt` and the perf-smoke CI job).
 //!
 //! Usage: `cargo run --release -p c3-bench --bin perf [-- --quick]
-//! [--exchanges N] [--out PATH]`
+//! [--exchanges N] [--out PATH] [--label TEXT] [--alloc-budget FILE]`
 
 use std::any::Any;
 
 use c3::system::GlobalProtocol;
-use c3_bench::runner::{self, Experiment};
+use c3_bench::alloc::{alloc_count, CountingAlloc};
+use c3_bench::runner::{self, json_escape, Experiment};
 use c3_bench::RunConfig;
 use c3_protocol::mcm::Mcm;
 use c3_protocol::states::ProtocolFamily;
 use c3_sim::prelude::*;
 use c3_workloads::WorkloadSpec;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 #[derive(Debug, Clone)]
 struct Ball(u64);
@@ -65,9 +77,42 @@ impl Component<Ball> for Player {
     }
 }
 
-/// (events, sim_ns, wall_ms, events_per_sec) of an `exchanges`-long
-/// ping-pong over one intra-cluster link.
-fn pingpong(exchanges: u64) -> (u64, u64, f64, f64) {
+/// One measured run, rendered as an entry of the JSON `runs` array.
+struct Measurement {
+    config: String,
+    events: u64,
+    sim_ns: u64,
+    exec_ns: Option<u64>,
+    wall_ms: f64,
+    events_per_sec: f64,
+    allocs: u64,
+    allocs_per_event: f64,
+}
+
+impl Measurement {
+    fn to_json(&self, label: &str, quick: bool) -> String {
+        let exec = self
+            .exec_ns
+            .map(|n| format!("\"exec_ns\": {n}, "))
+            .unwrap_or_default();
+        format!(
+            "{{\"label\": \"{}\", \"config\": \"{}\", \"quick\": {quick}, \"events\": {}, \
+             \"sim_ns\": {}, {exec}\"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \
+             \"allocs\": {}, \"allocs_per_event\": {:.4}}}",
+            json_escape(label),
+            json_escape(&self.config),
+            self.events,
+            self.sim_ns,
+            self.wall_ms,
+            self.events_per_sec,
+            self.allocs,
+            self.allocs_per_event,
+        )
+    }
+}
+
+/// Measure an `exchanges`-long ping-pong over one intra-cluster link.
+fn pingpong(exchanges: u64) -> Measurement {
     // Odd-numbered balls land on the server, whose `done` flag gates the
     // run — an odd budget puts the final ball there.
     let exchanges = exchanges | 1;
@@ -89,17 +134,101 @@ fn pingpong(exchanges: u64) -> (u64, u64, f64, f64) {
     let link = sim.fabric_mut().add_link(LinkConfig::intra_cluster());
     sim.fabric_mut().set_route_bidi(a, b, vec![link]);
     sim.set_perf_reporting(true);
+    let a0 = alloc_count();
     assert_eq!(sim.run(), RunOutcome::Completed, "ping-pong wedged");
+    let allocs = alloc_count() - a0;
     let report = sim.report();
     let eps = report
         .get("sim.events_per_sec")
         .expect("perf reporting surfaces sim.events_per_sec");
-    (
-        sim.events_processed(),
-        sim.now().as_ns(),
-        sim.wall_time().as_secs_f64() * 1_000.0,
-        eps,
-    )
+    Measurement {
+        config: "pingpong".into(),
+        events: sim.events_processed(),
+        sim_ns: sim.now().as_ns(),
+        exec_ns: None,
+        wall_ms: sim.wall_time().as_secs_f64() * 1_000.0,
+        events_per_sec: eps,
+        allocs,
+        allocs_per_event: allocs as f64 / sim.events_processed().max(1) as f64,
+    }
+}
+
+/// Measure the real vips run (MESI-CXL-MESI, the paper's headline
+/// config).
+fn workload(quick: bool) -> Measurement {
+    let mut cfg = RunConfig::scaled(
+        (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+        GlobalProtocol::Cxl,
+        (Mcm::Weak, Mcm::Weak),
+    );
+    if quick {
+        cfg = cfg.quick();
+    }
+    let spec = WorkloadSpec::by_name("vips").expect("workload");
+    let exp = Experiment::new(spec, cfg);
+    let a0 = alloc_count();
+    let r = runner::run_experiment(&exp);
+    let allocs = alloc_count() - a0;
+    r.expect_completed(&exp.tag);
+    Measurement {
+        config: exp.tag.clone(),
+        events: r.events,
+        sim_ns: r.sim_ns,
+        exec_ns: Some(r.exec_ns),
+        wall_ms: r.wall_ms,
+        events_per_sec: r.events_per_sec,
+        allocs,
+        allocs_per_event: allocs as f64 / r.events.max(1) as f64,
+    }
+}
+
+/// Pull the entries of the `"runs": [...]` array out of a previously
+/// written document, so a new invocation appends rather than overwrites.
+/// Returns `None` for missing files or pre-`runs` (schema 1) documents.
+fn previous_runs(path: &str) -> Option<String> {
+    let doc = std::fs::read_to_string(path).ok()?;
+    let start = doc.find("\"runs\": [")? + "\"runs\": [".len();
+    let mut depth = 1usize;
+    let mut in_str = false;
+    let mut esc = false;
+    for (i, c) in doc[start..].char_indices() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    let body = doc[start..start + i].trim();
+                    return (!body.is_empty()).then(|| body.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parse the committed budget file: `<config-prefix> <max-allocs-per-event>`
+/// per line, `#` comments allowed.
+fn parse_budget(path: &str) -> Vec<(String, f64)> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read alloc budget {path}: {e}"));
+    text.lines()
+        .map(|l| l.trim())
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (name, limit) = l.split_once(char::is_whitespace).expect("budget line");
+            (
+                name.to_string(),
+                limit.trim().parse().expect("budget value"),
+            )
+        })
+        .collect()
 }
 
 fn main() {
@@ -107,6 +236,8 @@ fn main() {
     let mut quick = false;
     let mut exchanges: Option<u64> = None;
     let mut out = "BENCH_perf.json".to_string();
+    let mut label = "local".to_string();
+    let mut budget_file: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -122,57 +253,81 @@ fn main() {
                 out = args[i + 1].clone();
                 i += 2;
             }
+            "--label" => {
+                label = args[i + 1].clone();
+                i += 2;
+            }
+            "--alloc-budget" => {
+                budget_file = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => panic!("unknown arg {other}"),
         }
     }
     let exchanges = exchanges.unwrap_or(if quick { 200_000 } else { 2_000_000 }) | 1;
 
-    let (pp_events, pp_sim_ns, pp_wall_ms, pp_eps) = pingpong(exchanges);
+    let pp = pingpong(exchanges);
     println!(
-        "pingpong : {pp_events} events in {pp_wall_ms:.1} ms -> {:.2} M events/sec",
-        pp_eps / 1e6
+        "pingpong : {} events in {:.1} ms -> {:.2} M events/sec, {:.4} allocs/event",
+        pp.events,
+        pp.wall_ms,
+        pp.events_per_sec / 1e6,
+        pp.allocs_per_event
+    );
+    let wl = workload(quick);
+    println!(
+        "workload : {} {} events in {:.1} ms -> {:.2} M events/sec, {:.4} allocs/event",
+        wl.config,
+        wl.events,
+        wl.wall_ms,
+        wl.events_per_sec / 1e6,
+        wl.allocs_per_event
     );
 
-    let mut cfg = RunConfig::scaled(
-        (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
-        GlobalProtocol::Cxl,
-        (Mcm::Weak, Mcm::Weak),
-    );
-    if quick {
-        cfg = cfg.quick();
+    let mut entries: Vec<String> = Vec::new();
+    if let Some(prev) = previous_runs(&out) {
+        entries.push(prev);
     }
-    let spec = WorkloadSpec::by_name("vips").expect("workload");
-    let exp = Experiment::new(spec, cfg);
-    let r = runner::run_experiment(&exp);
-    r.expect_completed(&exp.tag);
-    println!(
-        "workload : {} ({}) {} events in {:.1} ms -> {:.2} M events/sec",
-        spec.name,
-        cfg.label(),
-        r.events,
-        r.wall_ms,
-        r.events_per_sec / 1e6
-    );
-
+    entries.push(pp.to_json(&label, quick));
+    entries.push(wl.to_json(&label, quick));
     let json = format!(
-        "{{\n  \"bench\": \"perf\",\n  \"quick\": {quick},\n  \"pingpong\": {{\"exchanges\": \
-         {exchanges}, \"events\": {pp_events}, \"sim_ns\": {pp_sim_ns}, \"wall_ms\": \
-         {pp_wall_ms:.3}, \"events_per_sec\": {pp_eps:.0}}},\n  \"workload\": {{\"name\": \
-         \"{}\", \"config\": \"{}\", \"events\": {}, \"sim_ns\": {}, \"exec_ns\": {}, \
-         \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}\n}}\n",
-        runner::json_escape(spec.name),
-        runner::json_escape(&cfg.label()),
-        r.events,
-        r.sim_ns,
-        r.exec_ns,
-        r.wall_ms,
-        r.events_per_sec,
+        "{{\n  \"bench\": \"perf\",\n  \"schema\": 2,\n  \"runs\": [\n    {}\n  ]\n}}\n",
+        entries.join(",\n    ")
     );
     std::fs::write(&out, &json).expect("write perf json");
     println!("(wrote {out})");
 
-    if pp_eps <= 0.0 || r.events_per_sec <= 0.0 {
+    if pp.events_per_sec <= 0.0 || wl.events_per_sec <= 0.0 {
         eprintln!("perf: zero throughput measured");
         std::process::exit(1);
+    }
+
+    if let Some(path) = budget_file {
+        let mut failed = false;
+        for (prefix, limit) in parse_budget(&path) {
+            let m = [&pp, &wl]
+                .into_iter()
+                .find(|m| m.config.starts_with(&prefix));
+            match m {
+                Some(m) if m.allocs_per_event > limit => {
+                    eprintln!(
+                        "perf: {} allocs/event {:.4} exceeds budget {limit} ({path})",
+                        m.config, m.allocs_per_event
+                    );
+                    failed = true;
+                }
+                Some(m) => println!(
+                    "budget  : {} {:.4} allocs/event <= {limit}",
+                    m.config, m.allocs_per_event
+                ),
+                None => {
+                    eprintln!("perf: budget entry {prefix} matches no measurement");
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod runner;
 
 use c3::system::{ClusterSpec, GlobalProtocol, SystemBuilder};

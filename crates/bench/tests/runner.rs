@@ -68,29 +68,53 @@ fn parallel_results_match_sequential_results() {
     }
 }
 
-/// `--bin perf --quick` must complete and report nonzero events/sec.
+/// `--bin perf --quick` must complete, report nonzero events/sec under
+/// the committed alloc budget, and *append* to an existing trajectory
+/// file rather than overwrite it.
 #[test]
 fn perf_quick_smoke() {
     let out = std::env::temp_dir().join(format!("c3-perf-smoke-{}.json", std::process::id()));
-    let output = std::process::Command::new(env!("CARGO_BIN_EXE_perf"))
-        .args(["--quick", "--exchanges", "5000"])
-        .arg("--out")
-        .arg(&out)
-        .output()
-        .expect("spawn perf");
-    assert!(
-        output.status.success(),
-        "perf --quick failed:\n{}{}",
-        String::from_utf8_lossy(&output.stdout),
-        String::from_utf8_lossy(&output.stderr)
-    );
+    let _ = std::fs::remove_file(&out);
+    let budget = concat!(env!("CARGO_MANIFEST_DIR"), "/alloc_budget.txt");
+    let run = |label: &str| {
+        let output = std::process::Command::new(env!("CARGO_BIN_EXE_perf"))
+            // Default --quick exchange count: the alloc budget amortizes
+            // one-off setup allocations over it, so don't shrink it here.
+            .args(["--quick", "--label", label])
+            .args(["--alloc-budget", budget])
+            .arg("--out")
+            .arg(&out)
+            .output()
+            .expect("spawn perf");
+        assert!(
+            output.status.success(),
+            "perf --quick ({label}) failed:\n{}{}",
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr)
+        );
+    };
+    run("first");
+    run("second");
     let json = std::fs::read_to_string(&out).expect("perf json written");
     let _ = std::fs::remove_file(&out);
-    // Both measurements must be present with nonzero throughput: the
-    // perf bin itself exits nonzero on zero throughput, so reaching here
-    // with the fields present is the assertion — plus a direct parse.
-    for section in ["\"pingpong\"", "\"workload\""] {
-        assert!(json.contains(section), "missing {section} in {json}");
+    // Schema v2: a `runs` array accumulating both invocations, each with
+    // a ping-pong and a workload measurement carrying throughput and
+    // allocs/event. The bin itself exits nonzero on zero throughput or a
+    // blown alloc budget, so reaching here already covers the gates —
+    // plus a direct parse of every events_per_sec.
+    assert!(json.contains("\"runs\": ["), "missing runs array in {json}");
+    for (needle, n) in [
+        ("\"config\": \"pingpong\"", 2),
+        ("\"config\": \"vips/", 2),
+        ("\"label\": \"first\"", 2),
+        ("\"label\": \"second\"", 2),
+        ("\"allocs_per_event\": ", 4),
+    ] {
+        assert_eq!(
+            json.matches(needle).count(),
+            n,
+            "expected {n}x {needle} in {json}"
+        );
     }
     let eps: Vec<f64> = json
         .match_indices("\"events_per_sec\": ")
@@ -100,7 +124,7 @@ fn perf_quick_smoke() {
             rest[..end].trim().parse().expect("events_per_sec number")
         })
         .collect();
-    assert_eq!(eps.len(), 2, "two measurements in {json}");
+    assert_eq!(eps.len(), 4, "four measurements in {json}");
     assert!(eps.iter().all(|&e| e > 0.0), "zero throughput in {json}");
 }
 

@@ -28,7 +28,9 @@
 //! resolved with the `BIConflict` handshake exactly as in Fig. 2.
 
 use std::any::Any;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use c3_sim::hash::{FxHashMap, FxHashSet};
 
 use c3_memsys::cache::CacheArray;
 use c3_memsys::direngine::{BackendPerms, DirEffect, DirEngine, Holders, RecallKind};
@@ -229,29 +231,29 @@ pub struct C3Bridge {
     fsm: CompoundFsm,
     engine: Option<DirEngine>,
     cxl: CacheArray<CxlLine>,
-    global_peers: HashSet<ComponentId>,
-    fetches: HashMap<Addr, PendingFetch>,
-    writebacks: HashMap<Addr, PendingWb>,
-    snoops: HashMap<Addr, ActiveSnoop>,
-    stash: HashMap<Addr, StashedSnoop>,
+    global_peers: FxHashSet<ComponentId>,
+    fetches: FxHashMap<Addr, PendingFetch>,
+    writebacks: FxHashMap<Addr, PendingWb>,
+    snoops: FxHashMap<Addr, ActiveSnoop>,
+    stash: FxHashMap<Addr, StashedSnoop>,
     /// Fetches waiting for a victim's eviction to free a slot.
-    evict_waiters: HashMap<Addr, Vec<(Addr, bool)>>,
+    evict_waiters: FxHashMap<Addr, Vec<(Addr, bool)>>,
     /// CXL snoops that arrived while the line's eviction recall was in
     /// flight; answered when the eviction completes.
-    pending_evict_snoop: HashMap<Addr, Incoming>,
+    pending_evict_snoop: FxHashMap<Addr, Incoming>,
     /// Passive-mode global snoops awaiting a nested host recall.
-    passive_snoop_stash: HashMap<Addr, HostMsg>,
+    passive_snoop_stash: FxHashMap<Addr, HostMsg>,
     /// Fetches deferred until the line's in-flight writeback completes.
-    deferred_fetches: HashMap<Addr, bool>,
+    deferred_fetches: FxHashMap<Addr, bool>,
     /// Open eviction spans (txn + start time), keyed by victim.
-    evict_txns: HashMap<Addr, (TxnId, Time)>,
+    evict_txns: FxHashMap<Addr, (TxnId, Time)>,
     /// Open passive-snoop spans (txn + start time) for stashed snoops.
-    passive_snoop_txns: HashMap<Addr, (TxnId, Time)>,
+    passive_snoop_txns: FxHashMap<Addr, (TxnId, Time)>,
     /// Lines whose cluster-level copy carries a CXL poison mark; local
     /// fills of these lines are delivered with `Data { poisoned: true }`.
     /// Cleared when dirty (freshly stored) data overwrites the line and on
     /// eviction — the next device fill is clean.
-    poisoned_lines: HashSet<Addr>,
+    poisoned_lines: FxHashSet<Addr>,
     // statistics
     fetch_lat: LatencyHistogram,
     wb_lat: LatencyHistogram,
@@ -284,17 +286,17 @@ impl C3Bridge {
             global_peers: cfg.global_peers.iter().copied().collect(),
             cfg,
             engine: None,
-            fetches: HashMap::new(),
-            writebacks: HashMap::new(),
-            snoops: HashMap::new(),
-            stash: HashMap::new(),
-            evict_waiters: HashMap::new(),
-            pending_evict_snoop: HashMap::new(),
-            passive_snoop_stash: HashMap::new(),
-            deferred_fetches: HashMap::new(),
-            evict_txns: HashMap::new(),
-            passive_snoop_txns: HashMap::new(),
-            poisoned_lines: HashSet::new(),
+            fetches: FxHashMap::default(),
+            writebacks: FxHashMap::default(),
+            snoops: FxHashMap::default(),
+            stash: FxHashMap::default(),
+            evict_waiters: FxHashMap::default(),
+            pending_evict_snoop: FxHashMap::default(),
+            passive_snoop_stash: FxHashMap::default(),
+            deferred_fetches: FxHashMap::default(),
+            evict_txns: FxHashMap::default(),
+            passive_snoop_txns: FxHashMap::default(),
+            poisoned_lines: FxHashSet::default(),
             fetch_lat: LatencyHistogram::default(),
             wb_lat: LatencyHistogram::default(),
             recall_lat: LatencyHistogram::default(),
@@ -1377,8 +1379,9 @@ impl C3Bridge {
         };
         let now = ctx.now;
 
-        // Expired global fetches. (Addresses are sorted: HashMap iteration
-        // order is not deterministic across runs.)
+        // Expired global fetches. (Addresses are sorted: FxHashMap
+        // iteration order is run-stable but an artifact of hashing, not
+        // a protocol order — see DESIGN.md §12.)
         let mut expired: Vec<Addr> = self
             .fetches
             .iter()
@@ -1604,7 +1607,7 @@ impl Component<SysMsg> for C3Bridge {
     }
 
     fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {
-        fn sorted<V>(m: &HashMap<Addr, V>) -> Vec<(&Addr, &V)> {
+        fn sorted<V>(m: &FxHashMap<Addr, V>) -> Vec<(&Addr, &V)> {
             let mut v: Vec<_> = m.iter().collect();
             v.sort_by_key(|(a, _)| a.0);
             v

@@ -23,7 +23,9 @@
 //! unordered. This matches the CXL channel rules that make `BIConflict`
 //! resolution sound while still exhibiting the Fig. 2 races.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
+
+use c3_sim::hash::FxHashMap;
 
 use c3_protocol::msg::{CxlGrant, CxlMsg};
 use c3_protocol::ops::Addr;
@@ -130,7 +132,7 @@ struct Line {
 /// ```
 #[derive(Debug, Default)]
 pub struct DcohEngine {
-    lines: HashMap<Addr, Line>,
+    lines: FxHashMap<Addr, Line>,
     /// Requests that found the line blocked and queued (convoy effect).
     pub stalled_requests: u64,
     /// Back-invalidation snoops issued.
@@ -437,7 +439,8 @@ impl DcohEngine {
         max_retries: u32,
     ) -> Vec<DcohEffect> {
         let mut out = Vec::new();
-        // Sorted for determinism: HashMap iteration order varies per run.
+        // Sorted: FxHashMap iteration order is run-stable but an
+        // artifact of hashing, not a protocol order (DESIGN.md §12).
         let mut expired: Vec<Addr> = self
             .lines
             .iter()

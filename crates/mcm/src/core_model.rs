@@ -10,8 +10,8 @@
 //! completed. TSO therefore drains stores in order (the store-buffer
 //! effect) while the weak model overlaps them.
 
+use c3_sim::hash::FxHashMap;
 use std::any::Any;
-use std::collections::HashMap;
 
 use c3_protocol::mcm::{must_order, Mcm};
 use c3_protocol::msg::{CoreReq, CoreResp, SysMsg};
@@ -86,7 +86,7 @@ pub struct TimingCore {
     program: ThreadProgram,
     state: Vec<OpState>,
     oldest: usize,
-    inflight: HashMap<u64, usize>,
+    inflight: FxHashMap<u64, usize>,
     /// TSO store buffer: retired-but-undrained stores (instruction
     /// indices), drained to the L1 strictly in order. This is what makes
     /// TSO's store→load reordering *and* its realistic performance: the
@@ -120,7 +120,7 @@ impl TimingCore {
             program,
             state: vec![OpState::Waiting; n],
             oldest: 0,
-            inflight: HashMap::new(),
+            inflight: FxHashMap::default(),
             store_buffer: std::collections::VecDeque::new(),
             drain_inflight: false,
             regs: [0; 32],

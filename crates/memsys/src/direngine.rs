@@ -21,7 +21,9 @@
 //! The same engine, with a backend that always grants permission, is the
 //! baseline global MESI directory ([`crate::global_dir::GlobalMesiDir`]).
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
+
+use c3_sim::hash::FxHashMap;
 
 use c3_protocol::msg::{Grant, HostMsg};
 use c3_protocol::ops::Addr;
@@ -217,7 +219,7 @@ pub struct BusyLine {
 pub struct DirEngine {
     policy: DirPolicy,
     self_id: ComponentId,
-    lines: HashMap<Addr, Line>,
+    lines: FxHashMap<Addr, Line>,
     /// Statistics: transactions that had to consult the backend.
     pub backend_reads: u64,
     /// Statistics: write-permission backend consultations.
@@ -235,7 +237,7 @@ impl DirEngine {
         DirEngine {
             policy,
             self_id,
-            lines: HashMap::new(),
+            lines: FxHashMap::default(),
             backend_reads: 0,
             backend_writes: 0,
             recalls: 0,

@@ -7,7 +7,9 @@
 //! a unified I+D cache per core, and so do we.
 
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use c3_sim::hash::FxHashMap;
 
 use c3_protocol::msg::{CoreReq, CoreResp, Grant, HostMsg, SysMsg};
 use c3_protocol::ops::{Addr, FenceKind, Instr};
@@ -150,7 +152,7 @@ pub struct L1Controller {
     cfg: L1Config,
     name: String,
     array: CacheArray<Line>,
-    mshrs: HashMap<Addr, Mshr>,
+    mshrs: FxHashMap<Addr, Mshr>,
     release: Option<ReleaseOp>,
     /// Stats per access kind (indexed by [`AccessKind`]).
     stats: [MissStats; 3],
@@ -167,7 +169,7 @@ impl L1Controller {
             array: CacheArray::new(cfg.sets, cfg.ways),
             cfg,
             name: name.into(),
-            mshrs: HashMap::new(),
+            mshrs: FxHashMap::default(),
             release: None,
             stats: Default::default(),
             writebacks: 0,

@@ -9,6 +9,7 @@
 use std::any::Any;
 
 use crate::fabric::Fabric;
+use crate::kernel::{EventKind, EventQueue};
 use crate::rng::SimRng;
 use crate::stats::Report;
 use crate::time::{Delay, Time};
@@ -94,26 +95,12 @@ pub trait Component<M: Message>: Any {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-/// An output scheduled by a component while handling an event.
-#[derive(Debug)]
-pub(crate) enum Emit<M> {
-    Deliver {
-        at: Time,
-        dst: ComponentId,
-        src: ComponentId,
-        msg: M,
-    },
-    Wake {
-        at: Time,
-        dst: ComponentId,
-        token: u64,
-    },
-}
-
 /// Execution context for one event delivery.
 ///
 /// Borrowed by the kernel for the duration of a single `handle`/`on_wake`
-/// call; all sends are collected and enqueued when the call returns.
+/// call; sends are pushed straight into the kernel's event queue (with
+/// the kernel's sequence counter stamping scheduling order), so there is
+/// no per-event staging buffer.
 pub struct Ctx<'a, M: Message> {
     /// Current simulated time.
     pub now: Time,
@@ -121,11 +108,21 @@ pub struct Ctx<'a, M: Message> {
     pub self_id: ComponentId,
     pub(crate) fabric: &'a mut Fabric,
     pub(crate) rng: &'a mut SimRng,
-    pub(crate) outbox: &'a mut Vec<Emit<M>>,
+    pub(crate) queue: &'a mut EventQueue<M>,
+    pub(crate) seq: &'a mut u64,
     pub(crate) tracer: &'a mut Tracer,
 }
 
 impl<'a, M: Message> Ctx<'a, M> {
+    /// Enqueue an event at `(at, next seq)` — the single scheduling
+    /// funnel, so `(time, seq)` delivery order is exactly emission order.
+    #[inline]
+    fn push_event(&mut self, at: Time, dst: ComponentId, kind: EventKind<M>) {
+        debug_assert!(at >= self.now, "scheduled into the past");
+        *self.seq += 1;
+        self.queue.push(at, *self.seq, (dst, kind));
+    }
+
     /// Send `msg` to `dst` through the modelled interconnect.
     ///
     /// The fabric determines arrival time from the configured route
@@ -167,6 +164,12 @@ impl<'a, M: Message> Ctx<'a, M> {
             self.tracer
                 .msg_send(self.now, self.self_id, dst, msg.size_bytes(), &msg);
         }
+        if !self.fabric.has_fault_plan() {
+            // Fault-free fast path: no decision to make, no extra delay.
+            let src = self.self_id;
+            self.push_event(arrival, dst, EventKind::Deliver { src, msg });
+            return;
+        }
         let d = self.fabric.decide_faults(self.self_id, dst, inject);
         if d.drop {
             if self.tracer.is_enabled() {
@@ -204,19 +207,16 @@ impl<'a, M: Message> Ctx<'a, M> {
                     format!("duplicate {msg:?}"),
                 );
             }
-            self.outbox.push(Emit::Deliver {
-                at: dup_arrival + d.extra,
+            let src = self.self_id;
+            let dup = msg.clone();
+            self.push_event(
+                dup_arrival + d.extra,
                 dst,
-                src: self.self_id,
-                msg: msg.clone(),
-            });
+                EventKind::Deliver { src, msg: dup },
+            );
         }
-        self.outbox.push(Emit::Deliver {
-            at: arrival + d.extra,
-            dst,
-            src: self.self_id,
-            msg,
-        });
+        let src = self.self_id;
+        self.push_event(arrival + d.extra, dst, EventKind::Deliver { src, msg });
     }
 
     /// Send `msg` to `dst` over a direct port with a fixed `delay`,
@@ -226,22 +226,15 @@ impl<'a, M: Message> Ctx<'a, M> {
             self.tracer
                 .msg_send(self.now, self.self_id, dst, msg.size_bytes(), &msg);
         }
-        self.outbox.push(Emit::Deliver {
-            at: self.now + delay,
-            dst,
-            src: self.self_id,
-            msg,
-        });
+        let src = self.self_id;
+        self.push_event(self.now + delay, dst, EventKind::Deliver { src, msg });
     }
 
     /// Schedule a wakeup for this component after `delay`; `token` is handed
     /// back to [`Component::on_wake`].
     pub fn wake_after(&mut self, delay: Delay, token: u64) {
-        self.outbox.push(Emit::Wake {
-            at: self.now + delay,
-            dst: self.self_id,
-            token,
-        });
+        let dst = self.self_id;
+        self.push_event(self.now + delay, dst, EventKind::Wake { token });
     }
 
     /// Deterministic per-run random stream (shared by all components; use

@@ -15,12 +15,107 @@
 //! serialization time, so bursts queue up (this produces the hot-line convoy
 //! behaviour analysed in §VI-C of the paper).
 
-use std::collections::HashMap;
-
 use crate::component::ComponentId;
 use crate::fault::{FaultDecision, FaultPlan};
 use crate::rng::SimRng;
 use crate::time::{Delay, Time};
+
+/// Links stored inline per route slot; longer routes spill to a `Vec`.
+/// Table III topologies need 1 (point-to-point) or 2 (star: uplink +
+/// downlink) hops, so 4 covers everything the builders wire today.
+const INLINE_LINKS: usize = 4;
+
+/// One cell of the route matrix. The inline arm keeps the common 1–2
+/// hop routes in the matrix itself, so a `deliver` reads the route with
+/// two index loads and zero pointer chases.
+#[derive(Clone, Debug, Default)]
+enum Route {
+    /// No route wired (the matrix default).
+    #[default]
+    Unset,
+    /// Up to [`INLINE_LINKS`] hops stored in place.
+    Inline {
+        len: u8,
+        links: [LinkId; INLINE_LINKS],
+    },
+    /// Longer routes, heap-allocated (rare).
+    Spill(Vec<LinkId>),
+}
+
+impl Route {
+    fn from_links(links: Vec<LinkId>) -> Self {
+        if links.len() <= INLINE_LINKS {
+            let mut inline = [LinkId(0); INLINE_LINKS];
+            inline[..links.len()].copy_from_slice(&links);
+            Route::Inline {
+                len: links.len() as u8,
+                links: inline,
+            }
+        } else {
+            Route::Spill(links)
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> Option<&[LinkId]> {
+        match self {
+            Route::Unset => None,
+            Route::Inline { len, links } => Some(&links[..*len as usize]),
+            Route::Spill(v) => Some(v),
+        }
+    }
+}
+
+/// Dense `src × dst` routing table indexed by [`ComponentId`].
+///
+/// Replaces a `HashMap<(ComponentId, ComponentId), Vec<LinkId>>`: route
+/// lookup happens on **every** fabric message, and hashing the id pair
+/// (SipHash under the default hasher) dominated the lookup. Component
+/// ids are small, dense kernel-assigned indices, so a row-major matrix
+/// turns the lookup into `slots[src * n + dst]`. The matrix grows
+/// on demand when a route names an id beyond the current dimension
+/// (components may be registered — and wired — after initial wiring).
+#[derive(Debug, Default)]
+struct RouteMatrix {
+    /// Matrix dimension: ids `0..n` are representable.
+    n: usize,
+    /// Row-major `n × n` slots.
+    slots: Vec<Route>,
+}
+
+impl RouteMatrix {
+    /// Re-layout so ids up to `need - 1` are representable. Doubles the
+    /// dimension so repeated wiring of increasing ids stays amortized.
+    fn grow_to(&mut self, need: usize) {
+        if need <= self.n {
+            return;
+        }
+        let new_n = need.max(self.n * 2);
+        let mut slots = Vec::with_capacity(new_n * new_n);
+        slots.resize_with(new_n * new_n, Route::default);
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                slots[src * new_n + dst] = std::mem::take(&mut self.slots[src * self.n + dst]);
+            }
+        }
+        self.n = new_n;
+        self.slots = slots;
+    }
+
+    fn set(&mut self, src: ComponentId, dst: ComponentId, links: Vec<LinkId>) {
+        self.grow_to(src.index().max(dst.index()) + 1);
+        self.slots[src.index() * self.n + dst.index()] = Route::from_links(links);
+    }
+
+    #[inline]
+    fn get(&self, src: ComponentId, dst: ComponentId) -> Option<&[LinkId]> {
+        let (s, d) = (src.index(), dst.index());
+        if s >= self.n || d >= self.n {
+            return None;
+        }
+        self.slots[s * self.n + d].as_slice()
+    }
+}
 
 /// Handle to a link created with [`Fabric::add_link`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -109,7 +204,7 @@ struct Link {
 #[derive(Debug, Default)]
 pub struct Fabric {
     links: Vec<Link>,
-    routes: HashMap<(ComponentId, ComponentId), Vec<LinkId>>,
+    routes: RouteMatrix,
     fault: Option<FaultPlan>,
 }
 
@@ -132,20 +227,21 @@ impl Fabric {
         id
     }
 
-    /// Define the route (sequence of links) from `src` to `dst`.
+    /// Define the route (sequence of links) from `src` to `dst`,
+    /// replacing any previously set route.
     pub fn set_route(&mut self, src: ComponentId, dst: ComponentId, links: Vec<LinkId>) {
-        self.routes.insert((src, dst), links);
+        self.routes.set(src, dst, links);
     }
 
     /// Define symmetric routes between `a` and `b` over the same links.
     pub fn set_route_bidi(&mut self, a: ComponentId, b: ComponentId, links: Vec<LinkId>) {
-        self.routes.insert((a, b), links.clone());
-        self.routes.insert((b, a), links);
+        self.routes.set(a, b, links.clone());
+        self.routes.set(b, a, links);
     }
 
     /// Whether a route exists from `src` to `dst`.
     pub fn has_route(&self, src: ComponentId, dst: ComponentId) -> bool {
-        self.routes.contains_key(&(src, dst))
+        self.routes.get(src, dst).is_some()
     }
 
     /// Compute the arrival time of a `size`-byte message sent now, updating
@@ -171,7 +267,7 @@ impl Fabric {
             ..
         } = *self;
         let route = routes
-            .get(&(src, dst))
+            .get(src, dst)
             .unwrap_or_else(|| panic!("no route configured {src} -> {dst}"));
         let mut t = now;
         for &lid in route {
@@ -246,6 +342,13 @@ impl Fabric {
         self.fault.as_ref()
     }
 
+    /// Whether a fault plan is installed — the send path's one-branch
+    /// guard for skipping fault bookkeeping entirely.
+    #[inline]
+    pub(crate) fn has_fault_plan(&self) -> bool {
+        self.fault.is_some()
+    }
+
     /// Mutable access to the installed fault plan (e.g. to script exact
     /// drops from a test).
     pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
@@ -264,7 +367,7 @@ impl Fabric {
         let Some(plan) = self.fault.as_mut() else {
             return FaultDecision::CLEAR;
         };
-        match self.routes.get(&(src, dst)) {
+        match self.routes.get(src, dst) {
             Some(route) => plan.decide(route, now),
             None => FaultDecision::CLEAR,
         }
@@ -382,6 +485,76 @@ mod tests {
         let mut f = Fabric::new();
         let mut rng = SimRng::seed_from(5);
         f.deliver(a, b, 72, Time::ZERO, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route configured #0 -> #1")]
+    fn missing_route_panic_names_endpoints() {
+        // The exact pre-matrix message: wiring bugs keep the same
+        // diagnostics across the HashMap → matrix swap.
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        // Wire only the reverse direction so the matrix is non-empty.
+        let l = f.add_link(LinkConfig::intra_cluster());
+        f.set_route(b, a, vec![l]);
+        let mut rng = SimRng::seed_from(5);
+        f.deliver(a, b, 72, Time::ZERO, &mut rng);
+    }
+
+    #[test]
+    fn set_route_bidi_overwrites_both_directions() {
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let slow = f.add_link(LinkConfig::cxl());
+        let fast = f.add_link(LinkConfig::intra_cluster());
+        f.set_route_bidi(a, b, vec![slow]);
+        f.set_route_bidi(a, b, vec![fast]);
+        let mut rng = SimRng::seed_from(9);
+        // Both directions now ride the fast link: well under CXL's 70 ns.
+        assert!(f.deliver(a, b, 72, Time::ZERO, &mut rng) < Time::from_ns(70));
+        assert!(f.deliver(b, a, 72, Time::ZERO, &mut rng) < Time::from_ns(70));
+        assert_eq!(f.link_messages(fast), 2);
+        assert_eq!(f.link_messages(slow), 0);
+    }
+
+    #[test]
+    fn routes_survive_matrix_growth() {
+        // Wiring components registered after the initial wiring pass
+        // grows the matrix; earlier routes must survive the re-layout.
+        let mut f = Fabric::new();
+        let l01 = f.add_link(LinkConfig::intra_cluster());
+        f.set_route(ComponentId(0), ComponentId(1), vec![l01]);
+        assert!(f.has_route(ComponentId(0), ComponentId(1)));
+        // Ids far beyond the current dimension force several doublings.
+        let lbig = f.add_link(LinkConfig::cxl());
+        f.set_route_bidi(ComponentId(40), ComponentId(3), vec![lbig]);
+        assert!(f.has_route(ComponentId(0), ComponentId(1)));
+        assert!(f.has_route(ComponentId(40), ComponentId(3)));
+        assert!(f.has_route(ComponentId(3), ComponentId(40)));
+        assert!(!f.has_route(ComponentId(1), ComponentId(0)));
+        assert!(!f.has_route(ComponentId(41), ComponentId(0)));
+        let mut rng = SimRng::seed_from(11);
+        let t = f.deliver(ComponentId(0), ComponentId(1), 72, Time::ZERO, &mut rng);
+        assert!(t > Time::ZERO);
+        assert_eq!(f.link_messages(l01), 1);
+    }
+
+    #[test]
+    fn long_routes_spill_but_still_deliver() {
+        // A route longer than the inline capacity exercises the spill arm.
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let hops: Vec<LinkId> = (0..6)
+            .map(|_| f.add_link(LinkConfig::intra_cluster()))
+            .collect();
+        f.set_route(a, b, hops.clone());
+        let mut rng = SimRng::seed_from(12);
+        let t = f.deliver(a, b, 72, Time::ZERO, &mut rng);
+        // Six hops of ~6 ns each.
+        assert!(t >= Time::from_ns(30));
+        for &h in &hops {
+            assert_eq!(f.link_messages(h), 1);
+        }
     }
 
     #[test]

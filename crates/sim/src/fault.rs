@@ -22,8 +22,8 @@
 //! target the N-th message carried by a link, independent of probability
 //! knobs — the tool for writing exact-loss regression tests.
 
+use crate::hash::FxHashMap;
 use std::collections::BTreeSet;
-use std::collections::HashMap;
 
 use crate::fabric::LinkId;
 use crate::rng::SimRng;
@@ -174,12 +174,12 @@ impl FaultStats {
 pub struct FaultPlan {
     rng: SimRng,
     default: Option<LinkFaults>,
-    per_link: HashMap<LinkId, LinkFaults>,
+    per_link: FxHashMap<LinkId, LinkFaults>,
     /// `(link, ordinal)` pairs: drop exactly the ordinal-th message
     /// (0-based, counted per link by this plan) carried over `link`.
     scripted_drops: BTreeSet<(u32, u64)>,
     /// Messages seen per link (drives `scripted_drops`).
-    seen: HashMap<LinkId, u64>,
+    seen: FxHashMap<LinkId, u64>,
     stats: FaultStats,
 }
 
@@ -190,9 +190,9 @@ impl FaultPlan {
         FaultPlan {
             rng: SimRng::seed_from(seed).fork(0xFAB1_7000),
             default: None,
-            per_link: HashMap::new(),
+            per_link: FxHashMap::default(),
             scripted_drops: BTreeSet::new(),
-            seen: HashMap::new(),
+            seen: FxHashMap::default(),
             stats: FaultStats::default(),
         }
     }

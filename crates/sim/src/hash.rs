@@ -1,0 +1,208 @@
+//! Deterministic, dependency-free hashing for hot simulator maps.
+//!
+//! The standard library's default `HashMap` hasher (SipHash-1-3) is
+//! DoS-resistant but costs tens of nanoseconds per lookup — far too much
+//! for maps keyed by `Addr` or `TxnId` that are probed on every protocol
+//! transition. This module hand-rolls the Fx hash function (the
+//! multiply-and-rotate hasher used by rustc itself) so the whole
+//! workspace can share one fast, deterministic hasher without pulling in
+//! an external crate (offline builds must keep working).
+//!
+//! Determinism: unlike `RandomState`, `FxHasher` has no per-process
+//! random seed, so map *iteration order* is identical across runs and
+//! platforms for the same insertion sequence. That is a feature for a
+//! reproducible simulator — but iteration order is still an artifact of
+//! hashing, not of the keys' meaning. **Never iterate a hot map directly
+//! into a report, trace, or message sequence; sort first** (see the
+//! `sorted()` helper pattern in `c3-core`'s bridge tests and DESIGN.md
+//! §12).
+//!
+//! Simulation inputs are trusted (workload generators, not network
+//! attackers), so HashDoS resistance buys nothing here.
+//!
+//! # Examples
+//!
+//! ```
+//! use c3_sim::hash::FxHashMap;
+//!
+//! let mut mshrs: FxHashMap<u64, &str> = FxHashMap::default();
+//! mshrs.insert(0x40, "fetch");
+//! assert_eq!(mshrs.get(&0x40), Some(&"fetch"));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier: `π` in fixed point, the constant used by
+/// rustc's `FxHasher` (originally Firefox's).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hash function: a word-at-a-time multiply-and-rotate hasher.
+///
+/// Not cryptographic, not HashDoS-resistant — just fast and fully
+/// deterministic (no per-process seed).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time over the input, zero-padding the tail. Eight
+        // bytes per multiply matches the u64 fast path below, so hashing
+        // a `u64` key and its little-endian byte serialization agree.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_word(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add_word(v as u64);
+        self.add_word((v >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+    #[inline]
+    fn write_i8(&mut self, v: i8) {
+        self.add_word(v as u8 as u64);
+    }
+    #[inline]
+    fn write_i16(&mut self, v: i16) {
+        self.add_word(v as u16 as u64);
+    }
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.add_word(v as u32 as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add_word(v as u64);
+    }
+    #[inline]
+    fn write_isize(&mut self, v: isize) {
+        self.add_word(v as usize as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; `Default` so map literals work.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`] — the workspace-standard map for hot,
+/// trusted-key state (`Addr`, `TxnId`, `LinkId` keyed).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_of(&0x40u64), hash_of(&0x40u64));
+        assert_eq!(hash_of(&(3u32, 7u32)), hash_of(&(3u32, 7u32)));
+        assert_ne!(hash_of(&0x40u64), hash_of(&0x41u64));
+    }
+
+    #[test]
+    fn pinned_values_are_platform_stable() {
+        // Pin concrete outputs so an accidental algorithm change (or a
+        // platform endianness leak) fails loudly rather than silently
+        // reshuffling every map in the simulator.
+        let mut h = FxHasher::default();
+        h.write_u64(0x40);
+        // (rotl(0, 5) ^ 0x40) * SEED
+        assert_eq!(h.finish(), 0x5f30_6dc9_c882_a540);
+    }
+
+    #[test]
+    fn bytes_and_words_agree_on_u64_boundary() {
+        let mut a = FxHasher::default();
+        a.write_u64(0x1122_3344_5566_7788);
+        let mut b = FxHasher::default();
+        b.write(&0x1122_3344_5566_7788u64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn tail_bytes_hash() {
+        let mut h = FxHasher::default();
+        h.write(b"abc");
+        let tail_only = h.finish();
+        let mut g = FxHasher::default();
+        g.write(b"abd");
+        assert_ne!(tail_only, g.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(999 * 64)), Some(&999));
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        s.insert((1, 2));
+        assert!(s.contains(&(1, 2)));
+        assert!(!s.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn iteration_order_is_run_stable() {
+        // Same insertions → same iteration order (no per-process seed).
+        let build = |n: u64| {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for i in 0..n {
+                m.insert(i.wrapping_mul(0x9e37_79b9), i);
+            }
+            m.keys().copied().collect::<Vec<_>>()
+        };
+        assert_eq!(build(500), build(500));
+    }
+}

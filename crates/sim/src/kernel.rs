@@ -4,10 +4,10 @@
 //! deterministic for a given seed: ties at the same picosecond resolve in
 //! scheduling order.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::borrow::Cow;
 
-use crate::component::{Component, ComponentId, Ctx, Emit, Message};
+use crate::component::{Component, ComponentId, Ctx, Message};
+use crate::equeue::CalendarQueue;
 use crate::fabric::Fabric;
 use crate::rng::SimRng;
 use crate::stats::Report;
@@ -15,35 +15,16 @@ use crate::time::Time;
 use crate::trace::{PostMortem, Tracer};
 
 #[derive(Debug)]
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Deliver { src: ComponentId, msg: M },
     Wake { token: u64 },
 }
 
-#[derive(Debug)]
-struct Scheduled<M> {
-    at: Time,
-    seq: u64,
-    dst: ComponentId,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
+/// The pending-event set: a calendar queue of `(destination, event)`
+/// payloads keyed by `(time, seq)`. [`Ctx`] pushes into it directly —
+/// there is no intermediate outbox, so scheduling a message is a single
+/// bucket append.
+pub(crate) type EventQueue<M> = CalendarQueue<(ComponentId, EventKind<M>)>;
 
 /// Why a run stopped.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -95,7 +76,7 @@ pub enum RunOutcome {
 /// ```
 pub struct Simulator<M: Message> {
     components: Vec<Box<dyn Component<M>>>,
-    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    queue: EventQueue<M>,
     fabric: Fabric,
     rng: SimRng,
     now: Time,
@@ -105,9 +86,9 @@ pub struct Simulator<M: Message> {
     time_limit: Time,
     started: bool,
     tracer: Tracer,
-    /// Scratch buffer for component emissions, kept across events and
-    /// across `run()` calls so the hot loop never reallocates it.
-    outbox: Vec<Emit<M>>,
+    /// Component names cached by `start_components` so trace export and
+    /// post-mortems don't re-collect a `Vec<String>` per call.
+    names: Vec<String>,
     /// Wall-clock time spent inside `run()` (accumulated across calls).
     wall: std::time::Duration,
     /// When set, `report()` includes the wall-clock-derived
@@ -121,7 +102,7 @@ impl<M: Message> Simulator<M> {
     pub fn new(seed: u64) -> Self {
         Simulator {
             components: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             fabric: Fabric::new(),
             rng: SimRng::seed_from(seed),
             now: Time::ZERO,
@@ -131,7 +112,7 @@ impl<M: Message> Simulator<M> {
             time_limit: Time::MAX,
             started: false,
             tracer: Tracer::disabled(),
-            outbox: Vec::new(),
+            names: Vec::new(),
             wall: std::time::Duration::ZERO,
             report_perf: false,
         }
@@ -188,15 +169,26 @@ impl<M: Message> Simulator<M> {
         self.components.iter().map(|c| c.name()).collect()
     }
 
+    /// The name table, borrowed from the `start_components` cache when
+    /// it is current (the common case), re-collected only if components
+    /// were added after the simulation started.
+    fn names_cached(&self) -> Cow<'_, [String]> {
+        if self.names.len() == self.components.len() {
+            Cow::Borrowed(&self.names)
+        } else {
+            Cow::Owned(self.component_names())
+        }
+    }
+
     /// Export the buffered trace as Chrome trace-event JSON
     /// (Perfetto-loadable). See [`Tracer::chrome_json`].
     pub fn trace_json(&self) -> String {
-        self.tracer.chrome_json(&self.component_names())
+        self.tracer.chrome_json(&self.names_cached())
     }
 
     /// Export the buffered trace as a compact text dump.
     pub fn trace_text(&self) -> String {
-        self.tracer.text_dump(&self.component_names())
+        self.tracer.text_dump(&self.names_cached())
     }
 
     /// Capture a structured dump of every in-flight transaction —
@@ -212,7 +204,7 @@ impl<M: Message> Simulator<M> {
             at: self.now,
             events: self.events_processed,
             txns,
-            names: self.component_names(),
+            names: self.names_cached().into_owned(),
         }
     }
 
@@ -263,30 +255,7 @@ impl<M: Message> Simulator<M> {
             .collect()
     }
 
-    fn drain_outbox(&mut self, outbox: &mut Vec<Emit<M>>) {
-        for emit in outbox.drain(..) {
-            self.seq += 1;
-            let ev = match emit {
-                Emit::Deliver { at, dst, src, msg } => Scheduled {
-                    at,
-                    seq: self.seq,
-                    dst,
-                    kind: EventKind::Deliver { src, msg },
-                },
-                Emit::Wake { at, dst, token } => Scheduled {
-                    at,
-                    seq: self.seq,
-                    dst,
-                    kind: EventKind::Wake { token },
-                },
-            };
-            debug_assert!(ev.at >= self.now, "scheduled into the past");
-            self.queue.push(Reverse(ev));
-        }
-    }
-
     fn start_components(&mut self) {
-        let mut outbox = std::mem::take(&mut self.outbox);
         for i in 0..self.components.len() {
             let id = ComponentId(i as u32);
             let mut ctx = Ctx {
@@ -294,13 +263,13 @@ impl<M: Message> Simulator<M> {
                 self_id: id,
                 fabric: &mut self.fabric,
                 rng: &mut self.rng,
-                outbox: &mut outbox,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
                 tracer: &mut self.tracer,
             };
             self.components[i].start(&mut ctx);
-            self.drain_outbox(&mut outbox);
         }
-        self.outbox = outbox;
+        self.names = self.component_names();
         self.started = true;
     }
 
@@ -316,51 +285,45 @@ impl<M: Message> Simulator<M> {
         if !self.started {
             self.start_components();
         }
-        // Take the scratch outbox out of `self` so the event loop can
-        // borrow it alongside the component table; one allocation serves
-        // every event of every run() call.
-        let mut outbox = std::mem::take(&mut self.outbox);
-        let outcome = loop {
-            let Some(Reverse(ev)) = self.queue.pop() else {
+        loop {
+            let Some((at, seq, (dst, kind))) = self.queue.pop() else {
                 break if self.all_done() {
                     RunOutcome::Completed
                 } else {
                     RunOutcome::Deadlock
                 };
             };
-            if ev.at > self.time_limit {
+            if at > self.time_limit {
                 // Push back so a later run() with a higher limit can resume.
-                self.queue.push(Reverse(ev));
+                self.queue.push(at, seq, (dst, kind));
                 break RunOutcome::TimeLimit;
             }
             if self.events_processed >= self.event_limit {
-                self.queue.push(Reverse(ev));
+                self.queue.push(at, seq, (dst, kind));
                 break RunOutcome::EventLimit;
             }
-            self.now = ev.at;
+            self.now = at;
             self.events_processed += 1;
-            let idx = ev.dst.index();
+            let idx = dst.index();
             if self.tracer.is_enabled() {
-                if let EventKind::Deliver { src, msg } = &ev.kind {
-                    self.tracer.msg_deliver(self.now, *src, ev.dst, msg);
+                if let EventKind::Deliver { src, msg } = &kind {
+                    self.tracer.msg_deliver(self.now, *src, dst, msg);
                 }
             }
             let mut ctx = Ctx {
                 now: self.now,
-                self_id: ev.dst,
+                self_id: dst,
                 fabric: &mut self.fabric,
                 rng: &mut self.rng,
-                outbox: &mut outbox,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
                 tracer: &mut self.tracer,
             };
-            match ev.kind {
+            match kind {
                 EventKind::Deliver { src, msg } => self.components[idx].handle(msg, src, &mut ctx),
                 EventKind::Wake { token } => self.components[idx].on_wake(token, &mut ctx),
             }
-            self.drain_outbox(&mut outbox);
-        };
-        self.outbox = outbox;
-        outcome
+        }
     }
 
     /// Collect statistics from every component into one report.

@@ -42,8 +42,10 @@
 #![warn(missing_docs)]
 
 pub mod component;
+pub mod equeue;
 pub mod fabric;
 pub mod fault;
+pub mod hash;
 pub mod kernel;
 pub mod rng;
 pub mod stats;
@@ -73,6 +75,7 @@ pub mod prelude {
     pub use crate::component::{Component, ComponentId, Ctx, Message};
     pub use crate::fabric::{Fabric, LinkConfig, LinkId};
     pub use crate::fault::{FaultPlan, Flap, LinkFaults};
+    pub use crate::hash::{FxHashMap, FxHashSet};
     pub use crate::kernel::{RunOutcome, Simulator};
     pub use crate::rng::SimRng;
     pub use crate::stats::{Band, LatencyBands, LatencyHistogram, Report};

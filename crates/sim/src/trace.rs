@@ -18,7 +18,9 @@
 //!   in-flight transaction when a run wedges, naming the oldest blocked
 //!   transaction and the chain of components it waits on.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use crate::hash::FxHashMap;
 use std::fmt;
 
 use crate::component::ComponentId;
@@ -144,7 +146,7 @@ pub struct Tracer {
     next_txn: u64,
     /// Stack of open spans per transaction, so `end` can recover the
     /// class/name recorded at `begin` time.
-    open: HashMap<u64, Vec<(&'static str, String)>>,
+    open: FxHashMap<u64, Vec<(&'static str, String)>>,
 }
 
 impl Tracer {
@@ -374,7 +376,7 @@ impl Tracer {
         // Balance bookkeeping: per txn, a stack of open Begins seen in
         // the buffer. Ends without one are skipped; leftovers are closed
         // synthetically at the end.
-        let mut open: HashMap<u64, Vec<(&'static str, &str, ComponentId)>> = HashMap::new();
+        let mut open: FxHashMap<u64, Vec<(&'static str, &str, ComponentId)>> = FxHashMap::default();
         let mut last_ts = 0.0f64;
         for rec in &self.buf {
             let ts = rec.at.as_ps() as f64 / 1e6; // ps -> µs
