@@ -1,0 +1,165 @@
+//! `protocheck` — offline static analysis of the concrete controllers'
+//! transition tables.
+//!
+//! Builds the declarative [`TransitionTable`]s exported by the L1
+//! (`c3-memsys::l1`), the C³ bridge (`c3::bridge`) and the DCOH
+//! (`c3-cxl::dcoh`) for every host protocol family, and runs the
+//! `c3-verif::static_checks` suite over them: validation, completeness,
+//! reachability, forbidden states, response-sink, Rule-II discipline and
+//! cross-controller static deadlock analysis. The generated compound
+//! FSMs are checked with `c3-verif::fsm_checks` alongside.
+//!
+//! Prints every defect with its row provenance and exits nonzero if any
+//! is found — CI runs it next to the chaos and perf-smoke jobs.
+//!
+//! ```text
+//! cargo run --release --bin protocheck
+//! cargo run --release --bin protocheck -- --inject missing-row
+//! ```
+//!
+//! `--inject missing-row|forbidden-state|cycle` seeds one known defect
+//! into an otherwise clean table, as a self-test that the checker
+//! actually catches each defect class.
+
+use c3::bridge::bridge_transition_table;
+use c3::generator::{baseline_fsm, bridge_fsm};
+use c3_cxl::dcoh::dcoh_transition_table;
+use c3_memsys::l1::l1_transition_table;
+use c3_protocol::states::ProtocolFamily;
+use c3_protocol::table::{TransitionRow, TransitionTable};
+use c3_verif::fsm_checks::check_fsm;
+use c3_verif::static_checks::check_all;
+
+const FAMILIES: [ProtocolFamily; 4] = [
+    ProtocolFamily::Mesi,
+    ProtocolFamily::Mesif,
+    ProtocolFamily::Moesi,
+    ProtocolFamily::Rcc,
+];
+
+/// A known defect seeded into one table, to prove the checker sees it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Inject {
+    /// Delete the L1 MESI `(IS_D, Data)` row.
+    MissingRow,
+    /// Declare the L1 MESI `M` state forbidden.
+    ForbiddenState,
+    /// Replace the bridge MESI `(Wb, Cmp)` rows with a stall waiting on
+    /// `Cmp` itself — an unreleasable self-cycle.
+    Cycle,
+}
+
+fn apply_injection(inject: Inject, l1: &mut TransitionTable, bridge: &mut TransitionTable) {
+    match inject {
+        Inject::MissingRow => {
+            // Drop the (IS_D, Data) row *and* the wildcard Data row, so
+            // the pair is genuinely uncovered (not silently absorbed by
+            // the wildcard) — the checker must name the hole.
+            l1.rows
+                .retain(|r| !(r.event == "Data" && (r.state == "IS_D" || r.state == "*")));
+        }
+        Inject::ForbiddenState => {
+            l1.forbidden.push("M");
+        }
+        Inject::Cycle => {
+            bridge
+                .rows
+                .retain(|r| !(r.state == "Wb" && r.event == "Cmp"));
+            bridge.rows.push(TransitionRow::stall(
+                "Wb",
+                "Cmp",
+                vec!["Cmp"],
+                "protocheck --inject cycle",
+            ));
+        }
+    }
+}
+
+fn main() {
+    let mut inject = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--inject" => {
+                let kind = args.next().unwrap_or_default();
+                inject = Some(match kind.as_str() {
+                    "missing-row" => Inject::MissingRow,
+                    "forbidden-state" => Inject::ForbiddenState,
+                    "cycle" => Inject::Cycle,
+                    other => {
+                        eprintln!("protocheck: unknown injection {other:?}");
+                        eprintln!("  (expected missing-row, forbidden-state or cycle)");
+                        std::process::exit(2);
+                    }
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: protocheck [--inject missing-row|forbidden-state|cycle]");
+                return;
+            }
+            other => {
+                eprintln!("protocheck: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut total_defects = 0usize;
+    let mut tables_checked = 0usize;
+
+    for fam in FAMILIES {
+        let mut l1 = l1_transition_table(fam);
+        let mut bridge = bridge_transition_table(fam);
+        let dcoh = dcoh_transition_table();
+        if fam == ProtocolFamily::Mesi {
+            if let Some(inj) = inject {
+                apply_injection(inj, &mut l1, &mut bridge);
+            }
+        }
+        let set = [&l1, &bridge, &dcoh];
+        let defects = check_all(&set);
+        tables_checked += set.len();
+        let rows: usize = set.iter().map(|t| t.rows.len()).sum();
+        if defects.is_empty() {
+            println!("{fam}: l1+bridge+dcoh tables clean ({rows} rows)");
+        } else {
+            println!("{fam}: {} defect(s) in {rows} rows:", defects.len());
+            for d in &defects {
+                println!("  {d}");
+            }
+            total_defects += defects.len();
+        }
+    }
+
+    // The generated compound FSMs, for the same families plus the
+    // directory-less baselines.
+    for fam in FAMILIES {
+        let fsm = bridge_fsm(fam);
+        let defects = check_fsm(&fsm);
+        if !defects.is_empty() {
+            println!("{fam} compound FSM: {} defect(s):", defects.len());
+            for d in &defects {
+                println!("  {d}");
+            }
+            total_defects += defects.len();
+        }
+    }
+    for fam in [ProtocolFamily::Mesi, ProtocolFamily::Moesi] {
+        let fsm = baseline_fsm(fam, ProtocolFamily::Mesi);
+        let defects = check_fsm(&fsm);
+        if !defects.is_empty() {
+            println!("{fam} baseline FSM: {} defect(s):", defects.len());
+            for d in &defects {
+                println!("  {d}");
+            }
+            total_defects += defects.len();
+        }
+    }
+
+    if total_defects == 0 {
+        println!("protocheck: {tables_checked} tables + 6 compound FSMs clean");
+    } else {
+        println!("protocheck: {total_defects} defect(s)");
+        std::process::exit(1);
+    }
+}

@@ -37,6 +37,7 @@ use c3_memsys::direngine::{BackendPerms, DirEffect, DirEngine, Holders, RecallKi
 use c3_protocol::msg::{CxlMsg, Grant, HostMsg, SysMsg};
 use c3_protocol::ops::Addr;
 use c3_protocol::states::{ProtocolFamily, StableState};
+use c3_protocol::table::{Action, TransitionRow, TransitionTable, Vnet, ANY_STATE};
 use c3_sim::component::{Component, ComponentId, Ctx};
 use c3_sim::stats::{LatencyHistogram, Report};
 use c3_sim::time::{Delay, Time};
@@ -345,6 +346,58 @@ impl C3Bridge {
             .unwrap_or(StableState::I)
     }
 
+    /// The table-level state of `addr` (see [`bridge_transition_table`]):
+    /// the phase of the line's pending global transaction, else the CXL
+    /// stable state. Precedence mirrors the handler dispatch — a stashed
+    /// conflict shadows an active recall shadows a writeback shadows a
+    /// fetch.
+    #[cfg(debug_assertions)]
+    fn table_state(&self, addr: Addr) -> &'static str {
+        if let Some(s) = self.stash.get(&addr) {
+            return match s.phase {
+                StashPhase::AwaitingAck => "StashAck",
+                StashPhase::AwaitingFill => "StashFill",
+            };
+        }
+        if self.snoops.contains_key(&addr) {
+            return "SnoopRecall";
+        }
+        if self.writebacks.contains_key(&addr) {
+            return "Wb";
+        }
+        if let Some(f) = self.fetches.get(&addr) {
+            return if f.exclusive { "FetchX" } else { "FetchS" };
+        }
+        match self.cxl_state(addr) {
+            StableState::I => "I",
+            StableState::S => "S",
+            StableState::E => "E",
+            StableState::M => "M",
+            StableState::O => "O",
+            StableState::F => "F",
+        }
+    }
+
+    /// Debug-mode conformance check: every dynamic dispatch on the CXL
+    /// side must match a non-forbidden row of the declarative
+    /// [`bridge_transition_table`]. Only active in strict CXL mode — the
+    /// passive host path has no table, and a resilient fabric legitimately
+    /// delivers duplicated/stale messages the strict table forbids.
+    #[cfg(debug_assertions)]
+    fn assert_conforms(&self, event: &str, addr: Addr) {
+        if !matches!(self.cfg.global, GlobalSide::Cxl { .. }) || self.cfg.resilience.is_some() {
+            return;
+        }
+        let table = bridge_cached_table(self.cfg.host_family);
+        let state = self.table_state(addr);
+        debug_assert!(
+            table.permits(state, event),
+            "{}: dynamic step ({state} x {event}) for {addr} matches no {} table row",
+            self.name,
+            table.controller,
+        );
+    }
+
     /// Cluster-level data value (post-run inspection).
     pub fn data(&self, addr: Addr) -> u64 {
         self.engine.as_ref().map(|e| e.data(addr)).unwrap_or(0)
@@ -491,6 +544,8 @@ impl C3Bridge {
         exclusive: bool,
         ctx: &mut Ctx<'_, SysMsg>,
     ) -> Vec<DirEffect> {
+        #[cfg(debug_assertions)]
+        self.assert_conforms(if exclusive { "FetchX" } else { "FetchS" }, addr);
         if self.writebacks.contains_key(&addr) || self.stash.contains_key(&addr) {
             // The line is mid-downgrade, or a conflict handshake is still
             // being resolved for it: issuing a new request now would make
@@ -659,6 +714,8 @@ impl C3Bridge {
     // ---- CXL-cache eviction (Fig. 7) ----
 
     fn start_eviction(&mut self, victim: Addr, ctx: &mut Ctx<'_, SysMsg>) -> Vec<DirEffect> {
+        #[cfg(debug_assertions)]
+        self.assert_conforms("Evict", victim);
         self.evictions += 1;
         if let std::collections::hash_map::Entry::Vacant(e) = self.evict_txns.entry(victim) {
             let txn = ctx.next_txn();
@@ -999,6 +1056,8 @@ impl C3Bridge {
         was_dirty: bool,
         ctx: &mut Ctx<'_, SysMsg>,
     ) -> Vec<DirEffect> {
+        #[cfg(debug_assertions)]
+        self.assert_conforms("RecallDone", addr);
         if let Some(snoop) = self.snoops.remove(&addr) {
             let dirty = was_dirty || self.cxl_state(addr) == StableState::M;
             self.recall_lat.record(ctx.now.since(snoop.started));
@@ -1026,6 +1085,10 @@ impl C3Bridge {
 
     fn handle_cxl(&mut self, msg: CxlMsg, ctx: &mut Ctx<'_, SysMsg>) {
         let addr = msg.addr();
+        #[cfg(debug_assertions)]
+        if let Some(ev) = cxl_event_name(&msg) {
+            self.assert_conforms(ev, addr);
+        }
         match msg {
             CxlMsg::MemData {
                 data,
@@ -1741,5 +1804,559 @@ impl Component<SysMsg> for C3Bridge {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// Table-event name of a device-bound S2M message (`None` for host-bound
+/// messages, which the bridge rejects structurally).
+#[cfg(debug_assertions)]
+fn cxl_event_name(msg: &CxlMsg) -> Option<&'static str> {
+    match msg {
+        CxlMsg::MemData { .. } => Some("MemData"),
+        CxlMsg::Cmp { .. } => Some("Cmp"),
+        CxlMsg::BiSnpInv { .. } => Some("BiSnpInv"),
+        CxlMsg::BiSnpData { .. } => Some("BiSnpData"),
+        CxlMsg::BiConflictAck { .. } => Some("BiConflictAck"),
+        _ => None,
+    }
+}
+
+/// Cached per-host-family tables for the debug conformance asserts.
+#[cfg(debug_assertions)]
+fn bridge_cached_table(family: ProtocolFamily) -> &'static TransitionTable {
+    use std::sync::OnceLock;
+    static MESI: OnceLock<TransitionTable> = OnceLock::new();
+    static MESIF: OnceLock<TransitionTable> = OnceLock::new();
+    static MOESI: OnceLock<TransitionTable> = OnceLock::new();
+    static RCC: OnceLock<TransitionTable> = OnceLock::new();
+    static CXL: OnceLock<TransitionTable> = OnceLock::new();
+    let slot = match family {
+        ProtocolFamily::Mesi => &MESI,
+        ProtocolFamily::Mesif => &MESIF,
+        ProtocolFamily::Moesi => &MOESI,
+        ProtocolFamily::Rcc => &RCC,
+        ProtocolFamily::CxlMem => &CXL,
+    };
+    slot.get_or_init(|| bridge_transition_table(family))
+}
+
+/// The bridge's CXL-side (active translation) transition relation as data.
+///
+/// Per-line states are the CXL stable states (`I`/`S`/`E`/`M`, the `cxl`
+/// array) plus the phases of the bridge's pending-transaction maps:
+/// `FetchS`/`FetchX` (global fetch in flight), `Wb` (global writeback in
+/// flight), `SnoopRecall` (delegated nested host recall), and
+/// `StashAck`/`StashFill` (the Fig. 2 `BIConflict` handshake phases).
+/// Events are the S2M wire messages plus the internal triggers that open
+/// global transactions (`FetchS`/`FetchX`/`Evict`) and the host-recall
+/// completion callback (`RecallDone`).
+///
+/// For `Rcc` host clusters (no SWMR enforcement, §II-C) the recall
+/// machinery never engages: the `SnoopRecall` state and `RecallDone`
+/// event are omitted so the reachability check stays honest.
+#[allow(clippy::vec_init_then_push)] // row-by-row reads like the table it mirrors
+pub fn bridge_transition_table(host_family: ProtocolFamily) -> TransitionTable {
+    use Vnet::{Req, Resp, Snoop};
+    let recalls = host_family.enforces_swmr();
+    // The origin-domain completion: the suspended host transaction resumes
+    // and the engine delivers Data to the requesting L1.
+    let fill = Action::complete("Data", Resp, "l1");
+    let rd_s = Action::send("MemRdS", Req, "dcoh");
+    let rd_a = Action::send("MemRdA", Req, "dcoh");
+    let wr_i = Action::send("MemWrI", Req, "dcoh");
+    let wr_s = Action::send("MemWrS", Req, "dcoh");
+    let rsp_i = Action::send("BiRspI", Resp, "dcoh");
+    let rsp_s = Action::send("BiRspS", Resp, "dcoh");
+    let conflict = Action::send("BiConflict", Req, "dcoh");
+    // Nested host-domain recall (representative message; the engine picks
+    // Inv / FwdGetS / FwdGetM per holder).
+    let recall = Action::send("Inv", Snoop, "l1");
+    let evict_waits: Vec<&'static str> = if recalls {
+        vec!["RecallDone", "Cmp"]
+    } else {
+        vec!["Cmp"]
+    };
+    let mut rows = Vec::new();
+
+    // ---- internal fetch triggers (Rule I delegation; start_fetch) ----
+    rows.push(
+        TransitionRow::next(
+            "I",
+            "FetchS",
+            "FetchS",
+            vec![rd_s.clone()],
+            "bridge.rs:start_fetch",
+        )
+        .nested(),
+    );
+    rows.push(
+        TransitionRow::next(
+            "S",
+            "FetchS",
+            "FetchS",
+            vec![rd_s.clone()],
+            "bridge.rs:resume_deferred (retained S after MemWrS)",
+        )
+        .nested(),
+    );
+    rows.push(
+        TransitionRow::next(
+            "I",
+            "FetchX",
+            "FetchX",
+            vec![rd_a.clone()],
+            "bridge.rs:start_fetch",
+        )
+        .nested(),
+    );
+    rows.push(
+        TransitionRow::next(
+            "S",
+            "FetchX",
+            "FetchX",
+            vec![rd_a.clone()],
+            "bridge.rs:start_fetch (upgrade)",
+        )
+        .nested(),
+    );
+    if recalls {
+        // A deferred fetch can restart while a delegated recall is still
+        // in flight (conflict-ack resolution delegates the recall, then
+        // resumes the deferred fetch). The MemRd is issued immediately;
+        // the DCOH stalls it behind its own in-flight snoop.
+        rows.push(
+            TransitionRow::next(
+                "SnoopRecall",
+                "FetchS",
+                "SnoopRecall",
+                vec![rd_s.clone()],
+                "bridge.rs:resume_deferred (fetch restarted under a delegated recall)",
+            )
+            .nested(),
+        );
+        rows.push(
+            TransitionRow::next(
+                "SnoopRecall",
+                "FetchX",
+                "SnoopRecall",
+                vec![rd_a.clone()],
+                "bridge.rs:resume_deferred (fetch restarted under a delegated recall)",
+            )
+            .nested(),
+        );
+    }
+    for ev in ["FetchS", "FetchX"] {
+        rows.push(TransitionRow::stall(
+            "Wb",
+            ev,
+            vec!["Cmp"],
+            "bridge.rs:start_fetch (deferred behind writeback)",
+        ));
+        rows.push(TransitionRow::stall(
+            "StashAck",
+            ev,
+            vec!["BiConflictAck"],
+            "bridge.rs:start_fetch (deferred behind conflict handshake)",
+        ));
+        rows.push(TransitionRow::stall(
+            "StashFill",
+            ev,
+            vec!["MemData"],
+            "bridge.rs:start_fetch (deferred behind pending fill)",
+        ));
+        rows.push(TransitionRow::forbidden(
+            ANY_STATE,
+            ev,
+            "the engine blocks same-line requests while a global fetch or recall is in flight",
+            "bridge.rs:start_fetch",
+        ));
+    }
+
+    // ---- fills ----
+    for grant in ["S", "E"] {
+        rows.push(TransitionRow::next(
+            "FetchS",
+            "MemData",
+            grant,
+            vec![fill.clone()],
+            "bridge.rs:complete_fetch",
+        ));
+    }
+    rows.push(TransitionRow::next(
+        "FetchX",
+        "MemData",
+        "M",
+        vec![fill.clone()],
+        "bridge.rs:complete_fetch",
+    ));
+    rows.push(TransitionRow::next(
+        "StashAck",
+        "MemData",
+        "StashAck",
+        vec![fill.clone()],
+        "bridge.rs:complete_fetch (fill before conflict ack)",
+    ));
+    // Fig. 2 middle: the stashed snoop is honoured right after the fill;
+    // the fill IS the origin completion, so these rows are not `nested`.
+    if recalls {
+        rows.push(TransitionRow::next(
+            "StashFill",
+            "MemData",
+            "SnoopRecall",
+            vec![fill.clone(), recall.clone()],
+            "bridge.rs:complete_fetch (stashed snoop, host recall)",
+        ));
+    }
+    rows.push(TransitionRow::next(
+        "StashFill",
+        "MemData",
+        "I",
+        vec![fill.clone(), rsp_i.clone()],
+        "bridge.rs:complete_fetch (stashed BISnpInv)",
+    ));
+    rows.push(TransitionRow::next(
+        "StashFill",
+        "MemData",
+        "S",
+        vec![fill.clone(), rsp_s.clone()],
+        "bridge.rs:complete_fetch (stashed BISnpData)",
+    ));
+    rows.push(TransitionRow::next(
+        "StashFill",
+        "MemData",
+        "Wb",
+        vec![fill.clone(), wr_i.clone()],
+        "bridge.rs:complete_fetch (stashed snoop, dirty 6-hop)",
+    ));
+    rows.push(TransitionRow::forbidden(
+        ANY_STATE,
+        "MemData",
+        "fill without a pending fetch",
+        "bridge.rs:handle_cxl/MemData",
+    ));
+
+    // ---- writeback completions ----
+    rows.push(TransitionRow::next(
+        "Wb",
+        "Cmp",
+        "I",
+        vec![],
+        "bridge.rs:finish_writeback (eviction)",
+    ));
+    rows.push(TransitionRow::next(
+        "Wb",
+        "Cmp",
+        "I",
+        vec![rsp_i.clone()],
+        "bridge.rs:finish_writeback (snoop response BIRspI)",
+    ));
+    rows.push(TransitionRow::next(
+        "Wb",
+        "Cmp",
+        "S",
+        vec![rsp_s.clone()],
+        "bridge.rs:finish_writeback (snoop response BIRspS)",
+    ));
+    rows.push(TransitionRow::forbidden(
+        ANY_STATE,
+        "Cmp",
+        "completion without a pending writeback",
+        "bridge.rs:handle_cxl/Cmp",
+    ));
+
+    // ---- back-invalidation snoops ----
+    for (ev, down, down_act, wr) in [
+        ("BiSnpInv", "I", rsp_i.clone(), wr_i.clone()),
+        ("BiSnpData", "S", rsp_s.clone(), wr_s.clone()),
+    ] {
+        rows.push(TransitionRow::next(
+            "I",
+            ev,
+            "I",
+            vec![rsp_i.clone()],
+            "bridge.rs:respond_snoop_clean_miss",
+        ));
+        for s in ["S", "E"] {
+            rows.push(TransitionRow::next(
+                s,
+                ev,
+                down,
+                vec![down_act.clone()],
+                "bridge.rs:process_global_snoop (clean, immediate)",
+            ));
+        }
+        rows.push(
+            TransitionRow::next(
+                "M",
+                ev,
+                "Wb",
+                vec![wr.clone()],
+                "bridge.rs:respond_snoop (dirty 6-hop chain)",
+            )
+            .nested(),
+        );
+        for s in ["S", "E", "M"] {
+            if recalls {
+                rows.push(
+                    TransitionRow::next(
+                        s,
+                        ev,
+                        "SnoopRecall",
+                        vec![recall.clone()],
+                        "bridge.rs:process_global_snoop (delegated host recall)",
+                    )
+                    .nested(),
+                );
+            }
+            // A BISnp can catch the line mid-eviction (recall in flight or
+            // busy victim): answered when the eviction resolves.
+            rows.push(TransitionRow::stall(
+                s,
+                ev,
+                evict_waits.clone(),
+                "bridge.rs:handle_cxl (pending_evict_snoop)",
+            ));
+        }
+        for s in ["FetchS", "FetchX"] {
+            rows.push(
+                TransitionRow::next(
+                    s,
+                    ev,
+                    "StashAck",
+                    vec![conflict.clone()],
+                    "bridge.rs:handle_cxl (Fig. 2 conflict handshake)",
+                )
+                .nested(),
+            );
+        }
+        rows.push(TransitionRow::stall(
+            "Wb",
+            ev,
+            vec!["Cmp"],
+            "bridge.rs:handle_cxl (snoop_after: answered on Cmp)",
+        ));
+        rows.push(TransitionRow::forbidden(
+            ANY_STATE,
+            ev,
+            "duplicate snoop during an active handshake",
+            "bridge.rs:handle_cxl/BiSnp",
+        ));
+    }
+
+    // ---- conflict handshake resolution ----
+    rows.push(
+        TransitionRow::next(
+            "StashAck",
+            "BiConflictAck",
+            "StashFill",
+            vec![],
+            "bridge.rs:handle_cxl (Fig. 2 middle: serialized first, await fill)",
+        )
+        .nested(),
+    );
+    if recalls {
+        rows.push(
+            TransitionRow::next(
+                "StashAck",
+                "BiConflictAck",
+                "SnoopRecall",
+                vec![recall.clone()],
+                "bridge.rs:handle_cxl (Fig. 2 right: lost, host recall)",
+            )
+            .nested(),
+        );
+    }
+    for s in ["FetchS", "FetchX"] {
+        rows.push(TransitionRow::next(
+            "StashAck",
+            "BiConflictAck",
+            s,
+            vec![rsp_i.clone()],
+            "bridge.rs:respond_snoop_conflict_loser",
+        ));
+        rows.push(TransitionRow::next(
+            "StashAck",
+            "BiConflictAck",
+            s,
+            vec![rsp_s.clone()],
+            "bridge.rs:respond_snoop_conflict_loser",
+        ));
+    }
+    // Serialized first but the fill already completed: honour the snoop
+    // against the now-stable line.
+    rows.push(TransitionRow::next(
+        "StashAck",
+        "BiConflictAck",
+        "I",
+        vec![rsp_i.clone()],
+        "bridge.rs:handle_cxl (ack after fill, clean)",
+    ));
+    rows.push(TransitionRow::next(
+        "StashAck",
+        "BiConflictAck",
+        "S",
+        vec![rsp_s.clone()],
+        "bridge.rs:handle_cxl (ack after fill, clean)",
+    ));
+    rows.push(TransitionRow::next(
+        "StashAck",
+        "BiConflictAck",
+        "Wb",
+        vec![wr_i.clone()],
+        "bridge.rs:handle_cxl (ack after fill, dirty)",
+    ));
+    rows.push(TransitionRow::forbidden(
+        ANY_STATE,
+        "BiConflictAck",
+        "conflict ack without a pending BIConflict",
+        "bridge.rs:handle_cxl/BiConflictAck",
+    ));
+
+    // ---- evictions (Fig. 7) and recall completions ----
+    if recalls {
+        for s in ["S", "E", "M"] {
+            rows.push(
+                TransitionRow::next(
+                    s,
+                    "Evict",
+                    s,
+                    vec![recall.clone()],
+                    "bridge.rs:start_eviction (host recall first)",
+                )
+                .nested(),
+            );
+        }
+    }
+    for s in ["S", "E"] {
+        rows.push(TransitionRow::next(
+            s,
+            "Evict",
+            "I",
+            vec![],
+            "bridge.rs:finish_eviction_recall (clean, silent drop)",
+        ));
+    }
+    rows.push(
+        TransitionRow::next(
+            "M",
+            "Evict",
+            "Wb",
+            vec![wr_i.clone()],
+            "bridge.rs:finish_eviction_recall (dirty)",
+        )
+        .nested(),
+    );
+    rows.push(TransitionRow::forbidden(
+        ANY_STATE,
+        "Evict",
+        "eviction of an absent or busy line",
+        "bridge.rs:start_eviction",
+    ));
+    if recalls {
+        rows.push(TransitionRow::next(
+            "SnoopRecall",
+            "RecallDone",
+            "I",
+            vec![rsp_i.clone()],
+            "bridge.rs:on_recall_done/respond_snoop (BIRspI)",
+        ));
+        rows.push(TransitionRow::next(
+            "SnoopRecall",
+            "RecallDone",
+            "S",
+            vec![rsp_s.clone()],
+            "bridge.rs:on_recall_done/respond_snoop (BIRspS)",
+        ));
+        for wr in [wr_i.clone(), wr_s.clone()] {
+            rows.push(
+                TransitionRow::next(
+                    "SnoopRecall",
+                    "RecallDone",
+                    "Wb",
+                    vec![wr],
+                    "bridge.rs:on_recall_done/respond_snoop (dirty 6-hop)",
+                )
+                .nested(),
+            );
+        }
+        // A conflict-loser recall resolves back to the still-pending fetch.
+        for s in ["FetchS", "FetchX"] {
+            rows.push(TransitionRow::next(
+                "SnoopRecall",
+                "RecallDone",
+                s,
+                vec![rsp_i.clone()],
+                "bridge.rs:on_recall_done (conflict loser, fetch pending)",
+            ));
+        }
+        for s in ["S", "E", "M"] {
+            rows.push(
+                TransitionRow::next(
+                    s,
+                    "RecallDone",
+                    "Wb",
+                    vec![wr_i.clone()],
+                    "bridge.rs:on_recall_done/finish_eviction_recall (dirty)",
+                )
+                .nested(),
+            );
+            rows.push(TransitionRow::next(
+                s,
+                "RecallDone",
+                "I",
+                vec![],
+                "bridge.rs:on_recall_done/finish_eviction_recall (clean)",
+            ));
+        }
+        rows.push(TransitionRow::forbidden(
+            ANY_STATE,
+            "RecallDone",
+            "recall completion without an active recall",
+            "bridge.rs:on_recall_done",
+        ));
+    }
+
+    let mut states = vec![
+        "I",
+        "S",
+        "E",
+        "M",
+        "FetchS",
+        "FetchX",
+        "Wb",
+        "StashAck",
+        "StashFill",
+    ];
+    let mut events = vec![
+        "MemData",
+        "Cmp",
+        "BiSnpInv",
+        "BiSnpData",
+        "BiConflictAck",
+        "FetchS",
+        "FetchX",
+        "Evict",
+    ];
+    let mut assumed = vec!["FetchS", "FetchX", "Evict"];
+    if recalls {
+        states.push("SnoopRecall");
+        events.push("RecallDone");
+        assumed.push("RecallDone");
+    }
+    TransitionTable {
+        controller: "bridge",
+        states,
+        events,
+        event_vnets: vec![
+            ("MemData", Resp),
+            ("Cmp", Resp),
+            ("BiConflictAck", Resp),
+            ("BiSnpInv", Snoop),
+            ("BiSnpData", Snoop),
+        ],
+        initial: vec!["I"],
+        forbidden: vec![],
+        assumed_available: assumed,
+        rows,
     }
 }

@@ -29,6 +29,7 @@ use c3_sim::hash::FxHashMap;
 
 use c3_protocol::msg::{CxlGrant, CxlMsg};
 use c3_protocol::ops::Addr;
+use c3_protocol::table::{Action, TransitionRow, TransitionTable, Vnet};
 use c3_sim::component::ComponentId;
 use c3_sim::time::{Delay, Time};
 use c3_sim::trace::InflightTxn;
@@ -199,6 +200,26 @@ impl DcohEngine {
             .unwrap_or_default()
     }
 
+    /// The table-level state of `addr` (see [`dcoh_transition_table`]):
+    /// the blocking snoop kind if one is in flight, else the holder class.
+    #[cfg(debug_assertions)]
+    fn table_state(&self, addr: Addr) -> &'static str {
+        match self.lines.get(&addr) {
+            None => "NoHolders",
+            Some(l) => match &l.snoop {
+                Some(s) => match s.kind {
+                    SnoopKind::Inv => "SnpInv",
+                    SnoopKind::Data => "SnpData",
+                },
+                None => match &l.holders {
+                    CxlHolders::None => "NoHolders",
+                    CxlHolders::Shared(_) => "Shared",
+                    CxlHolders::Exclusive(_) => "Exclusive",
+                },
+            },
+        }
+    }
+
     /// Whether the engine is quiescent.
     pub fn idle(&self) -> bool {
         self.lines
@@ -294,6 +315,16 @@ impl DcohEngine {
         now: Option<Time>,
     ) -> Vec<DcohEffect> {
         let addr = msg.addr();
+        #[cfg(debug_assertions)]
+        if !self.resilient {
+            if let Some(ev) = device_event_name(&msg) {
+                let state = self.table_state(addr);
+                debug_assert!(
+                    dcoh_cached_table().permits(state, ev),
+                    "dcoh: dynamic step ({state} x {ev}) for {addr} matches no table row",
+                );
+            }
+        }
         let mut out = Vec::new();
         match msg {
             // ---- requests: blocked while a snoop is in flight ----
@@ -693,6 +724,238 @@ impl DcohEngine {
             };
             self.admit(h, m, now, out);
         }
+    }
+}
+
+/// Table-event name of a device-bound M2S message (`None` for host-bound
+/// messages, which the DCOH rejects structurally).
+#[cfg(debug_assertions)]
+fn device_event_name(msg: &CxlMsg) -> Option<&'static str> {
+    match msg {
+        CxlMsg::MemRdA { .. } => Some("MemRdA"),
+        CxlMsg::MemRdS { .. } => Some("MemRdS"),
+        CxlMsg::MemWrI { .. } => Some("MemWrI"),
+        CxlMsg::MemWrS { .. } => Some("MemWrS"),
+        CxlMsg::BiRspI { .. } => Some("BiRspI"),
+        CxlMsg::BiRspS { .. } => Some("BiRspS"),
+        CxlMsg::BiConflict { .. } => Some("BiConflict"),
+        _ => None,
+    }
+}
+
+/// Cached table for the debug conformance assert in
+/// [`DcohEngine::handle_at`].
+#[cfg(debug_assertions)]
+fn dcoh_cached_table() -> &'static TransitionTable {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<TransitionTable> = OnceLock::new();
+    TABLE.get_or_init(dcoh_transition_table)
+}
+
+/// The DCOH's transition relation as data.
+///
+/// Per-line states are the holder classes (`NoHolders`/`Shared`/
+/// `Exclusive`) plus the two blocking-snoop transients (`SnpInv`/
+/// `SnpData`) — the source of the convoy effect: requests arriving in a
+/// `Snp*` state stall until the `BIRsp*` resolves the snoop. Writebacks
+/// and the `BIConflict` handshake are consumed in *every* state (the
+/// response-network sink property the static deadlock analysis leans on).
+#[allow(clippy::vec_init_then_push)] // row-by-row reads like the table it mirrors
+pub fn dcoh_transition_table() -> TransitionTable {
+    use Vnet::{Req, Resp, Snoop};
+    let fill = Action::complete("MemData", Resp, "bridge");
+    let cmp = Action::complete("Cmp", Resp, "bridge");
+    let snp_i = Action::send("BiSnpInv", Snoop, "bridge");
+    let snp_d = Action::send("BiSnpData", Snoop, "bridge");
+    let ack = Action::send("BiConflictAck", Resp, "bridge");
+    const ALL: [&str; 5] = ["NoHolders", "Shared", "Exclusive", "SnpInv", "SnpData"];
+    let mut rows = Vec::new();
+
+    // ---- requests (Table I: MemRd,A / MemRd,S) ----
+    rows.push(TransitionRow::next(
+        "NoHolders",
+        "MemRdA",
+        "Exclusive",
+        vec![fill.clone()],
+        "dcoh.rs:admit (no holders, grant M)",
+    ));
+    rows.push(TransitionRow::next(
+        "NoHolders",
+        "MemRdS",
+        "Exclusive",
+        vec![fill.clone()],
+        "dcoh.rs:admit (no holders, grant E)",
+    ));
+    rows.push(TransitionRow::next(
+        "Shared",
+        "MemRdS",
+        "Shared",
+        vec![fill.clone()],
+        "dcoh.rs:admit (grant S)",
+    ));
+    rows.push(TransitionRow::next(
+        "Shared",
+        "MemRdA",
+        "Exclusive",
+        vec![fill.clone()],
+        "dcoh.rs:admit (requester is the sole sharer)",
+    ));
+    rows.push(
+        TransitionRow::next(
+            "Shared",
+            "MemRdA",
+            "SnpInv",
+            vec![snp_i.clone()],
+            "dcoh.rs:admit (invalidate sharers)",
+        )
+        .nested(),
+    );
+    for ev in ["MemRdA", "MemRdS"] {
+        rows.push(TransitionRow::next(
+            "Exclusive",
+            ev,
+            "Exclusive",
+            vec![fill.clone()],
+            "dcoh.rs:admit (recorded owner re-requests; snooping it would deadlock)",
+        ));
+    }
+    rows.push(
+        TransitionRow::next(
+            "Exclusive",
+            "MemRdA",
+            "SnpInv",
+            vec![snp_i.clone()],
+            "dcoh.rs:admit (snoop the owner)",
+        )
+        .nested(),
+    );
+    rows.push(
+        TransitionRow::next(
+            "Exclusive",
+            "MemRdS",
+            "SnpData",
+            vec![snp_d.clone()],
+            "dcoh.rs:admit (snoop the owner for data)",
+        )
+        .nested(),
+    );
+    for s in ["SnpInv", "SnpData"] {
+        for ev in ["MemRdA", "MemRdS"] {
+            rows.push(TransitionRow::stall(
+                s,
+                ev,
+                vec!["BiRspI", "BiRspS"],
+                "dcoh.rs:handle_at (convoy queue behind blocking snoop)",
+            ));
+        }
+    }
+
+    // ---- writebacks: accepted in every state, never stall ----
+    rows.push(TransitionRow::next(
+        "Exclusive",
+        "MemWrI",
+        "NoHolders",
+        vec![cmp.clone()],
+        "dcoh.rs:handle_at/MemWrI (owner eviction)",
+    ));
+    rows.push(TransitionRow::next(
+        "Exclusive",
+        "MemWrS",
+        "Shared",
+        vec![cmp.clone()],
+        "dcoh.rs:handle_at/MemWrS (owner retains shared)",
+    ));
+    for s in ["NoHolders", "Shared", "SnpInv", "SnpData"] {
+        for ev in ["MemWrI", "MemWrS"] {
+            rows.push(TransitionRow::next(
+                s,
+                ev,
+                s,
+                vec![cmp.clone()],
+                "dcoh.rs:handle_at (writeback racing a snoop or eviction)",
+            ));
+        }
+    }
+
+    // ---- snoop responses ----
+    for ev in ["BiRspI", "BiRspS"] {
+        rows.push(TransitionRow::next(
+            "SnpInv",
+            ev,
+            "Exclusive",
+            vec![fill.clone()],
+            "dcoh.rs:snoop_response (last waiter; grant the blocked request)",
+        ));
+        rows.push(TransitionRow::next(
+            "SnpInv",
+            ev,
+            "SnpInv",
+            vec![],
+            "dcoh.rs:snoop_response (more waiters outstanding)",
+        ));
+        rows.push(TransitionRow::next(
+            "SnpData",
+            ev,
+            "Shared",
+            vec![fill.clone()],
+            "dcoh.rs:snoop_response (downgrade resolved)",
+        ));
+        rows.push(TransitionRow::next(
+            "SnpData",
+            ev,
+            "SnpData",
+            vec![],
+            "dcoh.rs:snoop_response (stale responder)",
+        ));
+        for s in ["NoHolders", "Shared", "Exclusive"] {
+            rows.push(TransitionRow::next(
+                s,
+                ev,
+                s,
+                vec![],
+                "dcoh.rs:snoop_response (snoop already resolved; ignored)",
+            ));
+        }
+    }
+
+    // ---- conflict handshake: answered immediately in any state ----
+    for s in ALL {
+        rows.push(TransitionRow::next(
+            s,
+            "BiConflict",
+            s,
+            vec![ack.clone()],
+            "dcoh.rs:handle_at/BiConflict (M2S FIFO decides serialization)",
+        ));
+    }
+
+    TransitionTable {
+        controller: "dcoh",
+        states: ALL.to_vec(),
+        events: vec![
+            "MemRdA",
+            "MemRdS",
+            "MemWrI",
+            "MemWrS",
+            "BiRspI",
+            "BiRspS",
+            "BiConflict",
+        ],
+        event_vnets: vec![
+            ("MemRdA", Req),
+            ("MemRdS", Req),
+            ("MemWrI", Req),
+            ("MemWrS", Req),
+            ("BiRspI", Resp),
+            ("BiRspS", Resp),
+            ("BiConflict", Req),
+        ],
+        initial: vec!["NoHolders"],
+        forbidden: vec![],
+        // Everything the DCOH consumes arrives over the wire from the
+        // bridges — nothing is assumed.
+        assumed_available: vec![],
+        rows,
     }
 }
 

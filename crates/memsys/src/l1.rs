@@ -14,6 +14,9 @@ use c3_sim::hash::FxHashMap;
 use c3_protocol::msg::{CoreReq, CoreResp, Grant, HostMsg, SysMsg};
 use c3_protocol::ops::{Addr, FenceKind, Instr};
 use c3_protocol::states::{ProtocolFamily, StableState};
+use c3_protocol::table::{
+    Action, ProtocolViolation, TransitionRow, TransitionTable, Vnet, ANY_STATE,
+};
 use c3_sim::component::{Component, ComponentId, Ctx};
 use c3_sim::stats::{LatencyBands, LatencyHistogram, Report};
 use c3_sim::time::{Delay, Time};
@@ -103,6 +106,38 @@ enum TState {
     AT_D,
 }
 
+impl TState {
+    /// Table-state name (allocation-free `{:?}` equivalent).
+    fn name(self) -> &'static str {
+        match self {
+            TState::IS_D => "IS_D",
+            TState::IM_AD => "IM_AD",
+            TState::IM_A => "IM_A",
+            TState::SM_AD => "SM_AD",
+            TState::SM_A => "SM_A",
+            TState::MI_A => "MI_A",
+            TState::OI_A => "OI_A",
+            TState::EI_A => "EI_A",
+            TState::SI_A => "SI_A",
+            TState::II_A => "II_A",
+            TState::WT_A => "WT_A",
+            TState::AT_D => "AT_D",
+        }
+    }
+}
+
+/// Table-state name of a stable state (allocation-free).
+fn stable_name(s: StableState) -> &'static str {
+    match s {
+        StableState::I => "I",
+        StableState::S => "S",
+        StableState::E => "E",
+        StableState::O => "O",
+        StableState::M => "M",
+        StableState::F => "F",
+    }
+}
+
 #[derive(Debug)]
 struct Mshr {
     tstate: TState,
@@ -160,6 +195,10 @@ pub struct L1Controller {
     invalidations_received: u64,
     self_invalidations: u64,
     poisoned_reads: u64,
+    /// Structured protocol violations observed (message in a state the
+    /// transition table forbids). Non-empty keeps `done()` false so the
+    /// run ends in a deadlock post-mortem that names the violation.
+    violations: Vec<ProtocolViolation>,
 }
 
 impl L1Controller {
@@ -176,7 +215,63 @@ impl L1Controller {
             invalidations_received: 0,
             self_invalidations: 0,
             poisoned_reads: 0,
+            violations: Vec::new(),
         }
+    }
+
+    /// Protocol violations recorded so far (empty in a correct run).
+    pub fn violations(&self) -> &[ProtocolViolation] {
+        &self.violations
+    }
+
+    /// Record a structured protocol violation instead of panicking: the
+    /// offending message is dropped, the violation is traced, and the
+    /// controller stops reporting `done` so the existing deadlock
+    /// post-mortem surfaces it with full context.
+    fn violation(&mut self, state: &str, event: &str, addr: Addr, ctx: &mut Ctx<'_, SysMsg>) {
+        let v = ProtocolViolation {
+            component: self.name.clone(),
+            state: state.to_string(),
+            event: event.to_string(),
+            addr,
+        };
+        ctx.trace_instant("violation", v.to_string());
+        // Conformance, rejection direction: whatever the handler refuses,
+        // the table must also refuse (a `Forbidden` or missing row).
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            !l1_cached_table(self.cfg.family).permits(&v.state, &v.event),
+            "{}: handler rejected ({} x {}) but the table permits it",
+            self.name,
+            v.state,
+            v.event,
+        );
+        self.violations.push(v);
+    }
+
+    /// The table-level state of `addr`: the MSHR transient state if a
+    /// transaction is in flight, else the resident stable state, else I.
+    /// Allocation-free — it feeds the per-event debug conformance assert.
+    fn table_state(&self, addr: Addr) -> &'static str {
+        if let Some(m) = self.mshrs.get(&addr) {
+            m.tstate.name()
+        } else {
+            stable_name(self.line_state(addr))
+        }
+    }
+
+    /// Debug-mode conformance check: every dynamic dispatch must match a
+    /// non-forbidden row of the declarative [`l1_transition_table`].
+    #[cfg(debug_assertions)]
+    fn assert_conforms(&self, event: &str, addr: Addr) {
+        let table = l1_cached_table(self.cfg.family);
+        let state = self.table_state(addr);
+        debug_assert!(
+            table.permits(state, event),
+            "{}: dynamic step ({state} x {event}) for {addr} matches no {} table row",
+            self.name,
+            table.controller,
+        );
     }
 
     /// Miss statistics for one access kind.
@@ -308,6 +403,8 @@ impl L1Controller {
             }
         }
         let vaddr = vaddr.expect("a stable victim must exist");
+        #[cfg(debug_assertions)]
+        self.assert_conforms("Repl", vaddr);
         let line = self.array.remove(vaddr).expect("victim resident");
         self.hint_core(vaddr, ctx);
         let rcc = self.cfg.family == ProtocolFamily::Rcc;
@@ -473,6 +570,16 @@ impl L1Controller {
             return;
         }
         let addr = req.instr.addr().expect("memory instruction");
+        #[cfg(debug_assertions)]
+        {
+            let event = match req.instr {
+                Instr::Load { .. } => "Load",
+                Instr::Store { .. } => "Store",
+                Instr::Rmw { .. } => "Rmw",
+                _ => unreachable!("handled above"),
+            };
+            self.assert_conforms(event, addr);
+        }
         // Same-line transaction in flight: defer.
         if let Some(mshr) = self.mshrs.get_mut(&addr) {
             mshr.pending.push_back(req);
@@ -682,7 +789,17 @@ impl L1Controller {
                 poisoned,
                 ..
             } => {
-                let mshr = self.mshrs.get_mut(&addr).expect("Data without MSHR");
+                if !matches!(
+                    self.mshrs.get(&addr).map(|m| m.tstate),
+                    Some(TState::IS_D | TState::IM_AD | TState::SM_AD)
+                ) {
+                    let state = self.table_state(addr);
+                    self.violation(state, "Data", addr, ctx);
+                    return;
+                }
+                #[cfg(debug_assertions)]
+                self.assert_conforms("Data", addr);
+                let mshr = self.mshrs.get_mut(&addr).expect("checked above");
                 mshr.data = data;
                 mshr.poisoned |= poisoned;
                 mshr.data_received = true;
@@ -704,11 +821,21 @@ impl L1Controller {
                             };
                         }
                     }
-                    other => panic!("Data in {other:?}"),
+                    _ => unreachable!("checked above"),
                 }
             }
             HostMsg::InvAck { .. } => {
-                let mshr = self.mshrs.get_mut(&addr).expect("InvAck without MSHR");
+                if !matches!(
+                    self.mshrs.get(&addr).map(|m| m.tstate),
+                    Some(TState::IM_AD | TState::SM_AD | TState::IM_A | TState::SM_A)
+                ) {
+                    let state = self.table_state(addr);
+                    self.violation(state, "InvAck", addr, ctx);
+                    return;
+                }
+                #[cfg(debug_assertions)]
+                self.assert_conforms("InvAck", addr);
+                let mshr = self.mshrs.get_mut(&addr).expect("checked above");
                 mshr.acks -= 1;
                 if matches!(mshr.tstate, TState::IM_A | TState::SM_A) && mshr.acks <= 0 {
                     self.complete_fill(addr, StableState::M, ctx);
@@ -721,6 +848,8 @@ impl L1Controller {
                 // An upgrading O/F owner (SM_AD) can be asked to supply: the
                 // line is still resident; serve it and keep upgrading.
                 if matches!(self.mshrs.get(&addr).map(|m| m.tstate), Some(TState::SM_AD)) {
+                    #[cfg(debug_assertions)]
+                    self.assert_conforms("FwdGetS", addr);
                     let line = *self.array.peek(addr).expect("upgrader holds the line");
                     debug_assert!(
                         line.state.supplies_data(),
@@ -756,7 +885,18 @@ impl L1Controller {
                     self.array.get_mut(addr).expect("present").state = next;
                     return;
                 }
-                if let Some(mshr) = self.mshrs.get_mut(&addr) {
+                if self.mshrs.contains_key(&addr) {
+                    if !matches!(
+                        self.mshrs.get(&addr).map(|m| m.tstate),
+                        Some(TState::SI_A | TState::MI_A | TState::EI_A | TState::OI_A)
+                    ) {
+                        let state = self.table_state(addr);
+                        self.violation(state, "FwdGetS", addr, ctx);
+                        return;
+                    }
+                    #[cfg(debug_assertions)]
+                    self.assert_conforms("FwdGetS", addr);
+                    let mshr = self.mshrs.get_mut(&addr).expect("checked above");
                     match mshr.tstate {
                         TState::SI_A => {
                             // Evicting ex-forwarder (MESIF): the eviction
@@ -817,20 +957,20 @@ impl L1Controller {
                                 }),
                             );
                         }
-                        other => panic!("FwdGetS in {other:?}"),
+                        _ => unreachable!("checked above"),
                     }
                     return;
                 }
-                let line = *self
-                    .array
-                    .peek(addr)
-                    .unwrap_or_else(|| panic!("{}: FwdGetS for absent line {addr}", self.name));
-                debug_assert!(
-                    line.state.supplies_data(),
-                    "{}: FwdGetS in state {} for {addr}",
-                    self.name,
-                    line.state
-                );
+                let Some(line) = self.array.peek(addr).copied() else {
+                    self.violation("I", "FwdGetS", addr, ctx);
+                    return;
+                };
+                if !line.state.supplies_data() {
+                    self.violation(stable_name(line.state), "FwdGetS", addr, ctx);
+                    return;
+                }
+                #[cfg(debug_assertions)]
+                self.assert_conforms("FwdGetS", addr);
                 let dirty = line.state.is_dirty();
                 ctx.send(
                     requestor,
@@ -872,6 +1012,8 @@ impl L1Controller {
                 // (or recall): supply from the resident line, fall back to
                 // IM_AD and let the own upgrade refill later.
                 if matches!(self.mshrs.get(&addr).map(|m| m.tstate), Some(TState::SM_AD)) {
+                    #[cfg(debug_assertions)]
+                    self.assert_conforms("FwdGetM", addr);
                     let line = self.array.remove(addr).expect("upgrader holds the line");
                     self.hint_core(addr, ctx);
                     debug_assert!(
@@ -892,30 +1034,45 @@ impl L1Controller {
                     self.mshrs.get_mut(&addr).expect("present").tstate = TState::IM_AD;
                     return;
                 }
-                if let Some(mshr) = self.mshrs.get_mut(&addr) {
-                    match mshr.tstate {
-                        TState::MI_A | TState::EI_A | TState::OI_A => {
-                            let dirty = mshr.tstate != TState::EI_A;
-                            ctx.send(
-                                requestor,
-                                SysMsg::Host(HostMsg::Data {
-                                    addr,
-                                    data: mshr.data,
-                                    grant: Grant::M,
-                                    acks,
-                                    dirty,
-                                    poisoned: mshr.poisoned,
-                                }),
-                            );
-                            mshr.tstate = TState::II_A;
-                        }
-                        other => panic!("FwdGetM in {other:?}"),
+                if self.mshrs.contains_key(&addr) {
+                    if !matches!(
+                        self.mshrs.get(&addr).map(|m| m.tstate),
+                        Some(TState::MI_A | TState::EI_A | TState::OI_A)
+                    ) {
+                        let state = self.table_state(addr);
+                        self.violation(state, "FwdGetM", addr, ctx);
+                        return;
                     }
+                    #[cfg(debug_assertions)]
+                    self.assert_conforms("FwdGetM", addr);
+                    let mshr = self.mshrs.get_mut(&addr).expect("checked above");
+                    let dirty = mshr.tstate != TState::EI_A;
+                    ctx.send(
+                        requestor,
+                        SysMsg::Host(HostMsg::Data {
+                            addr,
+                            data: mshr.data,
+                            grant: Grant::M,
+                            acks,
+                            dirty,
+                            poisoned: mshr.poisoned,
+                        }),
+                    );
+                    mshr.tstate = TState::II_A;
                     return;
                 }
-                let line = self.array.remove(addr).expect("FwdGetM for absent line");
+                let Some(line) = self.array.peek(addr).copied() else {
+                    self.violation("I", "FwdGetM", addr, ctx);
+                    return;
+                };
+                if !line.state.supplies_data() {
+                    self.violation(stable_name(line.state), "FwdGetM", addr, ctx);
+                    return;
+                }
+                #[cfg(debug_assertions)]
+                self.assert_conforms("FwdGetM", addr);
+                self.array.remove(addr).expect("checked above");
                 self.hint_core(addr, ctx);
-                debug_assert!(line.state.supplies_data());
                 ctx.send(
                     requestor,
                     SysMsg::Host(HostMsg::Data {
@@ -930,7 +1087,18 @@ impl L1Controller {
             }
             HostMsg::Inv { requestor, .. } => {
                 self.invalidations_received += 1;
-                if let Some(mshr) = self.mshrs.get_mut(&addr) {
+                if self.mshrs.contains_key(&addr) {
+                    if !matches!(
+                        self.mshrs.get(&addr).map(|m| m.tstate),
+                        Some(TState::SM_AD | TState::SI_A)
+                    ) {
+                        let state = self.table_state(addr);
+                        self.violation(state, "Inv", addr, ctx);
+                        return;
+                    }
+                    #[cfg(debug_assertions)]
+                    self.assert_conforms("Inv", addr);
+                    let mshr = self.mshrs.get_mut(&addr).expect("checked above");
                     match mshr.tstate {
                         TState::SM_AD => {
                             // Lost the shared copy mid-upgrade; the data
@@ -944,22 +1112,22 @@ impl L1Controller {
                             mshr.tstate = TState::II_A;
                             ctx.send(requestor, SysMsg::Host(HostMsg::InvAck { addr }));
                         }
-                        other => panic!("Inv in {other:?}"),
+                        _ => unreachable!("checked above"),
                     }
                     return;
                 }
+                if !matches!(
+                    self.array.peek(addr).map(|l| l.state),
+                    Some(StableState::S | StableState::F)
+                ) {
+                    let state = self.table_state(addr);
+                    self.violation(state, "Inv", addr, ctx);
+                    return;
+                }
+                #[cfg(debug_assertions)]
+                self.assert_conforms("Inv", addr);
                 let line = self.array.remove(addr);
                 self.hint_core(addr, ctx);
-                debug_assert!(
-                    matches!(
-                        line,
-                        Some(Line {
-                            state: StableState::S | StableState::F,
-                            ..
-                        })
-                    ),
-                    "Inv for non-shared line {line:?}"
-                );
                 if ctx.tracing() {
                     if let Some(l) = line {
                         ctx.trace_state(Some(addr.0), &l.state, &StableState::I);
@@ -968,15 +1136,27 @@ impl L1Controller {
                 ctx.send(requestor, SysMsg::Host(HostMsg::InvAck { addr }));
             }
             HostMsg::PutAck { .. } => {
-                debug_assert!(matches!(
+                if !matches!(
                     self.mshrs.get(&addr).map(|m| m.tstate),
                     Some(TState::MI_A | TState::OI_A | TState::EI_A | TState::SI_A | TState::II_A)
-                ));
+                ) {
+                    let state = self.table_state(addr);
+                    self.violation(state, "PutAck", addr, ctx);
+                    return;
+                }
+                #[cfg(debug_assertions)]
+                self.assert_conforms("PutAck", addr);
                 self.retire_mshr(addr, ctx);
             }
             HostMsg::WtAck { .. } => {
-                let mshr = self.mshrs.get(&addr).expect("WtAck without MSHR");
-                debug_assert_eq!(mshr.tstate, TState::WT_A);
+                if !matches!(self.mshrs.get(&addr).map(|m| m.tstate), Some(TState::WT_A)) {
+                    let state = self.table_state(addr);
+                    self.violation(state, "WtAck", addr, ctx);
+                    return;
+                }
+                #[cfg(debug_assertions)]
+                self.assert_conforms("WtAck", addr);
+                let mshr = self.mshrs.get(&addr).expect("checked above");
                 let from_release = mshr.from_release;
                 self.retire_mshr(addr, ctx);
                 if from_release {
@@ -993,9 +1173,14 @@ impl L1Controller {
                 }
             }
             HostMsg::AtomicResp { old, .. } => {
-                let mshr = self.mshrs.get(&addr).expect("AtomicResp without MSHR");
-                debug_assert_eq!(mshr.tstate, TState::AT_D);
-                let mshr = self.mshrs.remove(&addr).expect("present");
+                if !matches!(self.mshrs.get(&addr).map(|m| m.tstate), Some(TState::AT_D)) {
+                    let state = self.table_state(addr);
+                    self.violation(state, "AtomicResp", addr, ctx);
+                    return;
+                }
+                #[cfg(debug_assertions)]
+                self.assert_conforms("AtomicResp", addr);
+                let mshr = self.mshrs.remove(&addr).expect("checked above");
                 let initiator = mshr.initiator.expect("atomic has initiator");
                 let latency = ctx.now.since(mshr.started);
                 self.stats[AccessKind::Rmw as usize].bands.record(latency);
@@ -1006,7 +1191,12 @@ impl L1Controller {
                     self.handle_core(req, ctx);
                 }
             }
-            other => panic!("L1 received directory-bound message {other:?}"),
+            other => {
+                // Directory-bound messages (GetS, PutM, Unblock, ...) must
+                // never be routed at a private cache.
+                let state = self.table_state(addr);
+                self.violation(state, host_event_name(&other), addr, ctx);
+            }
         }
     }
 }
@@ -1021,12 +1211,15 @@ impl Component<SysMsg> for L1Controller {
         match msg {
             SysMsg::CoreReq(req) => self.handle_core(req, ctx),
             SysMsg::Host(h) => self.handle_host(h, src, ctx),
-            other => panic!("L1 received {other:?}"),
+            other => {
+                let event = format!("{other:?}");
+                self.violation("-", &event, Addr(0), ctx);
+            }
         }
     }
 
     fn done(&self) -> bool {
-        self.mshrs.is_empty() && self.release.is_none()
+        self.mshrs.is_empty() && self.release.is_none() && self.violations.is_empty()
     }
 
     fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {
@@ -1055,6 +1248,16 @@ impl Component<SysMsg> for L1Controller {
                 since: None,
                 waiting_on: Some(self.cfg.dir),
                 detail: format!("{} write-through(s) outstanding", r.remaining),
+            });
+        }
+        for v in &self.violations {
+            out.push(InflightTxn {
+                component: self_id,
+                addr: Some(v.addr.0),
+                kind: "protocol violation".into(),
+                since: None,
+                waiting_on: None,
+                detail: v.to_string(),
             });
         }
     }
@@ -1095,6 +1298,13 @@ impl Component<SysMsg> for L1Controller {
         if self.poisoned_reads > 0 {
             out.set(format!("{n}.poisoned_reads"), self.poisoned_reads as f64);
         }
+        // Same gating: only present when something actually went wrong.
+        if !self.violations.is_empty() {
+            out.set(
+                format!("{n}.protocol_violations"),
+                self.violations.len() as f64,
+            );
+        }
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -1103,5 +1313,616 @@ impl Component<SysMsg> for L1Controller {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// The `HostMsg` variant name, as used for table events and violations.
+fn host_event_name(msg: &HostMsg) -> &'static str {
+    match msg {
+        HostMsg::GetS { .. } => "GetS",
+        HostMsg::GetM { .. } => "GetM",
+        HostMsg::PutS { .. } => "PutS",
+        HostMsg::PutE { .. } => "PutE",
+        HostMsg::PutM { .. } => "PutM",
+        HostMsg::PutO { .. } => "PutO",
+        HostMsg::WriteThrough { .. } => "WriteThrough",
+        HostMsg::AtomicRmw { .. } => "AtomicRmw",
+        HostMsg::FwdGetS { .. } => "FwdGetS",
+        HostMsg::FwdGetM { .. } => "FwdGetM",
+        HostMsg::Inv { .. } => "Inv",
+        HostMsg::PutAck { .. } => "PutAck",
+        HostMsg::WtAck { .. } => "WtAck",
+        HostMsg::AtomicResp { .. } => "AtomicResp",
+        HostMsg::Data { .. } => "Data",
+        HostMsg::DataToDir { .. } => "DataToDir",
+        HostMsg::InvAck { .. } => "InvAck",
+        HostMsg::Unblock { .. } => "Unblock",
+    }
+}
+
+/// Per-family cache of [`l1_transition_table`] for the debug-mode
+/// conformance asserts (building the table on every message would be
+/// unaffordable even in debug runs).
+#[cfg(debug_assertions)]
+fn l1_cached_table(family: ProtocolFamily) -> &'static TransitionTable {
+    use std::sync::OnceLock;
+    static MESI: OnceLock<TransitionTable> = OnceLock::new();
+    static MESIF: OnceLock<TransitionTable> = OnceLock::new();
+    static MOESI: OnceLock<TransitionTable> = OnceLock::new();
+    static RCC: OnceLock<TransitionTable> = OnceLock::new();
+    static CXL: OnceLock<TransitionTable> = OnceLock::new();
+    let slot = match family {
+        ProtocolFamily::Mesi => &MESI,
+        ProtocolFamily::Mesif => &MESIF,
+        ProtocolFamily::Moesi => &MOESI,
+        ProtocolFamily::Rcc => &RCC,
+        ProtocolFamily::CxlMem => &CXL,
+    };
+    slot.get_or_init(|| l1_transition_table(family))
+}
+
+/// The declarative transition relation of the [`L1Controller`] for
+/// `family`, mirrored row-by-row from the dynamic dispatch in
+/// `handle_core` / `handle_host` / `ensure_way`.
+///
+/// Row states are MSHR transient-state names while a transaction is in
+/// flight, else the resident stable state (`I` when absent). Debug builds
+/// assert every dynamic handler step against this table;
+/// `c3-verif::static_checks` and the `protocheck` binary check the table
+/// itself offline.
+pub fn l1_transition_table(family: ProtocolFamily) -> TransitionTable {
+    if family == ProtocolFamily::Rcc {
+        rcc_l1_table()
+    } else {
+        swmr_l1_table(family)
+    }
+}
+
+/// SWMR (MESI / MESIF / MOESI) L1 table.
+fn swmr_l1_table(family: ProtocolFamily) -> TransitionTable {
+    type R = TransitionRow;
+    let moesi = family == ProtocolFamily::Moesi;
+    let mesif = family == ProtocolFamily::Mesif;
+    let to_dir = |m: &'static str| Action::send(m, Vnet::Req, "bridge");
+    let resp = Action::complete("CoreResp", Vnet::Resp, "core");
+    let unblock = Action::send("Unblock", Vnet::Resp, "bridge");
+    let data_l1 = Action::send("Data", Vnet::Resp, "l1");
+    let data_dir = Action::send("DataToDir", Vnet::Resp, "bridge");
+    let inv_ack = Action::send("InvAck", Vnet::Resp, "l1");
+
+    let mut stables = vec!["I", "S", "E"];
+    if mesif {
+        stables.push("F");
+    }
+    if moesi {
+        stables.push("O");
+    }
+    stables.push("M");
+    let mut transients = vec![
+        "IS_D", "IM_AD", "IM_A", "SM_AD", "SM_A", "MI_A", "EI_A", "SI_A", "II_A",
+    ];
+    if moesi {
+        transients.push("OI_A");
+    }
+    // Stable states the directory may forward a request to.
+    let mut suppliers = vec!["E"];
+    if mesif {
+        suppliers.push("F");
+    }
+    if moesi {
+        suppliers.push("O");
+    }
+    suppliers.push("M");
+    // Readable-but-not-writable states a store upgrades from.
+    let mut upgrade = vec!["S"];
+    if mesif {
+        upgrade.push("F");
+    }
+    if moesi {
+        upgrade.push("O");
+    }
+    // What each transient state's MSHR retires on (stall wake-up set).
+    let waits = |t: &str| -> Vec<&'static str> {
+        match t {
+            "IS_D" => vec!["Data"],
+            "IM_AD" | "SM_AD" => vec!["Data", "InvAck"],
+            "IM_A" | "SM_A" => vec!["InvAck"],
+            _ => vec!["PutAck"],
+        }
+    };
+
+    let mut rows = vec![
+        R::next(
+            "I",
+            "Load",
+            "IS_D",
+            vec![to_dir("GetS")],
+            "l1.rs:handle_core/Load-miss",
+        ),
+        R::next(
+            "I",
+            "Store",
+            "IM_AD",
+            vec![to_dir("GetM")],
+            "l1.rs:handle_core/Store-miss",
+        ),
+        R::next(
+            "I",
+            "Rmw",
+            "IM_AD",
+            vec![to_dir("GetM")],
+            "l1.rs:handle_core/Rmw-miss",
+        ),
+        R::forbidden("I", "Repl", "I lines are not resident", "l1.rs:ensure_way"),
+    ];
+    for s in stables.iter().filter(|s| **s != "I") {
+        rows.push(R::next(
+            s,
+            "Load",
+            s,
+            vec![resp.clone()],
+            "l1.rs:handle_core/Load-hit",
+        ));
+    }
+    for s in &upgrade {
+        rows.push(R::next(
+            s,
+            "Store",
+            "SM_AD",
+            vec![to_dir("GetM")],
+            "l1.rs:handle_core/Store-upgrade",
+        ));
+        rows.push(R::next(
+            s,
+            "Rmw",
+            "SM_AD",
+            vec![to_dir("GetM")],
+            "l1.rs:handle_core/Rmw-upgrade",
+        ));
+    }
+    for s in ["E", "M"] {
+        rows.push(R::next(
+            s,
+            "Store",
+            "M",
+            vec![resp.clone()],
+            "l1.rs:handle_core/Store-hit",
+        ));
+        rows.push(R::next(
+            s,
+            "Rmw",
+            "M",
+            vec![resp.clone()],
+            "l1.rs:handle_core/Rmw-hit",
+        ));
+    }
+    rows.push(R::next(
+        "S",
+        "Repl",
+        "SI_A",
+        vec![to_dir("PutS")],
+        "l1.rs:ensure_way/S",
+    ));
+    if mesif {
+        rows.push(R::next(
+            "F",
+            "Repl",
+            "SI_A",
+            vec![to_dir("PutS")],
+            "l1.rs:ensure_way/F",
+        ));
+    }
+    rows.push(R::next(
+        "E",
+        "Repl",
+        "EI_A",
+        vec![to_dir("PutE")],
+        "l1.rs:ensure_way/E",
+    ));
+    rows.push(R::next(
+        "M",
+        "Repl",
+        "MI_A",
+        vec![to_dir("PutM")],
+        "l1.rs:ensure_way/M",
+    ));
+    if moesi {
+        rows.push(R::next(
+            "O",
+            "Repl",
+            "OI_A",
+            vec![to_dir("PutO")],
+            "l1.rs:ensure_way/O",
+        ));
+    }
+    // A line with a transaction in flight defers further core traffic
+    // (MSHR `pending` queue) and is skipped by victim selection.
+    for t in &transients {
+        for e in ["Load", "Store", "Rmw", "Repl"] {
+            rows.push(R::stall(t, e, waits(t), "l1.rs:handle_core/defer"));
+        }
+    }
+
+    // Data grants (the directory answers GetS with S, E or — MESIF — F;
+    // GetM is always granted M).
+    let mut grants = vec!["S", "E"];
+    if mesif {
+        grants.push("F");
+    }
+    for g in grants {
+        rows.push(R::next(
+            "IS_D",
+            "Data",
+            g,
+            vec![resp.clone(), unblock.clone()],
+            "l1.rs:handle_host/Data@IS_D",
+        ));
+    }
+    for (t, awaiting) in [("IM_AD", "IM_A"), ("SM_AD", "SM_A")] {
+        rows.push(R::next(
+            t,
+            "Data",
+            "M",
+            vec![resp.clone(), unblock.clone()],
+            "l1.rs:handle_host/Data-acks-settled",
+        ));
+        rows.push(R::next(
+            t,
+            "Data",
+            awaiting,
+            vec![],
+            "l1.rs:handle_host/Data-awaiting-acks",
+        ));
+    }
+    rows.push(R::forbidden(
+        ANY_STATE,
+        "Data",
+        "Data without a matching MSHR",
+        "l1.rs:handle_host/Data",
+    ));
+    for t in ["IM_AD", "SM_AD"] {
+        rows.push(R::next(
+            t,
+            "InvAck",
+            t,
+            vec![],
+            "l1.rs:handle_host/InvAck-early",
+        ));
+    }
+    for t in ["IM_A", "SM_A"] {
+        rows.push(R::next(t, "InvAck", t, vec![], "l1.rs:handle_host/InvAck"));
+        rows.push(R::next(
+            t,
+            "InvAck",
+            "M",
+            vec![resp.clone(), unblock.clone()],
+            "l1.rs:handle_host/InvAck-last",
+        ));
+    }
+    rows.push(R::forbidden(
+        ANY_STATE,
+        "InvAck",
+        "InvAck without a matching MSHR",
+        "l1.rs:handle_host/InvAck",
+    ));
+
+    // FwdGetS: supply data; MESI/MESIF dirty suppliers also refresh the
+    // directory copy (DataToDir); MOESI suppliers stay/become owner.
+    rows.push(R::next(
+        "SM_AD",
+        "FwdGetS",
+        "SM_AD",
+        vec![data_l1.clone()],
+        "l1.rs:handle_host/FwdGetS@SM_AD",
+    ));
+    rows.push(R::next(
+        "SI_A",
+        "FwdGetS",
+        "SI_A",
+        vec![data_l1.clone()],
+        "l1.rs:handle_host/FwdGetS@SI_A",
+    ));
+    for t in ["MI_A", "EI_A"] {
+        if moesi {
+            rows.push(R::next(
+                t,
+                "FwdGetS",
+                t,
+                vec![data_l1.clone()],
+                "l1.rs:handle_host/FwdGetS@evict(moesi)",
+            ));
+        } else {
+            rows.push(R::next(
+                t,
+                "FwdGetS",
+                "SI_A",
+                vec![data_l1.clone(), data_dir.clone()],
+                "l1.rs:handle_host/FwdGetS@evict",
+            ));
+        }
+    }
+    if moesi {
+        rows.push(R::next(
+            "OI_A",
+            "FwdGetS",
+            "OI_A",
+            vec![data_l1.clone()],
+            "l1.rs:handle_host/FwdGetS@OI_A",
+        ));
+    }
+    let fwd_next = if moesi { "O" } else { "S" };
+    for s in &suppliers {
+        let mut acts = vec![data_l1.clone()];
+        if *s == "M" && !moesi {
+            acts.push(data_dir.clone());
+        }
+        rows.push(R::next(
+            s,
+            "FwdGetS",
+            fwd_next,
+            acts,
+            "l1.rs:handle_host/FwdGetS@stable",
+        ));
+    }
+    rows.push(R::forbidden(
+        ANY_STATE,
+        "FwdGetS",
+        "forward to a non-supplier or absent line",
+        "l1.rs:handle_host/FwdGetS",
+    ));
+
+    rows.push(R::next(
+        "SM_AD",
+        "FwdGetM",
+        "IM_AD",
+        vec![data_l1.clone()],
+        "l1.rs:handle_host/FwdGetM@SM_AD",
+    ));
+    for t in ["MI_A", "EI_A"] {
+        rows.push(R::next(
+            t,
+            "FwdGetM",
+            "II_A",
+            vec![data_l1.clone()],
+            "l1.rs:handle_host/FwdGetM@evict",
+        ));
+    }
+    if moesi {
+        rows.push(R::next(
+            "OI_A",
+            "FwdGetM",
+            "II_A",
+            vec![data_l1.clone()],
+            "l1.rs:handle_host/FwdGetM@OI_A",
+        ));
+    }
+    for s in &suppliers {
+        rows.push(R::next(
+            s,
+            "FwdGetM",
+            "I",
+            vec![data_l1.clone()],
+            "l1.rs:handle_host/FwdGetM@stable",
+        ));
+    }
+    rows.push(R::forbidden(
+        ANY_STATE,
+        "FwdGetM",
+        "forward to a non-supplier or absent line",
+        "l1.rs:handle_host/FwdGetM",
+    ));
+
+    rows.push(R::next(
+        "SM_AD",
+        "Inv",
+        "IM_AD",
+        vec![inv_ack.clone()],
+        "l1.rs:handle_host/Inv@SM_AD",
+    ));
+    rows.push(R::next(
+        "SI_A",
+        "Inv",
+        "II_A",
+        vec![inv_ack.clone()],
+        "l1.rs:handle_host/Inv@SI_A",
+    ));
+    rows.push(R::next(
+        "S",
+        "Inv",
+        "I",
+        vec![inv_ack.clone()],
+        "l1.rs:handle_host/Inv@S",
+    ));
+    if mesif {
+        rows.push(R::next(
+            "F",
+            "Inv",
+            "I",
+            vec![inv_ack.clone()],
+            "l1.rs:handle_host/Inv@F",
+        ));
+    }
+    rows.push(R::forbidden(
+        ANY_STATE,
+        "Inv",
+        "Inv for a non-shared line",
+        "l1.rs:handle_host/Inv",
+    ));
+
+    let mut evicting = vec!["MI_A", "EI_A", "SI_A", "II_A"];
+    if moesi {
+        evicting.push("OI_A");
+    }
+    for t in &evicting {
+        rows.push(R::next(
+            t,
+            "PutAck",
+            "I",
+            vec![],
+            "l1.rs:handle_host/PutAck",
+        ));
+    }
+    rows.push(R::forbidden(
+        ANY_STATE,
+        "PutAck",
+        "PutAck without an eviction MSHR",
+        "l1.rs:handle_host/PutAck",
+    ));
+
+    let mut states = stables.clone();
+    states.extend(transients.iter().copied());
+    TransitionTable {
+        controller: "l1",
+        states,
+        events: vec![
+            "Load", "Store", "Rmw", "Repl", "Data", "InvAck", "FwdGetS", "FwdGetM", "Inv", "PutAck",
+        ],
+        event_vnets: vec![
+            ("Data", Vnet::Resp),
+            ("InvAck", Vnet::Resp),
+            ("PutAck", Vnet::Resp),
+            ("FwdGetS", Vnet::Snoop),
+            ("FwdGetM", Vnet::Snoop),
+            ("Inv", Vnet::Snoop),
+        ],
+        initial: vec!["I"],
+        forbidden: vec![],
+        // Core traffic and evictions originate outside the message system;
+        // the directory engine (not table-modelled — it is exhaustively
+        // unit-tested and has no blocking states) produces the rest.
+        assumed_available: vec![
+            "Load", "Store", "Rmw", "Repl", "Data", "InvAck", "FwdGetS", "FwdGetM", "Inv", "PutAck",
+        ],
+        rows,
+    }
+}
+
+/// RCC (release-consistency, self-invalidation) L1 table.
+fn rcc_l1_table() -> TransitionTable {
+    type R = TransitionRow;
+    let to_dir = |m: &'static str| Action::send(m, Vnet::Req, "bridge");
+    let resp = Action::complete("CoreResp", Vnet::Resp, "core");
+    let mut rows = vec![
+        R::next(
+            "I",
+            "Load",
+            "IS_D",
+            vec![to_dir("GetS")],
+            "l1.rs:handle_core/Load-miss",
+        ),
+        R::next(
+            "S",
+            "Load",
+            "S",
+            vec![resp.clone()],
+            "l1.rs:handle_core/Load-hit",
+        ),
+        R::next(
+            "M",
+            "Load",
+            "M",
+            vec![resp.clone()],
+            "l1.rs:handle_core/Load-hit",
+        ),
+        R::next("S", "Repl", "I", vec![], "l1.rs:ensure_way/S-silent-drop"),
+        R::next(
+            "M",
+            "Repl",
+            "WT_A",
+            vec![to_dir("WriteThrough")],
+            "l1.rs:ensure_way/M",
+        ),
+        R::forbidden("I", "Repl", "I lines are not resident", "l1.rs:ensure_way"),
+    ];
+    for s in ["I", "S", "M"] {
+        // RCC stores complete locally without ownership; atomics execute
+        // at the shared level.
+        rows.push(R::next(
+            s,
+            "Store",
+            "M",
+            vec![resp.clone()],
+            "l1.rs:handle_core/Store-local",
+        ));
+        rows.push(R::next(
+            s,
+            "Rmw",
+            "AT_D",
+            vec![to_dir("AtomicRmw")],
+            "l1.rs:handle_core/Rmw-remote",
+        ));
+    }
+    for (t, w) in [("IS_D", "Data"), ("WT_A", "WtAck"), ("AT_D", "AtomicResp")] {
+        for e in ["Load", "Store", "Rmw", "Repl"] {
+            rows.push(R::stall(t, e, vec![w], "l1.rs:handle_core/defer"));
+        }
+    }
+    rows.push(R::next(
+        "IS_D",
+        "Data",
+        "S",
+        vec![resp.clone()],
+        "l1.rs:handle_host/Data@IS_D",
+    ));
+    // An eviction write-through retires to I; a release-flush one retains
+    // the clean copy.
+    rows.push(R::next(
+        "WT_A",
+        "WtAck",
+        "I",
+        vec![],
+        "l1.rs:handle_host/WtAck",
+    ));
+    rows.push(R::next(
+        "WT_A",
+        "WtAck",
+        "S",
+        vec![],
+        "l1.rs:handle_host/WtAck-release-retain",
+    ));
+    rows.push(R::next(
+        "AT_D",
+        "AtomicResp",
+        "I",
+        vec![resp.clone()],
+        "l1.rs:handle_host/AtomicResp",
+    ));
+    for e in ["Data", "WtAck", "AtomicResp"] {
+        rows.push(R::forbidden(
+            ANY_STATE,
+            e,
+            "response without a matching MSHR",
+            "l1.rs:handle_host",
+        ));
+    }
+    TransitionTable {
+        controller: "l1",
+        states: vec!["I", "S", "M", "IS_D", "WT_A", "AT_D"],
+        events: vec![
+            "Load",
+            "Store",
+            "Rmw",
+            "Repl",
+            "Data",
+            "WtAck",
+            "AtomicResp",
+        ],
+        event_vnets: vec![
+            ("Data", Vnet::Resp),
+            ("WtAck", Vnet::Resp),
+            ("AtomicResp", Vnet::Resp),
+        ],
+        initial: vec!["I"],
+        forbidden: vec![],
+        assumed_available: vec![
+            "Load",
+            "Store",
+            "Rmw",
+            "Repl",
+            "Data",
+            "WtAck",
+            "AtomicResp",
+        ],
+        rows,
     }
 }

@@ -12,7 +12,10 @@
 //! * [`mcm`] — per-thread memory consistency models (TSO / weak) and the
 //!   single ordering predicate both the timing model and the reference
 //!   enumerator use;
-//! * [`ops`] — memory operations, registers and thread programs.
+//! * [`ops`] — memory operations, registers and thread programs;
+//! * [`table`] — declarative transition tables: the concrete controllers'
+//!   `(state, event) -> actions + next` dispatch as data, checked offline
+//!   by `c3-verif::static_checks` and asserted against in debug builds.
 //!
 //! # Examples
 //!
@@ -24,7 +27,7 @@
 //! assert!(spec.validate().is_ok());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod mcm;
 pub mod msg;
@@ -32,9 +35,11 @@ pub mod ops;
 pub mod ssp;
 pub mod ssp_text;
 pub mod states;
+pub mod table;
 
 pub use mcm::Mcm;
 pub use msg::{CoreReq, CoreResp, CxlMsg, HostMsg, SysMsg};
 pub use ops::{Addr, Instr, Reg, ThreadProgram};
 pub use ssp::SspSpec;
 pub use states::{ProtocolFamily, StableState};
+pub use table::{ProtocolViolation, TransitionTable};

@@ -87,7 +87,7 @@ pub fn check_fsm(fsm: &CompoundFsm) -> Vec<FsmDefect> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use c3::generator::{baseline_fsm, bridge_fsm};
+    use c3::generator::{baseline_fsm, bridge_fsm, CompoundState};
     use c3_protocol::states::ProtocolFamily;
 
     #[test]
@@ -110,6 +110,90 @@ mod tests {
             let fsm = baseline_fsm(fam, ProtocolFamily::Mesi);
             let defects = check_fsm(&fsm);
             assert!(defects.is_empty(), "{fam}: {defects:?}");
+        }
+    }
+
+    const SWMR_FAMILIES: [ProtocolFamily; 3] = [
+        ProtocolFamily::Mesi,
+        ProtocolFamily::Mesif,
+        ProtocolFamily::Moesi,
+    ];
+
+    #[test]
+    fn generated_fsms_cover_expected_host_classes() {
+        for fam in SWMR_FAMILIES {
+            let fsm = bridge_fsm(fam);
+            let classes: Vec<HostClass> = fsm.states.iter().map(|s| s.host).collect();
+            for want in [HostClass::None, HostClass::Shared, HostClass::Exclusive] {
+                assert!(
+                    classes.contains(&want),
+                    "{fam}: no state with host {want:?}"
+                );
+            }
+            let has_owned = classes.contains(&HostClass::Owned);
+            assert_eq!(
+                has_owned,
+                fam == ProtocolFamily::Moesi,
+                "{fam}: Owned host class presence mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn forbidden_state_reported_with_exact_string() {
+        for fam in SWMR_FAMILIES {
+            let mut fsm = bridge_fsm(fam);
+            // A host exclusive owner over a merely-shared CXL copy
+            // violates the Rule-I inclusion invariant in every family.
+            let bad = CompoundState {
+                host: HostClass::Exclusive,
+                cxl: StableState::S,
+            };
+            assert!(!fsm.is_consistent(bad.host, bad.cxl));
+            fsm.states.push(bad);
+            let defects = check_fsm(&fsm);
+            let want = FsmDefect::ForbiddenState("(M, S)".to_string());
+            assert!(defects.contains(&want), "{fam}: {defects:?}");
+            assert_eq!(want.to_string(), "forbidden state present: (M, S)");
+        }
+    }
+
+    #[test]
+    fn escaping_transition_reported_with_exact_string() {
+        for fam in SWMR_FAMILIES {
+            let mut fsm = bridge_fsm(fam);
+            let bad = CompoundState {
+                host: HostClass::Exclusive,
+                cxl: StableState::S,
+            };
+            let (inc, st) = {
+                let r = &mut fsm.rows[0];
+                r.next = bad;
+                (r.incoming, r.state)
+            };
+            let defects = check_fsm(&fsm);
+            let want = FsmDefect::EscapesInvariant(format!("{inc} in {st} -> (M, S)"));
+            assert!(defects.contains(&want), "{fam}: {defects:?}");
+            assert!(want
+                .to_string()
+                .starts_with("transition escapes invariant: "));
+        }
+    }
+
+    #[test]
+    fn missing_row_reported_with_exact_string() {
+        for fam in SWMR_FAMILIES {
+            let mut fsm = bridge_fsm(fam);
+            let victim = fsm.states[0];
+            fsm.rows
+                .retain(|r| !(r.incoming == Incoming::HostRead && r.state == victim));
+            let defects = check_fsm(&fsm);
+            let want = FsmDefect::MissingRow(format!("GetS in {victim}"));
+            assert!(defects.contains(&want), "{fam}: {defects:?}");
+            assert_eq!(
+                want.to_string(),
+                format!("missing translation row: GetS in {victim}")
+            );
         }
     }
 }

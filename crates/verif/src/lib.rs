@@ -11,11 +11,18 @@
 //!   and the Fig. 2 ambiguity.
 //! * [`fsm_checks`] — static closure/completeness/forbidden-state checks
 //!   on the FSMs produced by `c3::generator`.
+//! * [`static_checks`] — table-driven static analysis of the concrete
+//!   controllers' declarative transition tables: completeness,
+//!   reachability, forbidden states, Rule-II discipline and
+//!   cross-controller static deadlock detection (the `protocheck` CLI in
+//!   `c3-bench` drives it).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod fsm_checks;
 pub mod model;
+pub mod static_checks;
 
 pub use fsm_checks::{check_fsm, FsmDefect};
 pub use model::{check, CheckResult, ModelConfig, Violation};
+pub use static_checks::{check_all, check_message_graph, check_table, StaticDefect};
