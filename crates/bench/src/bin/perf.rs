@@ -1,13 +1,16 @@
 //! `perf` — kernel-throughput microbench tracking the perf trajectory.
 //!
-//! Two measurements:
+//! Three measurements:
 //!
 //! * **ping-pong**: two components exchanging one message over a single
 //!   intra-cluster link — a pure event-kernel hot-path workload (calendar
 //!   queue pop, fabric deliver, handler dispatch) with almost no
 //!   component logic, so events/sec here is the kernel's ceiling;
 //! * **workload**: a real C³ run (`vips`, MESI-CXL-MESI) — events/sec
-//!   with protocol logic, caches and the full topology in the loop.
+//!   with protocol logic, caches and the full topology in the loop;
+//! * **metrics**: the same vips run with sampled telemetry enabled
+//!   (`metrics+vips/...`) — bounds the allocation cost of the metrics
+//!   hub's steady-state sampling.
 //!
 //! Each measurement reports **events/sec** (wall-clock, noisy) and
 //! **allocs/event** (exact and deterministic for a seed — the process
@@ -154,8 +157,11 @@ fn pingpong(exchanges: u64) -> Measurement {
 }
 
 /// Measure the real vips run (MESI-CXL-MESI, the paper's headline
-/// config).
-fn workload(quick: bool) -> Measurement {
+/// config). With `metrics` the sampled-telemetry hub runs at the
+/// `--bin metrics` default interval, so the gate also bounds the
+/// steady-state sampling cost (registration allocates once; each window
+/// after that must reuse its buffers).
+fn workload(quick: bool, metrics: bool) -> Measurement {
     let mut cfg = RunConfig::scaled(
         (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
         GlobalProtocol::Cxl,
@@ -164,14 +170,22 @@ fn workload(quick: bool) -> Measurement {
     if quick {
         cfg = cfg.quick();
     }
+    if metrics {
+        cfg = cfg.metrics_ns(if quick { 25 } else { 100 });
+    }
     let spec = WorkloadSpec::by_name("vips").expect("workload");
     let exp = Experiment::new(spec, cfg);
     let a0 = alloc_count();
     let r = runner::run_experiment(&exp);
     let allocs = alloc_count() - a0;
     r.expect_completed(&exp.tag);
+    let config = if metrics {
+        format!("metrics+{}", exp.tag)
+    } else {
+        exp.tag.clone()
+    };
     Measurement {
-        config: exp.tag.clone(),
+        config,
         events: r.events,
         sim_ns: r.sim_ns,
         exec_ns: Some(r.exec_ns),
@@ -274,7 +288,7 @@ fn main() {
         pp.events_per_sec / 1e6,
         pp.allocs_per_event
     );
-    let wl = workload(quick);
+    let wl = workload(quick, false);
     println!(
         "workload : {} {} events in {:.1} ms -> {:.2} M events/sec, {:.4} allocs/event",
         wl.config,
@@ -283,6 +297,15 @@ fn main() {
         wl.events_per_sec / 1e6,
         wl.allocs_per_event
     );
+    let wlm = workload(quick, true);
+    println!(
+        "metrics  : {} {} events in {:.1} ms -> {:.2} M events/sec, {:.4} allocs/event",
+        wlm.config,
+        wlm.events,
+        wlm.wall_ms,
+        wlm.events_per_sec / 1e6,
+        wlm.allocs_per_event
+    );
 
     let mut entries: Vec<String> = Vec::new();
     if let Some(prev) = previous_runs(&out) {
@@ -290,6 +313,7 @@ fn main() {
     }
     entries.push(pp.to_json(&label, quick));
     entries.push(wl.to_json(&label, quick));
+    entries.push(wlm.to_json(&label, quick));
     let json = format!(
         "{{\n  \"bench\": \"perf\",\n  \"schema\": 2,\n  \"runs\": [\n    {}\n  ]\n}}\n",
         entries.join(",\n    ")
@@ -297,7 +321,7 @@ fn main() {
     std::fs::write(&out, &json).expect("write perf json");
     println!("(wrote {out})");
 
-    if pp.events_per_sec <= 0.0 || wl.events_per_sec <= 0.0 {
+    if pp.events_per_sec <= 0.0 || wl.events_per_sec <= 0.0 || wlm.events_per_sec <= 0.0 {
         eprintln!("perf: zero throughput measured");
         std::process::exit(1);
     }
@@ -305,7 +329,7 @@ fn main() {
     if let Some(path) = budget_file {
         let mut failed = false;
         for (prefix, limit) in parse_budget(&path) {
-            let m = [&pp, &wl]
+            let m = [&pp, &wl, &wlm]
                 .into_iter()
                 .find(|m| m.config.starts_with(&prefix));
             match m {

@@ -49,6 +49,10 @@ pub struct RunConfig {
     /// Cross-cluster CXL link latency (Table III default: 70 ns). The
     /// `sweep` binary varies this; everything else keeps the default.
     pub link_latency: Delay,
+    /// Sampled-telemetry interval (simulated time); `None` (the default)
+    /// disables telemetry, keeping runs byte-identical to pre-telemetry
+    /// builds.
+    pub metrics_interval: Option<Delay>,
 }
 
 impl RunConfig {
@@ -69,6 +73,7 @@ impl RunConfig {
             seed: 0xC3,
             ordered_s2m: false,
             link_latency: Delay::from_ns(70),
+            metrics_interval: None,
         }
     }
 
@@ -82,6 +87,12 @@ impl RunConfig {
     /// Override the cross-cluster link latency (sensitivity sweeps).
     pub fn link_ns(mut self, ns: u64) -> Self {
         self.link_latency = Delay::from_ns(ns);
+        self
+    }
+
+    /// Enable sampled telemetry every `ns` of simulated time.
+    pub fn metrics_ns(mut self, ns: u64) -> Self {
+        self.metrics_interval = Some(Delay::from_ns(ns));
         self
     }
 
@@ -151,6 +162,11 @@ pub fn build_sim(
         ))
     });
     sim.set_event_limit(400_000_000);
+    if let Some(interval) = cfg.metrics_interval {
+        sim.set_metrics(interval);
+        sim.metrics_mut()
+            .set_vnet_lanes(c3_protocol::msg::SYS_VNET_LANES.to_vec());
+    }
     (sim, handles)
 }
 

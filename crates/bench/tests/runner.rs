@@ -98,17 +98,19 @@ fn perf_quick_smoke() {
     let json = std::fs::read_to_string(&out).expect("perf json written");
     let _ = std::fs::remove_file(&out);
     // Schema v2: a `runs` array accumulating both invocations, each with
-    // a ping-pong and a workload measurement carrying throughput and
-    // allocs/event. The bin itself exits nonzero on zero throughput or a
-    // blown alloc budget, so reaching here already covers the gates —
-    // plus a direct parse of every events_per_sec.
+    // a ping-pong, a workload, and a metrics-enabled workload measurement
+    // carrying throughput and allocs/event. The bin itself exits nonzero
+    // on zero throughput or a blown alloc budget, so reaching here
+    // already covers the gates — plus a direct parse of every
+    // events_per_sec.
     assert!(json.contains("\"runs\": ["), "missing runs array in {json}");
     for (needle, n) in [
         ("\"config\": \"pingpong\"", 2),
         ("\"config\": \"vips/", 2),
-        ("\"label\": \"first\"", 2),
-        ("\"label\": \"second\"", 2),
-        ("\"allocs_per_event\": ", 4),
+        ("\"config\": \"metrics+vips/", 2),
+        ("\"label\": \"first\"", 3),
+        ("\"label\": \"second\"", 3),
+        ("\"allocs_per_event\": ", 6),
     ] {
         assert_eq!(
             json.matches(needle).count(),
@@ -124,7 +126,7 @@ fn perf_quick_smoke() {
             rest[..end].trim().parse().expect("events_per_sec number")
         })
         .collect();
-    assert_eq!(eps.len(), 4, "four measurements in {json}");
+    assert_eq!(eps.len(), 6, "six measurements in {json}");
     assert!(eps.iter().all(|&e| e > 0.0), "zero throughput in {json}");
 }
 

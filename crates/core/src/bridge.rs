@@ -1669,6 +1669,32 @@ impl Component<SysMsg> for C3Bridge {
         self.evict_lat.report_into(out, &format!("{n}.evict.lat"));
     }
 
+    fn metrics(&self, out: &mut c3_sim::metrics::MetricSample) {
+        let n = &self.name;
+        out.gauge(n, "inflight_fetches", self.fetches.len() as f64);
+        out.gauge(n, "inflight_writebacks", self.writebacks.len() as f64);
+        out.gauge(
+            n,
+            "inflight_snoops",
+            (self.snoops.len() + self.stash.len()) as f64,
+        );
+        // Local-cluster directory occupancy (the bridge doubles as the
+        // cluster's home directory); zeros until the engine is created.
+        let (lines, busy, queued) = self
+            .engine
+            .as_ref()
+            .map(|e| e.occupancy())
+            .unwrap_or((0, 0, 0));
+        out.gauge(n, "dir_lines", lines as f64);
+        out.gauge(n, "dir_busy", busy as f64);
+        out.gauge(n, "dir_queued", queued as f64);
+        out.counter(n, "global_reads", self.global_reads as f64);
+        out.counter(n, "global_writes", self.global_writes as f64);
+        out.counter(n, "conflicts", self.conflicts_sent as f64);
+        out.counter(n, "snoops_rx", self.snoops_received as f64);
+        out.counter(n, "retries", self.retries as f64);
+    }
+
     fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {
         fn sorted<V>(m: &FxHashMap<Addr, V>) -> Vec<(&Addr, &V)> {
             let mut v: Vec<_> = m.iter().collect();

@@ -227,6 +227,25 @@ impl DcohEngine {
             .all(|l| l.snoop.is_none() && l.queue.is_empty())
     }
 
+    /// Telemetry occupancy snapshot, one allocation-free pass:
+    /// `(lines, blocking_snoops, queued, bisnp_waiting)` — entries
+    /// tracked, lines blocked behind an outstanding BISnp, requests
+    /// parked in per-line queues, and the total BISnp fan-out (hosts
+    /// still owed a response across all outstanding snoops).
+    pub fn occupancy(&self) -> (usize, usize, usize, usize) {
+        let mut blocking = 0;
+        let mut queued = 0;
+        let mut fanout = 0;
+        for l in self.lines.values() {
+            if let Some(s) = &l.snoop {
+                blocking += 1;
+                fanout += s.waiting.len();
+            }
+            queued += l.queue.len();
+        }
+        (self.lines.len(), blocking, queued, fanout)
+    }
+
     /// The §VI-C1 address-frequency analysis: the `n` most-accessed lines,
     /// with read/write counts and the number of distinct requesting hosts
     /// — contended lines requested by multiple hosts are the hot-spots

@@ -159,6 +159,19 @@ impl Component<SysMsg> for CxlDirectory {
         }
     }
 
+    fn metrics(&self, out: &mut c3_sim::metrics::MetricSample) {
+        let n = &self.name;
+        let (lines, blocking, queued, fanout) = self.engine.occupancy();
+        out.gauge(n, "lines", lines as f64);
+        out.gauge(n, "blocking_snoops", blocking as f64);
+        out.gauge(n, "queued", queued as f64);
+        out.gauge(n, "bisnp_waiting", fanout as f64);
+        out.counter(n, "stalled_requests", self.engine.stalled_requests as f64);
+        out.counter(n, "bisnp_sent", self.engine.bisnp_sent as f64);
+        out.counter(n, "conflicts", self.engine.conflicts as f64);
+        out.counter(n, "writebacks", self.engine.writebacks as f64);
+    }
+
     fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {
         out.extend(self.engine.inflight(self_id));
     }

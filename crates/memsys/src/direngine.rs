@@ -278,6 +278,23 @@ impl DirEngine {
             .all(|l| !l.blocks_requests() && l.queue.is_empty() && l.pending_recall.is_empty())
     }
 
+    /// Telemetry occupancy snapshot: one allocation-free pass over the
+    /// directory (unlike [`DirEngine::busy_lines`], which builds a
+    /// post-mortem `Vec`). Returns `(lines, busy, queued)`: entries
+    /// tracked, entries with an in-flight transaction or recall, and
+    /// requests parked behind busy lines.
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        let mut busy = 0;
+        let mut queued = 0;
+        for l in self.lines.values() {
+            if l.blocks_requests() {
+                busy += 1;
+            }
+            queued += l.queue.len();
+        }
+        (self.lines.len(), busy, queued)
+    }
+
     /// Every line with in-flight or queued work, in address order —
     /// the engine's contribution to a deadlock post-mortem.
     pub fn busy_lines(&self) -> Vec<BusyLine> {

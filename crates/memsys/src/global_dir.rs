@@ -112,6 +112,37 @@ impl Component<SysMsg> for GlobalMesiDir {
         out.set(format!("{n}.data_responses"), self.data_responses as f64);
     }
 
+    fn metrics(&self, out: &mut c3_sim::metrics::MetricSample) {
+        // The engine is created lazily on first traffic; emit zeros until
+        // then so the telemetry schema stays fixed across the run.
+        let n = &self.name;
+        let (lines, busy, queued) = self
+            .engine
+            .as_ref()
+            .map(|e| e.occupancy())
+            .unwrap_or((0, 0, 0));
+        out.gauge(n, "lines", lines as f64);
+        out.gauge(n, "busy_lines", busy as f64);
+        out.gauge(n, "queued", queued as f64);
+        let (stalled, recalls, br, bw) = self
+            .engine
+            .as_ref()
+            .map(|e| {
+                (
+                    e.stalled_requests,
+                    e.recalls,
+                    e.backend_reads,
+                    e.backend_writes,
+                )
+            })
+            .unwrap_or((0, 0, 0, 0));
+        out.counter(n, "stalled_requests", stalled as f64);
+        out.counter(n, "recalls", recalls as f64);
+        out.counter(n, "backend_reads", br as f64);
+        out.counter(n, "backend_writes", bw as f64);
+        out.counter(n, "data_responses", self.data_responses as f64);
+    }
+
     fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {
         let Some(e) = &self.engine else { return };
         for b in e.busy_lines() {

@@ -1262,6 +1262,17 @@ impl Component<SysMsg> for L1Controller {
         }
     }
 
+    fn metrics(&self, out: &mut c3_sim::metrics::MetricSample) {
+        let n = &self.name;
+        out.gauge(n, "mshr", self.mshrs.len() as f64);
+        let hits: u64 = self.stats.iter().map(|s| s.hits).sum();
+        let misses: u64 = self.stats.iter().map(|s| s.misses).sum();
+        out.counter(n, "hits", hits as f64);
+        out.counter(n, "misses", misses as f64);
+        out.counter(n, "writebacks", self.writebacks as f64);
+        out.counter(n, "invalidations", self.invalidations_received as f64);
+    }
+
     fn report(&self, out: &mut Report) {
         let n = &self.name;
         for (kind, label) in [

@@ -458,6 +458,11 @@ pub enum SysMsg {
     Cxl(CxlMsg),
 }
 
+/// Telemetry vnet lane names for [`SysMsg`], indexed by
+/// [`Message::vnet_lane`]: core↔L1 port traffic, intra-cluster host
+/// coherence, CXL.mem M2S (host→device), and CXL.mem S2M (device→host).
+pub const SYS_VNET_LANES: [&str; 4] = ["core", "host", "cxl.m2s", "cxl.s2m"];
+
 impl Message for SysMsg {
     fn size_bytes(&self) -> u32 {
         match self {
@@ -495,6 +500,36 @@ impl Message for SysMsg {
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Feed the telemetry hot-address sketch from the coherence-protocol
+    /// traffic (host + CXL messages name the line they concern; core-port
+    /// traffic would double-count the same accesses and opts out).
+    fn addr_hint(&self) -> Option<u64> {
+        match self {
+            SysMsg::CoreReq(_) | SysMsg::CoreResp(_) => None,
+            SysMsg::InvHint { addr } => Some(addr.0),
+            SysMsg::Host(m) => Some(m.addr().0),
+            SysMsg::Cxl(m) => Some(m.addr().0),
+        }
+    }
+
+    /// Lane index into [`SYS_VNET_LANES`].
+    fn vnet_lane(&self) -> usize {
+        match self {
+            SysMsg::CoreReq(_) | SysMsg::CoreResp(_) | SysMsg::InvHint { .. } => 0,
+            SysMsg::Host(_) => 1,
+            SysMsg::Cxl(
+                CxlMsg::MemRdA { .. }
+                | CxlMsg::MemRdS { .. }
+                | CxlMsg::MemWrI { .. }
+                | CxlMsg::MemWrS { .. }
+                | CxlMsg::BiRspI { .. }
+                | CxlMsg::BiRspS { .. }
+                | CxlMsg::BiConflict { .. },
+            ) => 2,
+            SysMsg::Cxl(_) => 3,
         }
     }
 }

@@ -10,6 +10,7 @@ use std::any::Any;
 
 use crate::fabric::Fabric;
 use crate::kernel::{EventKind, EventQueue};
+use crate::metrics::MetricSample;
 use crate::rng::SimRng;
 use crate::stats::Report;
 use crate::time::{Delay, Time};
@@ -51,6 +52,21 @@ pub trait Message: std::fmt::Debug + Clone + 'static {
     fn poison(&mut self) -> bool {
         false
     }
+
+    /// The line address this message concerns, if any — feeds the
+    /// telemetry hub's per-window hot-address sketch. The default opts
+    /// out; protocol messages that carry an address should return it.
+    fn addr_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Virtual-network lane for telemetry message accounting (index into
+    /// the lane set configured with
+    /// [`crate::metrics::MetricsHub::set_vnet_lanes`]). The default puts
+    /// everything on lane 0.
+    fn vnet_lane(&self) -> usize {
+        0
+    }
 }
 
 /// A simulated hardware component (core, cache controller, directory, ...).
@@ -80,6 +96,15 @@ pub trait Component<M: Message>: Any {
 
     /// Contribute statistics to a run report.
     fn report(&self, _out: &mut Report) {}
+
+    /// Contribute sampled telemetry (gauges and cumulative counters) to
+    /// one [`MetricSample`] window. Called by the kernel's
+    /// [`crate::metrics::MetricsHub`] at every sample boundary when
+    /// telemetry is enabled; never called otherwise. Implementations
+    /// must emit the same metrics in the same order on every call (the
+    /// first call registers the schema) and must not mutate simulation
+    /// state (`&self` enforces this). The default emits nothing.
+    fn metrics(&self, _out: &mut MetricSample) {}
 
     /// Describe every transaction currently in flight inside this
     /// component (MSHR entries, suspended directory transactions, pending

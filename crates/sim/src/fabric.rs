@@ -17,6 +17,7 @@
 
 use crate::component::ComponentId;
 use crate::fault::{FaultDecision, FaultPlan};
+use crate::metrics::MetricSample;
 use crate::rng::SimRng;
 use crate::time::{Delay, Time};
 
@@ -182,6 +183,9 @@ struct Link {
     messages: u64,
     /// Bytes carried (statistics).
     bytes: u64,
+    /// Messages that found the link busy and had to wait for
+    /// serialization (contention statistics).
+    queued: u64,
 }
 
 /// The system interconnect: a set of links plus a routing table.
@@ -223,6 +227,7 @@ impl Fabric {
             last_arrival: Time::ZERO,
             messages: 0,
             bytes: 0,
+            queued: 0,
         });
         id
     }
@@ -274,6 +279,9 @@ impl Fabric {
             let link = &mut links[lid.0 as usize];
             let flits = size.div_ceil(link.cfg.flit_bytes).max(1) as u64;
             let ser = link.cfg.flit_time.times(flits);
+            if link.next_free > t {
+                link.queued += 1;
+            }
             let start = t.max(link.next_free);
             link.next_free = start + ser;
             link.messages += 1;
@@ -381,6 +389,59 @@ impl Fabric {
     /// Bytes carried by a link so far.
     pub fn link_bytes(&self, id: LinkId) -> u64 {
         self.links[id.0 as usize].bytes
+    }
+
+    /// Messages that found a link busy (had to queue behind an earlier
+    /// serialization) so far.
+    pub fn link_queued(&self, id: LinkId) -> u64 {
+        self.links[id.0 as usize].queued
+    }
+
+    /// Contribute per-link telemetry to one sample window: the
+    /// serialization backlog (`next_free − now`, a gauge — how far the
+    /// link is booked into the future), cumulative message/byte counts
+    /// and the queued-behind-busy count. Fault-layer counters follow iff
+    /// a plan is installed (the plan is installed before the run, so the
+    /// schema is fixed for the run's lifetime).
+    pub fn metrics_into(&self, out: &mut MetricSample, now: Time) {
+        for (i, link) in self.links.iter().enumerate() {
+            let backlog_ps = link.next_free.as_ps().saturating_sub(now.as_ps());
+            out.gauge_at("link", i as u32, "backlog_ns", (backlog_ps / 1_000) as f64);
+            out.counter_at("link", i as u32, "msgs", link.messages as f64);
+            out.counter_at("link", i as u32, "bytes", link.bytes as f64);
+            out.counter_at("link", i as u32, "queued", link.queued as f64);
+        }
+        if let Some(plan) = &self.fault {
+            let s = plan.stats();
+            out.counter("fault", "dropped", s.dropped as f64);
+            out.counter("fault", "link_down", s.link_down as f64);
+            out.counter("fault", "duplicated", s.duplicated as f64);
+            out.counter("fault", "delayed", s.delayed as f64);
+            out.counter("fault", "poisoned", s.poisoned as f64);
+        }
+    }
+
+    /// For each link, the first `(src, dst)` route that carries it (route
+    /// matrix scanned row-major — deterministic). `None` for links no
+    /// route references. The system builders dedicate each link to one
+    /// route (point-to-point) or one star port, so this names links well
+    /// enough for "link dcoh→c1"-style attribution output.
+    pub fn link_route_endpoints(&self) -> Vec<Option<(ComponentId, ComponentId)>> {
+        let mut out = vec![None; self.links.len()];
+        let n = self.routes.n;
+        for s in 0..n {
+            for d in 0..n {
+                if let Some(route) = self.routes.slots[s * n + d].as_slice() {
+                    for &lid in route {
+                        let slot = &mut out[lid.0 as usize];
+                        if slot.is_none() {
+                            *slot = Some((ComponentId(s as u32), ComponentId(d as u32)));
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 }
 
@@ -568,6 +629,53 @@ mod tests {
         f.deliver(a, b, 100, Time::ZERO, &mut rng);
         assert_eq!(f.link_messages(l), 2);
         assert_eq!(f.link_bytes(l), 200);
+    }
+
+    #[test]
+    fn queued_counts_contention() {
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let l = f.add_link(LinkConfig::intra_cluster());
+        f.set_route(a, b, vec![l]);
+        let mut rng = SimRng::seed_from(6);
+        f.deliver(a, b, 72, Time::ZERO, &mut rng);
+        assert_eq!(f.link_queued(l), 0, "first message never queues");
+        f.deliver(a, b, 72, Time::ZERO, &mut rng);
+        assert_eq!(f.link_queued(l), 1, "second message found the link busy");
+    }
+
+    #[test]
+    fn link_route_endpoints_name_first_route() {
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let l = f.add_link(LinkConfig::intra_cluster());
+        let unused = f.add_link(LinkConfig::intra_cluster());
+        f.set_route(a, b, vec![l]);
+        let ends = f.link_route_endpoints();
+        assert_eq!(ends[l.0 as usize], Some((a, b)));
+        assert_eq!(ends[unused.0 as usize], None);
+    }
+
+    #[test]
+    fn metrics_into_registers_per_link_series() {
+        let (a, b) = ids();
+        let mut f = Fabric::new();
+        let l = f.add_link(LinkConfig::intra_cluster());
+        f.set_route(a, b, vec![l]);
+        let mut rng = SimRng::seed_from(6);
+        f.deliver(a, b, 100, Time::ZERO, &mut rng);
+        let mut hub = crate::metrics::MetricsHub::enabled(Delay::from_ns(10));
+        hub.begin_window(Time::from_ns(10));
+        hub.emit_builtin(&[]);
+        f.metrics_into(hub.sample_mut(), Time::from_ns(10));
+        hub.end_window();
+        let names = hub.metric_names().to_vec();
+        let col = |n: &str| names.iter().position(|x| x == n).unwrap();
+        assert_eq!(hub.value(0, col("link.0.msgs")), 1.0);
+        assert_eq!(hub.value(0, col("link.0.bytes")), 100.0);
+        assert_eq!(hub.value(0, col("link.0.queued")), 0.0);
+        // No fault plan installed: no fault.* series.
+        assert!(!names.iter().any(|n| n.starts_with("fault.")));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod fabric;
 pub mod fault;
 pub mod hash;
 pub mod kernel;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use crate::fault::{FaultPlan, Flap, LinkFaults};
     pub use crate::hash::{FxHashMap, FxHashSet};
     pub use crate::kernel::{RunOutcome, Simulator};
+    pub use crate::metrics::{MetricKind, MetricSample, MetricsHub};
     pub use crate::rng::SimRng;
     pub use crate::stats::{Band, LatencyBands, LatencyHistogram, Report};
     pub use crate::time::{Delay, Time};

@@ -576,7 +576,7 @@ fn compact(s: &str) -> String {
 }
 
 /// Escape `s` as a JSON string literal (with quotes).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
