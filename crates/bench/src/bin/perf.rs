@@ -19,13 +19,24 @@
 //! successive invocations — and CI's per-commit artifacts — accumulate
 //! comparable points instead of overwriting each other.
 //!
-//! Exits nonzero if either measurement reports zero throughput, or if
-//! `--alloc-budget FILE` is given and any measurement exceeds its
+//! With `--shards n1,n2,...` the bin additionally measures a PDES-scaled
+//! run per requested shard-thread count: vips on an **8-cluster** system
+//! (`shard{n}+vips8c/...`), executed by the conservative parallel kernel
+//! ([`Simulator::run_sharded`]). These entries are opt-in so the default
+//! three-measurement output (and the `perf_quick_smoke` shape test) stays
+//! stable.
+//!
+//! Exits nonzero if any measurement reports zero throughput, if
+//! `--alloc-budget FILE` is given and a measurement exceeds its
 //! committed allocs/event budget (the deterministic perf gate; see
-//! `crates/bench/alloc_budget.txt` and the perf-smoke CI job).
+//! `crates/bench/alloc_budget.txt` and the perf-smoke CI job), or if
+//! `--floor-label TEXT` is given and the ping-pong throughput drops more
+//! than 20% below the best committed same-`quick` entry under that label
+//! (the wall-clock regression floor).
 //!
 //! Usage: `cargo run --release -p c3-bench --bin perf [-- --quick]
-//! [--exchanges N] [--out PATH] [--label TEXT] [--alloc-budget FILE]`
+//! [--exchanges N] [--out PATH] [--label TEXT] [--alloc-budget FILE]
+//! [--shards n1,n2,...] [--floor-label TEXT]`
 
 use std::any::Any;
 
@@ -196,6 +207,44 @@ fn workload(quick: bool, metrics: bool) -> Measurement {
     }
 }
 
+/// Measure vips on an 8-cluster system under the conservative-PDES
+/// kernel with `shards` worker threads. Eight clusters give the shard
+/// planner eight cluster domains plus the DCOH domain, so the
+/// measurement exercises real cross-domain merge traffic at every
+/// requested thread count.
+fn workload_sharded(quick: bool, shards: usize) -> Measurement {
+    let mut cfg = RunConfig::scaled(
+        (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+        GlobalProtocol::Cxl,
+        (Mcm::Weak, Mcm::Weak),
+    )
+    .with_clusters(8)
+    .with_shards(shards);
+    if quick {
+        cfg = cfg.quick();
+    }
+    // Dense per-cluster traffic: the conservative windows are bounded by
+    // the CXL lookahead (~70 ns), so scaling needs enough concurrent
+    // cores that every domain has real work inside each window.
+    cfg.cores_per_cluster = 16;
+    let spec = WorkloadSpec::by_name("vips").expect("workload");
+    let exp = Experiment::new(spec, cfg);
+    let a0 = alloc_count();
+    let r = runner::run_experiment(&exp);
+    let allocs = alloc_count() - a0;
+    r.expect_completed(&exp.tag);
+    Measurement {
+        config: format!("shard{shards}+vips8c/{}", exp.cfg.label()),
+        events: r.events,
+        sim_ns: r.sim_ns,
+        exec_ns: Some(r.exec_ns),
+        wall_ms: r.wall_ms,
+        events_per_sec: r.events_per_sec,
+        allocs,
+        allocs_per_event: allocs as f64 / r.events.max(1) as f64,
+    }
+}
+
 /// Pull the entries of the `"runs": [...]` array out of a previously
 /// written document, so a new invocation appends rather than overwrites.
 /// Returns `None` for missing files or pre-`runs` (schema 1) documents.
@@ -227,6 +276,33 @@ fn previous_runs(path: &str) -> Option<String> {
     None
 }
 
+/// Best committed ping-pong throughput under `label` with the same
+/// `quick` flag, scanned from a previously written document's `runs`
+/// entries (one JSON object per line, as this bin writes them). `None`
+/// when the label has no committed ping-pong baseline yet.
+fn best_pingpong(prev: &str, label: &str, quick: bool) -> Option<f64> {
+    let label_needle = format!("\"label\": \"{}\"", json_escape(label));
+    let quick_needle = format!("\"quick\": {quick}");
+    let mut best: Option<f64> = None;
+    for line in prev.lines() {
+        if !(line.contains("\"config\": \"pingpong\"")
+            && line.contains(&label_needle)
+            && line.contains(&quick_needle))
+        {
+            continue;
+        }
+        let Some(i) = line.find("\"events_per_sec\": ") else {
+            continue;
+        };
+        let rest = &line[i + "\"events_per_sec\": ".len()..];
+        let end = rest.find(['}', ',']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            best = Some(best.map_or(v, |b: f64| b.max(v)));
+        }
+    }
+    best
+}
+
 /// Parse the committed budget file: `<config-prefix> <max-allocs-per-event>`
 /// per line, `#` comments allowed.
 fn parse_budget(path: &str) -> Vec<(String, f64)> {
@@ -252,6 +328,8 @@ fn main() {
     let mut out = "BENCH_perf.json".to_string();
     let mut label = "local".to_string();
     let mut budget_file: Option<String> = None;
+    let mut shard_counts: Vec<usize> = Vec::new();
+    let mut floor_label: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -273,6 +351,17 @@ fn main() {
             }
             "--alloc-budget" => {
                 budget_file = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--shards" => {
+                shard_counts = args[i + 1]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("shard count"))
+                    .collect();
+                i += 2;
+            }
+            "--floor-label" => {
+                floor_label = Some(args[i + 1].clone());
                 i += 2;
             }
             other => panic!("unknown arg {other}"),
@@ -307,13 +396,33 @@ fn main() {
         wlm.allocs_per_event
     );
 
+    let mut shard_ms: Vec<Measurement> = Vec::new();
+    for &n in &shard_counts {
+        let m = workload_sharded(quick, n);
+        println!(
+            "shards   : {} {} events in {:.1} ms -> {:.2} M events/sec, {:.4} allocs/event",
+            m.config,
+            m.events,
+            m.wall_ms,
+            m.events_per_sec / 1e6,
+            m.allocs_per_event
+        );
+        shard_ms.push(m);
+    }
+
+    // Capture the committed entries before appending: the floor gate
+    // below must compare against history, not against this run.
+    let prev = previous_runs(&out);
     let mut entries: Vec<String> = Vec::new();
-    if let Some(prev) = previous_runs(&out) {
-        entries.push(prev);
+    if let Some(p) = &prev {
+        entries.push(p.clone());
     }
     entries.push(pp.to_json(&label, quick));
     entries.push(wl.to_json(&label, quick));
     entries.push(wlm.to_json(&label, quick));
+    for m in &shard_ms {
+        entries.push(m.to_json(&label, quick));
+    }
     let json = format!(
         "{{\n  \"bench\": \"perf\",\n  \"schema\": 2,\n  \"runs\": [\n    {}\n  ]\n}}\n",
         entries.join(",\n    ")
@@ -321,9 +430,40 @@ fn main() {
     std::fs::write(&out, &json).expect("write perf json");
     println!("(wrote {out})");
 
-    if pp.events_per_sec <= 0.0 || wl.events_per_sec <= 0.0 || wlm.events_per_sec <= 0.0 {
+    if [&pp, &wl, &wlm]
+        .into_iter()
+        .chain(&shard_ms)
+        .any(|m| m.events_per_sec <= 0.0)
+    {
         eprintln!("perf: zero throughput measured");
         std::process::exit(1);
+    }
+
+    if let Some(flabel) = floor_label {
+        match prev
+            .as_deref()
+            .and_then(|p| best_pingpong(p, &flabel, quick))
+        {
+            Some(base) => {
+                let floor = base * 0.8;
+                if pp.events_per_sec < floor {
+                    eprintln!(
+                        "perf: pingpong {:.2} M events/sec is below the floor {:.2} M \
+                         (80% of the best committed '{flabel}' entry, {:.2} M)",
+                        pp.events_per_sec / 1e6,
+                        floor / 1e6,
+                        base / 1e6
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "floor   : pingpong {:.2} M events/sec >= {:.2} M (80% of '{flabel}' best)",
+                    pp.events_per_sec / 1e6,
+                    floor / 1e6
+                );
+            }
+            None => println!("floor   : no committed '{flabel}' pingpong baseline yet; skipping"),
+        }
     }
 
     if let Some(path) = budget_file {

@@ -53,6 +53,18 @@ pub struct RunConfig {
     /// disables telemetry, keeping runs byte-identical to pre-telemetry
     /// builds.
     pub metrics_interval: Option<Delay>,
+    /// Number of clusters (default 2, the paper's Fig. 1 shape). Odd
+    /// cluster indices take `protocols.1`/`mcms.1`, even ones
+    /// `protocols.0`/`mcms.0`, so 2 reproduces the historical system
+    /// exactly and larger counts scale the topology for PDES throughput
+    /// studies.
+    pub clusters: usize,
+    /// Run the kernel as a conservative parallel PDES on this many
+    /// worker threads ([`c3_sim::kernel::Simulator::run_sharded`]);
+    /// `None` (the default) uses the sequential kernel. The
+    /// `C3_SIM_SHARDS` environment variable provides a process-wide
+    /// fallback when unset. Reports are byte-identical for any value.
+    pub shards: Option<usize>,
 }
 
 impl RunConfig {
@@ -74,6 +86,8 @@ impl RunConfig {
             ordered_s2m: false,
             link_latency: Delay::from_ns(70),
             metrics_interval: None,
+            clusters: 2,
+            shards: None,
         }
     }
 
@@ -94,6 +108,31 @@ impl RunConfig {
     pub fn metrics_ns(mut self, ns: u64) -> Self {
         self.metrics_interval = Some(Delay::from_ns(ns));
         self
+    }
+
+    /// Use `n` clusters (alternating the two configured protocols/MCMs).
+    pub fn with_clusters(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one cluster");
+        self.clusters = n;
+        self
+    }
+
+    /// Execute on `n` PDES shard worker threads instead of the
+    /// sequential kernel.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
+        self
+    }
+
+    /// The effective shard-thread count: the explicit [`RunConfig::shards`]
+    /// setting, else the `C3_SIM_SHARDS` environment variable, else
+    /// `None` (sequential kernel).
+    pub fn effective_shards(&self) -> Option<usize> {
+        self.shards.or_else(|| {
+            std::env::var("C3_SIM_SHARDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
     }
 
     /// The paper's protocol-combination label (e.g. "MESI-CXL-MOESI").
@@ -132,11 +171,17 @@ pub fn build_sim(
     spec: &WorkloadSpec,
     cfg: &RunConfig,
 ) -> (c3_sim::kernel::Simulator<SysMsg>, c3::system::SystemHandles) {
-    let nthreads = cfg.cores_per_cluster * 2;
-    let clusters = vec![
-        ClusterSpec::new(cfg.protocols.0, cfg.cores_per_cluster).with_l1(cfg.l1.0, cfg.l1.1),
-        ClusterSpec::new(cfg.protocols.1, cfg.cores_per_cluster).with_l1(cfg.l1.0, cfg.l1.1),
-    ];
+    let nthreads = cfg.cores_per_cluster * cfg.clusters;
+    let clusters: Vec<ClusterSpec> = (0..cfg.clusters)
+        .map(|ci| {
+            let proto = if ci % 2 == 0 {
+                cfg.protocols.0
+            } else {
+                cfg.protocols.1
+            };
+            ClusterSpec::new(proto, cfg.cores_per_cluster).with_l1(cfg.l1.0, cfg.l1.1)
+        })
+        .collect();
     let builder = SystemBuilder::new(clusters, cfg.global)
         .cxl_cache(cfg.cxl_cache.0, cfg.cxl_cache.1)
         .seed(cfg.seed)
@@ -150,8 +195,12 @@ pub fn build_sim(
     let cores_per_cluster = cfg.cores_per_cluster;
     let (mut sim, handles) = builder.build(move |ci, k, l1| {
         let thread = ci * cores_per_cluster + k;
-        let mcm = if ci == 0 { mcms.0 } else { mcms.1 };
-        let family = if ci == 0 { protocols.0 } else { protocols.1 };
+        let mcm = if ci % 2 == 0 { mcms.0 } else { mcms.1 };
+        let family = if ci % 2 == 0 {
+            protocols.0
+        } else {
+            protocols.1
+        };
         let program = spec_copy.generate(thread, nthreads, ops, seed);
         Box::new(TimingCore::new(
             format!("c{ci}.core{k}"),
@@ -191,7 +240,10 @@ pub fn run_workload_with<T>(
     inspect: impl FnOnce(&c3_sim::kernel::Simulator<SysMsg>, &c3::system::SystemHandles) -> T,
 ) -> (RunResult, T) {
     let (mut sim, handles) = build_sim(spec, cfg);
-    let outcome = sim.run();
+    let outcome = match cfg.effective_shards() {
+        Some(n) => sim.run_sharded(n),
+        None => sim.run(),
+    };
     if outcome != RunOutcome::Completed {
         eprintln!("{}", sim.post_mortem(outcome));
         for &b in &handles.bridges {

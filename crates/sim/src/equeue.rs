@@ -228,6 +228,16 @@ impl<T> CalendarQueue<T> {
         }
     }
 
+    /// Timestamp of the earliest pending entry without removing it —
+    /// the shard scheduler's window fast-forward probe. Implemented as
+    /// pop + exact re-insert (the mid-drain splice keeps `(time, seq)`
+    /// order), so it may slide/jump the window like [`CalendarQueue::pop`].
+    pub fn next_time(&mut self) -> Option<Time> {
+        let (at, seq, item) = self.pop()?;
+        self.push(at, seq, item);
+        Some(at)
+    }
+
     /// Pull overflow entries that the slid/jumped window now covers into
     /// their ring buckets. Heap pops come out in `(at, seq)` order, so
     /// within each target bucket equal-time entries stay seq-ordered.
@@ -333,6 +343,77 @@ mod tests {
         assert_eq!(q.pop(), Some((Time::from_ns(1), 2, 2)));
         assert_eq!(q.pop(), Some((Time::MAX, 1, 1)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn window_saturates_at_time_max_and_still_orders() {
+        // Once the window jumps near u64::MAX, `win_start + SPAN_PS`
+        // saturates: `win_end() == u64::MAX` must mean "covers every
+        // representable time" (including `Time::MAX` itself), not an
+        // empty window. Events at and just below u64::MAX must come out
+        // in exact `(time, seq)` order.
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.push(Time::MAX, 1, 1);
+        q.push(Time::from_ps(u64::MAX - 1), 2, 2);
+        q.push(Time::from_ps(u64::MAX - BUCKET_PS), 3, 3);
+        q.push(Time::from_ns(1), 4, 4);
+        assert_eq!(q.pop(), Some((Time::from_ns(1), 4, 4)));
+        assert_eq!(q.pop(), Some((Time::from_ps(u64::MAX - BUCKET_PS), 3, 3)));
+        assert_eq!(q.pop(), Some((Time::from_ps(u64::MAX - 1), 2, 2)));
+        assert_eq!(q.pop(), Some((Time::MAX, 1, 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn saturated_window_accepts_new_pushes_and_ties() {
+        // After the jump to the saturated window, same-instant pushes at
+        // Time::MAX (the limit-pushback path) must still splice in
+        // seq-order rather than spill to a window that can never open.
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.push(Time::MAX, 5, 50);
+        assert_eq!(q.pop(), Some((Time::MAX, 5, 50)));
+        // Window has jumped to the top of the time range; win_end() is
+        // saturated. Push-back and later ties must round-trip.
+        q.push(Time::MAX, 5, 50);
+        q.push(Time::MAX, 6, 60);
+        assert_eq!(q.pop(), Some((Time::MAX, 5, 50)));
+        assert_eq!(q.pop(), Some((Time::MAX, 6, 60)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn window_rotation_across_saturation_boundary() {
+        // Entries straddling the exact point where the ring window first
+        // saturates (win_start + SPAN_PS overflows): one inside the last
+        // non-saturated window, one beyond it.
+        let base = u64::MAX - 2 * SPAN_PS;
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.push(Time::from_ps(base), 1, 1);
+        q.push(Time::from_ps(base + SPAN_PS + 1), 2, 2);
+        q.push(Time::from_ps(u64::MAX - 1), 3, 3);
+        assert_eq!(q.pop(), Some((Time::from_ps(base), 1, 1)));
+        assert_eq!(q.pop(), Some((Time::from_ps(base + SPAN_PS + 1), 2, 2)));
+        assert_eq!(q.pop(), Some((Time::from_ps(u64::MAX - 1), 3, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn next_time_peeks_without_reordering() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(Time::from_ns(7), 1, 10);
+        q.push(Time::from_ns(3), 2, 20);
+        q.push(Time::from_ns(3), 3, 30);
+        assert_eq!(q.next_time(), Some(Time::from_ns(3)));
+        assert_eq!(q.next_time(), Some(Time::from_ns(3)));
+        assert_eq!(q.pop(), Some((Time::from_ns(3), 2, 20)));
+        assert_eq!(q.pop(), Some((Time::from_ns(3), 3, 30)));
+        assert_eq!(q.pop(), Some((Time::from_ns(7), 1, 10)));
+        // Near-saturation peek: the probe's pop+push must not wedge the
+        // saturated window.
+        q.push(Time::MAX, 4, 40);
+        assert_eq!(q.next_time(), Some(Time::MAX));
+        assert_eq!(q.pop(), Some((Time::MAX, 4, 40)));
     }
 
     #[test]

@@ -76,23 +76,23 @@ pub enum RunOutcome {
 /// assert_eq!(sim.now(), Time::from_ns(4));
 /// ```
 pub struct Simulator<M: Message> {
-    components: Vec<Box<dyn Component<M>>>,
-    queue: EventQueue<M>,
-    fabric: Fabric,
-    rng: SimRng,
-    now: Time,
-    seq: u64,
-    events_processed: u64,
-    event_limit: u64,
-    time_limit: Time,
-    started: bool,
-    tracer: Tracer,
+    pub(crate) components: Vec<Box<dyn Component<M>>>,
+    pub(crate) queue: EventQueue<M>,
+    pub(crate) fabric: Fabric,
+    pub(crate) rng: SimRng,
+    pub(crate) now: Time,
+    pub(crate) seq: u64,
+    pub(crate) events_processed: u64,
+    pub(crate) event_limit: u64,
+    pub(crate) time_limit: Time,
+    pub(crate) started: bool,
+    pub(crate) tracer: Tracer,
     /// Sampled time-series telemetry; disabled (one dead branch per
     /// event) unless [`Simulator::set_metrics`] is called.
-    metrics: MetricsHub,
+    pub(crate) metrics: MetricsHub,
     /// Component names cached by `start_components` so trace export and
     /// post-mortems don't re-collect a `Vec<String>` per call.
-    names: Vec<String>,
+    pub(crate) names: Vec<String>,
     /// Wall-clock time spent inside `run()` (accumulated across calls).
     wall: std::time::Duration,
     /// When set, `report()` includes the wall-clock-derived
@@ -316,7 +316,7 @@ impl<M: Message> Simulator<M> {
             .collect()
     }
 
-    fn start_components(&mut self) {
+    pub(crate) fn start_components(&mut self) {
         for i in 0..self.components.len() {
             let id = ComponentId(i as u32);
             let mut ctx = Ctx {
@@ -327,6 +327,7 @@ impl<M: Message> Simulator<M> {
                 queue: &mut self.queue,
                 seq: &mut self.seq,
                 tracer: &mut self.tracer,
+                shard: None,
             };
             self.components[i].start(&mut ctx);
         }
@@ -342,10 +343,47 @@ impl<M: Message> Simulator<M> {
         outcome
     }
 
+    /// Run the simulation in parallel as a conservative PDES: components
+    /// are partitioned into topology-derived shard domains (see
+    /// [`crate::shard`]), each with its own event queue and RNG stream,
+    /// advanced in lookahead-bounded windows by `threads` worker threads
+    /// with deterministic cross-domain merges at window barriers.
+    ///
+    /// The execution — event interleaving, reports, and metrics CSV — is
+    /// a pure function of the domain partition, so it is **byte-identical
+    /// for any `threads` value** (but not to the sequential [`Simulator::run`]
+    /// path, which interleaves RNG draws differently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started (sharded runs cannot
+    /// resume a sequential one), if tracing or a fault plan is enabled,
+    /// or if a component performs a cross-domain `send_direct` with a
+    /// delay below the conservative lookahead (wire an affinity pair —
+    /// [`crate::fabric::Fabric::set_affinity`] — instead).
+    pub fn run_sharded(&mut self, threads: usize) -> RunOutcome {
+        let t0 = std::time::Instant::now();
+        let outcome = crate::shard::run_sharded(self, threads);
+        self.wall += t0.elapsed();
+        outcome
+    }
+
     fn run_inner(&mut self) -> RunOutcome {
         if !self.started {
             self.start_components();
         }
+        // Monomorphize the hot loop on "any observer enabled": the
+        // metrics-off/tracing-off instantiation carries no per-event
+        // observer branches at all (the PR-6 regression was exactly
+        // those checks sitting in the fast path).
+        if self.metrics.is_enabled() || self.tracer.is_enabled() {
+            self.run_loop::<true>()
+        } else {
+            self.run_loop::<false>()
+        }
+    }
+
+    fn run_loop<const OBS: bool>(&mut self) -> RunOutcome {
         loop {
             let Some((at, seq, (dst, kind))) = self.queue.pop() else {
                 break if self.all_done() {
@@ -357,13 +395,28 @@ impl<M: Message> Simulator<M> {
             if at > self.time_limit {
                 // Push back so a later run() with a higher limit can resume.
                 self.queue.push(at, seq, (dst, kind));
+                if OBS {
+                    // Sample the windows between the last delivered event
+                    // and the horizon — without this, boundaries in that
+                    // tail gap were silently skipped on break and the
+                    // series ended early.
+                    let limit = self.time_limit;
+                    self.take_metric_samples(limit);
+                }
                 break RunOutcome::TimeLimit;
             }
             if self.events_processed >= self.event_limit {
                 self.queue.push(at, seq, (dst, kind));
+                if OBS {
+                    // Boundaries up to the not-yet-delivered event's
+                    // timestamp: exactly the samples an uninterrupted run
+                    // would take before processing it, so resume keeps
+                    // the series byte-identical.
+                    self.take_metric_samples(at);
+                }
                 break RunOutcome::EventLimit;
             }
-            if at >= self.metrics.next_due() {
+            if OBS && at >= self.metrics.next_due() {
                 // Sample every boundary the event's timestamp crossed,
                 // *before* processing it: a window at boundary `t`
                 // reflects exactly the state after all events < `t`.
@@ -372,18 +425,20 @@ impl<M: Message> Simulator<M> {
             self.now = at;
             self.events_processed += 1;
             let idx = dst.index();
-            if self.metrics.is_enabled() {
-                self.metrics.note_event(idx, at);
-                if let EventKind::Deliver { msg, .. } = &kind {
-                    self.metrics.note_vnet(msg.vnet_lane());
-                    if let Some(a) = msg.addr_hint() {
-                        self.metrics.note_addr(a);
+            if OBS {
+                if self.metrics.is_enabled() {
+                    self.metrics.note_event(idx, at);
+                    if let EventKind::Deliver { msg, .. } = &kind {
+                        self.metrics.note_vnet(msg.vnet_lane());
+                        if let Some(a) = msg.addr_hint() {
+                            self.metrics.note_addr(a);
+                        }
                     }
                 }
-            }
-            if self.tracer.is_enabled() {
-                if let EventKind::Deliver { src, msg } = &kind {
-                    self.tracer.msg_deliver(self.now, *src, dst, msg);
+                if self.tracer.is_enabled() {
+                    if let EventKind::Deliver { src, msg } = &kind {
+                        self.tracer.msg_deliver(self.now, *src, dst, msg);
+                    }
                 }
             }
             let mut ctx = Ctx {
@@ -394,6 +449,7 @@ impl<M: Message> Simulator<M> {
                 queue: &mut self.queue,
                 seq: &mut self.seq,
                 tracer: &mut self.tracer,
+                shard: None,
             };
             match kind {
                 EventKind::Deliver { src, msg } => self.components[idx].handle(msg, src, &mut ctx),
@@ -403,7 +459,7 @@ impl<M: Message> Simulator<M> {
     }
 
     /// Take one sample per boundary crossed by an event at `upto`.
-    fn take_metric_samples(&mut self, upto: Time) {
+    pub(crate) fn take_metric_samples(&mut self, upto: Time) {
         while self.metrics.next_due() <= upto {
             let t = self.metrics.next_due();
             self.metrics.advance();
@@ -858,5 +914,97 @@ mod tests {
         crate::trace::validate_json(&json).expect("valid trace JSON with counters");
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"name\":\"link.0.msgs\""));
+    }
+
+    /// A component whose events are separated by a huge stride, leaving a
+    /// long quiet tail between the last delivered event and a limit.
+    struct SlowTicker {
+        left: u32,
+    }
+    impl Component<Ball> for SlowTicker {
+        fn name(&self) -> String {
+            "ticker".into()
+        }
+        fn start(&mut self, ctx: &mut Ctx<'_, Ball>) {
+            ctx.wake_after(Delay::from_ns(1), 0);
+        }
+        fn on_wake(&mut self, _t: u64, ctx: &mut Ctx<'_, Ball>) {
+            if self.left > 0 {
+                self.left -= 1;
+                ctx.wake_after(Delay::from_ns(1_000_000), 0);
+            }
+        }
+        fn handle(&mut self, _m: Ball, _s: ComponentId, _c: &mut Ctx<'_, Ball>) {}
+        fn done(&self) -> bool {
+            self.left == 0
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Regression: a `TimeLimit` stop must sample every metrics window
+    /// due up to the limit, including windows in the quiet tail after the
+    /// last delivered event (the per-event sampler never sees them).
+    #[test]
+    fn time_limit_samples_tail_windows_up_to_limit() {
+        let mut sim: Simulator<Ball> = Simulator::new(1);
+        sim.add_component(Box::new(SlowTicker { left: 5 }));
+        sim.set_metrics(Delay::from_ns(10_000)); // 10 µs windows
+        sim.set_time_limit(Time::from_ns(500_000)); // stop mid-gap at 500 µs
+        assert_eq!(sim.run(), RunOutcome::TimeLimit);
+        // Only the 1 ns wake was delivered; boundaries 10 µs..500 µs must
+        // all have been sampled on the way out.
+        assert_eq!(sim.metrics().windows(), 50);
+        assert_eq!(sim.metrics().window_time(49), Time::from_ns(500_000));
+    }
+
+    /// Regression: an `EventLimit` stop likewise samples the windows due
+    /// up to the next (undelivered) event's timestamp.
+    #[test]
+    fn event_limit_samples_tail_windows() {
+        let mut sim: Simulator<Ball> = Simulator::new(1);
+        sim.add_component(Box::new(SlowTicker { left: 5 }));
+        sim.set_metrics(Delay::from_ns(300_000)); // 300 µs windows
+        sim.set_event_limit(2); // wakes at 1 ns and ~1 ms; next at ~2 ms
+        assert_eq!(sim.run(), RunOutcome::EventLimit);
+        // Boundaries at 300/600/900/1200/1500/1800 µs precede the pushed-
+        // back ~2 ms event.
+        assert_eq!(sim.metrics().windows(), 6);
+        assert_eq!(sim.metrics().window_time(5), Time::from_ns(1_800_000));
+    }
+
+    /// An interrupted run (limit hit, limit raised, `run()` again) must
+    /// be indistinguishable from an uninterrupted one: the pushed-back
+    /// event resumes with its original `(time, seq)` position.
+    #[test]
+    fn resume_after_raised_limit_matches_uninterrupted_run() {
+        let (mut base, _, _) = pingpong(2_000);
+        base.set_metrics(Delay::from_ns(5));
+        assert_eq!(base.run(), RunOutcome::Completed);
+
+        let (mut timed, _, _) = pingpong(2_000);
+        timed.set_metrics(Delay::from_ns(5));
+        timed.set_time_limit(Time::from_ns(57));
+        assert_eq!(timed.run(), RunOutcome::TimeLimit);
+        timed.set_time_limit(Time::MAX);
+        assert_eq!(timed.run(), RunOutcome::Completed);
+
+        let (mut capped, _, _) = pingpong(2_000);
+        capped.set_metrics(Delay::from_ns(5));
+        capped.set_event_limit(123);
+        assert_eq!(capped.run(), RunOutcome::EventLimit);
+        capped.set_event_limit(u64::MAX);
+        assert_eq!(capped.run(), RunOutcome::Completed);
+
+        for (what, sim) in [("time-limited", &timed), ("event-limited", &capped)] {
+            assert_eq!(base.now(), sim.now(), "{what}");
+            assert_eq!(base.events_processed(), sim.events_processed(), "{what}");
+            assert_eq!(base.report(), sim.report(), "{what}");
+            assert_eq!(base.metrics().to_csv(), sim.metrics().to_csv(), "{what}");
+        }
     }
 }

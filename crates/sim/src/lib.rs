@@ -49,6 +49,7 @@ pub mod hash;
 pub mod kernel;
 pub mod metrics;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;

@@ -1,0 +1,894 @@
+//! Conservative parallel PDES execution of a [`Simulator`].
+//!
+//! [`Simulator::run_sharded`] partitions components into **shard
+//! domains** derived from the interconnect topology (the route matrix
+//! plus direct-port affinity pairs), gives each domain its own
+//! [`CalendarQueue`], sequence counter, forked RNG stream, and fabric
+//! link state, and advances all domains in parallel under **conservative
+//! lookahead**: within one window `[W, W + L)` — `L` being the minimum
+//! cross-domain route latency — no domain can receive a cross-domain
+//! message timestamped inside the window, so every domain may process
+//! its local events for the window without synchronization.
+//!
+//! # Domain derivation
+//!
+//! Two components share a domain when they are coupled tighter than the
+//! lookahead could tolerate:
+//!
+//! * a route between them has minimum end-to-end latency below the cut
+//!   threshold (intra-cluster links, ~6 ns, fall below it; CXL links,
+//!   ~70 ns — Table III of the paper — stay above);
+//! * they exchange messages over a direct port
+//!   ([`crate::fabric::Fabric::set_affinity`], e.g. core ↔ private L1);
+//! * their routes share a physical link with different source domains
+//!   (single-writer rule: every link's contention state must be owned by
+//!   exactly one domain for the execution to be deterministic).
+//!
+//! For the two-cluster systems of the paper this yields one domain per
+//! cluster (bridge + L1s + cores) plus one for the DCOH/directory side —
+//! exactly the cluster/DCOH decomposition the C³ architecture suggests.
+//!
+//! # Determinism
+//!
+//! The execution is a pure function of the domain partition, never of
+//! the worker-thread count: domains are advanced under mutexes in
+//! window lockstep, cross-domain batches are merged by a single
+//! coordinator in ascending `(time, source domain, source seq)` order,
+//! per-domain RNG streams are forked from the root seed by domain id,
+//! and telemetry scratches fold in domain order. Reports and metrics
+//! CSVs are therefore **byte-identical for any shard/thread count**
+//! (`tests/runner.rs` pins this for 1, 2, and 8 shards).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::component::{Component, ComponentId, Ctx, Message, ShardHook};
+use crate::equeue::CalendarQueue;
+use crate::fabric::Fabric;
+use crate::kernel::{EventKind, EventQueue, RunOutcome, Simulator};
+use crate::metrics::{MetricsHub, MetricsScratch};
+use crate::time::Time;
+use crate::trace::Tracer;
+
+/// A queue entry drained from a domain at reassembly, tagged for the
+/// deterministic `(time, domain, seq)` restamp order.
+type Leftover<M> = (Time, u32, u64, (ComponentId, EventKind<M>));
+
+/// Routes faster than this are intra-domain (ps). Sits between the
+/// intra-cluster hop (~6 ns) and the CXL hop (~70 ns) of Table III, so
+/// clusters coalesce and the CXL fabric becomes the domain boundary.
+const CUT_PS: u64 = 50_000;
+
+/// Union-find with the smaller id as root, so each set's canonical
+/// representative is its minimum member — domain numbering is then
+/// independent of union order.
+struct Uf(Vec<u32>);
+
+impl Uf {
+    fn new(n: usize) -> Self {
+        Uf((0..n as u32).collect())
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.0[x as usize] != x {
+            let p = self.0[x as usize];
+            self.0[x as usize] = self.0[p as usize];
+            x = self.0[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (lo, hi) = (ra.min(rb), ra.max(rb));
+        self.0[hi as usize] = lo;
+        true
+    }
+}
+
+/// The static shard partition derived from a fabric: which domain each
+/// component belongs to, and the conservative lookahead bound.
+#[derive(Debug)]
+pub struct ShardPlan {
+    /// Shard domain of each component, indexed by [`ComponentId::index`].
+    pub domain_of: Vec<u32>,
+    /// Number of domains (dense ids `0..domains`).
+    pub domains: usize,
+    /// Conservative lookahead: the minimum end-to-end latency of any
+    /// cross-domain route, in picoseconds. `u64::MAX` when no
+    /// cross-domain route exists (each window then covers all time).
+    pub lookahead_ps: u64,
+    /// Owning domain of each link (the domain of every route source
+    /// that uses it — unique by the single-writer rule).
+    pub link_owner: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Derive the partition for a fabric and a component count. See the
+    /// module docs for the three coupling rules.
+    pub fn from_fabric(fabric: &Fabric, n_components: usize) -> ShardPlan {
+        let mut n = n_components;
+        fabric.for_each_route(|s, d, _| n = n.max(s.index() + 1).max(d.index() + 1));
+        for &(a, b) in fabric.affinity_pairs() {
+            n = n.max(a.index() + 1).max(b.index() + 1);
+        }
+        let mut uf = Uf::new(n);
+        fabric.for_each_route(|s, d, route| {
+            if fabric.route_min_latency(route).as_ps() < CUT_PS {
+                uf.union(s.0, d.0);
+            }
+        });
+        for &(a, b) in fabric.affinity_pairs() {
+            uf.union(a.0, b.0);
+        }
+        // Single-writer fixpoint: every link's contention state is
+        // mutated by the domains of the routes that source it; if two
+        // routes with different source domains share a link, merge them
+        // until each link has one writer.
+        let n_links = fabric.link_count() as usize;
+        loop {
+            let mut changed = false;
+            let mut writer: Vec<Option<u32>> = vec![None; n_links];
+            fabric.for_each_route(|s, _, route| {
+                let ds = uf.find(s.0);
+                for &lid in route {
+                    match writer[lid.0 as usize] {
+                        None => writer[lid.0 as usize] = Some(ds),
+                        Some(w) if uf.find(w) != uf.find(ds) => {
+                            uf.union(w, ds);
+                            changed = true;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            });
+            if !changed {
+                break;
+            }
+        }
+        // Dense domain ids in ascending order of each set's minimum
+        // member — deterministic for a topology.
+        let mut dense = vec![u32::MAX; n];
+        let mut domains = 0u32;
+        for i in 0..n as u32 {
+            let r = uf.find(i);
+            if dense[r as usize] == u32::MAX {
+                dense[r as usize] = domains;
+                domains += 1;
+            }
+        }
+        let domain_of: Vec<u32> = (0..n as u32).map(|i| dense[uf.find(i) as usize]).collect();
+        let mut lookahead_ps = u64::MAX;
+        let mut link_owner = vec![0usize; n_links];
+        fabric.for_each_route(|s, d, route| {
+            if domain_of[s.index()] != domain_of[d.index()] {
+                lookahead_ps = lookahead_ps.min(fabric.route_min_latency(route).as_ps());
+            }
+            for &lid in route {
+                link_owner[lid.0 as usize] = domain_of[s.index()] as usize;
+            }
+        });
+        ShardPlan {
+            domain_of,
+            domains: domains as usize,
+            lookahead_ps,
+            link_owner,
+        }
+    }
+}
+
+/// One shard domain's private execution state.
+struct Domain<M: Message> {
+    id: u32,
+    /// Owned components in ascending original id.
+    comps: Vec<Box<dyn Component<M>>>,
+    /// Original component id of each entry in `comps`.
+    orig: Vec<u32>,
+    queue: EventQueue<M>,
+    seq: u64,
+    rng: crate::rng::SimRng,
+    fabric: Fabric,
+    tracer: Tracer,
+    /// Cross-domain events emitted this window: `(arrival, seq, dst, kind)`.
+    outbox: Vec<(Time, u64, ComponentId, EventKind<M>)>,
+    scratch: Option<MetricsScratch>,
+    now: Time,
+    events: u64,
+}
+
+impl<M: Message> Domain<M> {
+    /// Run every owned component's `start` hook (ascending original id,
+    /// matching the sequential kernel's start order within the domain).
+    fn start(&mut self, domain_of: &[u32]) {
+        for i in 0..self.comps.len() {
+            let id = ComponentId(self.orig[i]);
+            let mut ctx = Ctx {
+                now: Time::ZERO,
+                self_id: id,
+                fabric: &mut self.fabric,
+                rng: &mut self.rng,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+                tracer: &mut self.tracer,
+                shard: Some(ShardHook {
+                    domain_of,
+                    my_domain: self.id,
+                    outbox: &mut self.outbox,
+                }),
+            };
+            self.comps[i].start(&mut ctx);
+        }
+    }
+
+    /// Deliver every local event with `time < horizon_ps` (a saturated
+    /// horizon of `u64::MAX` covers all time, mirroring the calendar
+    /// queue's saturated window).
+    fn process_window(&mut self, horizon_ps: u64, domain_of: &[u32], local_of: &[u32]) {
+        loop {
+            let Some((at, seq, (dst, kind))) = self.queue.pop() else {
+                break;
+            };
+            if at.as_ps() >= horizon_ps && horizon_ps != u64::MAX {
+                self.queue.push(at, seq, (dst, kind));
+                break;
+            }
+            self.now = at;
+            self.events += 1;
+            if let Some(sc) = self.scratch.as_mut() {
+                sc.note_event(dst.index(), at);
+                if let EventKind::Deliver { msg, .. } = &kind {
+                    sc.note_vnet(msg.vnet_lane());
+                    if let Some(a) = msg.addr_hint() {
+                        sc.note_addr(a);
+                    }
+                }
+            }
+            let idx = local_of[dst.index()] as usize;
+            let mut ctx = Ctx {
+                now: at,
+                self_id: dst,
+                fabric: &mut self.fabric,
+                rng: &mut self.rng,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+                tracer: &mut self.tracer,
+                shard: Some(ShardHook {
+                    domain_of,
+                    my_domain: self.id,
+                    outbox: &mut self.outbox,
+                }),
+            };
+            match kind {
+                EventKind::Deliver { src, msg } => self.comps[idx].handle(msg, src, &mut ctx),
+                EventKind::Wake { token } => self.comps[idx].on_wake(token, &mut ctx),
+            }
+        }
+    }
+}
+
+/// A cyclic barrier that a panicking participant can *break*: `brk()`
+/// wakes every waiter and makes all subsequent waits return `false`
+/// immediately, so one panic (a component fault, a causality violation)
+/// unwinds the whole window loop instead of deadlocking the other
+/// workers at the barrier.
+struct WindowBarrier {
+    state: Mutex<(usize, u64, bool)>, // (waiting, generation, broken)
+    cvar: Condvar,
+    parties: usize,
+}
+
+impl WindowBarrier {
+    fn new(parties: usize) -> Self {
+        WindowBarrier {
+            state: Mutex::new((0, 0, false)),
+            cvar: Condvar::new(),
+            parties,
+        }
+    }
+
+    /// Wait for all parties; `false` means the barrier was broken.
+    fn wait(&self) -> bool {
+        let mut st = self.state.lock().expect("barrier mutex");
+        if st.2 {
+            return false;
+        }
+        let generation = st.1;
+        st.0 += 1;
+        if st.0 == self.parties {
+            st.0 = 0;
+            st.1 += 1;
+            self.cvar.notify_all();
+            return true;
+        }
+        while st.1 == generation && !st.2 {
+            st = self.cvar.wait(st).expect("barrier mutex");
+        }
+        !st.2
+    }
+
+    /// Break the barrier, releasing current and future waiters.
+    fn brk(&self) {
+        self.state.lock().expect("barrier mutex").2 = true;
+        self.cvar.notify_all();
+    }
+}
+
+/// State shared by all worker threads.
+struct Shared<M: Message> {
+    domains: Vec<Mutex<Domain<M>>>,
+    barrier: WindowBarrier,
+    /// Exclusive end of the current window (ps); `u64::MAX` = covers all
+    /// representable time.
+    horizon: AtomicU64,
+    /// 0 = keep running; otherwise the encoded final [`RunOutcome`] + 1.
+    stop: AtomicU64,
+    domain_of: Vec<u32>,
+    local_of: Vec<u32>,
+}
+
+/// Coordinator-only state (owned by worker 0's stack).
+struct Coord<M: Message> {
+    hub: MetricsHub,
+    names: Vec<String>,
+    /// `(domain, local index)` of each component, by original id.
+    loc: Vec<(usize, usize)>,
+    link_owner: Vec<usize>,
+    lookahead_ps: u64,
+    time_limit: Time,
+    event_limit: u64,
+    merge_buf: Vec<(Time, u32, u64, ComponentId, EventKind<M>)>,
+}
+
+fn encode(outcome: RunOutcome) -> u64 {
+    match outcome {
+        RunOutcome::Completed => 1,
+        RunOutcome::Deadlock => 2,
+        RunOutcome::EventLimit => 3,
+        RunOutcome::TimeLimit => 4,
+    }
+}
+
+fn decode(v: u64) -> RunOutcome {
+    match v {
+        1 => RunOutcome::Completed,
+        2 => RunOutcome::Deadlock,
+        3 => RunOutcome::EventLimit,
+        4 => RunOutcome::TimeLimit,
+        _ => unreachable!("stop flag not set"),
+    }
+}
+
+/// One serial coordinator step at the window barrier: merge cross-domain
+/// batches, fold telemetry, decide termination, and schedule the next
+/// window. Runs with every domain mutex held (workers wait at the
+/// barrier), so the merge order — and therefore the execution — is
+/// independent of thread count.
+fn coordinator_step<M: Message>(shared: &Shared<M>, co: &mut Coord<M>) {
+    let closing = shared.horizon.load(Ordering::Acquire);
+    let mut guards: Vec<_> = shared
+        .domains
+        .iter()
+        .map(|m| m.lock().expect("domain mutex"))
+        .collect();
+    // Deterministic cross-domain merge: ascending (arrival, source
+    // domain, source seq); each event is restamped with the destination
+    // domain's next sequence number as it lands.
+    co.merge_buf.clear();
+    for (d, g) in guards.iter_mut().enumerate() {
+        for (at, seq, dst, kind) in g.outbox.drain(..) {
+            co.merge_buf.push((at, d as u32, seq, dst, kind));
+        }
+    }
+    co.merge_buf
+        .sort_unstable_by_key(|&(at, d, seq, _, _)| (at, d, seq));
+    for (at, _, _, dst, kind) in co.merge_buf.drain(..) {
+        assert!(
+            at.as_ps() >= closing,
+            "cross-domain event at {at:?} below the conservative lookahead window \
+             (horizon {closing} ps): a component direct-sent across shard domains \
+             with a sub-lookahead delay — register the pair with \
+             Fabric::set_affinity so they share a domain"
+        );
+        let dd = shared.domain_of[dst.index()] as usize;
+        let g = &mut guards[dd];
+        g.seq += 1;
+        let seq = g.seq;
+        g.queue.push(at, seq, (dst, kind));
+    }
+    if co.hub.is_enabled() {
+        for g in guards.iter_mut() {
+            co.hub
+                .fold_scratch(g.scratch.as_mut().expect("scratch when metrics on"));
+        }
+    }
+    let mut w_next: Option<Time> = None;
+    let mut total = 0u64;
+    for g in guards.iter_mut() {
+        total += g.events;
+        if let Some(t) = g.queue.next_time() {
+            w_next = Some(w_next.map_or(t, |w: Time| w.min(t)));
+        }
+    }
+    let stop = match w_next {
+        None => {
+            let done = guards.iter().all(|g| g.comps.iter().all(|c| c.done()));
+            if done {
+                RunOutcome::Completed
+            } else {
+                RunOutcome::Deadlock
+            }
+        }
+        Some(wn) if wn > co.time_limit => {
+            // Mirror the sequential tail-window fix: sample boundaries
+            // up to the limit before stopping.
+            let limit = co.time_limit;
+            sample_upto(co, &mut guards, limit);
+            RunOutcome::TimeLimit
+        }
+        Some(wn) if total >= co.event_limit => {
+            sample_upto(co, &mut guards, wn);
+            RunOutcome::EventLimit
+        }
+        Some(wn) => {
+            // Boundaries at or before the next event to process — the
+            // same trigger as the sequential sampler, so a boundary's
+            // window reflects all events strictly before it whenever the
+            // boundary falls in an event gap.
+            sample_upto(co, &mut guards, wn);
+            let mut h = wn.as_ps().saturating_add(co.lookahead_ps);
+            let tl = co.time_limit.as_ps();
+            if tl != u64::MAX {
+                // Never open a window past the time limit: events at
+                // `t <= limit` are allowed, later ones stay queued.
+                h = h.min(tl.saturating_add(1));
+            }
+            shared.horizon.store(h, Ordering::Release);
+            return;
+        }
+    };
+    shared.stop.store(encode(stop), Ordering::Release);
+}
+
+/// Take one telemetry window per boundary due at or before `upto`,
+/// assembling each sample from the owning domains (components in
+/// original-id order, then builtin attribution, then links in index
+/// order — the sequential sampler's schema).
+fn sample_upto<M: Message>(
+    co: &mut Coord<M>,
+    guards: &mut [std::sync::MutexGuard<'_, Domain<M>>],
+    upto: Time,
+) {
+    while co.hub.next_due() <= upto {
+        let t = co.hub.next_due();
+        co.hub.advance();
+        co.hub.begin_window(t);
+        for &(d, li) in &co.loc {
+            guards[d].comps[li].metrics(co.hub.sample_mut());
+        }
+        co.hub.emit_builtin(&co.names);
+        for (i, &o) in co.link_owner.iter().enumerate() {
+            guards[o]
+                .fabric
+                .link_metrics_into(i, co.hub.sample_mut(), t);
+        }
+        co.hub.end_window();
+    }
+}
+
+/// Parallel window loop body for one worker; worker 0 additionally runs
+/// the coordinator step between the two barriers.
+fn worker_loop<M: Message>(
+    w: usize,
+    threads: usize,
+    shared: &Shared<M>,
+    co: Option<&mut Coord<M>>,
+) {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    let mut co = co;
+    loop {
+        if shared.stop.load(Ordering::Acquire) != 0 {
+            break;
+        }
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            let h = shared.horizon.load(Ordering::Acquire);
+            let mut d = w;
+            while d < shared.domains.len() {
+                let mut dom = shared.domains[d].lock().expect("domain mutex");
+                dom.process_window(h, &shared.domain_of, &shared.local_of);
+                drop(dom);
+                d += threads;
+            }
+        }));
+        if let Err(p) = step {
+            shared.barrier.brk();
+            resume_unwind(p);
+        }
+        if !shared.barrier.wait() {
+            break;
+        }
+        if let Some(co) = co.as_deref_mut() {
+            let step = catch_unwind(AssertUnwindSafe(|| coordinator_step(shared, co)));
+            if let Err(p) = step {
+                shared.barrier.brk();
+                resume_unwind(p);
+            }
+        }
+        if !shared.barrier.wait() {
+            break;
+        }
+    }
+}
+
+/// Execute `sim` as a conservative PDES on `threads` worker threads.
+/// See [`Simulator::run_sharded`] for the public contract.
+pub(crate) fn run_sharded<M: Message>(sim: &mut Simulator<M>, threads: usize) -> RunOutcome {
+    assert!(
+        !sim.started,
+        "run_sharded requires a fresh simulator (sharded runs cannot resume)"
+    );
+    assert!(
+        !sim.tracer.is_enabled(),
+        "run_sharded does not support transaction tracing"
+    );
+    assert!(
+        sim.fabric.fault_plan().is_none(),
+        "run_sharded does not support fault plans"
+    );
+    let n = sim.components.len();
+    let names = sim.component_names();
+    let plan = ShardPlan::from_fabric(&sim.fabric, n);
+    let n_domains = plan.domains.max(1);
+    let threads = threads.max(1).min(n_domains);
+
+    // Partition the simulator's private state into per-domain slices.
+    let mut local_of = vec![0u32; plan.domain_of.len()];
+    let mut counts = vec![0u32; n_domains];
+    for (i, &d) in plan.domain_of.iter().enumerate() {
+        local_of[i] = counts[d as usize];
+        counts[d as usize] += 1;
+    }
+    let hub = std::mem::replace(&mut sim.metrics, MetricsHub::disabled());
+    let mut domains: Vec<Domain<M>> = (0..n_domains)
+        .map(|d| Domain {
+            id: d as u32,
+            comps: Vec::new(),
+            orig: Vec::new(),
+            queue: CalendarQueue::new(),
+            seq: 0,
+            rng: sim.rng.fork(d as u64),
+            fabric: sim.fabric.clone_for_shard(),
+            // Disjoint transaction-id stripes per domain, so ids stay
+            // unique without cross-shard coordination.
+            tracer: Tracer::disabled_with_txn_base(((d as u64) + 1) << 48),
+            outbox: Vec::new(),
+            scratch: if hub.is_enabled() {
+                Some(hub.make_scratch())
+            } else {
+                None
+            },
+            now: Time::ZERO,
+            events: 0,
+        })
+        .collect();
+    for (i, c) in std::mem::take(&mut sim.components).into_iter().enumerate() {
+        let d = plan.domain_of[i] as usize;
+        domains[d].comps.push(c);
+        domains[d].orig.push(i as u32);
+    }
+
+    let shared = Shared {
+        domains: domains.into_iter().map(Mutex::new).collect(),
+        barrier: WindowBarrier::new(threads),
+        horizon: AtomicU64::new(0),
+        stop: AtomicU64::new(0),
+        domain_of: plan.domain_of,
+        local_of,
+    };
+    let mut co = Coord {
+        hub,
+        names: names.clone(),
+        loc: shared
+            .domain_of
+            .iter()
+            .zip(&shared.local_of)
+            .map(|(&d, &l)| (d as usize, l as usize))
+            .take(n)
+            .collect(),
+        link_owner: plan.link_owner,
+        lookahead_ps: plan.lookahead_ps,
+        time_limit: sim.time_limit,
+        event_limit: sim.event_limit,
+        merge_buf: Vec::new(),
+    };
+
+    // Start phase (serial): every component's start hook, then one
+    // coordinator step to merge start-time sends and open window 0.
+    for m in &shared.domains {
+        m.lock().expect("domain mutex").start(&shared.domain_of);
+    }
+    coordinator_step(&shared, &mut co);
+
+    if shared.stop.load(Ordering::Acquire) == 0 {
+        std::thread::scope(|s| {
+            for w in 1..threads {
+                let shared = &shared;
+                s.spawn(move || worker_loop(w, threads, shared, None));
+            }
+            worker_loop(0, threads, &shared, Some(&mut co));
+        });
+    }
+    let outcome = decode(shared.stop.load(Ordering::Acquire));
+
+    // Reassemble the simulator: components in original id order, link
+    // state from each link's owner, leftover events (time/event limit
+    // stops) restamped into the sequential queue in deterministic
+    // (time, domain, seq) order so a sequential `run()` can finish the
+    // tail.
+    let mut domains: Vec<Domain<M>> = shared
+        .domains
+        .into_iter()
+        .map(|m| m.into_inner().expect("domain mutex"))
+        .collect();
+    let mut slots: Vec<Option<Box<dyn Component<M>>>> = (0..n).map(|_| None).collect();
+    let mut leftovers: Vec<Leftover<M>> = Vec::new();
+    for dom in domains.iter_mut() {
+        for (i, c) in std::mem::take(&mut dom.comps).into_iter().enumerate() {
+            slots[dom.orig[i] as usize] = Some(c);
+        }
+        while let Some((at, seq, item)) = dom.queue.pop() {
+            leftovers.push((at, dom.id, seq, item));
+        }
+        sim.now = sim.now.max(dom.now);
+        sim.events_processed += dom.events;
+    }
+    sim.components = slots
+        .into_iter()
+        .map(|s| s.expect("every component reassigned"))
+        .collect();
+    leftovers.sort_unstable_by_key(|&(at, d, seq, _)| (at, d, seq));
+    for (at, _, _, item) in leftovers {
+        sim.seq += 1;
+        sim.queue.push(at, sim.seq, item);
+    }
+    for (i, &owner) in co.link_owner.iter().enumerate() {
+        sim.fabric.copy_link_state_from(&domains[owner].fabric, i);
+    }
+    sim.metrics = co.hub;
+    sim.names = names;
+    sim.started = true;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::LinkConfig;
+    use crate::stats::Report;
+    use crate::time::Delay;
+    use std::any::Any;
+
+    #[derive(Debug, Clone)]
+    struct Ball(u32);
+    impl Message for Ball {
+        fn addr_hint(&self) -> Option<u64> {
+            Some(0x40 * (self.0 as u64 % 4))
+        }
+    }
+
+    /// A player that rallies locally with `peer`; every so often the
+    /// ball migrates across the CXL fabric to `far` instead, so the
+    /// rally ping-pongs between clusters (linear event count, steady
+    /// cross-domain traffic in both directions).
+    struct Player {
+        peer: Option<ComponentId>,
+        far: Option<ComponentId>,
+        hits: u32,
+        budget: u32,
+        serve: bool,
+    }
+
+    impl Component<Ball> for Player {
+        fn name(&self) -> String {
+            "player".into()
+        }
+        fn start(&mut self, ctx: &mut Ctx<'_, Ball>) {
+            if self.serve {
+                ctx.send(self.peer.unwrap(), Ball(0));
+            }
+        }
+        fn handle(&mut self, msg: Ball, _src: ComponentId, ctx: &mut Ctx<'_, Ball>) {
+            self.hits += 1;
+            if msg.0 < self.budget {
+                match self.far {
+                    Some(far) if msg.0 % 7 == 3 => ctx.send(far, Ball(msg.0 + 1)),
+                    _ => ctx.send(self.peer.unwrap(), Ball(msg.0 + 1)),
+                }
+            }
+        }
+        fn done(&self) -> bool {
+            self.hits > 0 || self.serve
+        }
+        fn report(&self, out: &mut Report) {
+            out.add("players.hits", self.hits as f64);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Two local pairs joined by a CXL star: two domains, lookahead = the
+    /// CXL route latency.
+    fn two_cluster_sim(budget: u32) -> Simulator<Ball> {
+        let mut sim = Simulator::new(7);
+        let ids: Vec<ComponentId> = (0..4)
+            .map(|_| {
+                sim.add_component(Box::new(Player {
+                    peer: None,
+                    far: None,
+                    hits: 0,
+                    budget,
+                    serve: false,
+                }))
+            })
+            .collect();
+        for (a, b) in [(ids[0], ids[1]), (ids[2], ids[3])] {
+            let l1 = sim.fabric_mut().add_link(LinkConfig::intra_cluster());
+            let l2 = sim.fabric_mut().add_link(LinkConfig::intra_cluster());
+            sim.fabric_mut().set_route(a, b, vec![l1]);
+            sim.fabric_mut().set_route(b, a, vec![l2]);
+        }
+        let up0 = sim.fabric_mut().add_link(LinkConfig::cxl());
+        let down2 = sim.fabric_mut().add_link(LinkConfig::cxl());
+        sim.fabric_mut().set_route(ids[0], ids[2], vec![up0, down2]);
+        let up2 = sim.fabric_mut().add_link(LinkConfig::cxl());
+        let down0 = sim.fabric_mut().add_link(LinkConfig::cxl());
+        sim.fabric_mut().set_route(ids[2], ids[0], vec![up2, down0]);
+        sim.component_as_mut::<Player>(ids[0]).unwrap().peer = Some(ids[1]);
+        sim.component_as_mut::<Player>(ids[0]).unwrap().serve = true;
+        sim.component_as_mut::<Player>(ids[0]).unwrap().far = Some(ids[2]);
+        sim.component_as_mut::<Player>(ids[1]).unwrap().peer = Some(ids[0]);
+        sim.component_as_mut::<Player>(ids[2]).unwrap().peer = Some(ids[3]);
+        sim.component_as_mut::<Player>(ids[2]).unwrap().far = Some(ids[0]);
+        sim.component_as_mut::<Player>(ids[2]).unwrap().serve = true;
+        sim.component_as_mut::<Player>(ids[3]).unwrap().peer = Some(ids[2]);
+        sim
+    }
+
+    #[test]
+    fn plan_partitions_clusters_and_derives_cxl_lookahead() {
+        let sim = two_cluster_sim(10);
+        let plan = ShardPlan::from_fabric(sim.fabric(), sim.component_count());
+        assert_eq!(plan.domains, 2);
+        assert_eq!(plan.domain_of, vec![0, 0, 1, 1]);
+        // Two CXL hops: ≥ 140 ns, well above the 50 ns cut.
+        assert!(plan.lookahead_ps >= 140_000, "{}", plan.lookahead_ps);
+    }
+
+    #[test]
+    fn affinity_pins_direct_port_peers_together() {
+        let mut sim = two_cluster_sim(10);
+        sim.fabric_mut()
+            .set_affinity(ComponentId(0), ComponentId(2));
+        let plan = ShardPlan::from_fabric(sim.fabric(), sim.component_count());
+        assert_eq!(plan.domains, 1);
+    }
+
+    #[test]
+    fn shared_link_forces_single_writer_merge() {
+        // Two otherwise-unrelated sources routing over one shared link
+        // must land in the same domain (single-writer rule).
+        let mut sim: Simulator<Ball> = Simulator::new(1);
+        let a = sim.add_component(Box::new(Player {
+            peer: None,
+            far: None,
+            hits: 0,
+            budget: 0,
+            serve: false,
+        }));
+        let b = sim.add_component(Box::new(Player {
+            peer: None,
+            far: None,
+            hits: 0,
+            budget: 0,
+            serve: false,
+        }));
+        let c = sim.add_component(Box::new(Player {
+            peer: None,
+            far: None,
+            hits: 0,
+            budget: 0,
+            serve: false,
+        }));
+        let shared_link = sim.fabric_mut().add_link(LinkConfig::cxl());
+        sim.fabric_mut().set_route(a, c, vec![shared_link]);
+        sim.fabric_mut().set_route(b, c, vec![shared_link]);
+        let plan = ShardPlan::from_fabric(sim.fabric(), sim.component_count());
+        assert_eq!(plan.domain_of[a.index()], plan.domain_of[b.index()]);
+    }
+
+    fn run_with_shards(threads: usize) -> (String, String, Time, u64) {
+        let mut sim = two_cluster_sim(200);
+        sim.set_metrics(Delay::from_ns(50));
+        let outcome = sim.run_sharded(threads);
+        assert_eq!(outcome, RunOutcome::Completed);
+        (
+            format!("{:?}", sim.report()),
+            sim.metrics().to_csv(),
+            sim.now(),
+            sim.events_processed(),
+        )
+    }
+
+    #[test]
+    fn byte_identical_across_shard_counts() {
+        let one = run_with_shards(1);
+        let two = run_with_shards(2);
+        let eight = run_with_shards(8);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+        assert!(one.3 > 0);
+    }
+
+    #[test]
+    fn sharded_limits_leave_resumable_queue() {
+        let mut sharded = two_cluster_sim(100_000);
+        sharded.set_time_limit(Time::from_ns(400));
+        assert_eq!(sharded.run_sharded(2), RunOutcome::TimeLimit);
+        let mid_events = sharded.events_processed();
+        assert!(mid_events > 0);
+        // The sequential kernel can finish the tail deterministically.
+        sharded.set_time_limit(Time::MAX);
+        assert_eq!(sharded.run(), RunOutcome::Completed);
+        assert!(sharded.events_processed() > mid_events);
+    }
+
+    struct DirectOffender {
+        other: ComponentId,
+    }
+    impl Component<Ball> for DirectOffender {
+        fn name(&self) -> String {
+            "offender".into()
+        }
+        fn start(&mut self, ctx: &mut Ctx<'_, Ball>) {
+            ctx.wake_after(Delay::from_ns(100), 0);
+        }
+        fn on_wake(&mut self, _t: u64, ctx: &mut Ctx<'_, Ball>) {
+            // Cross-domain direct send with a sub-lookahead delay.
+            ctx.send_direct(self.other, Ball(1), Delay::from_ns(1));
+        }
+        fn handle(&mut self, _m: Ball, _s: ComponentId, _c: &mut Ctx<'_, Ball>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below the conservative lookahead")]
+    fn cross_domain_direct_send_below_lookahead_panics() {
+        let mut sim: Simulator<Ball> = Simulator::new(3);
+        let sink = sim.add_component(Box::new(Player {
+            peer: None,
+            far: None,
+            hits: 0,
+            budget: 0,
+            serve: false,
+        }));
+        sim.add_component(Box::new(DirectOffender { other: sink }));
+        sim.run_sharded(2);
+    }
+
+    #[test]
+    fn empty_simulator_completes() {
+        let mut sim: Simulator<Ball> = Simulator::new(1);
+        assert_eq!(sim.run_sharded(4), RunOutcome::Completed);
+    }
+}
