@@ -152,6 +152,7 @@ fn main() {
             Suite::Splash4 => 0,
             Suite::Parsec => 1,
             Suite::Phoenix => 2,
+            Suite::Oltp => unreachable!("fig10 runs the 33 paper workloads"),
         };
         for k in 0..3 {
             per_config[k].push(norm[k + 1]);

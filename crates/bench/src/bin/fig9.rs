@@ -116,6 +116,7 @@ fn main() {
                 Suite::Splash4 => 0,
                 Suite::Parsec => 1,
                 Suite::Phoenix => 2,
+                Suite::Oltp => unreachable!("fig9 runs the 33 paper workloads"),
             };
             for k in 0..3 {
                 suite_norm[si][k].push(times[k] / base);

@@ -1,6 +1,6 @@
 //! `perf` — kernel-throughput microbench tracking the perf trajectory.
 //!
-//! Three measurements:
+//! Four measurements:
 //!
 //! * **ping-pong**: two components exchanging one message over a single
 //!   intra-cluster link — a pure event-kernel hot-path workload (calendar
@@ -10,7 +10,10 @@
 //!   with protocol logic, caches and the full topology in the loop;
 //! * **metrics**: the same vips run with sampled telemetry enabled
 //!   (`metrics+vips/...`) — bounds the allocation cost of the metrics
-//!   hub's steady-state sampling.
+//!   hub's steady-state sampling;
+//! * **oltp**: the OLTP/KV quick cell (`oltp-quick/...`, skew 0.99,
+//!   `state_metrics` on) — bounds the region store's promote/demote
+//!   churn, which must recycle allocations at steady state.
 //!
 //! Each measurement reports **events/sec** (wall-clock, noisy) and
 //! **allocs/event** (exact and deterministic for a seed — the process
@@ -23,16 +26,16 @@
 //! run per requested shard-thread count: vips on an **8-cluster** system
 //! (`shard{n}+vips8c/...`), executed by the conservative parallel kernel
 //! ([`Simulator::run_sharded`]). These entries are opt-in so the default
-//! three-measurement output (and the `perf_quick_smoke` shape test) stays
+//! four-measurement output (and the `perf_quick_smoke` shape test) stays
 //! stable.
 //!
 //! Exits nonzero if any measurement reports zero throughput, if
 //! `--alloc-budget FILE` is given and a measurement exceeds its
 //! committed allocs/event budget (the deterministic perf gate; see
 //! `crates/bench/alloc_budget.txt` and the perf-smoke CI job), or if
-//! `--floor-label TEXT` is given and the ping-pong throughput drops more
-//! than 20% below the best committed same-`quick` entry under that label
-//! (the wall-clock regression floor).
+//! `--floor-label TEXT` is given and the ping-pong or vips throughput
+//! drops more than 20% below the best committed same-`quick` entry
+//! under that label (the wall-clock regression floors).
 //!
 //! Usage: `cargo run --release -p c3-bench --bin perf [-- --quick]
 //! [--exchanges N] [--out PATH] [--label TEXT] [--alloc-budget FILE]
@@ -207,6 +210,40 @@ fn workload(quick: bool, metrics: bool) -> Measurement {
     }
 }
 
+/// Measure the OLTP/KV engine's quick cell (2¹⁴ keys, skew 0.99, two
+/// clusters, `state_metrics` on — the `--bin oltp --quick` hot cell).
+/// This is the region store's churn workload: every directory line
+/// promotes and demotes around each transaction, so its allocs/event
+/// budget is what keeps the promotion/demotion cycle
+/// allocation-recycling instead of per-event allocating.
+fn workload_oltp(quick: bool) -> Measurement {
+    let mut spec = WorkloadSpec::by_name("oltp-quick").expect("workload");
+    spec.zipf_skew = 0.99;
+    let mut cfg = RunConfig::scaled(
+        (ProtocolFamily::Mesi, ProtocolFamily::Mesi),
+        GlobalProtocol::Cxl,
+        (Mcm::Weak, Mcm::Weak),
+    )
+    .with_clusters(2)
+    .with_state_metrics();
+    cfg.ops_per_core = if quick { 300 } else { 3000 };
+    let exp = Experiment::new(spec, cfg);
+    let a0 = alloc_count();
+    let r = runner::run_experiment(&exp);
+    let allocs = alloc_count() - a0;
+    r.expect_completed(&exp.tag);
+    Measurement {
+        config: exp.tag.clone(),
+        events: r.events,
+        sim_ns: r.sim_ns,
+        exec_ns: Some(r.exec_ns),
+        wall_ms: r.wall_ms,
+        events_per_sec: r.events_per_sec,
+        allocs,
+        allocs_per_event: allocs as f64 / r.events.max(1) as f64,
+    }
+}
+
 /// Measure vips on an 8-cluster system under the conservative-PDES
 /// kernel with `shards` worker threads. Eight clusters give the shard
 /// planner eight cluster domains plus the DCOH domain, so the
@@ -276,16 +313,17 @@ fn previous_runs(path: &str) -> Option<String> {
     None
 }
 
-/// Best committed ping-pong throughput under `label` with the same
-/// `quick` flag, scanned from a previously written document's `runs`
-/// entries (one JSON object per line, as this bin writes them). `None`
-/// when the label has no committed ping-pong baseline yet.
-fn best_pingpong(prev: &str, label: &str, quick: bool) -> Option<f64> {
+/// Best committed throughput for a `config` prefix under `label` with
+/// the same `quick` flag, scanned from a previously written document's
+/// `runs` entries (one JSON object per line, as this bin writes them).
+/// `None` when the label has no committed baseline for that config yet.
+fn best_throughput(prev: &str, label: &str, quick: bool, config_prefix: &str) -> Option<f64> {
+    let config_needle = format!("\"config\": \"{config_prefix}");
     let label_needle = format!("\"label\": \"{}\"", json_escape(label));
     let quick_needle = format!("\"quick\": {quick}");
     let mut best: Option<f64> = None;
     for line in prev.lines() {
-        if !(line.contains("\"config\": \"pingpong\"")
+        if !(line.contains(&config_needle)
             && line.contains(&label_needle)
             && line.contains(&quick_needle))
         {
@@ -395,6 +433,15 @@ fn main() {
         wlm.events_per_sec / 1e6,
         wlm.allocs_per_event
     );
+    let wlo = workload_oltp(quick);
+    println!(
+        "oltp     : {} {} events in {:.1} ms -> {:.2} M events/sec, {:.4} allocs/event",
+        wlo.config,
+        wlo.events,
+        wlo.wall_ms,
+        wlo.events_per_sec / 1e6,
+        wlo.allocs_per_event
+    );
 
     let mut shard_ms: Vec<Measurement> = Vec::new();
     for &n in &shard_counts {
@@ -420,6 +467,7 @@ fn main() {
     entries.push(pp.to_json(&label, quick));
     entries.push(wl.to_json(&label, quick));
     entries.push(wlm.to_json(&label, quick));
+    entries.push(wlo.to_json(&label, quick));
     for m in &shard_ms {
         entries.push(m.to_json(&label, quick));
     }
@@ -430,7 +478,7 @@ fn main() {
     std::fs::write(&out, &json).expect("write perf json");
     println!("(wrote {out})");
 
-    if [&pp, &wl, &wlm]
+    if [&pp, &wl, &wlm, &wlo]
         .into_iter()
         .chain(&shard_ms)
         .any(|m| m.events_per_sec <= 0.0)
@@ -440,36 +488,43 @@ fn main() {
     }
 
     if let Some(flabel) = floor_label {
-        match prev
-            .as_deref()
-            .and_then(|p| best_pingpong(p, &flabel, quick))
-        {
-            Some(base) => {
-                let floor = base * 0.8;
-                if pp.events_per_sec < floor {
-                    eprintln!(
-                        "perf: pingpong {:.2} M events/sec is below the floor {:.2} M \
-                         (80% of the best committed '{flabel}' entry, {:.2} M)",
-                        pp.events_per_sec / 1e6,
-                        floor / 1e6,
-                        base / 1e6
+        // The kernel ceiling (pingpong) and the full-system hot path
+        // (vips) both gate: a regression confined to protocol/cache
+        // logic leaves pingpong untouched but still drags vips.
+        for (name, m, prefix) in [("pingpong", &pp, "pingpong"), ("vips", &wl, "vips/")] {
+            match prev
+                .as_deref()
+                .and_then(|p| best_throughput(p, &flabel, quick, prefix))
+            {
+                Some(base) => {
+                    let floor = base * 0.8;
+                    if m.events_per_sec < floor {
+                        eprintln!(
+                            "perf: {name} {:.2} M events/sec is below the floor {:.2} M \
+                             (80% of the best committed '{flabel}' entry, {:.2} M)",
+                            m.events_per_sec / 1e6,
+                            floor / 1e6,
+                            base / 1e6
+                        );
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "floor   : {name} {:.2} M events/sec >= {:.2} M (80% of '{flabel}' best)",
+                        m.events_per_sec / 1e6,
+                        floor / 1e6
                     );
-                    std::process::exit(1);
                 }
-                println!(
-                    "floor   : pingpong {:.2} M events/sec >= {:.2} M (80% of '{flabel}' best)",
-                    pp.events_per_sec / 1e6,
-                    floor / 1e6
-                );
+                None => {
+                    println!("floor   : no committed '{flabel}' {name} baseline yet; skipping")
+                }
             }
-            None => println!("floor   : no committed '{flabel}' pingpong baseline yet; skipping"),
         }
     }
 
     if let Some(path) = budget_file {
         let mut failed = false;
         for (prefix, limit) in parse_budget(&path) {
-            let m = [&pp, &wl, &wlm]
+            let m = [&pp, &wl, &wlm, &wlo]
                 .into_iter()
                 .find(|m| m.config.starts_with(&prefix));
             match m {

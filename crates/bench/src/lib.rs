@@ -65,6 +65,11 @@ pub struct RunConfig {
     /// `C3_SIM_SHARDS` environment variable provides a process-wide
     /// fallback when unset. Reports are byte-identical for any value.
     pub shards: Option<usize>,
+    /// Opt in to coherence-state footprint observability (resident-line /
+    /// resident-region gauges, peak-state-bytes report lines) on the L1s
+    /// and the global directory. Off by default: the extra keys would
+    /// shift the pinned report/metrics fingerprints of existing configs.
+    pub state_metrics: bool,
 }
 
 impl RunConfig {
@@ -88,6 +93,7 @@ impl RunConfig {
             metrics_interval: None,
             clusters: 2,
             shards: None,
+            state_metrics: false,
         }
     }
 
@@ -107,6 +113,13 @@ impl RunConfig {
     /// Enable sampled telemetry every `ns` of simulated time.
     pub fn metrics_ns(mut self, ns: u64) -> Self {
         self.metrics_interval = Some(Delay::from_ns(ns));
+        self
+    }
+
+    /// Enable coherence-state footprint observability (see
+    /// [`RunConfig::state_metrics`]).
+    pub fn with_state_metrics(mut self) -> Self {
+        self.state_metrics = true;
         self
     }
 
@@ -211,6 +224,28 @@ pub fn build_sim(
         ))
     });
     sim.set_event_limit(400_000_000);
+    if cfg.state_metrics {
+        for &l1 in handles.l1s.iter().flatten() {
+            if let Some(c) = sim.component_as_mut::<c3_memsys::L1Controller>(l1) {
+                c.set_state_metrics(true);
+            }
+        }
+        for &b in &handles.bridges {
+            if let Some(c) = sim.component_as_mut::<c3::bridge::C3Bridge>(b) {
+                c.set_state_metrics(true);
+            }
+        }
+        // The global tier is either the CXL DCOH or the hierarchical MESI
+        // directory depending on `cfg.global`; try both downcasts.
+        for &d in &handles.global_dirs {
+            if let Some(c) = sim.component_as_mut::<c3_cxl::CxlDirectory>(d) {
+                c.set_state_metrics(true);
+            }
+            if let Some(c) = sim.component_as_mut::<c3_memsys::GlobalMesiDir>(d) {
+                c.set_state_metrics(true);
+            }
+        }
+    }
     if let Some(interval) = cfg.metrics_interval {
         sim.set_metrics(interval);
         sim.metrics_mut()

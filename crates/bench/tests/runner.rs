@@ -98,19 +98,20 @@ fn perf_quick_smoke() {
     let json = std::fs::read_to_string(&out).expect("perf json written");
     let _ = std::fs::remove_file(&out);
     // Schema v2: a `runs` array accumulating both invocations, each with
-    // a ping-pong, a workload, and a metrics-enabled workload measurement
-    // carrying throughput and allocs/event. The bin itself exits nonzero
-    // on zero throughput or a blown alloc budget, so reaching here
-    // already covers the gates — plus a direct parse of every
-    // events_per_sec.
+    // a ping-pong, a workload, a metrics-enabled workload, and an OLTP
+    // region-store measurement carrying throughput and allocs/event. The
+    // bin itself exits nonzero on zero throughput or a blown alloc
+    // budget, so reaching here already covers the gates — plus a direct
+    // parse of every events_per_sec.
     assert!(json.contains("\"runs\": ["), "missing runs array in {json}");
     for (needle, n) in [
         ("\"config\": \"pingpong\"", 2),
         ("\"config\": \"vips/", 2),
         ("\"config\": \"metrics+vips/", 2),
-        ("\"label\": \"first\"", 3),
-        ("\"label\": \"second\"", 3),
-        ("\"allocs_per_event\": ", 6),
+        ("\"config\": \"oltp-quick/", 2),
+        ("\"label\": \"first\"", 4),
+        ("\"label\": \"second\"", 4),
+        ("\"allocs_per_event\": ", 8),
     ] {
         assert_eq!(
             json.matches(needle).count(),
@@ -126,7 +127,7 @@ fn perf_quick_smoke() {
             rest[..end].trim().parse().expect("events_per_sec number")
         })
         .collect();
-    assert_eq!(eps.len(), 6, "six measurements in {json}");
+    assert_eq!(eps.len(), 8, "eight measurements in {json}");
     assert!(eps.iter().all(|&e| e > 0.0), "zero throughput in {json}");
 }
 

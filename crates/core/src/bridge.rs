@@ -270,6 +270,9 @@ pub struct C3Bridge {
     abandoned: u64,
     dup_suppressed: u64,
     poisoned_fills: u64,
+    /// Opt-in region-store footprint keys (`RunConfig::state_metrics`):
+    /// off by default so the pinned report/metrics fingerprints hold.
+    state_metrics: bool,
 }
 
 impl C3Bridge {
@@ -312,7 +315,13 @@ impl C3Bridge {
             abandoned: 0,
             dup_suppressed: 0,
             poisoned_fills: 0,
+            state_metrics: false,
         }
+    }
+
+    /// Enable the opt-in region-store footprint report/metrics keys.
+    pub fn set_state_metrics(&mut self, on: bool) {
+        self.state_metrics = on;
     }
 
     /// The generated compound FSM (for inspection / verification).
@@ -1667,6 +1676,16 @@ impl Component<SysMsg> for C3Bridge {
         self.wb_lat.report_into(out, &format!("{n}.wb.lat"));
         self.recall_lat.report_into(out, &format!("{n}.recall.lat"));
         self.evict_lat.report_into(out, &format!("{n}.evict.lat"));
+        if self.state_metrics {
+            let f = self
+                .engine
+                .as_ref()
+                .map(|e| e.footprint())
+                .unwrap_or_default();
+            out.set(format!("{n}.touched_lines"), f.touched as f64);
+            out.set(format!("{n}.peak_resident_lines"), f.peak_resident as f64);
+            out.set(format!("{n}.peak_state_bytes"), f.peak_state_bytes as f64);
+        }
     }
 
     fn metrics(&self, out: &mut c3_sim::metrics::MetricSample) {
@@ -1693,6 +1712,16 @@ impl Component<SysMsg> for C3Bridge {
         out.counter(n, "conflicts", self.conflicts_sent as f64);
         out.counter(n, "snoops_rx", self.snoops_received as f64);
         out.counter(n, "retries", self.retries as f64);
+        if self.state_metrics {
+            let f = self
+                .engine
+                .as_ref()
+                .map(|e| e.footprint())
+                .unwrap_or_default();
+            out.gauge(n, "resident_lines", f.resident as f64);
+            out.gauge(n, "resident_regions", f.regions as f64);
+            out.gauge(n, "state_bytes", f.state_bytes as f64);
+        }
     }
 
     fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {

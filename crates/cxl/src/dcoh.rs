@@ -25,12 +25,11 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use c3_sim::hash::FxHashMap;
-
 use c3_protocol::msg::{CxlGrant, CxlMsg};
 use c3_protocol::ops::Addr;
 use c3_protocol::table::{Action, TransitionRow, TransitionTable, Vnet};
 use c3_sim::component::ComponentId;
+use c3_sim::region::{Footprint, RegionEntry, RegionMap};
 use c3_sim::time::{Delay, Time};
 use c3_sim::trace::InflightTxn;
 
@@ -101,19 +100,129 @@ struct Snoop {
     retries: u32,
 }
 
+/// Compact holder set: a bitmask over the engine's first-contact host
+/// registry (`DcohEngine::hosts`). `mask == 0` means no holders;
+/// `exclusive` implies exactly one bit set. CXL hosts may drop clean
+/// lines *silently* (HDM-DB), so recorded holders are stable state the
+/// DCOH carries indefinitely — keeping it `Copy` lets a line demote to
+/// its flat summary while still held, which is what bounds resident
+/// records by *concurrency* instead of *footprint*.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+struct HolderMask {
+    mask: u64,
+    exclusive: bool,
+}
+
+impl HolderMask {
+    const NONE: HolderMask = HolderMask {
+        mask: 0,
+        exclusive: false,
+    };
+
+    fn exclusive(bit: u64) -> HolderMask {
+        HolderMask {
+            mask: bit,
+            exclusive: true,
+        }
+    }
+
+    fn shared(mask: u64) -> HolderMask {
+        HolderMask {
+            mask,
+            exclusive: false,
+        }
+    }
+
+    fn is_none(self) -> bool {
+        self.mask == 0
+    }
+
+    fn is_exclusively(self, bit: u64) -> bool {
+        self.exclusive && self.mask == bit
+    }
+}
+
+/// Expand a holder bitmask to the public [`CxlHolders`] form. The
+/// `BTreeSet` sorts by `ComponentId`, so holder iteration order is
+/// independent of registry slot order (identical to the pre-mask
+/// representation).
+fn mask_to_holders(hosts: &[ComponentId], m: HolderMask) -> CxlHolders {
+    if m.is_none() {
+        return CxlHolders::None;
+    }
+    if m.exclusive {
+        return CxlHolders::Exclusive(hosts[m.mask.trailing_zeros() as usize]);
+    }
+    CxlHolders::Shared(mask_to_set(hosts, m.mask))
+}
+
+/// The `ComponentId`s of a bitmask, as an (inherently sorted) set.
+fn mask_to_set(hosts: &[ComponentId], mut mask: u64) -> BTreeSet<ComponentId> {
+    let mut set = BTreeSet::new();
+    while mask != 0 {
+        let slot = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        set.insert(hosts[slot]);
+    }
+    set
+}
+
 #[derive(Clone, Debug, Default)]
 struct Line {
-    holders: CxlHolders,
+    holders: HolderMask,
     data: u64,
     /// The device copy is known-corrupt: a poisoned MemWr landed here and
     /// no clean write has replaced it yet. Served fills carry the mark.
     poisoned: bool,
     snoop: Option<Snoop>,
     queue: VecDeque<(ComponentId, CxlMsg)>,
-    /// Profiling (§VI-C1): read/write request counts and requesting hosts.
+    /// Profiling (§VI-C1): read/write request counts and requesting hosts
+    /// (a bitmask over the engine's first-contact host registry, so a
+    /// quiescent line can demote to a flat summary).
     reads: u64,
     writes: u64,
-    requesters: BTreeSet<ComponentId>,
+    req_mask: u64,
+}
+
+/// The quiescent form of a DCOH line: no snoop in flight, no convoy
+/// queue. Stable holders, data, the sticky poison mark, and the §VI-C1
+/// profiling counters all survive demotion — only *transactional* state
+/// (a blocking snoop, a convoy queue) forces a resident record.
+#[derive(Clone, Copy, PartialEq, Default, Debug)]
+struct LineSummary {
+    holders: HolderMask,
+    data: u64,
+    reads: u64,
+    writes: u64,
+    req_mask: u64,
+    poisoned: bool,
+}
+
+impl RegionEntry for Line {
+    type Summary = LineSummary;
+
+    fn try_demote(&self) -> Option<LineSummary> {
+        let quiescent = self.snoop.is_none() && self.queue.is_empty();
+        quiescent.then_some(LineSummary {
+            holders: self.holders,
+            data: self.data,
+            reads: self.reads,
+            writes: self.writes,
+            req_mask: self.req_mask,
+            poisoned: self.poisoned,
+        })
+    }
+
+    fn restore(&mut self, s: LineSummary) {
+        self.holders = s.holders;
+        self.data = s.data;
+        self.poisoned = s.poisoned;
+        self.snoop = None;
+        self.queue.clear();
+        self.reads = s.reads;
+        self.writes = s.writes;
+        self.req_mask = s.req_mask;
+    }
 }
 
 /// The device coherency engine (pure state machine; the simulator
@@ -133,7 +242,11 @@ struct Line {
 /// ```
 #[derive(Debug, Default)]
 pub struct DcohEngine {
-    lines: FxHashMap<Addr, Line>,
+    lines: RegionMap<Line>,
+    /// First-contact host registry backing each line's `req_mask`: host
+    /// `hosts[i]` owns bit `i`. Deterministic (engine processing order)
+    /// and tiny — one entry per bridge, linear scan beats hashing.
+    hosts: Vec<ComponentId>,
     /// Requests that found the line blocked and queued (convoy effect).
     pub stalled_requests: u64,
     /// Back-invalidation snoops issued.
@@ -170,61 +283,91 @@ impl DcohEngine {
 
     /// Current device-memory contents of a line.
     pub fn data(&self, addr: Addr) -> u64 {
-        self.lines.get(&addr).map(|l| l.data).unwrap_or(0)
+        if let Some(l) = self.lines.get(addr.0) {
+            l.data
+        } else {
+            self.lines.summary(addr.0).map(|s| s.data).unwrap_or(0)
+        }
     }
 
-    /// Seed device memory (initialization). Seeded data is clean.
+    /// Seed device memory (initialization). Seeded data is clean, and
+    /// goes straight to the demoted summary form — seeding a large
+    /// footprint must not materialize per-line records.
     pub fn seed_data(&mut self, addr: Addr, data: u64) {
-        let line = self.lines.entry(addr).or_default();
+        let line = self.lines.entry(addr.0);
         line.data = data;
         line.poisoned = false;
+        self.lines.demote(addr.0);
     }
 
-    /// Lines whose device copy is poison-marked, sorted.
+    /// Lines whose device copy is poison-marked, sorted. Poison is
+    /// sticky across demotion, so both resident lines and summaries
+    /// contribute.
     pub fn poisoned_addrs(&self) -> Vec<Addr> {
         let mut out: Vec<Addr> = self
             .lines
-            .iter()
+            .iter_live()
             .filter(|(_, l)| l.poisoned)
-            .map(|(a, _)| *a)
+            .map(|(k, _)| Addr(k))
+            .chain(
+                self.lines
+                    .iter_summaries()
+                    .filter(|(_, s)| s.poisoned)
+                    .map(|(k, _)| Addr(k)),
+            )
             .collect();
         out.sort_by_key(|a| a.0);
         out
     }
 
-    /// Host-level holders of a line.
+    /// Host-level holders of a line. Demoted (quiescent) lines keep
+    /// their stable holders in the summary.
     pub fn holders(&self, addr: Addr) -> CxlHolders {
-        self.lines
-            .get(&addr)
-            .map(|l| l.holders.clone())
-            .unwrap_or_default()
+        let m = self
+            .lines
+            .get(addr.0)
+            .map(|l| l.holders)
+            .or_else(|| self.lines.summary(addr.0).map(|s| s.holders))
+            .unwrap_or(HolderMask::NONE);
+        mask_to_holders(&self.hosts, m)
     }
 
     /// The table-level state of `addr` (see [`dcoh_transition_table`]):
-    /// the blocking snoop kind if one is in flight, else the holder class.
+    /// the blocking snoop kind if one is in flight, else the holder class
+    /// (from the summary when the line is demoted).
     #[cfg(debug_assertions)]
     fn table_state(&self, addr: Addr) -> &'static str {
-        match self.lines.get(&addr) {
-            None => "NoHolders",
+        let class = |m: HolderMask| {
+            if m.is_none() {
+                "NoHolders"
+            } else if m.exclusive {
+                "Exclusive"
+            } else {
+                "Shared"
+            }
+        };
+        match self.lines.get(addr.0) {
+            None => self
+                .lines
+                .summary(addr.0)
+                .map(|s| class(s.holders))
+                .unwrap_or("NoHolders"),
             Some(l) => match &l.snoop {
                 Some(s) => match s.kind {
                     SnoopKind::Inv => "SnpInv",
                     SnoopKind::Data => "SnpData",
                 },
-                None => match &l.holders {
-                    CxlHolders::None => "NoHolders",
-                    CxlHolders::Shared(_) => "Shared",
-                    CxlHolders::Exclusive(_) => "Exclusive",
-                },
+                None => class(l.holders),
             },
         }
     }
 
-    /// Whether the engine is quiescent.
+    /// Whether the engine is quiescent. Demoted lines are quiescent by
+    /// construction, so only resident records need checking.
     pub fn idle(&self) -> bool {
         self.lines
-            .values()
-            .all(|l| l.snoop.is_none() && l.queue.is_empty())
+            .iter_live()
+            .all(|(_, l)| l.snoop.is_none() && l.queue.is_empty())
     }
 
     /// Telemetry occupancy snapshot, one allocation-free pass:
@@ -236,14 +379,25 @@ impl DcohEngine {
         let mut blocking = 0;
         let mut queued = 0;
         let mut fanout = 0;
-        for l in self.lines.values() {
+        for (_, l) in self.lines.iter_live() {
             if let Some(s) = &l.snoop {
                 blocking += 1;
                 fanout += s.waiting.len();
             }
             queued += l.queue.len();
         }
-        (self.lines.len(), blocking, queued, fanout)
+        (
+            self.lines.touched_lines() as usize,
+            blocking,
+            queued,
+            fanout,
+        )
+    }
+
+    /// Region-store footprint snapshot: touched/resident line counts and
+    /// the (estimated) coherence-state bytes, with peaks.
+    pub fn footprint(&self) -> Footprint {
+        self.lines.footprint()
     }
 
     /// The §VI-C1 address-frequency analysis: the `n` most-accessed lines,
@@ -253,15 +407,23 @@ impl DcohEngine {
     pub fn hottest(&self, n: usize) -> Vec<HotLine> {
         let mut v: Vec<HotLine> = self
             .lines
-            .iter()
-            .map(|(a, l)| HotLine {
-                addr: *a,
+            .iter_live()
+            .map(|(k, l)| HotLine {
+                addr: Addr(k),
                 reads: l.reads,
                 writes: l.writes,
-                sharers: l.requesters.len(),
+                sharers: l.req_mask.count_ones() as usize,
             })
+            .chain(self.lines.iter_summaries().map(|(k, s)| HotLine {
+                addr: Addr(k),
+                reads: s.reads,
+                writes: s.writes,
+                sharers: s.req_mask.count_ones() as usize,
+            }))
             .collect();
-        v.sort_by_key(|h| std::cmp::Reverse(h.reads + h.writes));
+        // Ties broken by address so the profile does not depend on
+        // region-table iteration order.
+        v.sort_by_key(|h| (std::cmp::Reverse(h.reads + h.writes), h.addr));
         v.truncate(n);
         v
     }
@@ -269,8 +431,9 @@ impl DcohEngine {
     /// Human-readable dump of blocked lines (deadlock diagnostics).
     pub fn pending_summary(&self) -> String {
         let mut out = String::from("dcoh:");
-        for (a, l) in &self.lines {
+        for (k, l) in self.lines.iter_live() {
             if l.snoop.is_some() || !l.queue.is_empty() {
+                let a = Addr(k);
                 out.push_str(&format!(" [{a}: snoop={:?} queue={:?}]", l.snoop, l.queue));
             }
         }
@@ -282,12 +445,12 @@ impl DcohEngine {
     /// post-mortem. `self_id` stamps the owning component into the
     /// captured entries.
     pub fn inflight(&self, self_id: ComponentId) -> Vec<InflightTxn> {
-        let mut busy: Vec<(&Addr, &Line)> = self
+        let mut busy: Vec<(u64, &Line)> = self
             .lines
-            .iter()
+            .iter_live()
             .filter(|(_, l)| l.snoop.is_some() || !l.queue.is_empty())
             .collect();
-        busy.sort_by_key(|(a, _)| a.0);
+        busy.sort_by_key(|(a, _)| *a);
         let mut out = Vec::new();
         for (addr, l) in busy {
             if let Some(s) = &l.snoop {
@@ -296,7 +459,7 @@ impl DcohEngine {
                 let first_waiter = s.waiting.iter().next().copied();
                 out.push(InflightTxn {
                     component: self_id,
-                    addr: Some(addr.0),
+                    addr: Some(addr),
                     kind: format!("BISnp{:?} for {}", s.kind, s.requester),
                     since: s.since,
                     waiting_on: first_waiter,
@@ -309,7 +472,7 @@ impl DcohEngine {
             } else {
                 out.push(InflightTxn {
                     component: self_id,
-                    addr: Some(addr.0),
+                    addr: Some(addr),
                     kind: "queued requests".into(),
                     since: None,
                     waiting_on: None,
@@ -348,7 +511,8 @@ impl DcohEngine {
         match msg {
             // ---- requests: blocked while a snoop is in flight ----
             CxlMsg::MemRdA { .. } | CxlMsg::MemRdS { .. } => {
-                let line = self.lines.entry(addr).or_default();
+                let req_bit = host_bit(&mut self.hosts, src);
+                let line = self.lines.entry(addr.0);
                 if self.resilient {
                     // A retried (or fabric-duplicated) request from a host
                     // whose original is still being served — either the
@@ -366,7 +530,7 @@ impl DcohEngine {
                     // directly — queueing it would deadlock whenever the
                     // in-flight snoop targets that same owner, because the
                     // owner cannot answer a snoop for a fill it never got.
-                    if line.holders == CxlHolders::Exclusive(src) {
+                    if line.holders.is_exclusively(req_bit) {
                         self.grants_replayed += 1;
                         out.push(DcohEffect::Send {
                             dst: src,
@@ -390,7 +554,7 @@ impl DcohEngine {
                 } else {
                     line.reads += 1;
                 }
-                line.requesters.insert(src);
+                line.req_mask |= req_bit;
                 if line.snoop.is_some() {
                     self.stalled_requests += 1;
                     line.queue.push_back((src, msg));
@@ -402,8 +566,9 @@ impl DcohEngine {
             // response or an eviction racing one) ----
             CxlMsg::MemWrI { data, poisoned, .. } => {
                 self.writebacks += 1;
-                let line = self.lines.entry(addr).or_default();
-                if self.resilient && Self::writeback_is_stale(&line.holders, src) {
+                let src_bit = host_bit(&mut self.hosts, src);
+                let line = self.lines.entry(addr.0);
+                if self.resilient && Self::writeback_is_stale(line.holders, src_bit) {
                     // A replayed or out-of-epoch MemWr: the line moved on
                     // (another host owns it). Applying the stale data
                     // would clobber the newer copy; still complete the
@@ -412,8 +577,8 @@ impl DcohEngine {
                 } else {
                     line.data = data;
                     line.poisoned = poisoned;
-                    if line.holders == CxlHolders::Exclusive(src) {
-                        line.holders = CxlHolders::None;
+                    if line.holders.is_exclusively(src_bit) {
+                        line.holders = HolderMask::NONE;
                     }
                 }
                 out.push(DcohEffect::Send {
@@ -424,14 +589,15 @@ impl DcohEngine {
             }
             CxlMsg::MemWrS { data, poisoned, .. } => {
                 self.writebacks += 1;
-                let line = self.lines.entry(addr).or_default();
-                if self.resilient && Self::writeback_is_stale(&line.holders, src) {
+                let src_bit = host_bit(&mut self.hosts, src);
+                let line = self.lines.entry(addr.0);
+                if self.resilient && Self::writeback_is_stale(line.holders, src_bit) {
                     self.stale_writebacks += 1;
                 } else {
                     line.data = data;
                     line.poisoned = poisoned;
-                    if line.holders == CxlHolders::Exclusive(src) {
-                        line.holders = CxlHolders::Shared(BTreeSet::from([src]));
+                    if line.holders.is_exclusively(src_bit) {
+                        line.holders = HolderMask::shared(src_bit);
                     }
                 }
                 out.push(DcohEffect::Send {
@@ -446,7 +612,7 @@ impl DcohEngine {
             // ---- conflict handshake ----
             CxlMsg::BiConflict { .. } => {
                 self.conflicts += 1;
-                let line = self.lines.entry(addr).or_default();
+                let line = self.lines.entry(addr.0);
                 // M2S is FIFO per host: if the conflicting host's own
                 // request is still queued here, it was NOT serialized
                 // before the snoop; otherwise it was already processed.
@@ -462,18 +628,16 @@ impl DcohEngine {
             }
             other => panic!("DCOH received device-bound message {other:?}"),
         }
+        self.lines.demote(addr.0);
         out
     }
 
-    /// Whether a writeback from `src` is out-of-epoch: the directory no
-    /// longer records `src` as a holder, so the line has been granted to
-    /// someone else since the data left `src`.
-    fn writeback_is_stale(holders: &CxlHolders, src: ComponentId) -> bool {
-        match holders {
-            CxlHolders::None => false,
-            CxlHolders::Exclusive(h) => *h != src,
-            CxlHolders::Shared(set) => !set.contains(&src),
-        }
+    /// Whether a writeback from the host owning `src_bit` is
+    /// out-of-epoch: the directory no longer records that host as a
+    /// holder, so the line has been granted to someone else since the
+    /// data left it.
+    fn writeback_is_stale(holders: HolderMask, src_bit: u64) -> bool {
+        !holders.is_none() && holders.mask & src_bit == 0
     }
 
     /// Re-issue `BISnp*` for blocking snoops whose response deadline has
@@ -493,18 +657,18 @@ impl DcohEngine {
         // artifact of hashing, not a protocol order (DESIGN.md §12).
         let mut expired: Vec<Addr> = self
             .lines
-            .iter()
+            .iter_live()
             .filter(|(_, l)| {
                 l.snoop.as_ref().is_some_and(|s| {
                     s.since
                         .is_some_and(|t| t + timeout.times(1u64 << s.retries.min(16)) <= now)
                 })
             })
-            .map(|(a, _)| *a)
+            .map(|(a, _)| Addr(a))
             .collect();
         expired.sort_by_key(|a| a.0);
         for addr in expired {
-            let line = self.lines.get_mut(&addr).expect("collected above");
+            let line = self.lines.get_mut(addr.0).expect("collected above");
             let snoop = line.snoop.as_mut().expect("collected above");
             if snoop.retries < max_retries {
                 snoop.retries += 1;
@@ -528,12 +692,14 @@ impl DcohEngine {
                 // response may never arrive.
                 let snoop = line.snoop.take().expect("collected above");
                 self.snoops_forced += 1;
+                let requester_bit = host_bit(&mut self.hosts, snoop.requester);
+                let line = self.lines.get_mut(addr.0).expect("collected above");
                 match snoop.kind {
                     SnoopKind::Inv => {
-                        line.holders = CxlHolders::Exclusive(snoop.requester);
+                        line.holders = HolderMask::exclusive(requester_bit);
                     }
                     SnoopKind::Data => {
-                        line.holders = CxlHolders::Shared(BTreeSet::from([snoop.requester]));
+                        line.holders = HolderMask::shared(requester_bit);
                     }
                 }
                 out.push(DcohEffect::Send {
@@ -548,7 +714,7 @@ impl DcohEngine {
                 });
                 // Drain the convoy now that the line is unblocked.
                 loop {
-                    let line = self.lines.get_mut(&addr).expect("line exists");
+                    let line = self.lines.get_mut(addr.0).expect("line exists");
                     if line.snoop.is_some() {
                         break;
                     }
@@ -558,6 +724,7 @@ impl DcohEngine {
                     self.admit(h, m, Some(now), &mut out);
                 }
             }
+            self.lines.demote(addr.0);
         }
         out
     }
@@ -571,119 +738,82 @@ impl DcohEngine {
     ) {
         let addr = msg.addr();
         let exclusive = matches!(msg, CxlMsg::MemRdA { .. });
-        let line = self.lines.entry(addr).or_default();
+        let src_bit = host_bit(&mut self.hosts, src);
+        let line = self.lines.entry(addr.0);
         debug_assert!(line.snoop.is_none());
-        match (exclusive, line.holders.clone()) {
-            (_, CxlHolders::None) => {
-                let grant = if exclusive { CxlGrant::M } else { CxlGrant::E };
-                line.holders = CxlHolders::Exclusive(src);
-                out.push(DcohEffect::Send {
-                    dst: src,
-                    msg: CxlMsg::MemData {
-                        addr,
-                        data: line.data,
-                        grant,
-                        poisoned: line.poisoned,
-                    },
-                    needs_memory: true,
-                });
-            }
-            (false, CxlHolders::Shared(mut set)) => {
-                set.insert(src);
-                line.holders = CxlHolders::Shared(set);
-                out.push(DcohEffect::Send {
-                    dst: src,
-                    msg: CxlMsg::MemData {
-                        addr,
-                        data: line.data,
-                        grant: CxlGrant::S,
-                        poisoned: line.poisoned,
-                    },
-                    needs_memory: true,
-                });
-            }
-            (true, CxlHolders::Shared(set)) => {
-                let targets: BTreeSet<ComponentId> =
-                    set.iter().copied().filter(|h| *h != src).collect();
-                if targets.is_empty() {
-                    line.holders = CxlHolders::Exclusive(src);
-                    out.push(DcohEffect::Send {
-                        dst: src,
-                        msg: CxlMsg::MemData {
-                            addr,
-                            data: line.data,
-                            grant: CxlGrant::M,
-                            poisoned: line.poisoned,
-                        },
-                        needs_memory: true,
-                    });
-                    return;
-                }
-                for h in &targets {
-                    self.bisnp_sent += 1;
-                    out.push(DcohEffect::Send {
-                        dst: *h,
-                        msg: CxlMsg::BiSnpInv { addr },
-                        needs_memory: false,
-                    });
-                }
-                line.snoop = Some(Snoop {
-                    kind: SnoopKind::Inv,
-                    waiting: targets,
-                    requester: src,
-                    grant: CxlGrant::M,
-                    since: now,
-                    retries: 0,
-                });
-            }
-            (excl, CxlHolders::Exclusive(owner)) if owner == src => {
-                // The recorded owner asks again: it silently dropped its
-                // clean copy (HDM-DB allows that); re-grant directly —
-                // snooping the requester itself would deadlock.
-                line.holders = CxlHolders::Exclusive(src);
-                out.push(DcohEffect::Send {
-                    dst: src,
-                    msg: CxlMsg::MemData {
-                        addr,
-                        data: line.data,
-                        grant: if excl { CxlGrant::M } else { CxlGrant::E },
-                        poisoned: line.poisoned,
-                    },
-                    needs_memory: true,
-                });
-            }
-            (true, CxlHolders::Exclusive(owner)) => {
-                self.bisnp_sent += 1;
-                out.push(DcohEffect::Send {
-                    dst: owner,
-                    msg: CxlMsg::BiSnpInv { addr },
-                    needs_memory: false,
-                });
-                line.snoop = Some(Snoop {
-                    kind: SnoopKind::Inv,
-                    waiting: BTreeSet::from([owner]),
-                    requester: src,
-                    grant: CxlGrant::M,
-                    since: now,
-                    retries: 0,
-                });
-            }
-            (false, CxlHolders::Exclusive(owner)) => {
-                self.bisnp_sent += 1;
-                out.push(DcohEffect::Send {
-                    dst: owner,
-                    msg: CxlMsg::BiSnpData { addr },
-                    needs_memory: false,
-                });
-                line.snoop = Some(Snoop {
-                    kind: SnoopKind::Data,
-                    waiting: BTreeSet::from([owner]),
-                    requester: src,
+        let holders = line.holders;
+        if holders.is_none() || holders.is_exclusively(src_bit) {
+            // No holders, or the recorded owner asks again (it silently
+            // dropped its clean copy — HDM-DB allows that): grant
+            // directly. Snooping the requester itself would deadlock.
+            let grant = if exclusive { CxlGrant::M } else { CxlGrant::E };
+            line.holders = HolderMask::exclusive(src_bit);
+            out.push(DcohEffect::Send {
+                dst: src,
+                msg: CxlMsg::MemData {
+                    addr,
+                    data: line.data,
+                    grant,
+                    poisoned: line.poisoned,
+                },
+                needs_memory: true,
+            });
+        } else if !exclusive && !holders.exclusive {
+            // Shared read joins the sharer set.
+            line.holders = HolderMask::shared(holders.mask | src_bit);
+            out.push(DcohEffect::Send {
+                dst: src,
+                msg: CxlMsg::MemData {
+                    addr,
+                    data: line.data,
                     grant: CxlGrant::S,
-                    since: now,
-                    retries: 0,
+                    poisoned: line.poisoned,
+                },
+                needs_memory: true,
+            });
+        } else if exclusive && holders.mask & !src_bit == 0 {
+            // Requester is the sole sharer: promote without a snoop.
+            line.holders = HolderMask::exclusive(src_bit);
+            out.push(DcohEffect::Send {
+                dst: src,
+                msg: CxlMsg::MemData {
+                    addr,
+                    data: line.data,
+                    grant: CxlGrant::M,
+                    poisoned: line.poisoned,
+                },
+                needs_memory: true,
+            });
+        } else {
+            // Other holders stand in the way: back-invalidate (ownership
+            // request) or demand data (shared read of an exclusive line).
+            let kind = if exclusive {
+                SnoopKind::Inv
+            } else {
+                SnoopKind::Data
+            };
+            let grant = if exclusive { CxlGrant::M } else { CxlGrant::S };
+            let targets = mask_to_set(&self.hosts, holders.mask & !src_bit);
+            for h in &targets {
+                self.bisnp_sent += 1;
+                out.push(DcohEffect::Send {
+                    dst: *h,
+                    msg: match kind {
+                        SnoopKind::Inv => CxlMsg::BiSnpInv { addr },
+                        SnoopKind::Data => CxlMsg::BiSnpData { addr },
+                    },
+                    needs_memory: false,
                 });
             }
+            let line = self.lines.get_mut(addr.0).expect("resident above");
+            line.snoop = Some(Snoop {
+                kind,
+                waiting: targets,
+                requester: src,
+                grant,
+                since: now,
+                retries: 0,
+            });
         }
     }
 
@@ -695,7 +825,8 @@ impl DcohEngine {
         now: Option<Time>,
         out: &mut Vec<DcohEffect>,
     ) {
-        let line = self.lines.entry(addr).or_default();
+        let src_bit = host_bit(&mut self.hosts, src);
+        let line = self.lines.entry(addr.0);
         let Some(snoop) = &mut line.snoop else {
             // A BIRsp can arrive for a line whose snoop already resolved
             // (e.g. the host's eviction writeback completed it); harmless.
@@ -708,18 +839,20 @@ impl DcohEngine {
             return;
         }
         let snoop = line.snoop.take().expect("checked above");
+        let requester_bit = host_bit(&mut self.hosts, snoop.requester);
+        let line = self.lines.get_mut(addr.0).expect("resident above");
         // Update holders and complete the blocked request.
         match snoop.kind {
             SnoopKind::Inv => {
-                line.holders = CxlHolders::Exclusive(snoop.requester);
+                line.holders = HolderMask::exclusive(requester_bit);
             }
             SnoopKind::Data => {
-                let mut set = BTreeSet::from([snoop.requester]);
+                let mut mask = requester_bit;
                 if retained_shared {
                     // The previous owner keeps a shared copy.
-                    set.insert(src);
+                    mask |= src_bit;
                 }
-                line.holders = CxlHolders::Shared(set);
+                line.holders = HolderMask::shared(mask);
             }
         }
         out.push(DcohEffect::Send {
@@ -734,7 +867,7 @@ impl DcohEngine {
         });
         // Drain queued same-line requests now that the line is unblocked.
         loop {
-            let line = self.lines.get_mut(&addr).expect("line exists");
+            let line = self.lines.get_mut(addr.0).expect("line exists");
             if line.snoop.is_some() {
                 break;
             }
@@ -744,6 +877,22 @@ impl DcohEngine {
             self.admit(h, m, now, out);
         }
     }
+}
+
+/// Registry bit for `src`, registering it on first contact. Holder
+/// tracking is correctness-bearing, so more than 64 distinct hosts is a
+/// hard error rather than a silent saturation; real topologies have one
+/// host per bridge (a handful).
+fn host_bit(hosts: &mut Vec<ComponentId>, src: ComponentId) -> u64 {
+    let slot = hosts.iter().position(|h| *h == src).unwrap_or_else(|| {
+        hosts.push(src);
+        hosts.len() - 1
+    });
+    assert!(
+        slot < 64,
+        "DCOH holder masks support at most 64 distinct hosts"
+    );
+    1u64 << slot
 }
 
 /// Table-event name of a device-bound M2S message (`None` for host-bound

@@ -34,6 +34,10 @@ pub struct CxlDirectory {
     retry: Option<SnoopRetryPolicy>,
     /// Whether a deadline-scan wakeup is already scheduled.
     armed: bool,
+    /// Emit region-store footprint gauges/report lines. Off by default:
+    /// the extra keys would shift the pinned report/metrics fingerprints
+    /// of existing configurations.
+    state_metrics: bool,
 }
 
 impl CxlDirectory {
@@ -46,7 +50,15 @@ impl CxlDirectory {
             mem_latency,
             retry: None,
             armed: false,
+            state_metrics: false,
         }
+    }
+
+    /// Opt in to coherence-state footprint observability: resident-line /
+    /// resident-region gauges in telemetry and peak-state-bytes report
+    /// lines.
+    pub fn set_state_metrics(&mut self, on: bool) {
+        self.state_metrics = on;
     }
 
     /// Enable snoop timeout/retry and the engine's resilient mode
@@ -157,6 +169,14 @@ impl Component<SysMsg> for CxlDirectory {
                 self.engine.snoops_forced as f64,
             );
         }
+        // Footprint lines exist only when opted in (same discipline as
+        // the resilience counters above).
+        if self.state_metrics {
+            let f = self.engine.footprint();
+            out.set(format!("{n}.touched_lines"), f.touched as f64);
+            out.set(format!("{n}.peak_resident_lines"), f.peak_resident as f64);
+            out.set(format!("{n}.peak_state_bytes"), f.peak_state_bytes as f64);
+        }
     }
 
     fn metrics(&self, out: &mut c3_sim::metrics::MetricSample) {
@@ -170,6 +190,14 @@ impl Component<SysMsg> for CxlDirectory {
         out.counter(n, "bisnp_sent", self.engine.bisnp_sent as f64);
         out.counter(n, "conflicts", self.engine.conflicts as f64);
         out.counter(n, "writebacks", self.engine.writebacks as f64);
+        // Opt-in footprint gauges; the flag is fixed for the life of a
+        // run, so the telemetry schema stays stable across samples.
+        if self.state_metrics {
+            let f = self.engine.footprint();
+            out.gauge(n, "resident_lines", f.resident as f64);
+            out.gauge(n, "resident_regions", f.regions as f64);
+            out.gauge(n, "state_bytes", f.state_bytes as f64);
+        }
     }
 
     fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {

@@ -23,12 +23,11 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use c3_sim::hash::FxHashMap;
-
 use c3_protocol::msg::{Grant, HostMsg};
 use c3_protocol::ops::Addr;
 use c3_protocol::ssp::DirPolicy;
 use c3_sim::component::ComponentId;
+use c3_sim::region::{Footprint, RegionEntry, RegionMap};
 
 /// Which private caches hold a line, from the directory's point of view.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
@@ -196,6 +195,42 @@ impl Line {
     }
 }
 
+/// The quiescent form of a directory line: once no transaction, recall,
+/// queue entry, holder or forwarder remains, all the directory still
+/// knows about a line is its data copy and the sticky poison mark.
+#[derive(Clone, Copy, PartialEq, Default, Debug)]
+struct LineSummary {
+    data: u64,
+    poisoned: bool,
+}
+
+impl RegionEntry for Line {
+    type Summary = LineSummary;
+
+    fn try_demote(&self) -> Option<LineSummary> {
+        let quiescent = !self.blocks_requests()
+            && self.queue.is_empty()
+            && self.pending_recall.is_empty()
+            && matches!(self.holders, Holders::None)
+            && self.fholder.is_none();
+        quiescent.then_some(LineSummary {
+            data: self.data,
+            poisoned: self.poisoned,
+        })
+    }
+
+    fn restore(&mut self, s: LineSummary) {
+        self.holders = Holders::None;
+        self.fholder = None;
+        self.data = s.data;
+        self.poisoned = s.poisoned;
+        self.host = None;
+        self.recall = None;
+        self.pending_recall.clear();
+        self.queue.clear();
+    }
+}
+
 /// A line with in-flight directory work, captured for a deadlock
 /// post-mortem (see [`DirEngine::busy_lines`]).
 #[derive(Clone, Debug)]
@@ -219,7 +254,7 @@ pub struct BusyLine {
 pub struct DirEngine {
     policy: DirPolicy,
     self_id: ComponentId,
-    lines: FxHashMap<Addr, Line>,
+    lines: RegionMap<Line>,
     /// Statistics: transactions that had to consult the backend.
     pub backend_reads: u64,
     /// Statistics: write-permission backend consultations.
@@ -237,7 +272,7 @@ impl DirEngine {
         DirEngine {
             policy,
             self_id,
-            lines: FxHashMap::default(),
+            lines: RegionMap::new(),
             backend_reads: 0,
             backend_writes: 0,
             recalls: 0,
@@ -245,37 +280,47 @@ impl DirEngine {
         }
     }
 
-    /// Current holders of a line.
+    /// Current holders of a line. Demoted (quiescent) lines have no
+    /// holders by the region-store invariant.
     pub fn holders(&self, addr: Addr) -> Holders {
         self.lines
-            .get(&addr)
+            .get(addr.0)
             .map(|l| l.holders.clone())
             .unwrap_or_default()
     }
 
     /// Current cluster-level data copy.
     pub fn data(&self, addr: Addr) -> u64 {
-        self.lines.get(&addr).map(|l| l.data).unwrap_or(0)
+        if let Some(l) = self.lines.get(addr.0) {
+            l.data
+        } else {
+            self.lines.summary(addr.0).map(|s| s.data).unwrap_or(0)
+        }
     }
 
     /// Seed the cluster-level data copy (initial memory contents).
+    /// Seeded lines go straight to the demoted summary form: seeding a
+    /// large footprint must not materialize per-line records.
     pub fn seed_data(&mut self, addr: Addr, data: u64) {
-        self.lines.entry(addr).or_default().data = data;
+        self.lines.entry(addr.0).data = data;
+        self.lines.demote(addr.0);
     }
 
     /// Whether a line has an in-flight transaction or recall.
     pub fn is_busy(&self, addr: Addr) -> bool {
         self.lines
-            .get(&addr)
+            .get(addr.0)
             .map(|l| l.blocks_requests())
             .unwrap_or(false)
     }
 
     /// Whether every line is quiescent (for deadlock detection).
+    /// Demoted lines are quiescent by construction, so only resident
+    /// records need checking.
     pub fn idle(&self) -> bool {
         self.lines
-            .values()
-            .all(|l| !l.blocks_requests() && l.queue.is_empty() && l.pending_recall.is_empty())
+            .iter_live()
+            .all(|(_, l)| !l.blocks_requests() && l.queue.is_empty() && l.pending_recall.is_empty())
     }
 
     /// Telemetry occupancy snapshot: one allocation-free pass over the
@@ -286,13 +331,19 @@ impl DirEngine {
     pub fn occupancy(&self) -> (usize, usize, usize) {
         let mut busy = 0;
         let mut queued = 0;
-        for l in self.lines.values() {
+        for (_, l) in self.lines.iter_live() {
             if l.blocks_requests() {
                 busy += 1;
             }
             queued += l.queue.len();
         }
-        (self.lines.len(), busy, queued)
+        (self.lines.touched_lines() as usize, busy, queued)
+    }
+
+    /// Region-store footprint snapshot: touched/resident line counts and
+    /// the (estimated) coherence-state bytes, with peaks.
+    pub fn footprint(&self) -> Footprint {
+        self.lines.footprint()
     }
 
     /// Every line with in-flight or queued work, in address order —
@@ -300,11 +351,11 @@ impl DirEngine {
     pub fn busy_lines(&self) -> Vec<BusyLine> {
         let mut busy: Vec<BusyLine> = self
             .lines
-            .iter()
+            .iter_live()
             .filter(|(_, l)| {
                 l.blocks_requests() || !l.queue.is_empty() || !l.pending_recall.is_empty()
             })
-            .map(|(addr, l)| {
+            .map(|(key, l)| {
                 let mut parts = Vec::new();
                 let mut waiting_on = None;
                 let mut on_backend = false;
@@ -339,7 +390,7 @@ impl DirEngine {
                     parts.push(format!("{} recall(s) queued", l.pending_recall.len()));
                 }
                 BusyLine {
-                    addr: *addr,
+                    addr: Addr(key),
                     desc: parts.join("; "),
                     waiting_on,
                     on_backend,
@@ -389,7 +440,7 @@ impl DirEngine {
                 self.recall_data(addr, data, dirty, poisoned, &mut out);
             }
             HostMsg::Unblock { to_state, .. } => {
-                let line = self.lines.entry(addr).or_default();
+                let line = self.lines.entry(addr.0);
                 match &line.host {
                     Some(HostBusy {
                         requester,
@@ -411,7 +462,7 @@ impl DirEngine {
             | HostMsg::GetM { .. }
             | HostMsg::WriteThrough { .. }
             | HostMsg::AtomicRmw { .. } => {
-                let line = self.lines.entry(addr).or_default();
+                let line = self.lines.entry(addr.0);
                 if line.blocks_requests() {
                     self.stalled_requests += 1;
                     line.queue.push_back((src, msg));
@@ -425,6 +476,7 @@ impl DirEngine {
             // dir-to-cache-only opcodes arriving here indicate a wiring bug
             other => panic!("directory received cache-bound message {other:?}"),
         }
+        self.lines.demote(addr.0);
         out
     }
 
@@ -463,7 +515,7 @@ impl DirEngine {
         write: bool,
     ) -> Vec<DirEffect> {
         let mut out = Vec::new();
-        let line = self.lines.entry(addr).or_default();
+        let line = self.lines.entry(addr.0);
         // Only refresh the data copy if no local cache holds dirty data —
         // a recall that ran while we were suspended may have collected a
         // newer value than the one the backend returned.
@@ -496,6 +548,7 @@ impl DirEngine {
             HostPhase::WaitUnblock => panic!("backend completion while waiting for Unblock"),
         }
         self.drain(addr, perms, &mut out);
+        self.lines.demote(addr.0);
         out
     }
 
@@ -506,7 +559,7 @@ impl DirEngine {
     /// over host requests.
     pub fn recall(&mut self, addr: Addr, kind: RecallKind) -> Vec<DirEffect> {
         let mut out = Vec::new();
-        let line = self.lines.entry(addr).or_default();
+        let line = self.lines.entry(addr.0);
         debug_assert!(line.recall.is_none(), "one recall per line at a time");
         let must_wait = matches!(
             line.host,
@@ -520,13 +573,14 @@ impl DirEngine {
         } else {
             self.start_recall(addr, kind, &mut out);
         }
+        self.lines.demote(addr.0);
         out
     }
 
     // ---- internals ----
 
     fn handle_put_clean(&mut self, src: ComponentId, addr: Addr, out: &mut Vec<DirEffect>) {
-        let line = self.lines.entry(addr).or_default();
+        let line = self.lines.entry(addr.0);
         match &mut line.holders {
             Holders::Shared(set) => {
                 set.remove(&src);
@@ -557,7 +611,7 @@ impl DirEngine {
         poisoned: bool,
         out: &mut Vec<DirEffect>,
     ) {
-        let line = self.lines.entry(addr).or_default();
+        let line = self.lines.entry(addr.0);
         let mut updated = false;
         match line.holders.clone() {
             Holders::Exclusive(o) if o == src => {
@@ -608,7 +662,7 @@ impl DirEngine {
     }
 
     fn recall_ack(&mut self, addr: Addr, out: &mut Vec<DirEffect>) {
-        let line = self.lines.entry(addr).or_default();
+        let line = self.lines.entry(addr.0);
         let Some(r) = &mut line.recall else {
             // An InvAck can arrive after the recall completed if a sharer's
             // eviction (PutS) raced the Inv; it is harmless.
@@ -627,7 +681,7 @@ impl DirEngine {
         poisoned: bool,
         out: &mut Vec<DirEffect>,
     ) {
-        let line = self.lines.entry(addr).or_default();
+        let line = self.lines.entry(addr.0);
         let Some(r) = &mut line.recall else {
             // Duplicate data (e.g. MESI owners send both Data and DataToDir
             // when the recall requestor is the directory itself).
@@ -662,7 +716,7 @@ impl DirEngine {
     fn start_recall(&mut self, addr: Addr, kind: RecallKind, out: &mut Vec<DirEffect>) {
         let self_id = self.self_id;
         let eager = self.policy.eager_invalidation;
-        let line = self.lines.entry(addr).or_default();
+        let line = self.lines.entry(addr.0);
         c3_sim::sim_trace!(
             "    engine{}: start_recall {kind:?} {addr} holders={:?} host={:?}",
             self_id.0,
@@ -794,7 +848,7 @@ impl DirEngine {
     }
 
     fn try_finish_recall(&mut self, addr: Addr, out: &mut Vec<DirEffect>) {
-        let line = self.lines.entry(addr).or_default();
+        let line = self.lines.entry(addr.0);
         let done = match &line.recall {
             Some(r) => r.pending_acks == 0 && (!r.need_data || r.got_data),
             None => false,
@@ -826,12 +880,13 @@ impl DirEngine {
     pub fn drain_after_recall(&mut self, addr: Addr, perms: BackendPerms) -> Vec<DirEffect> {
         let mut out = Vec::new();
         self.drain(addr, perms, &mut out);
+        self.lines.demote(addr.0);
         out
     }
 
     fn drain(&mut self, addr: Addr, perms: BackendPerms, out: &mut Vec<DirEffect>) {
         loop {
-            let line = self.lines.entry(addr).or_default();
+            let line = self.lines.entry(addr.0);
             if line.blocks_requests() {
                 return;
             }
@@ -860,7 +915,7 @@ impl DirEngine {
         c3_sim::sim_trace!(
             "    engine{}: admit {msg:?} from {src} holders={:?} perms={perms:?}",
             self.self_id.0,
-            self.lines.get(&addr).map(|l| &l.holders)
+            self.lines.get(addr.0).map(|l| &l.holders)
         );
         match msg {
             HostMsg::GetS { .. } => self.admit_gets(src, addr, perms, out),
@@ -868,7 +923,7 @@ impl DirEngine {
             HostMsg::WriteThrough { data, .. } => {
                 if !perms.write_ok {
                     self.backend_writes += 1;
-                    let line = self.lines.entry(addr).or_default();
+                    let line = self.lines.entry(addr.0);
                     line.host = Some(HostBusy {
                         requester: src,
                         phase: HostPhase::WtBackend { data },
@@ -876,7 +931,7 @@ impl DirEngine {
                     out.push(DirEffect::BackendWrite { addr });
                     return;
                 }
-                let line = self.lines.entry(addr).or_default();
+                let line = self.lines.entry(addr.0);
                 line.data = data;
                 // A write-through is a fresh full-line store: it heals.
                 line.poisoned = false;
@@ -893,7 +948,7 @@ impl DirEngine {
             HostMsg::AtomicRmw { add, .. } => {
                 if !perms.write_ok {
                     self.backend_writes += 1;
-                    let line = self.lines.entry(addr).or_default();
+                    let line = self.lines.entry(addr.0);
                     line.host = Some(HostBusy {
                         requester: src,
                         phase: HostPhase::AtomicBackend { add },
@@ -901,7 +956,7 @@ impl DirEngine {
                     out.push(DirEffect::BackendWrite { addr });
                     return;
                 }
-                let line = self.lines.entry(addr).or_default();
+                let line = self.lines.entry(addr.0);
                 let old = line.data;
                 line.data = old.wrapping_add(add);
                 let data = line.data;
@@ -928,7 +983,7 @@ impl DirEngine {
         out: &mut Vec<DirEffect>,
     ) {
         let policy = self.policy;
-        let line = self.lines.entry(addr).or_default();
+        let line = self.lines.entry(addr.0);
         match line.holders.clone() {
             Holders::None => {
                 if !perms.read_ok {
@@ -1065,7 +1120,7 @@ impl DirEngine {
         perms: BackendPerms,
         out: &mut Vec<DirEffect>,
     ) {
-        let line = self.lines.entry(addr).or_default();
+        let line = self.lines.entry(addr.0);
         match line.holders.clone() {
             Holders::None => {
                 if !perms.write_ok {

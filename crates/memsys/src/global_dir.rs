@@ -27,6 +27,10 @@ pub struct GlobalMesiDir {
     policy: DirPolicy,
     mem_latency: Delay,
     data_responses: u64,
+    /// Emit region-store footprint gauges/report lines. Off by default:
+    /// the extra keys would shift the pinned report/metrics fingerprints
+    /// of existing configurations.
+    state_metrics: bool,
 }
 
 impl GlobalMesiDir {
@@ -40,7 +44,15 @@ impl GlobalMesiDir {
             policy,
             mem_latency,
             data_responses: 0,
+            state_metrics: false,
         }
+    }
+
+    /// Opt in to coherence-state footprint observability: resident-line /
+    /// resident-region gauges in telemetry and peak-state-bytes report
+    /// lines.
+    pub fn set_state_metrics(&mut self, on: bool) {
+        self.state_metrics = on;
     }
 
     fn engine(&mut self, self_id: ComponentId) -> &mut DirEngine {
@@ -110,6 +122,19 @@ impl Component<SysMsg> for GlobalMesiDir {
             out.set(format!("{n}.stalled_requests"), e.stalled_requests as f64);
         }
         out.set(format!("{n}.data_responses"), self.data_responses as f64);
+        // Footprint lines exist only when opted in, so default-wired runs
+        // keep byte-identical reports (same discipline as the DCOH's
+        // resilience counters).
+        if self.state_metrics {
+            let f = self
+                .engine
+                .as_ref()
+                .map(|e| e.footprint())
+                .unwrap_or_default();
+            out.set(format!("{n}.touched_lines"), f.touched as f64);
+            out.set(format!("{n}.peak_resident_lines"), f.peak_resident as f64);
+            out.set(format!("{n}.peak_state_bytes"), f.peak_state_bytes as f64);
+        }
     }
 
     fn metrics(&self, out: &mut c3_sim::metrics::MetricSample) {
@@ -141,6 +166,18 @@ impl Component<SysMsg> for GlobalMesiDir {
         out.counter(n, "backend_reads", br as f64);
         out.counter(n, "backend_writes", bw as f64);
         out.counter(n, "data_responses", self.data_responses as f64);
+        // Opt-in footprint gauges; the flag is fixed for the life of a
+        // run, so the telemetry schema stays stable across samples.
+        if self.state_metrics {
+            let f = self
+                .engine
+                .as_ref()
+                .map(|e| e.footprint())
+                .unwrap_or_default();
+            out.gauge(n, "resident_lines", f.resident as f64);
+            out.gauge(n, "resident_regions", f.regions as f64);
+            out.gauge(n, "state_bytes", f.state_bytes as f64);
+        }
     }
 
     fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {

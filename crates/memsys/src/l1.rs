@@ -9,8 +9,6 @@
 use std::any::Any;
 use std::collections::VecDeque;
 
-use c3_sim::hash::FxHashMap;
-
 use c3_protocol::msg::{CoreReq, CoreResp, Grant, HostMsg, SysMsg};
 use c3_protocol::ops::{Addr, FenceKind, Instr};
 use c3_protocol::states::{ProtocolFamily, StableState};
@@ -18,6 +16,7 @@ use c3_protocol::table::{
     Action, ProtocolViolation, TransitionRow, TransitionTable, Vnet, ANY_STATE,
 };
 use c3_sim::component::{Component, ComponentId, Ctx};
+use c3_sim::region::{Footprint, RegionEntry, RegionMap};
 use c3_sim::stats::{LatencyBands, LatencyHistogram, Report};
 use c3_sim::time::{Delay, Time};
 use c3_sim::trace::{InflightTxn, TxnId};
@@ -159,6 +158,40 @@ struct Mshr {
     txn: TxnId,
 }
 
+impl Default for Mshr {
+    fn default() -> Self {
+        Mshr {
+            tstate: TState::IS_D,
+            data: 0,
+            acks: 0,
+            data_received: false,
+            initiator: None,
+            pending: VecDeque::new(),
+            from_release: false,
+            poisoned: false,
+            started: Time::ZERO,
+            txn: TxnId(0),
+        }
+    }
+}
+
+/// MSHRs exist only while a miss is in flight: they are opened with
+/// [`RegionMap::entry`], closed with [`RegionMap::take`], and never
+/// demote to a summary — the region store serves purely as a compact
+/// presence-tracked slab here.
+impl RegionEntry for Mshr {
+    type Summary = ();
+
+    fn try_demote(&self) -> Option<()> {
+        None
+    }
+
+    fn restore(&mut self, _: ()) {
+        // `take` already reset the slot to `Mshr::default()`; nothing is
+        // ever stored in a summary, so a fresh entry needs no field work.
+    }
+}
+
 #[derive(Debug)]
 struct ReleaseOp {
     tag: u64,
@@ -187,7 +220,7 @@ pub struct L1Controller {
     cfg: L1Config,
     name: String,
     array: CacheArray<Line>,
-    mshrs: FxHashMap<Addr, Mshr>,
+    mshrs: RegionMap<Mshr>,
     release: Option<ReleaseOp>,
     /// Stats per access kind (indexed by [`AccessKind`]).
     stats: [MissStats; 3],
@@ -199,6 +232,10 @@ pub struct L1Controller {
     /// transition table forbids). Non-empty keeps `done()` false so the
     /// run ends in a deadlock post-mortem that names the violation.
     violations: Vec<ProtocolViolation>,
+    /// Emit region-store footprint gauges/report lines. Off by default:
+    /// the extra keys would shift the pinned report/metrics fingerprints
+    /// of existing configurations.
+    state_metrics: bool,
 }
 
 impl L1Controller {
@@ -208,7 +245,7 @@ impl L1Controller {
             array: CacheArray::new(cfg.sets, cfg.ways),
             cfg,
             name: name.into(),
-            mshrs: FxHashMap::default(),
+            mshrs: RegionMap::new(),
             release: None,
             stats: Default::default(),
             writebacks: 0,
@@ -216,7 +253,14 @@ impl L1Controller {
             self_invalidations: 0,
             poisoned_reads: 0,
             violations: Vec::new(),
+            state_metrics: false,
         }
+    }
+
+    /// Opt in to MSHR region-store footprint observability (resident
+    /// gauges in telemetry, peak lines in the report).
+    pub fn set_state_metrics(&mut self, on: bool) {
+        self.state_metrics = on;
     }
 
     /// Protocol violations recorded so far (empty in a correct run).
@@ -253,7 +297,7 @@ impl L1Controller {
     /// transaction is in flight, else the resident stable state, else I.
     /// Allocation-free — it feeds the per-event debug conformance assert.
     fn table_state(&self, addr: Addr) -> &'static str {
-        if let Some(m) = self.mshrs.get(&addr) {
+        if let Some(m) = self.mshrs.get(addr.0) {
             m.tstate.name()
         } else {
             stable_name(self.line_state(addr))
@@ -277,6 +321,12 @@ impl L1Controller {
     /// Miss statistics for one access kind.
     pub fn stats(&self, kind: AccessKind) -> &MissStats {
         &self.stats[kind as usize]
+    }
+
+    /// MSHR region-store footprint snapshot (touched/resident lines,
+    /// state bytes, with peaks).
+    pub fn mshr_footprint(&self) -> Footprint {
+        self.mshrs.footprint()
     }
 
     /// Stable state currently held for `addr` (I if absent or transient).
@@ -361,21 +411,18 @@ impl L1Controller {
             let name = format!("{tstate:?} {addr}");
             ctx.trace_begin(txn, "l1", name);
         }
-        self.mshrs.insert(
-            addr,
-            Mshr {
-                tstate,
-                data,
-                acks: 0,
-                data_received: false,
-                initiator,
-                pending: VecDeque::new(),
-                from_release,
-                poisoned: false,
-                started: ctx.now,
-                txn,
-            },
-        );
+        *self.mshrs.entry(addr.0) = Mshr {
+            tstate,
+            data,
+            acks: 0,
+            data_received: false,
+            initiator,
+            pending: VecDeque::new(),
+            from_release,
+            poisoned: false,
+            started: ctx.now,
+            txn,
+        };
     }
 
     /// Make room for `addr`, starting a victim eviction if necessary.
@@ -393,7 +440,7 @@ impl L1Controller {
         for _ in 0..self.cfg.ways + 1 {
             match self.array.victim(addr) {
                 None => return, // free way or line already resident
-                Some((v, _)) if self.mshrs.contains_key(&v) => {
+                Some((v, _)) if self.mshrs.get(v.0).is_some() => {
                     self.array.get_mut(v); // bump LRU, try the next victim
                 }
                 Some((v, _)) => {
@@ -455,7 +502,7 @@ impl L1Controller {
         self.open_mshr(vaddr, tstate, line.data, None, false, ctx);
         // An evicted poisoned line may still be asked to supply data
         // (Fwd* while the Put* drains); keep the mark with the buffer.
-        self.mshrs.get_mut(&vaddr).expect("just opened").poisoned = line.poisoned;
+        self.mshrs.get_mut(vaddr.0).expect("just opened").poisoned = line.poisoned;
         self.send_dir(msg, ctx);
     }
 
@@ -484,7 +531,7 @@ impl L1Controller {
             .collect();
         let mut count = 0;
         for (a, data) in dirty {
-            if self.mshrs.contains_key(&a) {
+            if self.mshrs.get(a.0).is_some() {
                 continue; // already being written through (eviction)
             }
             // Retain a clean copy after the write-through.
@@ -550,7 +597,7 @@ impl L1Controller {
             // early so the in-order drain hits. Never queued behind an
             // existing transaction — it is only a hint.
             self.respond(&req, 0, ctx);
-            if rcc || self.mshrs.contains_key(&addr) {
+            if rcc || self.mshrs.get(addr.0).is_some() {
                 return;
             }
             match self.array.get(addr) {
@@ -581,7 +628,7 @@ impl L1Controller {
             self.assert_conforms(event, addr);
         }
         // Same-line transaction in flight: defer.
-        if let Some(mshr) = self.mshrs.get_mut(&addr) {
+        if let Some(mshr) = self.mshrs.get_mut(addr.0) {
             mshr.pending.push_back(req);
             return;
         }
@@ -700,7 +747,7 @@ impl L1Controller {
     /// apply the initiating access, respond, unblock the directory and
     /// replay deferred requests.
     fn complete_fill(&mut self, addr: Addr, state: StableState, ctx: &mut Ctx<'_, SysMsg>) {
-        let mut mshr = self.mshrs.remove(&addr).expect("mshr present");
+        let mut mshr = self.mshrs.take(addr.0).expect("mshr present");
         let mut line = Line {
             state,
             data: mshr.data,
@@ -771,7 +818,7 @@ impl L1Controller {
     }
 
     fn retire_mshr(&mut self, addr: Addr, ctx: &mut Ctx<'_, SysMsg>) {
-        let mshr = self.mshrs.remove(&addr).expect("mshr present");
+        let mshr = self.mshrs.take(addr.0).expect("mshr present");
         debug_assert!(mshr.initiator.is_none());
         ctx.trace_end(mshr.txn);
         for req in mshr.pending {
@@ -790,7 +837,7 @@ impl L1Controller {
                 ..
             } => {
                 if !matches!(
-                    self.mshrs.get(&addr).map(|m| m.tstate),
+                    self.mshrs.get(addr.0).map(|m| m.tstate),
                     Some(TState::IS_D | TState::IM_AD | TState::SM_AD)
                 ) {
                     let state = self.table_state(addr);
@@ -799,7 +846,7 @@ impl L1Controller {
                 }
                 #[cfg(debug_assertions)]
                 self.assert_conforms("Data", addr);
-                let mshr = self.mshrs.get_mut(&addr).expect("checked above");
+                let mshr = self.mshrs.get_mut(addr.0).expect("checked above");
                 mshr.data = data;
                 mshr.poisoned |= poisoned;
                 mshr.data_received = true;
@@ -826,7 +873,7 @@ impl L1Controller {
             }
             HostMsg::InvAck { .. } => {
                 if !matches!(
-                    self.mshrs.get(&addr).map(|m| m.tstate),
+                    self.mshrs.get(addr.0).map(|m| m.tstate),
                     Some(TState::IM_AD | TState::SM_AD | TState::IM_A | TState::SM_A)
                 ) {
                     let state = self.table_state(addr);
@@ -835,7 +882,7 @@ impl L1Controller {
                 }
                 #[cfg(debug_assertions)]
                 self.assert_conforms("InvAck", addr);
-                let mshr = self.mshrs.get_mut(&addr).expect("checked above");
+                let mshr = self.mshrs.get_mut(addr.0).expect("checked above");
                 mshr.acks -= 1;
                 if matches!(mshr.tstate, TState::IM_A | TState::SM_A) && mshr.acks <= 0 {
                     self.complete_fill(addr, StableState::M, ctx);
@@ -847,7 +894,10 @@ impl L1Controller {
                 let family = self.cfg.family;
                 // An upgrading O/F owner (SM_AD) can be asked to supply: the
                 // line is still resident; serve it and keep upgrading.
-                if matches!(self.mshrs.get(&addr).map(|m| m.tstate), Some(TState::SM_AD)) {
+                if matches!(
+                    self.mshrs.get(addr.0).map(|m| m.tstate),
+                    Some(TState::SM_AD)
+                ) {
                     #[cfg(debug_assertions)]
                     self.assert_conforms("FwdGetS", addr);
                     let line = *self.array.peek(addr).expect("upgrader holds the line");
@@ -885,9 +935,9 @@ impl L1Controller {
                     self.array.get_mut(addr).expect("present").state = next;
                     return;
                 }
-                if self.mshrs.contains_key(&addr) {
+                if self.mshrs.get(addr.0).is_some() {
                     if !matches!(
-                        self.mshrs.get(&addr).map(|m| m.tstate),
+                        self.mshrs.get(addr.0).map(|m| m.tstate),
                         Some(TState::SI_A | TState::MI_A | TState::EI_A | TState::OI_A)
                     ) {
                         let state = self.table_state(addr);
@@ -896,7 +946,7 @@ impl L1Controller {
                     }
                     #[cfg(debug_assertions)]
                     self.assert_conforms("FwdGetS", addr);
-                    let mshr = self.mshrs.get_mut(&addr).expect("checked above");
+                    let mshr = self.mshrs.get_mut(addr.0).expect("checked above");
                     match mshr.tstate {
                         TState::SI_A => {
                             // Evicting ex-forwarder (MESIF): the eviction
@@ -1011,7 +1061,10 @@ impl L1Controller {
                 // An upgrading O/F owner loses its copy to a racing writer
                 // (or recall): supply from the resident line, fall back to
                 // IM_AD and let the own upgrade refill later.
-                if matches!(self.mshrs.get(&addr).map(|m| m.tstate), Some(TState::SM_AD)) {
+                if matches!(
+                    self.mshrs.get(addr.0).map(|m| m.tstate),
+                    Some(TState::SM_AD)
+                ) {
                     #[cfg(debug_assertions)]
                     self.assert_conforms("FwdGetM", addr);
                     let line = self.array.remove(addr).expect("upgrader holds the line");
@@ -1031,12 +1084,12 @@ impl L1Controller {
                             poisoned: line.poisoned,
                         }),
                     );
-                    self.mshrs.get_mut(&addr).expect("present").tstate = TState::IM_AD;
+                    self.mshrs.get_mut(addr.0).expect("present").tstate = TState::IM_AD;
                     return;
                 }
-                if self.mshrs.contains_key(&addr) {
+                if self.mshrs.get(addr.0).is_some() {
                     if !matches!(
-                        self.mshrs.get(&addr).map(|m| m.tstate),
+                        self.mshrs.get(addr.0).map(|m| m.tstate),
                         Some(TState::MI_A | TState::EI_A | TState::OI_A)
                     ) {
                         let state = self.table_state(addr);
@@ -1045,7 +1098,7 @@ impl L1Controller {
                     }
                     #[cfg(debug_assertions)]
                     self.assert_conforms("FwdGetM", addr);
-                    let mshr = self.mshrs.get_mut(&addr).expect("checked above");
+                    let mshr = self.mshrs.get_mut(addr.0).expect("checked above");
                     let dirty = mshr.tstate != TState::EI_A;
                     ctx.send(
                         requestor,
@@ -1087,9 +1140,9 @@ impl L1Controller {
             }
             HostMsg::Inv { requestor, .. } => {
                 self.invalidations_received += 1;
-                if self.mshrs.contains_key(&addr) {
+                if self.mshrs.get(addr.0).is_some() {
                     if !matches!(
-                        self.mshrs.get(&addr).map(|m| m.tstate),
+                        self.mshrs.get(addr.0).map(|m| m.tstate),
                         Some(TState::SM_AD | TState::SI_A)
                     ) {
                         let state = self.table_state(addr);
@@ -1098,7 +1151,7 @@ impl L1Controller {
                     }
                     #[cfg(debug_assertions)]
                     self.assert_conforms("Inv", addr);
-                    let mshr = self.mshrs.get_mut(&addr).expect("checked above");
+                    let mshr = self.mshrs.get_mut(addr.0).expect("checked above");
                     match mshr.tstate {
                         TState::SM_AD => {
                             // Lost the shared copy mid-upgrade; the data
@@ -1137,7 +1190,7 @@ impl L1Controller {
             }
             HostMsg::PutAck { .. } => {
                 if !matches!(
-                    self.mshrs.get(&addr).map(|m| m.tstate),
+                    self.mshrs.get(addr.0).map(|m| m.tstate),
                     Some(TState::MI_A | TState::OI_A | TState::EI_A | TState::SI_A | TState::II_A)
                 ) {
                     let state = self.table_state(addr);
@@ -1149,14 +1202,14 @@ impl L1Controller {
                 self.retire_mshr(addr, ctx);
             }
             HostMsg::WtAck { .. } => {
-                if !matches!(self.mshrs.get(&addr).map(|m| m.tstate), Some(TState::WT_A)) {
+                if !matches!(self.mshrs.get(addr.0).map(|m| m.tstate), Some(TState::WT_A)) {
                     let state = self.table_state(addr);
                     self.violation(state, "WtAck", addr, ctx);
                     return;
                 }
                 #[cfg(debug_assertions)]
                 self.assert_conforms("WtAck", addr);
-                let mshr = self.mshrs.get(&addr).expect("checked above");
+                let mshr = self.mshrs.get(addr.0).expect("checked above");
                 let from_release = mshr.from_release;
                 self.retire_mshr(addr, ctx);
                 if from_release {
@@ -1173,14 +1226,14 @@ impl L1Controller {
                 }
             }
             HostMsg::AtomicResp { old, .. } => {
-                if !matches!(self.mshrs.get(&addr).map(|m| m.tstate), Some(TState::AT_D)) {
+                if !matches!(self.mshrs.get(addr.0).map(|m| m.tstate), Some(TState::AT_D)) {
                     let state = self.table_state(addr);
                     self.violation(state, "AtomicResp", addr, ctx);
                     return;
                 }
                 #[cfg(debug_assertions)]
                 self.assert_conforms("AtomicResp", addr);
-                let mshr = self.mshrs.remove(&addr).expect("checked above");
+                let mshr = self.mshrs.take(addr.0).expect("checked above");
                 let initiator = mshr.initiator.expect("atomic has initiator");
                 let latency = ctx.now.since(mshr.started);
                 self.stats[AccessKind::Rmw as usize].bands.record(latency);
@@ -1223,12 +1276,12 @@ impl Component<SysMsg> for L1Controller {
     }
 
     fn inflight(&self, self_id: ComponentId, out: &mut Vec<InflightTxn>) {
-        let mut entries: Vec<_> = self.mshrs.iter().collect();
-        entries.sort_by_key(|(a, _)| a.0);
+        let mut entries: Vec<_> = self.mshrs.iter_live().collect();
+        entries.sort_by_key(|(a, _)| *a);
         for (addr, m) in entries {
             out.push(InflightTxn {
                 component: self_id,
-                addr: Some(addr.0),
+                addr: Some(addr),
                 kind: format!("mshr {:?}", m.tstate),
                 since: Some(m.started),
                 waiting_on: Some(self.cfg.dir),
@@ -1264,13 +1317,21 @@ impl Component<SysMsg> for L1Controller {
 
     fn metrics(&self, out: &mut c3_sim::metrics::MetricSample) {
         let n = &self.name;
-        out.gauge(n, "mshr", self.mshrs.len() as f64);
+        out.gauge(n, "mshr", self.mshrs.resident() as f64);
         let hits: u64 = self.stats.iter().map(|s| s.hits).sum();
         let misses: u64 = self.stats.iter().map(|s| s.misses).sum();
         out.counter(n, "hits", hits as f64);
         out.counter(n, "misses", misses as f64);
         out.counter(n, "writebacks", self.writebacks as f64);
         out.counter(n, "invalidations", self.invalidations_received as f64);
+        // Opt-in footprint gauges; the flag is fixed for the life of a
+        // run, so the telemetry schema stays stable across samples.
+        if self.state_metrics {
+            let f = self.mshrs.footprint();
+            out.gauge(n, "resident_mshrs", f.resident as f64);
+            out.gauge(n, "resident_regions", f.regions as f64);
+            out.gauge(n, "state_bytes", f.state_bytes as f64);
+        }
     }
 
     fn report(&self, out: &mut Report) {
@@ -1315,6 +1376,13 @@ impl Component<SysMsg> for L1Controller {
                 format!("{n}.protocol_violations"),
                 self.violations.len() as f64,
             );
+        }
+        // Footprint lines exist only when opted in, keeping default-wired
+        // reports byte-identical.
+        if self.state_metrics {
+            let f = self.mshrs.footprint();
+            out.set(format!("{n}.peak_resident_mshrs"), f.peak_resident as f64);
+            out.set(format!("{n}.peak_state_bytes"), f.peak_state_bytes as f64);
         }
     }
 

@@ -48,6 +48,7 @@ pub mod fault;
 pub mod hash;
 pub mod kernel;
 pub mod metrics;
+pub mod region;
 pub mod rng;
 pub mod shard;
 pub mod stats;
@@ -80,6 +81,7 @@ pub mod prelude {
     pub use crate::hash::{FxHashMap, FxHashSet};
     pub use crate::kernel::{RunOutcome, Simulator};
     pub use crate::metrics::{MetricKind, MetricSample, MetricsHub};
+    pub use crate::region::{Footprint, RegionEntry, RegionMap};
     pub use crate::rng::SimRng;
     pub use crate::stats::{Band, LatencyBands, LatencyHistogram, Report};
     pub use crate::time::{Delay, Time};

@@ -15,8 +15,12 @@
 
 #![warn(missing_docs)]
 
+pub mod oltp;
+
 use c3_protocol::ops::{Addr, Instr, Reg, ThreadProgram};
 use c3_sim::rng::SimRng;
+
+pub use oltp::{OltpLayout, OltpTxnCounts};
 
 /// Benchmark suite of origin.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -27,6 +31,8 @@ pub enum Suite {
     Parsec,
     /// Phoenix 2.0 (MapReduce kernels).
     Phoenix,
+    /// Synthetic OLTP/KV transaction engine (region-store stress).
+    Oltp,
 }
 
 impl Suite {
@@ -36,6 +42,7 @@ impl Suite {
             Suite::Splash4 => "splash4",
             Suite::Parsec => "parsec",
             Suite::Phoenix => "phoenix",
+            Suite::Oltp => "oltp",
         }
     }
 }
@@ -60,6 +67,9 @@ pub enum Pattern {
     /// Pipeline stages: even threads produce, odd threads consume
     /// (dedup, ferret, x264…).
     ProducerConsumer,
+    /// Zipfian-skewed OLTP/KV transactions: index walks, striped lock
+    /// words, version words, record lines (see [`crate::oltp`]).
+    OltpKv,
 }
 
 /// A synthetic workload specification.
@@ -99,6 +109,10 @@ pub struct WorkloadSpec {
     pub work_cycles: u32,
     /// Insert a release/acquire pair every N accesses (0 = never).
     pub sync_every: usize,
+    /// Zipfian skew θ ∈ [0, 1) over the key popularity distribution.
+    /// Only meaningful for [`Pattern::OltpKv`] (0 everywhere else); for
+    /// OLTP, `hot_lines` is the power-of-two keyspace size.
+    pub zipf_skew: f64,
 }
 
 /// Address-space layout used by every workload: a shared region at the
@@ -114,6 +128,15 @@ pub struct Layout {
 impl WorkloadSpec {
     /// Layout for `nthreads` threads.
     pub fn layout(&self, nthreads: usize) -> Layout {
+        if self.pattern == Pattern::OltpKv {
+            // The OLTP engine's footprint is entirely shared (records,
+            // locks, versions, index); threads keep a token private
+            // scratch partition.
+            return Layout {
+                shared_lines: OltpLayout::for_keys(self.hot_lines).span,
+                private_lines: 64,
+            };
+        }
         let shared = (self.footprint / 4).max(self.hot_lines + 8);
         let private = ((self.footprint - shared) / nthreads as u64).max(16);
         Layout {
@@ -125,6 +148,9 @@ impl WorkloadSpec {
     /// Generate the program of thread `thread` of `nthreads`, with `ops`
     /// memory accesses, deterministically from `seed`.
     pub fn generate(&self, thread: usize, nthreads: usize, ops: usize, seed: u64) -> ThreadProgram {
+        if self.pattern == Pattern::OltpKv {
+            return oltp::generate(self, thread, nthreads, ops, seed).0;
+        }
         let mut rng = SimRng::seed_from(seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let layout = self.layout(nthreads);
         let private_base = layout.shared_lines + thread as u64 * layout.private_lines;
@@ -247,6 +273,7 @@ impl WorkloadSpec {
                     rmw_fraction: rmwf,
                     work_cycles: work,
                     sync_every: sync,
+                    zipf_skew: 0.0,
                 }
             };
         vec![
@@ -553,9 +580,66 @@ impl WorkloadSpec {
         ]
     }
 
-    /// Look up a workload by name.
+    /// An OLTP/KV transaction workload over a power-of-two keyspace of
+    /// `keys` record cachelines with Zipfian skew `skew` ∈ [0, 1).
+    /// `write_fraction` is the update-transaction mix (default 0.5, a
+    /// YCSB-A-like 50/50); mutate the returned (Copy) spec to sweep it.
+    pub fn oltp_kv(name: &'static str, keys: u64, skew: f64) -> WorkloadSpec {
+        // Validate eagerly so misconfiguration fails at spec build, not
+        // mid-generation.
+        let _ = OltpLayout::for_keys(keys);
+        WorkloadSpec {
+            name,
+            suite: Suite::Oltp,
+            pattern: Pattern::OltpKv,
+            footprint: OltpLayout::for_keys(keys).span,
+            reuse_window: 1,
+            hot_lines: keys,
+            shared_fraction: 1.0,
+            hot_fraction: 1.0,
+            write_fraction: 0.5,
+            rmw_fraction: 1.0,
+            work_cycles: 4,
+            sync_every: 0,
+            zipf_skew: skew,
+        }
+    }
+
+    /// The named OLTP workloads: the paper-scale 2²⁰-key (≥10⁶ distinct
+    /// hot lines) engine at YCSB-standard skews, plus a small smoke
+    /// variant for CI and perf gating.
+    pub fn oltp_all() -> Vec<WorkloadSpec> {
+        vec![
+            Self::oltp_kv("oltp-uniform", 1 << 20, 0.0),
+            Self::oltp_kv("oltp-zipf", 1 << 20, 0.99),
+            Self::oltp_kv("oltp-quick", 1 << 14, 0.99),
+        ]
+    }
+
+    /// Per-thread committed-transaction counts of this OLTP spec's
+    /// generated stream (regenerates the stream deterministically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is not [`Pattern::OltpKv`].
+    pub fn oltp_txns(
+        &self,
+        thread: usize,
+        nthreads: usize,
+        ops: usize,
+        seed: u64,
+    ) -> OltpTxnCounts {
+        assert_eq!(self.pattern, Pattern::OltpKv, "not an OLTP spec");
+        oltp::generate(self, thread, nthreads, ops, seed).1
+    }
+
+    /// Look up a workload by name (the 33 paper workloads, then the
+    /// named OLTP variants).
     pub fn by_name(name: &str) -> Option<WorkloadSpec> {
-        Self::all().into_iter().find(|w| w.name == name)
+        Self::all()
+            .into_iter()
+            .chain(Self::oltp_all())
+            .find(|w| w.name == name)
     }
 
     /// Workloads of one suite.

@@ -1,6 +1,7 @@
 //! Determinism lint: a dependency-free source scan over the simulator
-//! crates (`c3-sim`, `c3-memsys`, `c3`, `c3-cxl`) denying constructs
-//! that break same-seed reproducibility:
+//! crates (`c3-sim`, `c3-memsys`, `c3`, `c3-cxl`) and the workload
+//! generators (`c3-workloads`) denying constructs that break same-seed
+//! reproducibility:
 //!
 //! * wall-clock time (`std::time::Instant`, `SystemTime`) — simulation
 //!   behaviour must depend only on virtual time;
@@ -23,12 +24,15 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Crates whose sources must be deterministic.
-const SCANNED: [&str; 4] = [
+/// Crates whose sources must be deterministic. The workload generators
+/// are included: per-thread program streams (including the OLTP/KV
+/// zipfian engine) must be a pure function of (spec, thread, seed).
+const SCANNED: [&str; 5] = [
     "crates/sim/src",
     "crates/memsys/src",
     "crates/core/src",
     "crates/cxl/src",
+    "crates/workloads/src",
 ];
 
 /// `(file suffix, substring)` pairs exempt from the deny list.
