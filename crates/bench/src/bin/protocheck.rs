@@ -14,21 +14,27 @@
 //!
 //! ```text
 //! cargo run --release --bin protocheck
+//! cargo run --release --bin protocheck -- --json
 //! cargo run --release --bin protocheck -- --inject missing-row
 //! ```
 //!
-//! `--inject missing-row|forbidden-state|cycle` seeds one known defect
-//! into an otherwise clean table, as a self-test that the checker
-//! actually catches each defect class.
+//! `--json` switches to a machine-readable report (defect list keyed by
+//! stable defect-class slugs plus per-table stats) so CI can diff defect
+//! sets instead of grepping text. `--inject
+//! missing-row|forbidden-state|cycle` seeds one known defect into an
+//! otherwise clean table, as a self-test that the checker actually
+//! catches each defect class.
 
 use c3::bridge::bridge_transition_table;
 use c3::generator::{baseline_fsm, bridge_fsm};
+use c3_bench::runner::json_escape;
 use c3_cxl::dcoh::dcoh_transition_table;
 use c3_memsys::l1::l1_transition_table;
 use c3_protocol::states::ProtocolFamily;
 use c3_protocol::table::{TransitionRow, TransitionTable};
 use c3_verif::fsm_checks::check_fsm;
 use c3_verif::static_checks::check_all;
+use c3_verif::StaticDefect;
 
 const FAMILIES: [ProtocolFamily; 4] = [
     ProtocolFamily::Mesi,
@@ -75,8 +81,31 @@ fn apply_injection(inject: Inject, l1: &mut TransitionTable, bridge: &mut Transi
     }
 }
 
+/// Per-table stats carried into the JSON report.
+struct TableStats {
+    family: String,
+    controller: &'static str,
+    states: usize,
+    events: usize,
+    rows: usize,
+}
+
+/// One family's table-check outcome.
+struct FamilyResult {
+    family: String,
+    tables: Vec<TableStats>,
+    defects: Vec<StaticDefect>,
+}
+
+/// One compound-FSM check outcome (defects pre-rendered).
+struct FsmResult {
+    name: String,
+    defects: Vec<String>,
+}
+
 fn main() {
     let mut inject = None;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -93,8 +122,9 @@ fn main() {
                     }
                 });
             }
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: protocheck [--inject missing-row|forbidden-state|cycle]");
+                println!("usage: protocheck [--json] [--inject missing-row|forbidden-state|cycle]");
                 return;
             }
             other => {
@@ -104,9 +134,7 @@ fn main() {
         }
     }
 
-    let mut total_defects = 0usize;
-    let mut tables_checked = 0usize;
-
+    let mut families: Vec<FamilyResult> = Vec::new();
     for fam in FAMILIES {
         let mut l1 = l1_transition_table(fam);
         let mut bridge = bridge_transition_table(fam);
@@ -117,49 +145,148 @@ fn main() {
             }
         }
         let set = [&l1, &bridge, &dcoh];
-        let defects = check_all(&set);
-        tables_checked += set.len();
-        let rows: usize = set.iter().map(|t| t.rows.len()).sum();
-        if defects.is_empty() {
-            println!("{fam}: l1+bridge+dcoh tables clean ({rows} rows)");
-        } else {
-            println!("{fam}: {} defect(s) in {rows} rows:", defects.len());
-            for d in &defects {
-                println!("  {d}");
-            }
-            total_defects += defects.len();
-        }
+        families.push(FamilyResult {
+            family: fam.to_string(),
+            tables: set
+                .iter()
+                .map(|t| TableStats {
+                    family: fam.to_string(),
+                    controller: t.controller,
+                    states: t.states.len(),
+                    events: t.events.len(),
+                    rows: t.rows.len(),
+                })
+                .collect(),
+            defects: check_all(&set),
+        });
     }
 
     // The generated compound FSMs, for the same families plus the
     // directory-less baselines.
+    let mut fsms: Vec<FsmResult> = Vec::new();
     for fam in FAMILIES {
-        let fsm = bridge_fsm(fam);
-        let defects = check_fsm(&fsm);
-        if !defects.is_empty() {
-            println!("{fam} compound FSM: {} defect(s):", defects.len());
-            for d in &defects {
-                println!("  {d}");
-            }
-            total_defects += defects.len();
-        }
+        fsms.push(FsmResult {
+            name: format!("{fam} compound FSM"),
+            defects: check_fsm(&bridge_fsm(fam))
+                .iter()
+                .map(|d| d.to_string())
+                .collect(),
+        });
     }
     for fam in [ProtocolFamily::Mesi, ProtocolFamily::Moesi] {
-        let fsm = baseline_fsm(fam, ProtocolFamily::Mesi);
-        let defects = check_fsm(&fsm);
-        if !defects.is_empty() {
-            println!("{fam} baseline FSM: {} defect(s):", defects.len());
-            for d in &defects {
-                println!("  {d}");
-            }
-            total_defects += defects.len();
-        }
+        fsms.push(FsmResult {
+            name: format!("{fam} baseline FSM"),
+            defects: check_fsm(&baseline_fsm(fam, ProtocolFamily::Mesi))
+                .iter()
+                .map(|d| d.to_string())
+                .collect(),
+        });
     }
 
-    if total_defects == 0 {
-        println!("protocheck: {tables_checked} tables + 6 compound FSMs clean");
+    let total_defects: usize = families.iter().map(|f| f.defects.len()).sum::<usize>()
+        + fsms.iter().map(|f| f.defects.len()).sum::<usize>();
+    let tables_checked: usize = families.iter().map(|f| f.tables.len()).sum();
+
+    if json {
+        print_json(&families, &fsms, total_defects);
     } else {
-        println!("protocheck: {total_defects} defect(s)");
+        print_text(&families, &fsms, total_defects, tables_checked, fsms.len());
+    }
+    if total_defects != 0 {
         std::process::exit(1);
     }
+}
+
+fn print_text(
+    families: &[FamilyResult],
+    fsms: &[FsmResult],
+    total_defects: usize,
+    tables_checked: usize,
+    fsm_count: usize,
+) {
+    for f in families {
+        let rows: usize = f.tables.iter().map(|t| t.rows).sum();
+        if f.defects.is_empty() {
+            println!("{}: l1+bridge+dcoh tables clean ({rows} rows)", f.family);
+        } else {
+            println!(
+                "{}: {} defect(s) in {rows} rows:",
+                f.family,
+                f.defects.len()
+            );
+            for d in &f.defects {
+                println!("  {d}");
+            }
+        }
+    }
+    for f in fsms {
+        if !f.defects.is_empty() {
+            println!("{}: {} defect(s):", f.name, f.defects.len());
+            for d in &f.defects {
+                println!("  {d}");
+            }
+        }
+    }
+    if total_defects == 0 {
+        println!("protocheck: {tables_checked} tables + {fsm_count} compound FSMs clean");
+    } else {
+        println!("protocheck: {total_defects} defect(s)");
+    }
+}
+
+fn print_json(families: &[FamilyResult], fsms: &[FsmResult], total_defects: usize) {
+    let mut out = String::from("{\n  \"tables\": [\n");
+    let mut first = true;
+    for f in families {
+        for t in &f.tables {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"family\": \"{}\", \"controller\": \"{}\", \
+                 \"states\": {}, \"events\": {}, \"rows\": {}}}",
+                json_escape(&t.family),
+                json_escape(t.controller),
+                t.states,
+                t.events,
+                t.rows
+            ));
+        }
+    }
+    out.push_str("\n  ],\n  \"defects\": [\n");
+    first = true;
+    for f in families {
+        for d in &f.defects {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"family\": \"{}\", \"kind\": \"{}\", \"detail\": \"{}\"}}",
+                json_escape(&f.family),
+                d.kind(),
+                json_escape(d.detail())
+            ));
+        }
+    }
+    for f in fsms {
+        for d in &f.defects {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"family\": \"{}\", \"kind\": \"fsm\", \"detail\": \"{}\"}}",
+                json_escape(&f.name),
+                json_escape(d)
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"fsms_checked\": {},\n  \"total_defects\": {}\n}}\n",
+        fsms.len(),
+        total_defects
+    ));
+    print!("{out}");
 }

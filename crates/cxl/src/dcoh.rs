@@ -297,7 +297,7 @@ impl DcohEngine {
         let line = self.lines.entry(addr.0);
         line.data = data;
         line.poisoned = false;
-        self.lines.demote(addr.0);
+        self.demote_quiesced(addr);
     }
 
     /// Lines whose device copy is poison-marked, sorted. Poison is
@@ -360,6 +360,24 @@ impl DcohEngine {
                 None => class(l.holders),
             },
         }
+    }
+
+    /// Demote `addr` to its flat summary if quiescent, cross-checking
+    /// demotability against the table's `Quiesce` rows: a line the code
+    /// considers demotable must have a permitting self-loop row, and a
+    /// transactional (snoop/convoy) line must hit a forbidden row.
+    fn demote_quiesced(&mut self, addr: Addr) {
+        #[cfg(debug_assertions)]
+        if let Some(l) = self.lines.get(addr.0) {
+            let demotable = l.snoop.is_none() && l.queue.is_empty();
+            let state = self.table_state(addr);
+            debug_assert_eq!(
+                dcoh_cached_table().permits(state, "Quiesce"),
+                demotable,
+                "dcoh: demotability of {addr} in {state} disagrees with the Quiesce table rows",
+            );
+        }
+        self.lines.demote(addr.0);
     }
 
     /// Whether the engine is quiescent. Demoted lines are quiescent by
@@ -628,7 +646,7 @@ impl DcohEngine {
             }
             other => panic!("DCOH received device-bound message {other:?}"),
         }
-        self.lines.demote(addr.0);
+        self.demote_quiesced(addr);
         out
     }
 
@@ -724,7 +742,7 @@ impl DcohEngine {
                     self.admit(h, m, Some(now), &mut out);
                 }
             }
-            self.lines.demote(addr.0);
+            self.demote_quiesced(addr);
         }
         out
     }
@@ -1097,6 +1115,28 @@ pub fn dcoh_transition_table() -> TransitionTable {
         ));
     }
 
+    // ---- region-summary demotion (PR-9): an internal "Quiesce" step.
+    // A line may drop to its flat summary only in a stable holder class,
+    // and demotion must neither change protocol state nor emit messages
+    // (self-loop, no actions). Transactional states must stay resident.
+    for s in ["NoHolders", "Shared", "Exclusive"] {
+        rows.push(TransitionRow::next(
+            s,
+            "Quiesce",
+            s,
+            vec![],
+            "dcoh.rs:demote_quiesced (line demotes to LineSummary)",
+        ));
+    }
+    for s in ["SnpInv", "SnpData"] {
+        rows.push(TransitionRow::forbidden(
+            s,
+            "Quiesce",
+            "a blocking snoop / convoy queue holds the line resident",
+            "dcoh.rs:demote_quiesced",
+        ));
+    }
+
     TransitionTable {
         controller: "dcoh",
         states: ALL.to_vec(),
@@ -1108,6 +1148,7 @@ pub fn dcoh_transition_table() -> TransitionTable {
             "BiRspI",
             "BiRspS",
             "BiConflict",
+            "Quiesce",
         ],
         event_vnets: vec![
             ("MemRdA", Req),
@@ -1121,8 +1162,9 @@ pub fn dcoh_transition_table() -> TransitionTable {
         initial: vec!["NoHolders"],
         forbidden: vec![],
         // Everything the DCOH consumes arrives over the wire from the
-        // bridges — nothing is assumed.
-        assumed_available: vec![],
+        // bridges; only the internal region-summary demotion step
+        // originates locally.
+        assumed_available: vec!["Quiesce"],
         rows,
     }
 }

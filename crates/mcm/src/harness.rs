@@ -12,9 +12,12 @@
 use std::collections::BTreeSet;
 
 use c3::system::{ClusterSpec, GlobalProtocol, SystemBuilder};
+use c3::ResilienceConfig;
 use c3_protocol::mcm::Mcm;
 use c3_protocol::ops::ThreadProgram;
 use c3_protocol::states::ProtocolFamily;
+use c3_sim::fabric::LinkId;
+use c3_sim::fault::{FaultPlan, LinkFaults};
 use c3_sim::kernel::RunOutcome;
 use c3_sim::rng::SimRng;
 use c3_sim::time::Delay;
@@ -38,6 +41,13 @@ pub struct LitmusConfig {
     pub base_seed: u64,
     /// Maximum random start stagger per core (ns).
     pub max_stagger_ns: u64,
+    /// Optional CXL-link fault injection (litmus-under-faults mode).
+    /// When set, the bridges run with timeout/retry resilience and the
+    /// global fabric perturbs messages per these knobs; the allowed set
+    /// is unchanged — faults may alter timing, never outcomes. Poison
+    /// faults are not meaningful here (a poisoned observation is junk by
+    /// definition); use drop/dup/delay/reorder knobs.
+    pub faults: Option<LinkFaults>,
 }
 
 impl LitmusConfig {
@@ -54,12 +64,19 @@ impl LitmusConfig {
             runs: 200,
             base_seed: 0xBEEF,
             max_stagger_ns: 40,
+            faults: None,
         }
     }
 
     /// Override the number of runs.
     pub fn runs(mut self, runs: usize) -> Self {
         self.runs = runs;
+        self
+    }
+
+    /// Enable CXL-link fault injection for every run of the campaign.
+    pub fn with_faults(mut self, faults: LinkFaults) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -126,6 +143,23 @@ pub fn reference_allowed(test: &LitmusTest, cfg: &LitmusConfig) -> BTreeSet<Outc
     allowed_outcomes(&materialized_threads(test, cfg), &mcms, &test.observed)
 }
 
+/// Bounded model-checking mode: exhaustively enumerate the reference
+/// allowed set under `cfg` and return every declared-forbidden tuple
+/// that the model (wrongly) allows — empty means the query is proven.
+///
+/// This is the litmus counterpart of the `modelcheck` explorer: the
+/// reference machine interleaves *perform* events exhaustively, so a
+/// forbidden tuple absent from the enumeration is impossible under the
+/// compound model, not merely unobserved.
+pub fn bounded_check(test: &LitmusTest, cfg: &LitmusConfig) -> Vec<Outcome> {
+    let allowed = reference_allowed(test, cfg);
+    test.forbidden
+        .iter()
+        .filter(|f| allowed.contains(*f))
+        .cloned()
+        .collect()
+}
+
 /// Run one litmus campaign.
 ///
 /// # Examples
@@ -172,9 +206,14 @@ pub fn run_litmus(test: &LitmusTest, cfg: &LitmusConfig) -> LitmusReport {
             ClusterSpec::new(cfg.protocols.0, c0.len().max(1)).with_l1(16, 4),
             ClusterSpec::new(cfg.protocols.1, c1.len().max(1)).with_l1(16, 4),
         ];
-        let builder = SystemBuilder::new(clusters, cfg.global)
+        let mut builder = SystemBuilder::new(clusters, cfg.global)
             .cxl_cache(64, 4)
             .seed(seed);
+        if cfg.faults.is_some() {
+            // Timeout comfortably above the fault-free round trip, with a
+            // generous retry budget — same settings as the chaos soak.
+            builder = builder.resilience(ResilienceConfig::new(3_000, 10));
+        }
         let programs = programs.clone();
         let c0 = c0.clone();
         let c1 = c1.clone();
@@ -206,6 +245,12 @@ pub fn run_litmus(test: &LitmusTest, cfg: &LitmusConfig) -> LitmusReport {
                 seed ^ (ti as u64).wrapping_mul(0x517C_C1B7_2722_0A95),
             ))
         });
+        if let Some(faults) = cfg.faults {
+            let links: Vec<LinkId> = handles.cxl_links.clone().map(LinkId).collect();
+            assert!(!links.is_empty(), "no CXL links to perturb");
+            sim.fabric_mut()
+                .set_fault_plan(FaultPlan::new(seed).with_links(links, faults));
+        }
         sim.set_event_limit(5_000_000);
         let outcome = sim.run();
         assert_eq!(

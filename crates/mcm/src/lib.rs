@@ -21,6 +21,6 @@ pub mod litmus_text;
 pub mod reference;
 
 pub use core_model::{CoreConfig, TimingCore};
-pub use harness::{run_litmus, LitmusConfig, LitmusReport};
+pub use harness::{bounded_check, run_litmus, LitmusConfig, LitmusReport};
 pub use litmus::{LitmusTest, Observation};
 pub use reference::{allowed_outcomes, Outcome};

@@ -1,12 +1,19 @@
 //! The litmus test suite (§VI-A of the paper).
 //!
 //! The system-level tests the paper runs — *MP, IRIW, 2+2W, R, S, SB, LB*
-//! (generated with herd7 in the paper) — plus *WRC*, *RWC* and *CoRR*
-//! used by the checker. Tests are written portably with C11-style
-//! acquire/release annotations and explicit fences;
-//! [`LitmusTest::materialize`] applies the per-architecture compiler
-//! mapping (§II-B): on TSO hardware acquire/release are free and only
-//! store→load fences remain, on weak hardware all annotations stay.
+//! (generated with herd7 in the paper) — plus the rest of the 22-test
+//! CXL battery: the coherence axioms (*CoRR, CoRR2, CoWW, CoRW1, CoRW2,
+//! CoWR*), the causality chains (*WRC, RWC, WWC, WRW+2W, ISA2, W+RWC,
+//! Z6.3*) and the three-thread cycles (*3.SB, 3.LB*). Tests are written
+//! portably with C11-style acquire/release annotations and explicit
+//! fences; [`LitmusTest::materialize`] applies the per-architecture
+//! compiler mapping (§II-B): on TSO hardware acquire/release are free and
+//! only store→load fences remain, on weak hardware all annotations stay.
+//!
+//! Every test carries its *forbidden* outcome tuples, so it can run in
+//! two modes: an execution campaign on the timing simulator
+//! ([`crate::harness::run_litmus`]) and a bounded model-checking query
+//! against the operational reference ([`crate::harness::bounded_check`]).
 
 use c3_protocol::mcm::Mcm;
 use c3_protocol::ops::{AccessOrder, Addr, Instr, Reg, ThreadProgram};
@@ -29,11 +36,17 @@ pub struct LitmusTest {
     pub threads: Vec<ThreadProgram>,
     /// The observed outcome tuple.
     pub observed: Observation,
+    /// Forbidden outcome tuples (same layout as [`Observation`]:
+    /// registers then memory) under the test's *full* synchronization.
+    /// The bounded checker proves none is in the reference allowed set;
+    /// execution campaigns must never observe one.
+    pub forbidden: Vec<Vec<u64>>,
 }
 
 /// Locations used by the tests.
 const X: Addr = Addr(0x100);
 const Y: Addr = Addr(0x140);
+const Z: Addr = Addr(0x180);
 
 fn ld(addr: Addr, reg: Reg) -> Instr {
     Instr::Load {
@@ -98,9 +111,27 @@ impl LitmusTest {
         v
     }
 
+    /// The full 22-test CXL battery: the extended suite plus the
+    /// remaining coherence axioms (CoWW, CoRW1, CoRW2, CoWR), the
+    /// three-location causality chains (ISA2, W+RWC, Z6.3) and the
+    /// three-thread cycles (3.SB, 3.LB).
+    pub fn full_battery() -> Vec<LitmusTest> {
+        let mut v = Self::extended_suite();
+        v.push(Self::coww());
+        v.push(Self::corw1());
+        v.push(Self::corw2());
+        v.push(Self::cowr());
+        v.push(Self::isa2());
+        v.push(Self::w_rwc());
+        v.push(Self::z6_3());
+        v.push(Self::sb3());
+        v.push(Self::lb3());
+        v
+    }
+
     /// Look up a test by name.
     pub fn by_name(name: &str) -> Option<LitmusTest> {
-        Self::extended_suite().into_iter().find(|t| t.name == name)
+        Self::full_battery().into_iter().find(|t| t.name == name)
     }
 
     /// Message passing: forbidden outcome `(r0, r1) = (1, 0)`.
@@ -115,6 +146,7 @@ impl LitmusTest {
                 regs: vec![(1, Reg(0)), (1, Reg(1))],
                 mem: vec![],
             },
+            forbidden: vec![vec![1, 0]],
         }
     }
 
@@ -133,6 +165,7 @@ impl LitmusTest {
                 regs: vec![(2, Reg(0)), (2, Reg(1)), (3, Reg(2)), (3, Reg(3))],
                 mem: vec![],
             },
+            forbidden: vec![vec![1, 0, 1, 0]],
         }
     }
 
@@ -149,6 +182,7 @@ impl LitmusTest {
                 regs: vec![],
                 mem: vec![X, Y],
             },
+            forbidden: vec![vec![2, 2]],
         }
     }
 
@@ -164,6 +198,7 @@ impl LitmusTest {
                 regs: vec![(1, Reg(0))],
                 mem: vec![Y],
             },
+            forbidden: vec![vec![0, 2]],
         }
     }
 
@@ -179,6 +214,7 @@ impl LitmusTest {
                 regs: vec![(1, Reg(0))],
                 mem: vec![X],
             },
+            forbidden: vec![vec![1, 2]],
         }
     }
 
@@ -194,6 +230,7 @@ impl LitmusTest {
                 regs: vec![(0, Reg(0)), (1, Reg(1))],
                 mem: vec![],
             },
+            forbidden: vec![vec![0, 0]],
         }
     }
 
@@ -209,6 +246,7 @@ impl LitmusTest {
                 regs: vec![(0, Reg(0)), (1, Reg(1))],
                 mem: vec![],
             },
+            forbidden: vec![vec![1, 1]],
         }
     }
 
@@ -225,6 +263,7 @@ impl LitmusTest {
                 regs: vec![(1, Reg(0)), (2, Reg(1)), (2, Reg(2))],
                 mem: vec![],
             },
+            forbidden: vec![vec![1, 1, 0]],
         }
     }
 
@@ -241,6 +280,7 @@ impl LitmusTest {
                 regs: vec![(1, Reg(0)), (1, Reg(1)), (2, Reg(2))],
                 mem: vec![],
             },
+            forbidden: vec![vec![1, 0, 0]],
         }
     }
 
@@ -259,6 +299,7 @@ impl LitmusTest {
                 regs: vec![(2, Reg(0)), (2, Reg(1)), (3, Reg(2)), (3, Reg(3))],
                 mem: vec![],
             },
+            forbidden: vec![vec![1, 2, 2, 1], vec![2, 1, 1, 2]],
         }
     }
 
@@ -277,6 +318,7 @@ impl LitmusTest {
                 regs: vec![(1, Reg(0)), (2, Reg(1))],
                 mem: vec![X],
             },
+            forbidden: vec![vec![2, 1, 2]],
         }
     }
 
@@ -293,6 +335,7 @@ impl LitmusTest {
                 regs: vec![(1, Reg(0))],
                 mem: vec![X],
             },
+            forbidden: vec![vec![1, 2]],
         }
     }
 
@@ -309,6 +352,156 @@ impl LitmusTest {
                 regs: vec![(1, Reg(0)), (1, Reg(1))],
                 mem: vec![],
             },
+            forbidden: vec![vec![1, 0]],
+        }
+    }
+
+    /// Coherence write-write: a single thread's two stores to one
+    /// location must settle in program order — forbidden final `x = 1`.
+    pub fn coww() -> LitmusTest {
+        LitmusTest {
+            name: "CoWW-sys",
+            threads: vec![prog(vec![st(X, 1), st(X, 2)])],
+            observed: Observation {
+                regs: vec![],
+                mem: vec![X],
+            },
+            forbidden: vec![vec![1]],
+        }
+    }
+
+    /// Coherence read-then-write, one thread: a load must not read from
+    /// its own program-later store — forbidden `r0 = 1`.
+    pub fn corw1() -> LitmusTest {
+        LitmusTest {
+            name: "CoRW1-sys",
+            threads: vec![prog(vec![ld(X, Reg(0)), st(X, 1)])],
+            observed: Observation {
+                regs: vec![(0, Reg(0))],
+                mem: vec![],
+            },
+            forbidden: vec![vec![1]],
+        }
+    }
+
+    /// Coherence read-then-write, two threads: if T0 reads T1's `x = 1`
+    /// before writing `x = 2`, its write is coherence-later — forbidden
+    /// `(r0, x) = (1, 1)` (and reading the own future write, `r0 = 2`).
+    pub fn corw2() -> LitmusTest {
+        LitmusTest {
+            name: "CoRW2-sys",
+            threads: vec![prog(vec![ld(X, Reg(0)), st(X, 2)]), prog(vec![st(X, 1)])],
+            observed: Observation {
+                regs: vec![(0, Reg(0))],
+                mem: vec![X],
+            },
+            forbidden: vec![vec![1, 1], vec![2, 1], vec![2, 2]],
+        }
+    }
+
+    /// Coherence write-then-read: if T0 reads T1's `x = 1` after writing
+    /// `x = 2`, that `1` is coherence-later than its own write —
+    /// forbidden `(r0, x) = (1, 2)`.
+    pub fn cowr() -> LitmusTest {
+        LitmusTest {
+            name: "CoWR-sys",
+            threads: vec![prog(vec![st(X, 2), ld(X, Reg(0))]), prog(vec![st(X, 1)])],
+            observed: Observation {
+                regs: vec![(0, Reg(0))],
+                mem: vec![X],
+            },
+            forbidden: vec![vec![1, 2]],
+        }
+    }
+
+    /// ISA2: a release/acquire chain through two intermediaries —
+    /// forbidden `(1, 1, 0)` (the tail reader misses the head write).
+    pub fn isa2() -> LitmusTest {
+        LitmusTest {
+            name: "ISA2-sys",
+            threads: vec![
+                prog(vec![st(X, 1), st_rel(Y, 1)]),
+                prog(vec![ld_acq(Y, Reg(0)), st_rel(Z, 1)]),
+                prog(vec![ld_acq(Z, Reg(1)), ld(X, Reg(2))]),
+            ],
+            observed: Observation {
+                regs: vec![(1, Reg(0)), (2, Reg(1)), (2, Reg(2))],
+                mem: vec![],
+            },
+            forbidden: vec![vec![1, 1, 0]],
+        }
+    }
+
+    /// W+RWC: RWC with the lone write strengthened into a release chain
+    /// through `z` — forbidden `(1, 0, 0)`.
+    pub fn w_rwc() -> LitmusTest {
+        LitmusTest {
+            name: "W+RWC-sys",
+            threads: vec![
+                prog(vec![st(X, 1), st_rel(Z, 1)]),
+                prog(vec![ld_acq(Z, Reg(0)), fence(), ld(Y, Reg(1))]),
+                prog(vec![st(Y, 1), fence(), ld(X, Reg(2))]),
+            ],
+            observed: Observation {
+                regs: vec![(1, Reg(0)), (1, Reg(1)), (2, Reg(2))],
+                mem: vec![],
+            },
+            forbidden: vec![vec![1, 0, 0]],
+        }
+    }
+
+    /// Z6.3: a three-thread release/acquire chain ending in a write —
+    /// forbidden `(r0, r1, x) = (1, 1, 1)` (the causally-last `x = 2`
+    /// lost to the chain head's `x = 1`).
+    pub fn z6_3() -> LitmusTest {
+        LitmusTest {
+            name: "Z6.3-sys",
+            threads: vec![
+                prog(vec![st(X, 1), st_rel(Y, 1)]),
+                prog(vec![ld_acq(Y, Reg(0)), st_rel(Z, 1)]),
+                prog(vec![ld_acq(Z, Reg(1)), st(X, 2)]),
+            ],
+            observed: Observation {
+                regs: vec![(1, Reg(0)), (2, Reg(1))],
+                mem: vec![X],
+            },
+            forbidden: vec![vec![1, 1, 1]],
+        }
+    }
+
+    /// Three-thread store buffering: forbidden `(0, 0, 0)` — the ring of
+    /// fenced store→load pairs cannot all miss each other.
+    pub fn sb3() -> LitmusTest {
+        LitmusTest {
+            name: "3.SB-sys",
+            threads: vec![
+                prog(vec![st(X, 1), fence(), ld(Y, Reg(0))]),
+                prog(vec![st(Y, 1), fence(), ld(Z, Reg(1))]),
+                prog(vec![st(Z, 1), fence(), ld(X, Reg(2))]),
+            ],
+            observed: Observation {
+                regs: vec![(0, Reg(0)), (1, Reg(1)), (2, Reg(2))],
+                mem: vec![],
+            },
+            forbidden: vec![vec![0, 0, 0]],
+        }
+    }
+
+    /// Three-thread load buffering: forbidden `(1, 1, 1)` — with acquire
+    /// loads the ring of load→store pairs cannot all see each other.
+    pub fn lb3() -> LitmusTest {
+        LitmusTest {
+            name: "3.LB-sys",
+            threads: vec![
+                prog(vec![ld_acq(X, Reg(0)), st(Y, 1)]),
+                prog(vec![ld_acq(Y, Reg(1)), st(Z, 1)]),
+                prog(vec![ld_acq(Z, Reg(2)), st(X, 1)]),
+            ],
+            observed: Observation {
+                regs: vec![(0, Reg(0)), (1, Reg(1)), (2, Reg(2))],
+                mem: vec![],
+            },
+            forbidden: vec![vec![1, 1, 1]],
         }
     }
 
@@ -348,6 +541,7 @@ impl LitmusTest {
             name: self.name,
             threads: self.threads.iter().map(|t| t.without_sync()).collect(),
             observed: self.observed.clone(),
+            forbidden: self.forbidden.clone(),
         }
     }
 }
@@ -406,11 +600,34 @@ mod tests {
 
     #[test]
     fn observation_tuples_are_well_formed() {
-        for t in LitmusTest::extended_suite() {
+        for t in LitmusTest::full_battery() {
             for (th, _) in &t.observed.regs {
                 assert!(*th < t.threads.len(), "{}", t.name);
             }
             assert!(!t.observed.regs.is_empty() || !t.observed.mem.is_empty());
+        }
+    }
+
+    #[test]
+    fn full_battery_is_the_22_test_cxl_suite() {
+        let battery = LitmusTest::full_battery();
+        assert_eq!(battery.len(), 22);
+        let names: std::collections::BTreeSet<&str> = battery.iter().map(|t| t.name).collect();
+        assert_eq!(names.len(), battery.len(), "duplicate test names");
+    }
+
+    #[test]
+    fn forbidden_tuples_match_observation_arity() {
+        for t in LitmusTest::full_battery() {
+            let arity = t.observed.regs.len() + t.observed.mem.len();
+            assert!(
+                !t.forbidden.is_empty(),
+                "{} declares no forbidden outcome",
+                t.name
+            );
+            for f in &t.forbidden {
+                assert_eq!(f.len(), arity, "{}: tuple {:?}", t.name, f);
+            }
         }
     }
 }

@@ -19,7 +19,9 @@
 //! Operations: `load[.acq] <var> <reg>`, `store[.rel] <var> <val>`,
 //! `rmw <var> <add> <reg>`, `fence[.full|.st|.ld]`, `work <cycles>`.
 //! `observe` takes `Pn:rK` register observations and `mem:<var>` final
-//! memory observations. Variables map to distinct cache lines.
+//! memory observations. Variables map to distinct cache lines. Optional
+//! `forbid <v> <v> ...` lines (repeatable) declare forbidden outcome
+//! tuples in `observe` order, enabling the bounded-check mode.
 
 use std::collections::BTreeMap;
 
@@ -83,6 +85,7 @@ pub fn parse_litmus(text: &str) -> Result<ParsedLitmus, LitmusParseError> {
         regs: Vec::new(),
         mem: Vec::new(),
     };
+    let mut forbidden: Vec<Vec<u64>> = Vec::new();
 
     let var_addr = |vars: &mut BTreeMap<String, Addr>, v: &str| {
         let next = VAR_BASE + vars.len() as u64 * VAR_STRIDE;
@@ -127,6 +130,19 @@ pub fn parse_litmus(text: &str) -> Result<ParsedLitmus, LitmusParseError> {
                         observed.regs.push((ti, reg));
                     }
                 }
+            }
+            "forbid" => {
+                let tuple: Vec<u64> = toks[1..]
+                    .iter()
+                    .map(|t| {
+                        t.parse()
+                            .map_err(|_| err(lineno, format!("bad forbid value '{t}'")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if tuple.is_empty() {
+                    return Err(err(lineno, "forbid needs outcome values"));
+                }
+                forbidden.push(tuple);
             }
             op => {
                 let prog = threads
@@ -222,11 +238,24 @@ pub fn parse_litmus(text: &str) -> Result<ParsedLitmus, LitmusParseError> {
     if observed.regs.is_empty() && observed.mem.is_empty() {
         return Err(err(0, "missing 'observe' line"));
     }
+    let arity = observed.regs.len() + observed.mem.len();
+    for f in &forbidden {
+        if f.len() != arity {
+            return Err(err(
+                0,
+                format!(
+                    "forbid tuple {f:?} has {} values but 'observe' lists {arity}",
+                    f.len()
+                ),
+            ));
+        }
+    }
     Ok(ParsedLitmus {
         test: LitmusTest {
             name: "parsed", // display name carried in ParsedLitmus::name
             threads,
             observed,
+            forbidden,
         },
         vars,
         name,
@@ -286,6 +315,10 @@ pub fn to_text(test: &LitmusTest) -> String {
         obs.push_str(&format!(" mem:{}", var_of(*a, &mut vars)));
     }
     writeln!(out, "{obs}").unwrap();
+    for f in &test.forbidden {
+        let vals: Vec<String> = f.iter().map(u64::to_string).collect();
+        writeln!(out, "forbid {}", vals.join(" ")).unwrap();
+    }
     out
 }
 
@@ -326,7 +359,7 @@ observe P1:r0 P1:r1
 
     #[test]
     fn roundtrip_builtin_suite() {
-        for test in LitmusTest::extended_suite() {
+        for test in LitmusTest::full_battery() {
             let text = to_text(&test);
             let parsed = parse_litmus(&text).unwrap_or_else(|e| panic!("{}: {e}", test.name));
             assert_eq!(
@@ -335,12 +368,34 @@ observe P1:r0 P1:r1
                 "{}",
                 test.name
             );
+            // The forbidden tuples survive the round trip verbatim.
+            assert_eq!(parsed.test.forbidden, test.forbidden, "{}", test.name);
             // Semantics must survive the round trip: identical allowed sets.
             let mcms = vec![Mcm::Weak; test.threads.len()];
             let a = allowed_outcomes(&test.threads, &mcms, &test.observed);
             let b = allowed_outcomes(&parsed.test.threads, &mcms, &parsed.test.observed);
             assert_eq!(a, b, "{}", test.name);
         }
+    }
+
+    #[test]
+    fn forbid_lines_parse_and_validate() {
+        let text = "\
+litmus MPF
+thread P0
+  store x 1
+  store.rel y 1
+thread P1
+  load.acq y r0
+  load x r1
+observe P1:r0 P1:r1
+forbid 1 0
+";
+        let parsed = parse_litmus(text).expect("parse");
+        assert_eq!(parsed.test.forbidden, vec![vec![1, 0]]);
+        let bad = text.replace("forbid 1 0", "forbid 1");
+        let e = parse_litmus(&bad).unwrap_err();
+        assert!(e.message.contains("forbid tuple"), "{e}");
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! matrix with more iterations; these tests keep CI fast.
 
 use c3::system::GlobalProtocol;
-use c3_mcm::harness::{reference_allowed, run_litmus, LitmusConfig};
+use c3_mcm::harness::{bounded_check, reference_allowed, run_litmus, LitmusConfig};
 use c3_mcm::litmus::LitmusTest;
 use c3_protocol::mcm::Mcm;
 use c3_protocol::states::ProtocolFamily;
+use c3_sim::fault::LinkFaults;
 
 const MESI_CXL_MESI: (ProtocolFamily, ProtocolFamily) =
     (ProtocolFamily::Mesi, ProtocolFamily::Mesi);
@@ -160,4 +161,84 @@ fn extended_suite_passes_spot_checks() {
     check(&LitmusTest::corr2(), &cfg);
     check(&LitmusTest::wwc(), &cfg);
     check(&LitmusTest::wrw_2w(), &cfg);
+}
+
+#[test]
+fn full_battery_bounded_check_proves_every_forbidden_tuple() {
+    // Bounded model-checking mode: for every test in the 22-test battery
+    // and every MCM pairing, the reference enumeration must exclude each
+    // declared-forbidden outcome — a proof under the compound model, not
+    // a sampling claim.
+    for mcms in [
+        (Mcm::Weak, Mcm::Weak),
+        (Mcm::Tso, Mcm::Tso),
+        (Mcm::Tso, Mcm::Weak),
+        (Mcm::Weak, Mcm::Tso),
+    ] {
+        let cfg = LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, mcms);
+        for test in LitmusTest::full_battery() {
+            let leaked = bounded_check(&test, &cfg);
+            assert!(
+                leaked.is_empty(),
+                "{} under {mcms:?}: forbidden tuples allowed by the model: {leaked:?}",
+                test.name
+            );
+        }
+    }
+}
+
+#[test]
+fn full_battery_execution_passes() {
+    // Execution mode: every battery test runs on the full timing
+    // simulator; no observed outcome may leave the reference allowed set
+    // (which in particular excludes every declared-forbidden tuple — see
+    // the bounded-check test).
+    let cfg =
+        LitmusConfig::new(MESI_CXL_MOESI, GlobalProtocol::Cxl, (Mcm::Tso, Mcm::Weak)).runs(20);
+    for test in LitmusTest::full_battery() {
+        let report = run_litmus(&test, &cfg);
+        assert!(
+            report.passed(),
+            "{}: forbidden outcomes {:?} (allowed {:?})",
+            test.name,
+            report.forbidden,
+            report.allowed,
+        );
+        for f in &test.forbidden {
+            assert!(
+                !report.observed.contains(f),
+                "{}: declared-forbidden tuple {f:?} observed",
+                test.name
+            );
+        }
+    }
+}
+
+#[test]
+fn litmus_under_faults_still_passes() {
+    // Litmus-under-faults: lossy, duplicating CXL links with
+    // timeout/retry resilience enabled must perturb timing only — the
+    // observed outcomes stay inside the *fault-free* allowed set.
+    let faults = LinkFaults {
+        drop_p: 0.05,
+        dup_p: 0.03,
+        ..LinkFaults::default()
+    };
+    let cfg = LitmusConfig::new(MESI_CXL_MESI, GlobalProtocol::Cxl, (Mcm::Weak, Mcm::Weak))
+        .runs(40)
+        .with_faults(faults);
+    for test in [
+        LitmusTest::mp(),
+        LitmusTest::sb(),
+        LitmusTest::wrc(),
+        LitmusTest::corr(),
+    ] {
+        let report = run_litmus(&test, &cfg);
+        assert!(
+            report.passed(),
+            "{} under faults: forbidden outcomes {:?}",
+            test.name,
+            report.forbidden,
+        );
+    }
 }

@@ -318,6 +318,21 @@ impl L1Controller {
         );
     }
 
+    /// Debug-mode quiescence check (PR-9 region summaries): a line that
+    /// just shed its MSHR must land in a state whose `Quiesce` table row
+    /// permits dropping the resident record.
+    #[cfg(debug_assertions)]
+    fn assert_quiesced(&self, addr: Addr) {
+        let table = l1_cached_table(self.cfg.family);
+        let state = self.table_state(addr);
+        debug_assert!(
+            table.permits(state, "Quiesce"),
+            "{}: MSHR retired for {addr} but {state} has no permitting Quiesce row in the {} table",
+            self.name,
+            table.controller,
+        );
+    }
+
     /// Miss statistics for one access kind.
     pub fn stats(&self, kind: AccessKind) -> &MissStats {
         &self.stats[kind as usize]
@@ -791,6 +806,8 @@ impl L1Controller {
         self.ensure_way(addr, ctx);
         let evicted = self.array.insert(addr, line);
         debug_assert!(evicted.is_none(), "way freed by ensure_way");
+        #[cfg(debug_assertions)]
+        self.assert_quiesced(addr);
         let latency = ctx.now.since(mshr.started);
         self.stats[kind as usize].bands.record(latency);
         self.stats[kind as usize].hist.record(latency);
@@ -820,6 +837,8 @@ impl L1Controller {
     fn retire_mshr(&mut self, addr: Addr, ctx: &mut Ctx<'_, SysMsg>) {
         let mshr = self.mshrs.take(addr.0).expect("mshr present");
         debug_assert!(mshr.initiator.is_none());
+        #[cfg(debug_assertions)]
+        self.assert_quiesced(addr);
         ctx.trace_end(mshr.txn);
         for req in mshr.pending {
             self.handle_core(req, ctx);
@@ -1848,13 +1867,35 @@ fn swmr_l1_table(family: ProtocolFamily) -> TransitionTable {
         "l1.rs:handle_host/PutAck",
     ));
 
+    // Region-summary quiescence (PR-9): a line may shed its resident
+    // MSHR record only in a stable state, and doing so must not change
+    // protocol state or emit messages. Transient states hold an MSHR.
+    for s in &stables {
+        rows.push(R::next(
+            s,
+            "Quiesce",
+            s,
+            vec![],
+            "l1.rs:retire (MSHR closed; line quiescent)",
+        ));
+    }
+    for t in &transients {
+        rows.push(R::forbidden(
+            t,
+            "Quiesce",
+            "an in-flight transaction holds a resident MSHR",
+            "l1.rs:retire",
+        ));
+    }
+
     let mut states = stables.clone();
     states.extend(transients.iter().copied());
     TransitionTable {
         controller: "l1",
         states,
         events: vec![
-            "Load", "Store", "Rmw", "Repl", "Data", "InvAck", "FwdGetS", "FwdGetM", "Inv", "PutAck",
+            "Load", "Store", "Rmw", "Repl", "Data", "InvAck", "FwdGetS", "FwdGetM", "Inv",
+            "PutAck", "Quiesce",
         ],
         event_vnets: vec![
             ("Data", Vnet::Resp),
@@ -1870,7 +1911,8 @@ fn swmr_l1_table(family: ProtocolFamily) -> TransitionTable {
         // the directory engine (not table-modelled — it is exhaustively
         // unit-tested and has no blocking states) produces the rest.
         assumed_available: vec![
-            "Load", "Store", "Rmw", "Repl", "Data", "InvAck", "FwdGetS", "FwdGetM", "Inv", "PutAck",
+            "Load", "Store", "Rmw", "Repl", "Data", "InvAck", "FwdGetS", "FwdGetM", "Inv",
+            "PutAck", "Quiesce",
         ],
         rows,
     }
@@ -1974,6 +2016,24 @@ fn rcc_l1_table() -> TransitionTable {
             "l1.rs:handle_host",
         ));
     }
+    // Region-summary quiescence (PR-9), mirroring the SWMR table.
+    for s in ["I", "S", "M"] {
+        rows.push(R::next(
+            s,
+            "Quiesce",
+            s,
+            vec![],
+            "l1.rs:retire (MSHR closed; line quiescent)",
+        ));
+    }
+    for t in ["IS_D", "WT_A", "AT_D"] {
+        rows.push(R::forbidden(
+            t,
+            "Quiesce",
+            "an in-flight transaction holds a resident MSHR",
+            "l1.rs:retire",
+        ));
+    }
     TransitionTable {
         controller: "l1",
         states: vec!["I", "S", "M", "IS_D", "WT_A", "AT_D"],
@@ -1985,6 +2045,7 @@ fn rcc_l1_table() -> TransitionTable {
             "Data",
             "WtAck",
             "AtomicResp",
+            "Quiesce",
         ],
         event_vnets: vec![
             ("Data", Vnet::Resp),
@@ -2001,6 +2062,7 @@ fn rcc_l1_table() -> TransitionTable {
             "Data",
             "WtAck",
             "AtomicResp",
+            "Quiesce",
         ],
         rows,
     }

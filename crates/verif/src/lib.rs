@@ -16,13 +16,28 @@
 //!   reachability, forbidden states, Rule-II discipline and
 //!   cross-controller static deadlock detection (the `protocheck` CLI in
 //!   `c3-bench` drives it).
+//! * [`resilient`] — the scalable checker for the PR-2 resilience layer:
+//!   lossy/duplicating links as nondeterministic fault transitions,
+//!   retry/replay/poison steps explicit, explored with canonical-form
+//!   symmetry reduction ([`symmetry`]) over a hashed, spillable frontier
+//!   ([`frontier`]) so 3-host × 2-address configs are exhaustible in CI.
 
 #![deny(missing_docs)]
 
+pub mod frontier;
 pub mod fsm_checks;
 pub mod model;
+pub mod resilient;
 pub mod static_checks;
+pub mod symmetry;
 
 pub use fsm_checks::{check_fsm, FsmDefect};
 pub use model::{check, CheckResult, ModelConfig, Violation};
-pub use static_checks::{check_all, check_message_graph, check_table, StaticDefect};
+pub use resilient::{
+    check_resilient, Counterexample, Injection, RViolation, ResilientConfig, ResilientResult,
+};
+pub use static_checks::{
+    check_all, check_message_graph, check_model_conformance, check_quiescence, check_table,
+    StaticDefect,
+};
+pub use symmetry::{Symmetric, SymmetryGroup};

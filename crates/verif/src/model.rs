@@ -24,7 +24,9 @@
 //!   observer, and quiescent convergence to the newest version;
 //! * **deadlock freedom** — every non-final state has a successor.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use c3_sim::hash::FxHashSet;
 
 /// Number of clusters in the model.
 pub const CLUSTERS: usize = 2;
@@ -342,7 +344,7 @@ impl State {
 /// Exhaustively explore the model under `cfg`.
 pub fn check(cfg: &ModelConfig) -> CheckResult {
     let init = State::initial(cfg);
-    let mut seen: HashSet<State> = HashSet::new();
+    let mut seen: FxHashSet<State> = FxHashSet::default();
     let mut frontier: VecDeque<State> = VecDeque::new();
     seen.insert(init.clone());
     frontier.push_back(init);

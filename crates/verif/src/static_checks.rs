@@ -53,6 +53,48 @@ pub enum StaticDefect {
     /// A stall row waits for events that can never arrive or would never
     /// be consumed — a statically detectable deadlock.
     Deadlock(String),
+    /// A `Quiesce` (region-summary demotion) row changes state or emits
+    /// messages: demotion must be observationally silent.
+    Quiescence(String),
+    /// The dynamic model checker exercised a `(state, event)` step the
+    /// static table forbids (or does not cover): the two analyses have
+    /// diverged.
+    ModelDivergence(String),
+}
+
+impl StaticDefect {
+    /// Stable machine-readable defect-class slug (the `--json` output of
+    /// `protocheck` keys on this, so CI can diff defect sets).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StaticDefect::Validation(_) => "validation",
+            StaticDefect::MissingRow(_) => "missing-row",
+            StaticDefect::UnreachableState(_) => "unreachable-state",
+            StaticDefect::UnreachableRow(_) => "unreachable-row",
+            StaticDefect::ForbiddenReachable(_) => "forbidden-reachable",
+            StaticDefect::ResponseStall(_) => "response-stall",
+            StaticDefect::RuleTwo(_) => "rule-two",
+            StaticDefect::Deadlock(_) => "deadlock",
+            StaticDefect::Quiescence(_) => "quiescence",
+            StaticDefect::ModelDivergence(_) => "model-divergence",
+        }
+    }
+
+    /// The human-readable detail string.
+    pub fn detail(&self) -> &str {
+        match self {
+            StaticDefect::Validation(s)
+            | StaticDefect::MissingRow(s)
+            | StaticDefect::UnreachableState(s)
+            | StaticDefect::UnreachableRow(s)
+            | StaticDefect::ForbiddenReachable(s)
+            | StaticDefect::ResponseStall(s)
+            | StaticDefect::RuleTwo(s)
+            | StaticDefect::Deadlock(s)
+            | StaticDefect::Quiescence(s)
+            | StaticDefect::ModelDivergence(s) => s,
+        }
+    }
 }
 
 impl std::fmt::Display for StaticDefect {
@@ -66,6 +108,8 @@ impl std::fmt::Display for StaticDefect {
             StaticDefect::ResponseStall(s) => write!(f, "response-class stall: {s}"),
             StaticDefect::RuleTwo(s) => write!(f, "Rule II violation: {s}"),
             StaticDefect::Deadlock(s) => write!(f, "static deadlock: {s}"),
+            StaticDefect::Quiescence(s) => write!(f, "quiescence: {s}"),
+            StaticDefect::ModelDivergence(s) => write!(f, "model divergence: {s}"),
         }
     }
 }
@@ -298,10 +342,88 @@ pub fn check_message_graph(tables: &[&TransitionTable]) -> Vec<StaticDefect> {
     defects
 }
 
-/// Run [`check_table`] on every table and [`check_message_graph`] on the
-/// whole set; returns all defects.
+/// Check the `Quiesce` (PR-9 region-summary demotion) discipline of a
+/// table that declares the event: every non-forbidden `Quiesce` row must
+/// be an action-free self-loop — demoting a quiescent line to its flat
+/// summary must neither move the protocol state machine nor emit
+/// messages, or the summary would silently diverge from the resident
+/// record it replaces. Tables without a `Quiesce` event are skipped
+/// (they have no demotion path to discipline).
+pub fn check_quiescence(t: &TransitionTable) -> Vec<StaticDefect> {
+    let mut defects = Vec::new();
+    if !t.events.contains(&"Quiesce") {
+        return defects;
+    }
+    for r in t.rows.iter().filter(|r| r.event == "Quiesce") {
+        let label = r.label(t.controller);
+        match &r.outcome {
+            RowOutcome::Forbidden(_) => {}
+            RowOutcome::Stall => {
+                defects.push(StaticDefect::Quiescence(format!(
+                    "{label}: demotion must not stall — a line either demotes \
+                     now or stays resident"
+                )));
+            }
+            RowOutcome::Next(to) => {
+                if *to != r.state {
+                    defects.push(StaticDefect::Quiescence(format!(
+                        "{label}: demotion moves the state machine \
+                         ({} -> {to}); summaries must be observationally silent",
+                        r.state
+                    )));
+                }
+                if !r.actions.is_empty() {
+                    defects.push(StaticDefect::Quiescence(format!(
+                        "{label}: demotion emits {} action(s); summaries must \
+                         be observationally silent",
+                        r.actions.len()
+                    )));
+                }
+            }
+        }
+    }
+    defects
+}
+
+/// Cross-check the dynamic model checker against the static tables:
+/// every `(controller, state, event)` witness the resilient explorer
+/// exercised on a strict-protocol path must be permitted by that
+/// controller's table. A forbidden or missing row means the abstract
+/// model and the declarative tables have drifted apart — exactly the gap
+/// this check closes between the two analyses.
+pub fn check_model_conformance(
+    witnesses: &[(&str, &str, &str)],
+    tables: &[&TransitionTable],
+) -> Vec<StaticDefect> {
+    let mut defects = Vec::new();
+    for (controller, state, event) in witnesses {
+        let Some(t) = tables.iter().find(|t| t.controller == *controller) else {
+            defects.push(StaticDefect::Validation(format!(
+                "model witness ({state} x {event}) names unknown controller \
+                 {controller}"
+            )));
+            continue;
+        };
+        if !t.covered(state, event) {
+            defects.push(StaticDefect::MissingRow(format!(
+                "{controller}: model checker exercised ({state} x {event}) \
+                 but the table has no row for it"
+            )));
+        } else if !t.permits(state, event) {
+            defects.push(StaticDefect::ModelDivergence(format!(
+                "{controller}: model checker exercised ({state} x {event}) \
+                 but the table forbids it"
+            )));
+        }
+    }
+    defects
+}
+
+/// Run [`check_table`] and [`check_quiescence`] on every table and
+/// [`check_message_graph`] on the whole set; returns all defects.
 pub fn check_all(tables: &[&TransitionTable]) -> Vec<StaticDefect> {
     let mut defects: Vec<StaticDefect> = tables.iter().flat_map(|t| check_table(t)).collect();
+    defects.extend(tables.iter().flat_map(|t| check_quiescence(t)));
     defects.extend(check_message_graph(tables));
     defects
 }
@@ -481,5 +603,56 @@ mod tests {
                 .any(|d| matches!(d, StaticDefect::Deadlock(s) if s.contains("(V x Put)"))),
             "{defects:?}"
         );
+    }
+
+    #[test]
+    fn quiescence_discipline_enforced() {
+        let mut t = toy();
+        t.events.push("Quiesce");
+        t.assumed_available.push("Quiesce");
+        t.rows
+            .push(TransitionRow::next("I", "Quiesce", "I", vec![], "toy/q-i"));
+        // Bad: state-changing demotion.
+        t.rows
+            .push(TransitionRow::next("V", "Quiesce", "I", vec![], "toy/q-v"));
+        // Bad: demotion with a side effect.
+        t.rows.push(TransitionRow::next(
+            "W",
+            "Quiesce",
+            "W",
+            vec![Action::send("Put", Vnet::Resp, "toy")],
+            "toy/q-w",
+        ));
+        let defects = check_quiescence(&t);
+        assert_eq!(defects.len(), 2, "{defects:?}");
+        assert!(defects
+            .iter()
+            .all(|d| matches!(d, StaticDefect::Quiescence(_))));
+        // A table without the event is skipped entirely.
+        assert!(check_quiescence(&peer()).is_empty());
+    }
+
+    #[test]
+    fn model_conformance_cross_check() {
+        let (t, p) = (toy(), peer());
+        let tables = [&t, &p];
+        // Permitted, forbidden, uncovered and unknown-controller witnesses.
+        let witnesses = [
+            ("toy", "I", "Get"),
+            ("toy", "W", "Get"),
+            ("peer", "N", "Pong"),
+            ("ghost", "X", "Y"),
+        ];
+        let defects = check_model_conformance(&witnesses, &tables);
+        assert_eq!(defects.len(), 3, "{defects:?}");
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, StaticDefect::ModelDivergence(s) if s.contains("(W x Get)"))));
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, StaticDefect::MissingRow(s) if s.contains("(N x Pong)"))));
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, StaticDefect::Validation(s) if s.contains("ghost"))));
     }
 }

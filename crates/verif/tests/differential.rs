@@ -1,0 +1,125 @@
+//! Differential tests for the symmetry-reduced resilient checker.
+//!
+//! Symmetry reduction is sound only if the canonicalized exploration
+//! reaches exactly the same verdicts as brute-force exploration. These
+//! tests pin that property on configurations small enough to exhaust
+//! both ways, and prove the checker catches seeded protocol bugs.
+
+use c3_verif::resilient::{check_resilient, Injection, RViolation, ResilientConfig};
+
+fn cfg(clusters: usize, addrs: usize) -> ResilientConfig {
+    ResilientConfig {
+        clusters,
+        addrs,
+        ..ResilientConfig::default()
+    }
+}
+
+#[test]
+fn symmetry_on_and_off_agree_on_two_cluster_verdicts() {
+    for (clusters, addrs) in [(2, 1), (2, 2)] {
+        let reduced = check_resilient(&cfg(clusters, addrs));
+        let full = check_resilient(&ResilientConfig {
+            symmetry: false,
+            ..cfg(clusters, addrs)
+        });
+
+        // Same verdict: both clean (the protocol has no bug to disagree
+        // about), neither truncated.
+        assert!(reduced.violation.is_none(), "{clusters}x{addrs} reduced");
+        assert!(full.violation.is_none(), "{clusters}x{addrs} full");
+        assert!(!reduced.truncated && !full.truncated);
+
+        // Exact state accounting: the orbit-sum of the reduced run must
+        // equal the brute-force reachable-state count, and the reduced
+        // representative count can never exceed it.
+        assert_eq!(
+            reduced.unreduced_states, full.unreduced_states,
+            "{clusters}x{addrs}: orbit sum diverges from brute force"
+        );
+        assert_eq!(
+            full.canonical_states as u128, full.unreduced_states,
+            "{clusters}x{addrs}: unreduced run must count itself exactly"
+        );
+        assert!(
+            reduced.canonical_states <= full.canonical_states,
+            "{clusters}x{addrs}: reduction enlarged the state space"
+        );
+        assert!(
+            reduced.reduction_factor > 1.0,
+            "{clusters}x{addrs}: no reduction achieved"
+        );
+    }
+}
+
+#[test]
+fn symmetry_preserves_witness_vocabulary() {
+    // The table-conformance witnesses must not depend on whether
+    // exploration is canonicalized — both runs exercise the same
+    // (controller, state, event) set.
+    let reduced = check_resilient(&cfg(2, 1));
+    let full = check_resilient(&ResilientConfig {
+        symmetry: false,
+        ..cfg(2, 1)
+    });
+    assert_eq!(reduced.witnesses, full.witnesses);
+}
+
+#[test]
+fn seeded_lost_grant_livelock_is_caught_with_and_without_symmetry() {
+    for symmetry in [true, false] {
+        let r = check_resilient(&ResilientConfig {
+            inject: Some(Injection::LostGrantLivelock),
+            symmetry,
+            ..cfg(2, 1)
+        });
+        let (v, cex) = r
+            .violation
+            .as_ref()
+            .unwrap_or_else(|| panic!("livelock not caught (symmetry={symmetry})"));
+        assert!(
+            matches!(v, RViolation::Deadlock(_)),
+            "expected deadlock, got {v} (symmetry={symmetry})"
+        );
+        assert!(!cex.steps.is_empty());
+        assert!(cex.trace.contains("INVARIANT VIOLATED"));
+    }
+}
+
+#[test]
+fn seeded_poison_launder_is_caught_with_and_without_symmetry() {
+    for symmetry in [true, false] {
+        let r = check_resilient(&ResilientConfig {
+            inject: Some(Injection::PoisonLaunder),
+            symmetry,
+            ..cfg(2, 1)
+        });
+        let (v, _) = r
+            .violation
+            .as_ref()
+            .unwrap_or_else(|| panic!("laundered poison not caught (symmetry={symmetry})"));
+        assert!(
+            matches!(v, RViolation::Poison(_)),
+            "expected poison violation, got {v} (symmetry={symmetry})"
+        );
+    }
+}
+
+#[test]
+fn counterexample_replay_is_byte_stable() {
+    // The determinism lint keeps wall-clock and unordered iteration out
+    // of `c3-verif`; this pins the end result — two independent runs
+    // render byte-identical counterexamples.
+    let mk = || {
+        check_resilient(&ResilientConfig {
+            inject: Some(Injection::LostGrantLivelock),
+            ..cfg(2, 1)
+        })
+    };
+    let (a, b) = (mk(), mk());
+    let (va, ca) = a.violation.as_ref().expect("violation");
+    let (vb, cb) = b.violation.as_ref().expect("violation");
+    assert_eq!(format!("{va}"), format!("{vb}"));
+    assert_eq!(ca.steps, cb.steps);
+    assert_eq!(ca.trace, cb.trace);
+}

@@ -27,12 +27,13 @@ use std::path::{Path, PathBuf};
 /// Crates whose sources must be deterministic. The workload generators
 /// are included: per-thread program streams (including the OLTP/KV
 /// zipfian engine) must be a pure function of (spec, thread, seed).
-const SCANNED: [&str; 5] = [
+const SCANNED: [&str; 6] = [
     "crates/sim/src",
     "crates/memsys/src",
     "crates/core/src",
     "crates/cxl/src",
     "crates/workloads/src",
+    "crates/verif/src",
 ];
 
 /// `(file suffix, substring)` pairs exempt from the deny list.
